@@ -1,0 +1,457 @@
+package lsdb_test
+
+// One benchmark family per experiment of DESIGN.md §3. The same
+// workloads drive cmd/lsdb-bench, which renders the EXPERIMENTS.md
+// tables; these benchmarks expose them to `go test -bench`.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	lsdb "repro"
+	"repro/internal/dataset"
+	"repro/internal/fact"
+	"repro/internal/relstore"
+	"repro/internal/rules"
+	"repro/internal/sym"
+)
+
+func universityPair(students int) (*lsdb.Database, *relstore.DB) {
+	cfg := dataset.UniversityConfig{
+		Students: students, Courses: 50, Instructors: 20, EnrollPerStudent: 3, Seed: 11,
+	}
+	db := dataset.University(cfg)
+	rdb := relstore.New()
+	classes, _ := rdb.Create("CLASSES", "ENTITY", "CLASS")
+	es, _ := rdb.Create("ENROLL_STUDENT", "ENROLLMENT", "STUDENT")
+	ec, _ := rdb.Create("ENROLL_COURSE", "ENROLLMENT", "COURSE")
+	eg, _ := rdb.Create("ENROLL_GRADE", "ENROLLMENT", "GRADE")
+	misc, _ := rdb.Create("MISC", "SOURCE", "REL", "TARGET")
+	u := db.Universe()
+	for _, f := range db.Store().Facts() {
+		s, r, t := u.Name(f.S), u.Name(f.R), u.Name(f.T)
+		switch r {
+		case "∈":
+			classes.Insert(s, t)
+		case "ENROLL-STUDENT":
+			es.Insert(s, t)
+		case "ENROLL-COURSE":
+			ec.Insert(s, t)
+		case "ENROLL-GRADE":
+			eg.Insert(s, t)
+		default:
+			misc.Insert(s, r, t)
+		}
+	}
+	return db, rdb
+}
+
+// E1: "everything about X" — the browsing question of §1.
+
+func BenchmarkE1_TripleStoreNeighborhood(b *testing.B) {
+	for _, n := range []int{200, 1000, 5000} {
+		b.Run(fmt.Sprintf("students=%d", n), func(b *testing.B) {
+			db, _ := universityPair(n)
+			st := db.Store()
+			target := db.Entity("STU-00007")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st.MatchAll(target, sym.None, sym.None)
+				st.MatchAll(sym.None, sym.None, target)
+			}
+		})
+	}
+}
+
+func BenchmarkE1_RelationalFindEverywhere(b *testing.B) {
+	for _, n := range []int{200, 1000, 5000} {
+		b.Run(fmt.Sprintf("students=%d", n), func(b *testing.B) {
+			_, rdb := universityPair(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rdb.FindEverywhere("STU-00007")
+			}
+		})
+	}
+}
+
+func BenchmarkE1_RelationalKeyed(b *testing.B) {
+	_, rdb := universityPair(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rdb.FindKnowing("ENROLL_STUDENT", 1, "STU-00007")
+		rdb.FindKnowing("CLASSES", 0, "STU-00007")
+	}
+}
+
+// E2: construction and restructuring.
+
+func BenchmarkE2_LooseLoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		dataset.University(dataset.UniversityConfig{
+			Students: 500, Courses: 50, Instructors: 20, EnrollPerStudent: 3, Seed: 11,
+		})
+	}
+}
+
+func BenchmarkE2_RelationalLoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		universityPair(500)
+	}
+}
+
+func BenchmarkE2_LooseAddRelationshipKind(b *testing.B) {
+	db, _ := universityPair(500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.MustAssert(fmt.Sprintf("STU-%05d", i%500), "ADVISOR", fmt.Sprintf("INSTR-%03d", i%20))
+	}
+}
+
+func BenchmarkE2_RelationalRestructure(b *testing.B) {
+	_, rdb := universityPair(500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rdb.Table("ENROLL_STUDENT").AddColumn(fmt.Sprintf("COL%d", i), "X")
+	}
+}
+
+// E3: closure computation per taxonomy shape and rule family.
+
+func BenchmarkE3_Closure(b *testing.B) {
+	for _, depth := range []int{2, 3, 4} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			db := dataset.Taxonomy(dataset.TaxonomyConfig{
+				Branching: 3, Depth: depth, MembersPerLeaf: 4, FactsPerClass: 2, Seed: 5,
+			})
+			eng := db.Engine()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Invalidate()
+				eng.Closure()
+			}
+		})
+	}
+}
+
+func BenchmarkE3_ClosureNoInheritance(b *testing.B) {
+	db := dataset.Taxonomy(dataset.TaxonomyConfig{
+		Branching: 3, Depth: 4, MembersPerLeaf: 4, FactsPerClass: 2, Seed: 5,
+	})
+	eng := db.Engine()
+	eng.Exclude(rules.GenSource)
+	eng.Exclude(rules.MemberSource)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Invalidate()
+		eng.Closure()
+	}
+}
+
+func BenchmarkE3_IncrementalInsert(b *testing.B) {
+	// Ablation: insertions are folded into the cached closure by a
+	// semi-naive delta pass seeded with the new fact only.
+	db := dataset.Taxonomy(dataset.TaxonomyConfig{
+		Branching: 3, Depth: 3, MembersPerLeaf: 4, FactsPerClass: 2, Seed: 5,
+	})
+	eng := db.Engine()
+	eng.Closure()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.MustAssert(fmt.Sprintf("X%d", i), "in", "C0.0")
+		eng.Closure()
+	}
+}
+
+func BenchmarkE3_FullRecomputePerInsert(b *testing.B) {
+	// Ablation counterpart: force a full recomputation per insert.
+	db := dataset.Taxonomy(dataset.TaxonomyConfig{
+		Branching: 3, Depth: 3, MembersPerLeaf: 4, FactsPerClass: 2, Seed: 5,
+	})
+	eng := db.Engine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.MustAssert(fmt.Sprintf("X%d", i), "in", "C0.0")
+		eng.Invalidate()
+		eng.Closure()
+	}
+}
+
+// E4: query evaluation by shape.
+
+func BenchmarkE4_Query(b *testing.B) {
+	db := dataset.University(dataset.UniversityConfig{
+		Students: 1000, Courses: 40, Instructors: 10, EnrollPerStudent: 3, Seed: 2,
+	})
+	db.ClosureLen() // prime
+	cases := []struct{ name, src string }{
+		{"template", "(?s, in, FRESHMAN)"},
+		{"conj3", "(?e, ENROLL-STUDENT, ?s) & (?e, ENROLL-COURSE, CS100) & (?e, ENROLL-GRADE, A)"},
+		{"exists", "exists ?e . (?e, ENROLL-STUDENT, ?s) & (?e, ENROLL-COURSE, CS105)"},
+		{"disjunction", "(?s, in, FRESHMAN) | (?s, in, GRADUATE)"},
+		{"proposition", "(STU-00000, in, PERSON)"},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			q, err := db.Parse(c.src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Eval(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE4_Parse(b *testing.B) {
+	db := lsdb.New()
+	src := "exists ?e . (?e, ENROLL-STUDENT, ?s) & (?e, ENROLL-COURSE, CS100) & (?e, ENROLL-GRADE, A)"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E5: composition limit(n).
+
+func BenchmarkE5_CompositionLimit(b *testing.B) {
+	db, names := dataset.Graph(dataset.GraphConfig{
+		Entities: 400, Facts: 1600, Relationships: 6, Seed: 13,
+	})
+	db.ClosureLen()
+	src, tgt := db.Entity(names[0]), db.Entity(names[7])
+	for _, n := range []int{1, 2, 3, 4} {
+		b.Run(fmt.Sprintf("limit=%d", n), func(b *testing.B) {
+			db.Limit(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				db.Composer().Paths(src, tgt)
+			}
+		})
+	}
+	db.Limit(3)
+}
+
+// E6: navigation latency vs degree.
+
+func BenchmarkE6_NavigationByDegree(b *testing.B) {
+	db, names := dataset.Graph(dataset.GraphConfig{
+		Entities: 2000, Facts: 20000, Relationships: 8, Seed: 17,
+	})
+	db.ClosureLen()
+	for _, idx := range []int{0, 20, 200, 1500} {
+		id := db.Entity(names[idx])
+		deg := db.Store().Degree(id)
+		b.Run(fmt.Sprintf("degree=%d", deg), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				db.Browser().Neighborhood(id)
+			}
+		})
+	}
+}
+
+// E7: materialized vs on-demand matching.
+
+func BenchmarkE7_Materialized(b *testing.B) {
+	db := dataset.Taxonomy(dataset.TaxonomyConfig{
+		Branching: 2, Depth: 3, MembersPerLeaf: 2, FactsPerClass: 1, Seed: 23,
+	})
+	eng := db.Engine()
+	leaf := db.Entity("I-C0.0.0.0-0")
+	eng.Closure()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.MatchAll(leaf, sym.None, sym.None)
+	}
+}
+
+func BenchmarkE7_MaterializationFromCold(b *testing.B) {
+	db := dataset.Taxonomy(dataset.TaxonomyConfig{
+		Branching: 2, Depth: 3, MembersPerLeaf: 2, FactsPerClass: 1, Seed: 23,
+	})
+	eng := db.Engine()
+	leaf := db.Entity("I-C0.0.0.0-0")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Invalidate()
+		eng.MatchAll(leaf, sym.None, sym.None)
+	}
+}
+
+func BenchmarkE7_OnDemandBounded(b *testing.B) {
+	db := dataset.Taxonomy(dataset.TaxonomyConfig{
+		Branching: 2, Depth: 3, MembersPerLeaf: 2, FactsPerClass: 1, Seed: 23,
+	})
+	eng := db.Engine()
+	leaf := db.Entity("I-C0.0.0.0-0")
+	for _, depth := range []int{2, 4, 6} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng.MatchBounded(leaf, sym.None, sym.None, depth, func(fact.Fact) bool { return true })
+			}
+		})
+	}
+}
+
+// E8: probing retraction.
+
+func BenchmarkE8_ProbeClimb(b *testing.B) {
+	for _, depth := range []int{2, 4, 6} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			db := dataset.Taxonomy(dataset.TaxonomyConfig{
+				Branching: 2, Depth: depth, MembersPerLeaf: 0, FactsPerClass: 1, Seed: 3,
+			})
+			db.MustAssert("ROOT-INSTANCE", "in", "C0")
+			db.ClosureLen()
+			leaf := "C0"
+			for i := 0; i < depth; i++ {
+				leaf += ".0"
+			}
+			src := fmt.Sprintf("(?x, in, %s)", leaf)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Probe(src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE8_ProbeFan(b *testing.B) {
+	db := dataset.Taxonomy(dataset.TaxonomyConfig{
+		Branching: 3, Depth: 3, MembersPerLeaf: 0, FactsPerClass: 1, Seed: 3,
+	})
+	db.MustAssert("PROBE-X", "PROBE-REL", "C0")
+	db.ClosureLen()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Probe("(PROBE-X, PROBE-REL, C0.0.0.0)"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E9: integrity checking.
+
+func BenchmarkE9_Check(b *testing.B) {
+	for _, k := range []int{0, 2, 8} {
+		b.Run(fmt.Sprintf("constraints=%d", k), func(b *testing.B) {
+			db := dataset.Employment(300, 7)
+			for i := 0; i < k; i++ {
+				src := fmt.Sprintf("(?x, in, EMPLOYEE) & (?x, EARNS, ?y) => (?x, CHECKED-%d, ?y)", i)
+				if err := db.AddConstraint(fmt.Sprintf("c%d", i), src); err != nil {
+					b.Fatal(err)
+				}
+			}
+			db.ClosureLen()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				db.Check()
+			}
+		})
+	}
+}
+
+func BenchmarkE9_StrictInsert(b *testing.B) {
+	db := dataset.Employment(300, 7)
+	db.AddConstraint("c0", "(?x, in, EMPLOYEE) & (?x, EARNS, ?y) => (?x, CHECKED, ?y)")
+	eng := db.Engine()
+	u := db.Universe()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.WouldViolate(u.NewFact("EMP-XX", "EARNS", "$30000"))
+	}
+}
+
+// E10: durability.
+
+func BenchmarkE10_LogAppend(b *testing.B) {
+	dir := b.TempDir()
+	db, err := lsdb.Open(lsdb.Options{LogPath: filepath.Join(dir, "db.log")})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.MustAssert(fmt.Sprintf("E%08d", i), "REL", fmt.Sprintf("V%06d", i%997))
+	}
+	b.StopTimer()
+	db.Sync()
+}
+
+func BenchmarkE10_Snapshot(b *testing.B) {
+	dir := b.TempDir()
+	db := dataset.Employment(1000, 7)
+	path := filepath.Join(dir, "db.snap")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.SaveSnapshot(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE10_Recovery(b *testing.B) {
+	dir := b.TempDir()
+	logPath := filepath.Join(dir, "db.log")
+	db, err := lsdb.Open(lsdb.Options{LogPath: logPath})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		db.MustAssert(fmt.Sprintf("E%06d", i), "REL", fmt.Sprintf("V%06d", i%997))
+	}
+	db.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db2, err := lsdb.Open(lsdb.Options{LogPath: logPath})
+		if err != nil {
+			b.Fatal(err)
+		}
+		db2.Close()
+	}
+	_ = os.Remove(logPath)
+}
+
+// Micro-benchmarks on the storage layer.
+
+func BenchmarkStoreInsert(b *testing.B) {
+	db := lsdb.New()
+	u := db.Universe()
+	st := db.Store()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Insert(u.NewFact(fmt.Sprintf("S%d", i%10000), "R", fmt.Sprintf("T%d", i%997)))
+	}
+}
+
+func BenchmarkStoreMatchBySource(b *testing.B) {
+	db := dataset.Employment(2000, 3)
+	st := db.Store()
+	id := db.Entity("EMP-00042")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.MatchAll(id, sym.None, sym.None)
+	}
+}
+
+func BenchmarkEngineHas(b *testing.B) {
+	db := dataset.Employment(2000, 3)
+	db.ClosureLen()
+	f := db.Universe().NewFact("EMP-00042", "EARNS", "SALARY")
+	eng := db.Engine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Has(f)
+	}
+}

@@ -1,0 +1,66 @@
+// Command lsdb-bench regenerates the experiment tables of
+// EXPERIMENTS.md (DESIGN.md §3). Each experiment quantifies one of
+// the paper's qualitative claims on a synthetic world.
+//
+// Usage:
+//
+//	lsdb-bench            # run every experiment
+//	lsdb-bench E1 E5 E8   # run a subset
+//	lsdb-bench -quick     # smaller sweeps (used in CI)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/tabular"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run smaller parameter sweeps")
+	flag.Parse()
+
+	sizes := []int{1000, 5000, 20000}
+	students := []int{200, 1000, 5000}
+	depths := []int{2, 3, 4, 5}
+	limits := []int{1, 2, 3, 4, 5}
+	constraints := []int{0, 2, 8}
+	logSizes := []int{1000, 10000, 50000}
+	if *quick {
+		sizes = []int{1000, 5000}
+		students = []int{200, 1000}
+		depths = []int{2, 3}
+		limits = []int{1, 2, 3}
+		constraints = []int{0, 2}
+		logSizes = []int{1000, 5000}
+	}
+
+	experiments := map[string]func() *tabular.Rows{
+		"E1":  func() *tabular.Rows { return bench.E1(sizes) },
+		"E2":  func() *tabular.Rows { return bench.E2(students) },
+		"E3":  func() *tabular.Rows { return bench.E3(depths) },
+		"E4":  func() *tabular.Rows { return bench.E4(students) },
+		"E5":  func() *tabular.Rows { return bench.E5(limits) },
+		"E6":  bench.E6,
+		"E7":  bench.E7,
+		"E8":  bench.E8,
+		"E9":  func() *tabular.Rows { return bench.E9(constraints) },
+		"E10": func() *tabular.Rows { return bench.E10(logSizes) },
+	}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"}
+
+	selected := flag.Args()
+	if len(selected) == 0 {
+		selected = order
+	}
+	for _, name := range selected {
+		exp, ok := experiments[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "lsdb-bench: unknown experiment %q (have %v)\n", name, order)
+			os.Exit(2)
+		}
+		fmt.Println(exp().Render())
+	}
+}

@@ -1,0 +1,301 @@
+// Command lsdbd serves a loosely structured database over HTTP with a
+// JSON API, so the browsing styles of the paper are usable from any
+// client.
+//
+//	POST   /facts      {"s":"JOHN","r":"in","t":"EMPLOYEE"}  assert
+//	DELETE /facts?s=&r=&t=                                   retract
+//	GET    /query?q=(?x, in, EMPLOYEE)                       standard query
+//	GET    /probe?q=...                                      query + retraction
+//	GET    /navigate?entity=JOHN                             neighborhood
+//	GET    /between?src=LEOPOLD&tgt=MOZART                   associations
+//	GET    /try?entity=MOZART                                try(e)
+//	GET    /derive?s=JOHN&r=EARNS&t=SALARY                   proof tree
+//	GET    /check                                            contradictions
+//	GET    /stats                                            sizes
+//
+// Usage: lsdbd [-addr :8080] [-log db.log] [factfile ...]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	lsdb "repro"
+	"repro/internal/browse"
+	"repro/internal/factfile"
+)
+
+type server struct {
+	db *lsdb.Database
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	logPath := flag.String("log", "", "append-only durability log")
+	flag.Parse()
+
+	db, err := lsdb.Open(lsdb.Options{LogPath: *logPath})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, path := range flag.Args() {
+		if _, err := factfile.LoadFile(db, path); err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+	}
+
+	s := &server{db: db}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/facts", s.facts)
+	mux.HandleFunc("/query", s.query)
+	mux.HandleFunc("/probe", s.probe)
+	mux.HandleFunc("/navigate", s.navigate)
+	mux.HandleFunc("/between", s.between)
+	mux.HandleFunc("/try", s.try)
+	mux.HandleFunc("/derive", s.derive)
+	mux.HandleFunc("/check", s.check)
+	mux.HandleFunc("/stats", s.stats)
+
+	log.Printf("lsdbd listening on %s (%d facts)", *addr, db.Len())
+	if err := http.ListenAndServe(*addr, mux); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+type factJSON struct {
+	S string `json:"s"`
+	R string `json:"r"`
+	T string `json:"t"`
+}
+
+func (s *server) facts(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var f factJSON
+		if err := json.NewDecoder(r.Body).Decode(&f); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if f.S == "" || f.R == "" || f.T == "" {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("s, r, t are all required"))
+			return
+		}
+		if err := s.db.Assert(f.S, f.R, f.T); err != nil {
+			writeErr(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]int{"stored": s.db.Len()})
+	case http.MethodDelete:
+		q := r.URL.Query()
+		fs, fr, ft := q.Get("s"), q.Get("r"), q.Get("t")
+		if fs == "" || fr == "" || ft == "" {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("s, r, t query params required"))
+			return
+		}
+		ok := s.db.Retract(fs, fr, ft)
+		writeJSON(w, http.StatusOK, map[string]bool{"retracted": ok})
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST or DELETE"))
+	}
+}
+
+func (s *server) query(w http.ResponseWriter, r *http.Request) {
+	src := r.URL.Query().Get("q")
+	if src == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("q parameter required"))
+		return
+	}
+	rows, err := s.db.Query(src)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"vars":   rows.Vars,
+		"tuples": rows.Tuples,
+		"true":   rows.True,
+	})
+}
+
+func (s *server) probe(w http.ResponseWriter, r *http.Request) {
+	src := r.URL.Query().Get("q")
+	if src == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("q parameter required"))
+		return
+	}
+	out, err := s.db.Probe(src)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	u := s.db.Universe()
+	type successJSON struct {
+		Query   string     `json:"query"`
+		Changes []string   `json:"changes"`
+		Tuples  [][]string `json:"tuples"`
+	}
+	var successes []successJSON
+	for _, wave := range out.Waves {
+		for _, e := range wave.Successes() {
+			var changes []string
+			for _, c := range e.Changes {
+				changes = append(changes, c.Describe(u))
+			}
+			var tuples [][]string
+			for _, tp := range e.Result.Tuples {
+				row := make([]string, len(tp))
+				for i, id := range tp {
+					row[i] = u.Name(id)
+				}
+				tuples = append(tuples, row)
+			}
+			successes = append(successes, successJSON{
+				Query: e.Q.String(), Changes: changes, Tuples: tuples,
+			})
+		}
+	}
+	var unknown []string
+	for _, id := range out.Unknown {
+		unknown = append(unknown, u.Name(id))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"succeeded": out.Succeeded(),
+		"menu":      out.Menu(u),
+		"waves":     len(out.Waves),
+		"critical":  out.Critical,
+		"exhausted": out.Exhausted,
+		"unknown":   unknown,
+		"successes": successes,
+	})
+}
+
+func (s *server) navigate(w http.ResponseWriter, r *http.Request) {
+	entity := r.URL.Query().Get("entity")
+	if entity == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("entity parameter required"))
+		return
+	}
+	u := s.db.Universe()
+	n := s.db.Navigate(entity)
+	type relGroup struct {
+		Rel      string   `json:"rel"`
+		Entities []string `json:"entities"`
+	}
+	conv := func(src []browse.RelGroup) []relGroup {
+		out := make([]relGroup, len(src))
+		for i, g := range src {
+			names := make([]string, len(g.Entities))
+			for j, id := range g.Entities {
+				names[j] = u.Name(id)
+			}
+			out[i] = relGroup{Rel: u.Name(g.Rel), Entities: names}
+		}
+		return out
+	}
+	var classes []string
+	for _, id := range n.Classes {
+		classes = append(classes, u.Name(id))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"entity":  entity,
+		"classes": classes,
+		"out":     conv(n.Out),
+		"in":      conv(n.In),
+		"table":   n.Table(u).Render(),
+	})
+}
+
+func (s *server) between(w http.ResponseWriter, r *http.Request) {
+	src, tgt := r.URL.Query().Get("src"), r.URL.Query().Get("tgt")
+	if src == "" || tgt == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("src and tgt parameters required"))
+		return
+	}
+	u := s.db.Universe()
+	var assocs []map[string]any
+	for _, a := range s.db.Between(src, tgt) {
+		entry := map[string]any{"rel": u.Name(a.Rel), "composed": a.Path != nil}
+		if a.Path != nil {
+			var steps []string
+			for _, f := range a.Path.Steps {
+				steps = append(steps, u.FormatFact(f))
+			}
+			entry["steps"] = steps
+		}
+		assocs = append(assocs, entry)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"associations": assocs})
+}
+
+func (s *server) try(w http.ResponseWriter, r *http.Request) {
+	entity := r.URL.Query().Get("entity")
+	if entity == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("entity parameter required"))
+		return
+	}
+	u := s.db.Universe()
+	var facts []factJSON
+	for _, f := range s.db.Try(entity) {
+		facts = append(facts, factJSON{S: u.Name(f.S), R: u.Name(f.R), T: u.Name(f.T)})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"facts": facts})
+}
+
+func (s *server) derive(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	fs, fr, ft := q.Get("s"), q.Get("r"), q.Get("t")
+	if fs == "" || fr == "" || ft == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("s, r, t query params required"))
+		return
+	}
+	d := s.db.Derive(fs, fr, ft)
+	if d == nil {
+		held := s.db.Has(fs, fr, ft)
+		writeJSON(w, http.StatusOK, map[string]any{
+			"holds":   held,
+			"virtual": held,
+			"tree":    "",
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"holds":   true,
+		"virtual": false,
+		"rule":    d.Rule,
+		"tree":    d.Format(s.db.Universe()),
+	})
+}
+
+func (s *server) check(w http.ResponseWriter, r *http.Request) {
+	u := s.db.Universe()
+	var violations []string
+	for _, v := range s.db.Check() {
+		violations = append(violations, v.Format(u))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"consistent": len(violations) == 0,
+		"violations": violations,
+	})
+}
+
+func (s *server) stats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"stored":  s.db.Len(),
+		"closure": s.db.ClosureLen(),
+	})
+}

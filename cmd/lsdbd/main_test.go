@@ -1,0 +1,252 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	s := &server{db: dataset.Music()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/facts", s.facts)
+	mux.HandleFunc("/query", s.query)
+	mux.HandleFunc("/probe", s.probe)
+	mux.HandleFunc("/navigate", s.navigate)
+	mux.HandleFunc("/between", s.between)
+	mux.HandleFunc("/try", s.try)
+	mux.HandleFunc("/check", s.check)
+	mux.HandleFunc("/stats", s.stats)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	srv := testServer(t)
+	var got map[string]int
+	if code := getJSON(t, srv.URL+"/stats", &got); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if got["stored"] == 0 || got["closure"] < got["stored"] {
+		t.Errorf("stats = %v", got)
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	srv := testServer(t)
+	var got struct {
+		Vars   []string   `json:"vars"`
+		Tuples [][]string `json:"tuples"`
+		True   bool       `json:"true"`
+	}
+	code := getJSON(t, srv.URL+"/query?q="+escape("(JOHN, FAVORITE-MUSIC, ?p)"), &got)
+	if code != 200 || !got.True {
+		t.Fatalf("status %d, got %+v", code, got)
+	}
+	if len(got.Tuples) < 3 {
+		t.Errorf("tuples = %v", got.Tuples)
+	}
+}
+
+func TestQueryEndpointErrors(t *testing.T) {
+	srv := testServer(t)
+	var got map[string]any
+	if code := getJSON(t, srv.URL+"/query", &got); code != 400 {
+		t.Errorf("missing q: status %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/query?q="+escape("((("), &got); code != 400 {
+		t.Errorf("parse error: status %d", code)
+	}
+}
+
+func TestFactsEndpoint(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Post(srv.URL+"/facts", "application/json",
+		strings.NewReader(`{"s":"NEW","r":"LIKES","t":"JAZZ"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("POST status %d", resp.StatusCode)
+	}
+	var q struct{ True bool }
+	getJSON(t, srv.URL+"/query?q="+escape("(NEW, LIKES, JAZZ)"), &q)
+	if !q.True {
+		t.Error("posted fact not queryable")
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/facts?s=NEW&r=LIKES&t=JAZZ", nil)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var del map[string]bool
+	json.NewDecoder(resp2.Body).Decode(&del)
+	resp2.Body.Close()
+	if !del["retracted"] {
+		t.Error("DELETE did not retract")
+	}
+}
+
+func TestFactsEndpointValidation(t *testing.T) {
+	srv := testServer(t)
+	resp, _ := http.Post(srv.URL+"/facts", "application/json", strings.NewReader(`{"s":"ONLY"}`))
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("incomplete fact: status %d", resp.StatusCode)
+	}
+	resp, _ = http.Post(srv.URL+"/facts", "application/json", strings.NewReader(`not json`))
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("bad json: status %d", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodPut, srv.URL+"/facts", nil)
+	resp, _ = http.DefaultClient.Do(req)
+	resp.Body.Close()
+	if resp.StatusCode != 405 {
+		t.Errorf("PUT: status %d", resp.StatusCode)
+	}
+}
+
+func TestNavigateEndpoint(t *testing.T) {
+	srv := testServer(t)
+	var got struct {
+		Classes []string `json:"classes"`
+		Table   string   `json:"table"`
+		Out     []struct {
+			Rel      string   `json:"rel"`
+			Entities []string `json:"entities"`
+		} `json:"out"`
+	}
+	code := getJSON(t, srv.URL+"/navigate?entity=JOHN", &got)
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(got.Classes) != 4 {
+		t.Errorf("classes = %v", got.Classes)
+	}
+	if !strings.Contains(got.Table, "JOHN**") {
+		t.Errorf("table:\n%s", got.Table)
+	}
+}
+
+func TestBetweenEndpoint(t *testing.T) {
+	srv := testServer(t)
+	var got struct {
+		Associations []struct {
+			Rel      string   `json:"rel"`
+			Composed bool     `json:"composed"`
+			Steps    []string `json:"steps"`
+		} `json:"associations"`
+	}
+	code := getJSON(t, srv.URL+"/between?src=LEOPOLD&tgt=MOZART", &got)
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	var composed, direct bool
+	for _, a := range got.Associations {
+		if a.Composed {
+			composed = true
+			if len(a.Steps) < 2 {
+				t.Errorf("composed association with %d steps", len(a.Steps))
+			}
+		} else {
+			direct = true
+		}
+	}
+	if !composed || !direct {
+		t.Errorf("associations = %+v", got.Associations)
+	}
+}
+
+func TestProbeEndpoint(t *testing.T) {
+	srv := testServer(t)
+	var got struct {
+		Succeeded bool   `json:"succeeded"`
+		Menu      string `json:"menu"`
+		Unknown   []string
+	}
+	code := getJSON(t, srv.URL+"/probe?q="+escape("(JOHN, LOWES, ?z)"), &got)
+	if code != 200 || got.Succeeded {
+		t.Fatalf("status %d, %+v", code, got)
+	}
+	if !strings.Contains(got.Menu, "no such database entities") {
+		t.Errorf("menu: %s", got.Menu)
+	}
+}
+
+func TestTryEndpoint(t *testing.T) {
+	srv := testServer(t)
+	var got struct {
+		Facts []struct{ S, R, T string } `json:"facts"`
+	}
+	code := getJSON(t, srv.URL+"/try?entity=MOZART", &got)
+	if code != 200 || len(got.Facts) == 0 {
+		t.Fatalf("status %d, %d facts", code, len(got.Facts))
+	}
+}
+
+func TestCheckEndpoint(t *testing.T) {
+	srv := testServer(t)
+	var got struct {
+		Consistent bool `json:"consistent"`
+	}
+	if code := getJSON(t, srv.URL+"/check", &got); code != 200 || !got.Consistent {
+		t.Fatalf("check = %+v", got)
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer(
+		" ", "%20", "?", "%3F", "&", "%26", "(", "%28", ")", "%29", "#", "%23",
+	)
+	return r.Replace(s)
+}
+
+func TestDeriveEndpoint(t *testing.T) {
+	s := &server{db: dataset.Music()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/derive", s.derive)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	var got struct {
+		Holds bool   `json:"holds"`
+		Rule  string `json:"rule"`
+		Tree  string `json:"tree"`
+	}
+	code := getJSON(t, srv.URL+"/derive?s=PC%239-WAM&r=FAVORITE-OF&t=JOHN", &got)
+	if code != 200 || !got.Holds || got.Rule != "inversion" {
+		t.Fatalf("derive = %+v (status %d)", got, code)
+	}
+	if !strings.Contains(got.Tree, "[stored]") {
+		t.Errorf("tree:\n%s", got.Tree)
+	}
+	code = getJSON(t, srv.URL+"/derive?s=NO&r=SUCH&t=FACT", &got)
+	if code != 200 || got.Holds {
+		t.Errorf("absent fact: %+v", got)
+	}
+	if code := getJSON(t, srv.URL+"/derive?s=ONLY", &got); code != 400 {
+		t.Errorf("missing params: %d", code)
+	}
+}

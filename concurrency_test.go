@@ -1,0 +1,81 @@
+package lsdb_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// TestConcurrentReaders exercises the documented concurrency
+// contract: any number of goroutines may query, navigate and probe
+// the same database concurrently.
+func TestConcurrentReaders(t *testing.T) {
+	db := dataset.Employment(200, 3)
+	db.ClosureLen() // materialize once
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				switch (g + i) % 4 {
+				case 0:
+					rows, err := db.Query("(?who, in, EMPLOYEE) & (?who, EARNS, ?amt)")
+					if err != nil {
+						errs <- err
+						return
+					}
+					if len(rows.Tuples) == 0 {
+						errs <- fmt.Errorf("no tuples")
+						return
+					}
+				case 1:
+					n := db.Navigate("JOHN")
+					if n.Degree() == 0 {
+						errs <- fmt.Errorf("empty neighborhood")
+						return
+					}
+				case 2:
+					if !db.Has("JOHN", "EARNS", "SALARY") {
+						errs <- fmt.Errorf("inference lost")
+						return
+					}
+				case 3:
+					if out, err := db.Probe("(JOHN, NO-SUCH-REL, ?x)"); err != nil || out.Succeeded() {
+						errs <- fmt.Errorf("probe misbehaved: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestSerializedWriteReadCycles alternates writes and reads from a
+// single goroutine, which is the supported mutation pattern, and
+// checks the closure stays coherent throughout.
+func TestSerializedWriteReadCycles(t *testing.T) {
+	db := dataset.Employment(10, 3)
+	for i := 0; i < 50; i++ {
+		name := fmt.Sprintf("NEW-%03d", i)
+		db.MustAssert(name, "in", "EMPLOYEE")
+		if !db.Has(name, "EARNS", "SALARY") {
+			t.Fatalf("iteration %d: inference missing after insert", i)
+		}
+		if i%10 == 9 {
+			db.Retract(name, "in", "EMPLOYEE")
+			if db.Has(name, "EARNS", "SALARY") {
+				t.Fatalf("iteration %d: derived fact survived retraction", i)
+			}
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package lsdb_test
+
+import (
+	"fmt"
+
+	lsdb "repro"
+)
+
+func Example() {
+	db := lsdb.New()
+	db.MustAssert("JOHN", "in", "EMPLOYEE")
+	db.MustAssert("EMPLOYEE", "EARNS", "SALARY")
+
+	// Inference by membership (§3.2).
+	fmt.Println(db.Has("JOHN", "EARNS", "SALARY"))
+	// Output: true
+}
+
+func ExampleDatabase_Query() {
+	db := lsdb.New()
+	db.MustAssert("JOHN", "in", "EMPLOYEE")
+	db.MustAssert("JOHN", "EARNS", "25000")
+	db.MustAssert("TOM", "in", "EMPLOYEE")
+	db.MustAssert("TOM", "EARNS", "15000")
+
+	rows, _ := db.Query("exists ?amt . (?who, in, EMPLOYEE) & (?who, EARNS, ?amt) & (?amt, >, 20000)")
+	fmt.Println(rows.Column("who"))
+	// Output: [JOHN]
+}
+
+func ExampleDatabase_Probe() {
+	db := lsdb.New()
+	db.MustAssert("LOVE", "isa", "LIKE")
+	db.MustAssert("MARY", "LIKE", "OPERA")
+
+	out, _ := db.Probe("(?z, LOVE, OPERA)")
+	fmt.Print(out.Menu(db.Universe()))
+	// Output:
+	// Query failed. Retrying:
+	// 1. Success with LIKE instead of LOVE
+	// You may select:
+}
+
+func ExampleDatabase_Between() {
+	db := lsdb.New()
+	db.MustAssert("TOM", "ENROLLED-IN", "CS100")
+	db.MustAssert("CS100", "TAUGHT-BY", "HARRY")
+
+	for _, a := range db.Between("TOM", "HARRY") {
+		fmt.Println(db.Name(a.Rel))
+	}
+	// Output: ENROLLED-IN CS100 TAUGHT-BY
+}
+
+func ExampleDatabase_Define() {
+	db := lsdb.New()
+	db.MustAssert("B1", "in", "BOOK")
+	db.MustAssert("B1", "AUTHOR", "MELVILLE")
+
+	db.Define("author-of(?b, ?p) := (?b, in, BOOK) & (?b, AUTHOR, ?p)")
+	rows, _ := db.Query("author-of(B1, ?who)")
+	fmt.Println(rows.Column("who"))
+	// Output: [MELVILLE]
+}
+
+func ExampleDatabase_Derive() {
+	db := lsdb.New()
+	db.MustAssert("JOHN", "in", "EMPLOYEE")
+	db.MustAssert("EMPLOYEE", "EARNS", "SALARY")
+
+	fmt.Print(db.Derive("JOHN", "EARNS", "SALARY").Format(db.Universe()))
+	// Output:
+	// (JOHN, EARNS, SALARY)  [member-source]
+	//   (JOHN, ∈, EMPLOYEE)  [stored]
+	//   (EMPLOYEE, EARNS, SALARY)  [stored]
+}
+
+func ExampleDatabase_Check() {
+	db := lsdb.New()
+	db.MustAssert("LOVES", "contra", "HATES")
+	db.MustAssert("JOHN", "LOVES", "MARY")
+	db.MustAssert("JOHN", "HATES", "MARY")
+
+	fmt.Println(len(db.Check()))
+	// Output: 1
+}
+
+func ExampleDatabase_Relation() {
+	db := lsdb.New()
+	db.MustAssert("JOHN", "in", "EMPLOYEE")
+	db.MustAssert("SHIPPING", "in", "DEPARTMENT")
+	db.MustAssert("JOHN", "WORKS-FOR", "SHIPPING")
+
+	table, _ := db.Relation("EMPLOYEE", "WORKS-FOR", "DEPARTMENT")
+	fmt.Print(table.Render())
+	// Output:
+	// EMPLOYEE  WORKS-FOR DEPARTMENT
+	// --------  --------------------
+	// JOHN      SHIPPING
+}
+
+func ExampleDatabase_Batch() {
+	db, _ := lsdb.Open(lsdb.Options{Strict: true})
+	db.MustAssert("SINGLE", "contra", "MARRIED")
+	db.MustAssert("JOHN", "SINGLE", "YES")
+
+	err := db.Batch(func(tx *lsdb.Tx) error {
+		tx.Assert("JOHN", "MARRIED", "YES")
+		tx.Retract("JOHN", "SINGLE", "YES")
+		return nil
+	})
+	fmt.Println(err, db.HasStored("JOHN", "MARRIED", "YES"))
+	// Output: <nil> true
+}

@@ -1,0 +1,55 @@
+// Music replays the paper's §4.1 navigation session step by step:
+// the user explores JOHN's neighborhood, picks PC#9-WAM from it,
+// explores that, and finally asks how LEOPOLD and MOZART are related
+// — where composition produces the associations the paper shows.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+)
+
+func main() {
+	db := dataset.Music()
+	u := db.Universe()
+
+	fmt.Println("Step 1 — template (JOHN, *, *):")
+	fmt.Println()
+	fmt.Println(db.Navigate("JOHN").Table(u).Render())
+
+	fmt.Println("Step 2 — the user picks PC#9-WAM; template (PC#9-WAM, *, *):")
+	fmt.Println()
+	fmt.Println(db.Navigate("PC#9-WAM").Table(u).Render())
+
+	fmt.Println("Step 3 — template (LEOPOLD, *, MOZART):")
+	fmt.Println()
+	fmt.Println(db.Browser().BetweenTable(db.Entity("LEOPOLD"), db.Entity("MOZART")).Render())
+
+	fmt.Println("The composed association is a §3.7 composition chain:")
+	for _, a := range db.Between("LEOPOLD", "MOZART") {
+		if a.Path == nil {
+			continue
+		}
+		fmt.Printf("  %s, via:\n", u.Name(a.Rel))
+		for _, step := range a.Path.Steps {
+			fmt.Printf("    %s\n", u.FormatFact(step))
+		}
+	}
+	fmt.Println()
+
+	// §6.1: limit(1) switches composition off; only FATHER-OF remains.
+	db.Limit(1)
+	fmt.Println("With limit(1) — composition disabled:")
+	fmt.Println()
+	fmt.Println(db.Browser().BetweenTable(db.Entity("LEOPOLD"), db.Entity("MOZART")).Render())
+
+	// Navigation interleaves with standard queries (§4.1): use a
+	// query to find who composed John's favorites, then browse on.
+	db.Limit(3)
+	rows, err := db.Query("(JOHN, FAVORITE-MUSIC, ?piece) & (?piece, COMPOSED-BY, ?composer)")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("composers of John's favorites:", rows.Column("composer"))
+}

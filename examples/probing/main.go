@@ -1,0 +1,61 @@
+// Probing replays §5's hit-and-miss sessions: the failed query about
+// free things all students love, with the automatic retraction menu
+// the paper shows; a multi-wave retraction; and the misspelled-entity
+// diagnosis.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+)
+
+func main() {
+	db := dataset.Opera()
+	u := db.Universe()
+
+	fmt.Println("Q(z) = (STUDENT, LOVE, ?z) & (?z, COSTS, FREE)")
+	out, err := db.Probe("(STUDENT, LOVE, ?z) & (?z, COSTS, FREE)")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(out.Menu(u))
+
+	// Show what each successful retraction actually returns.
+	for _, w := range out.Waves {
+		for _, e := range w.Successes() {
+			fmt.Printf("  %s\n", e.Q.String())
+			for _, tp := range e.Result.Tuples {
+				names := make([]string, len(tp))
+				for i, id := range tp {
+					names[i] = u.Name(id)
+				}
+				fmt.Printf("    -> %v\n", names)
+			}
+		}
+	}
+	fmt.Println()
+
+	// The quarterback example of §5: the query fails and probing
+	// explains where. GRADUATE-OF ≺ ATTENDED is in the database.
+	db2 := dataset.Opera()
+	db2.MustAssert("JOE", "in", "QUARTERBACK")
+	db2.MustAssert("QUARTERBACK", "isa", "FOOTBALL-PLAYER")
+	db2.MustAssert("JOE", "ATTENDED", "USC")
+	fmt.Println("Q(z) = (?z, in, QUARTERBACK) & (?z, GRADUATE-OF, USC)")
+	out2, err := db2.Probe("(?z, in, QUARTERBACK) & (?z, GRADUATE-OF, USC)")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(out2.Menu(db2.Universe()))
+
+	// Misspelling: LOWES is not a database entity.
+	db3 := dataset.Opera()
+	db3.MustAssert("JOHN", "LOVES", "MARY")
+	fmt.Println("Q(z) = (JOHN, LOWES, ?z)    # misspelled relationship")
+	out3, err := db3.Probe("(JOHN, LOWES, ?z)")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(out3.Menu(db3.Universe()))
+}

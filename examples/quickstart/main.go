@@ -1,0 +1,80 @@
+// Quickstart: build a small loosely structured database, let the
+// standard rules infer facts, query it, and print the §6.1 relation
+// view.
+package main
+
+import (
+	"fmt"
+
+	lsdb "repro"
+)
+
+func main() {
+	db := lsdb.New()
+
+	// A heap of facts. No schema: "schema" facts like
+	// (EMPLOYEE, EARNS, SALARY) sit beside data facts.
+	for _, f := range [][3]string{
+		{"EMPLOYEE", "isa", "PERSON"},
+		{"MANAGER", "isa", "EMPLOYEE"},
+		{"EMPLOYEE", "EARNS", "SALARY"},
+		{"EMPLOYEE", "WORKS-FOR", "DEPARTMENT"},
+		{"WORKS-FOR", "inv", "EMPLOYS"},
+		// Class-level: "SHIPPING employs JOHN" holds, but the derived
+		// existential (DEPARTMENT, EMPLOYS, ...) facts must not be
+		// distributed to every department (see DESIGN.md §2).
+		{"EMPLOYS", "in", "@class"},
+
+		{"SHIPPING", "in", "DEPARTMENT"},
+		{"ACCOUNTING", "in", "DEPARTMENT"},
+		{"RECEIVING", "in", "DEPARTMENT"},
+		{"$26000", "in", "SALARY"},
+		{"$27000", "in", "SALARY"},
+		{"$25000", "in", "SALARY"},
+
+		{"JOHN", "in", "EMPLOYEE"},
+		{"JOHN", "WORKS-FOR", "SHIPPING"},
+		{"JOHN", "EARNS", "$26000"},
+		{"TOM", "in", "EMPLOYEE"},
+		{"TOM", "WORKS-FOR", "ACCOUNTING"},
+		{"TOM", "EARNS", "$27000"},
+		{"MARY", "in", "MANAGER"},
+		{"MARY", "WORKS-FOR", "RECEIVING"},
+		{"MARY", "EARNS", "$25000"},
+	} {
+		db.MustAssert(f[0], f[1], f[2])
+	}
+
+	fmt.Printf("stored %d facts, closure has %d\n\n", db.Len(), db.ClosureLen())
+
+	// Inference at work: Mary is a manager, managers are employees,
+	// employees earn salaries and work for departments.
+	fmt.Println("Has(MARY, in, PERSON)      =", db.Has("MARY", "in", "PERSON"))
+	fmt.Println("Has(MARY, EARNS, SALARY)   =", db.Has("MARY", "EARNS", "SALARY"))
+	fmt.Println("Has(SHIPPING, EMPLOYS, JOHN) =", db.Has("SHIPPING", "EMPLOYS", "JOHN"))
+	fmt.Println()
+
+	// The standard query language (§2.7): who earns more than $25500?
+	rows, err := db.Query("exists ?amt . (?who, in, EMPLOYEE) & (?who, EARNS, ?amt) & (?amt, >, 25500)")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("earning over $25500:", rows.Column("who"))
+	fmt.Println()
+
+	// The §6.1 relation operator: a non-1NF structured view over the heap.
+	table, err := db.Relation("EMPLOYEE",
+		"WORKS-FOR", "DEPARTMENT",
+		"EARNS", "SALARY")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(table.Render())
+
+	// try(e): a navigation starting point for an unfamiliar user (§6.1).
+	fmt.Println("try(SHIPPING):")
+	u := db.Universe()
+	for _, f := range db.Try("SHIPPING") {
+		fmt.Println("  ", u.FormatFact(f))
+	}
+}

@@ -1,0 +1,440 @@
+// Package bench drives the experiment matrix of DESIGN.md §3 and
+// renders one table per experiment. The paper (a design paper)
+// reports no measurements; these experiments quantify its qualitative
+// claims — the organization/retrieval trade-off, the cost of
+// inference and composition, and the behaviour of retraction — on the
+// synthetic worlds of internal/dataset.
+//
+// The same workloads are exercised as testing.B benchmarks in the
+// repository root (bench_test.go); this package exists so that
+// cmd/lsdb-bench can regenerate the EXPERIMENTS.md tables directly.
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	lsdb "repro"
+	"repro/internal/dataset"
+	"repro/internal/fact"
+	"repro/internal/relstore"
+	"repro/internal/rules"
+	"repro/internal/sym"
+	"repro/internal/tabular"
+)
+
+// timeIt runs fn `reps` times and returns the mean wall time.
+func timeIt(reps int, fn func()) time.Duration {
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		fn()
+	}
+	return time.Since(start) / time.Duration(reps)
+}
+
+func dur(d time.Duration) string {
+	switch {
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+// relationalUniversity builds the structured twin of the university
+// world: one table per relationship kind, key-indexed.
+func relationalUniversity(cfg dataset.UniversityConfig) *relstore.DB {
+	src := dataset.University(cfg)
+	rdb := relstore.New()
+	classes, _ := rdb.Create("CLASSES", "ENTITY", "CLASS")
+	enrollStudents, _ := rdb.Create("ENROLL_STUDENT", "ENROLLMENT", "STUDENT")
+	enrollCourses, _ := rdb.Create("ENROLL_COURSE", "ENROLLMENT", "COURSE")
+	enrollGrades, _ := rdb.Create("ENROLL_GRADE", "ENROLLMENT", "GRADE")
+	teaches, _ := rdb.Create("TEACHES", "INSTRUCTOR", "COURSE")
+	misc, _ := rdb.Create("MISC", "SOURCE", "REL", "TARGET")
+
+	u := src.Universe()
+	for _, f := range src.Store().Facts() {
+		s, r, t := u.Name(f.S), u.Name(f.R), u.Name(f.T)
+		switch r {
+		case "∈":
+			classes.Insert(s, t)
+		case "ENROLL-STUDENT":
+			enrollStudents.Insert(s, t)
+		case "ENROLL-COURSE":
+			enrollCourses.Insert(s, t)
+		case "ENROLL-GRADE":
+			enrollGrades.Insert(s, t)
+		case "TEACHES":
+			teaches.Insert(s, t)
+		default:
+			misc.Insert(s, r, t)
+		}
+	}
+	return rdb
+}
+
+// E1 measures "find everything about entity X" — the browsing
+// question of §1 — on the loosely structured store (indexed triple
+// lookups) versus the relational baseline (full scan, because the
+// browser does not know the schema) versus the relational store with
+// perfect schema knowledge.
+func E1(sizes []int) *tabular.Rows {
+	t := &tabular.Rows{
+		Title:   "E1  'everything about STU-00007': triple store vs relational scan vs keyed",
+		Headers: []string{"facts", "lsdb neighborhood", "relational FindEverywhere", "relational keyed"},
+	}
+	for _, n := range sizes {
+		cfg := dataset.UniversityConfig{
+			Students: n / 5, Courses: 50, Instructors: 20, EnrollPerStudent: 3, Seed: 11,
+		}
+		db := dataset.University(cfg)
+		// Navigation over stored facts only (exclude inference so the
+		// comparison is storage-level, matching the baseline).
+		target := db.Entity("STU-00007")
+		st := db.Store()
+
+		rdb := relationalUniversity(cfg)
+
+		lsdbTime := timeIt(200, func() {
+			st.MatchAll(target, sym.None, sym.None)
+			st.MatchAll(sym.None, sym.None, target)
+		})
+		scanTime := timeIt(20, func() {
+			rdb.FindEverywhere("STU-00007")
+		})
+		keyedTime := timeIt(200, func() {
+			rdb.FindKnowing("ENROLL_STUDENT", 1, "STU-00007")
+			rdb.FindKnowing("CLASSES", 0, "STU-00007")
+		})
+		t.AddRow(
+			[]string{fmt.Sprint(st.Len())},
+			[]string{dur(lsdbTime)},
+			[]string{dur(scanTime)},
+			[]string{dur(keyedTime)},
+		)
+	}
+	return t
+}
+
+// E2 measures construction and restructuring: bulk load cost, and the
+// cost of introducing a new relationship kind (trivial for the heap
+// of facts; a schema change plus table rebuild for the baseline).
+func E2(sizes []int) *tabular.Rows {
+	t := &tabular.Rows{
+		Title:   "E2  load & restructure: loose heap vs relational schema",
+		Headers: []string{"students", "lsdb load", "relational load", "lsdb add-rel-kind", "relational AddColumn"},
+	}
+	for _, n := range sizes {
+		cfg := dataset.UniversityConfig{
+			Students: n, Courses: 50, Instructors: 20, EnrollPerStudent: 3, Seed: 11,
+		}
+		loadLoose := timeIt(3, func() { dataset.University(cfg) })
+		loadRel := timeIt(3, func() { relationalUniversity(cfg) })
+
+		db := dataset.University(cfg)
+		rdb := relationalUniversity(cfg)
+		addLoose := timeIt(1, func() {
+			for i := 0; i < n; i++ {
+				db.MustAssert(fmt.Sprintf("STU-%05d", i), "ADVISOR", "INSTR-000")
+			}
+		})
+		addRel := timeIt(1, func() {
+			rdb.Table("ENROLL_STUDENT").AddColumn("ADVISOR", "INSTR-000")
+		})
+		t.AddRow(
+			[]string{fmt.Sprint(n)},
+			[]string{dur(loadLoose)}, []string{dur(loadRel)},
+			[]string{dur(addLoose)}, []string{dur(addRel)},
+		)
+	}
+	return t
+}
+
+// E3 measures materialized-closure cost per standard-rule family as
+// the taxonomy deepens.
+func E3(depths []int) *tabular.Rows {
+	t := &tabular.Rows{
+		Title:   "E3  closure cost vs taxonomy depth (branching 3, 4 members/leaf, 2 facts/class)",
+		Headers: []string{"depth", "base facts", "closure facts", "closure time", "no-inherit closure"},
+	}
+	for _, d := range depths {
+		db := dataset.Taxonomy(dataset.TaxonomyConfig{
+			Branching: 3, Depth: d, MembersPerLeaf: 4, FactsPerClass: 2, Seed: 5,
+		})
+		eng := db.Engine()
+		full := timeIt(3, func() {
+			eng.Invalidate()
+			eng.Closure()
+		})
+		size := eng.ClosureSize()
+
+		eng.Exclude(rules.GenSource)
+		eng.Exclude(rules.MemberSource)
+		noInherit := timeIt(3, func() {
+			eng.Invalidate()
+			eng.Closure()
+		})
+		eng.Include(rules.GenSource)
+		eng.Include(rules.MemberSource)
+
+		t.AddRow(
+			[]string{fmt.Sprint(d)},
+			[]string{fmt.Sprint(db.Len())},
+			[]string{fmt.Sprint(size)},
+			[]string{dur(full)},
+			[]string{dur(noInherit)},
+		)
+	}
+	return t
+}
+
+// E4 measures query evaluation by shape on the university world.
+func E4(sizes []int) *tabular.Rows {
+	t := &tabular.Rows{
+		Title:   "E4  query evaluation by shape (university world)",
+		Headers: []string{"students", "template", "conj-3 join", "exists", "disjunction"},
+	}
+	for _, n := range sizes {
+		db := dataset.University(dataset.UniversityConfig{
+			Students: n, Courses: 40, Instructors: 10, EnrollPerStudent: 3, Seed: 2,
+		})
+		db.ClosureLen() // prime the closure
+		q := func(src string) func() {
+			return func() {
+				if _, err := db.Query(src); err != nil {
+					panic(err)
+				}
+			}
+		}
+		t.AddRow(
+			[]string{fmt.Sprint(n)},
+			[]string{dur(timeIt(20, q("(?s, in, FRESHMAN)")))},
+			[]string{dur(timeIt(20, q("(?e, ENROLL-STUDENT, ?s) & (?e, ENROLL-COURSE, CS100) & (?e, ENROLL-GRADE, A)")))},
+			[]string{dur(timeIt(20, q("exists ?e . (?e, ENROLL-STUDENT, ?s) & (?e, ENROLL-COURSE, CS105)")))},
+			[]string{dur(timeIt(20, q("(?s, in, FRESHMAN) | (?s, in, GRADUATE)")))},
+		)
+	}
+	return t
+}
+
+// E5 measures the §6.1 limit(n) trade-off: composed paths found and
+// time spent, per chain limit.
+func E5(limits []int) *tabular.Rows {
+	db, names := dataset.Graph(dataset.GraphConfig{
+		Entities: 400, Facts: 1600, Relationships: 6, Seed: 13,
+	})
+	db.ClosureLen()
+	t := &tabular.Rows{
+		Title:   "E5  composition limit(n): paths and cost (400 entities, 1600 facts)",
+		Headers: []string{"limit n", "paths hub→node", "time"},
+	}
+	src, tgt := names[0], names[7]
+	for _, n := range limits {
+		db.Limit(n)
+		var count int
+		d := timeIt(3, func() {
+			count = len(db.Composer().Paths(db.Entity(src), db.Entity(tgt)))
+		})
+		t.AddRow(
+			[]string{fmt.Sprint(n)},
+			[]string{fmt.Sprint(count)},
+			[]string{dur(d)},
+		)
+	}
+	db.Limit(3)
+	return t
+}
+
+// E6 measures navigation latency against entity degree on the Zipf
+// graph: the hub's neighborhood versus mid and tail entities.
+func E6() *tabular.Rows {
+	db, names := dataset.Graph(dataset.GraphConfig{
+		Entities: 2000, Facts: 20000, Relationships: 8, Seed: 17,
+	})
+	db.ClosureLen()
+	t := &tabular.Rows{
+		Title:   "E6  navigation latency vs degree (20k facts, Zipf sources)",
+		Headers: []string{"entity", "degree", "neighborhood time"},
+	}
+	for _, name := range []string{names[0], names[2], names[20], names[200], names[1500]} {
+		id := db.Entity(name)
+		deg := db.Store().Degree(id)
+		d := timeIt(50, func() { db.Browser().Neighborhood(id) })
+		t.AddRow([]string{name}, []string{fmt.Sprint(deg)}, []string{dur(d)})
+	}
+	return t
+}
+
+// E7 compares the materialized closure against bounded on-demand
+// matching for a single template query, including the one-off
+// materialization cost.
+func E7() *tabular.Rows {
+	db := dataset.Taxonomy(dataset.TaxonomyConfig{
+		Branching: 2, Depth: 3, MembersPerLeaf: 2, FactsPerClass: 1, Seed: 23,
+	})
+	eng := db.Engine()
+	leafInstance := db.Entity("I-C0.0.0.0-0")
+
+	t := &tabular.Rows{
+		Title:   "E7  materialized closure vs on-demand bounded matching",
+		Headers: []string{"strategy", "first query", "steady-state query"},
+	}
+
+	eng.Invalidate()
+	first := timeIt(1, func() { eng.MatchAll(leafInstance, sym.None, sym.None) })
+	steady := timeIt(50, func() { eng.MatchAll(leafInstance, sym.None, sym.None) })
+	t.AddRow([]string{"materialized"}, []string{dur(first)}, []string{dur(steady)})
+
+	for _, depth := range []int{2, 4, 6} {
+		var dFirst, dSteady time.Duration
+		dFirst = timeIt(1, func() {
+			eng.MatchBounded(leafInstance, sym.None, sym.None, depth, func(fact.Fact) bool { return true })
+		})
+		dSteady = timeIt(5, func() {
+			eng.MatchBounded(leafInstance, sym.None, sym.None, depth, func(fact.Fact) bool { return true })
+		})
+		t.AddRow(
+			[]string{fmt.Sprintf("on-demand depth %d", depth)},
+			[]string{dur(dFirst)}, []string{dur(dSteady)},
+		)
+	}
+	return t
+}
+
+// E8 measures probing along two axes. "Climb" forces a pure
+// single-dimension retraction: the query (?x, ∈, LEAF) can only be
+// broadened in its target position (∈ is special and never
+// generalized; the source is a variable), and the only members sit at
+// the root — so retraction must climb exactly `depth` waves. "Fan"
+// uses a fully constant query, where retraction broadens source,
+// relationship and target simultaneously; the Δ/∇ lattice then finds
+// a witness within two waves but tries a wider set of queries.
+func E8() *tabular.Rows {
+	t := &tabular.Rows{
+		Title:   "E8  probing: pure climb vs multi-dimensional fan",
+		Headers: []string{"branching", "depth", "climb waves", "climb tried", "climb time", "fan waves", "fan tried", "fan time"},
+	}
+	for _, shape := range [][2]int{{2, 2}, {2, 4}, {2, 6}, {3, 3}, {4, 3}} {
+		b, d := shape[0], shape[1]
+		db := dataset.Taxonomy(dataset.TaxonomyConfig{
+			Branching: b, Depth: d, MembersPerLeaf: 0, FactsPerClass: 1, Seed: 3,
+		})
+		db.MustAssert("ROOT-INSTANCE", "in", "C0")
+		db.MustAssert("PROBE-X", "PROBE-REL", "C0")
+		db.ClosureLen()
+		leaf := "C0"
+		for i := 0; i < d; i++ {
+			leaf += ".0"
+		}
+
+		run := func(src string) (waves, tried int, el time.Duration) {
+			el = timeIt(3, func() {
+				out, err := db.Probe(src)
+				if err != nil {
+					panic(err)
+				}
+				waves = len(out.Waves)
+				tried = 0
+				for _, w := range out.Waves {
+					tried += len(w.Entries)
+				}
+			})
+			return
+		}
+		cw, ct, ctime := run(fmt.Sprintf("(?x, in, %s)", leaf))
+		fw, ft, ftime := run(fmt.Sprintf("(PROBE-X, PROBE-REL, %s)", leaf))
+		t.AddRow(
+			[]string{fmt.Sprint(b)}, []string{fmt.Sprint(d)},
+			[]string{fmt.Sprint(cw)}, []string{fmt.Sprint(ct)}, []string{dur(ctime)},
+			[]string{fmt.Sprint(fw)}, []string{fmt.Sprint(ft)}, []string{dur(ftime)},
+		)
+	}
+	return t
+}
+
+// E9 measures the integrity-check and strict-insert cost as
+// constraints accumulate.
+func E9(constraintCounts []int) *tabular.Rows {
+	t := &tabular.Rows{
+		Title:   "E9  integrity: full Check and strict insert vs constraint count (employment world)",
+		Headers: []string{"constraints", "full Check", "strict insert"},
+	}
+	for _, k := range constraintCounts {
+		db := dataset.Employment(300, 7)
+		for i := 0; i < k; i++ {
+			name := fmt.Sprintf("c%d", i)
+			src := fmt.Sprintf("(?x, in, EMPLOYEE) & (?x, EARNS, ?y) => (?x, CHECKED-%d, ?y)", i)
+			if err := db.AddConstraint(name, src); err != nil {
+				panic(err)
+			}
+		}
+		checkTime := timeIt(3, func() { db.Check() })
+		insertTime := timeIt(3, func() {
+			f := db.Universe().NewFact("EMP-XX", "EARNS", "$30000")
+			db.Engine().WouldViolate(f)
+		})
+		t.AddRow(
+			[]string{fmt.Sprint(k)},
+			[]string{dur(checkTime)},
+			[]string{dur(insertTime)},
+		)
+	}
+	return t
+}
+
+// E10 measures durability: log append throughput, snapshot write and
+// recovery time.
+func E10(sizes []int) *tabular.Rows {
+	t := &tabular.Rows{
+		Title:   "E10  durability: log append, snapshot, recovery",
+		Headers: []string{"facts", "append+sync total", "snapshot write", "log recovery"},
+	}
+	for _, n := range sizes {
+		dir, err := os.MkdirTemp("", "lsdb-bench")
+		if err != nil {
+			panic(err)
+		}
+		logPath := filepath.Join(dir, "db.log")
+		snapPath := filepath.Join(dir, "db.snap")
+
+		db, err := lsdb.Open(lsdb.Options{LogPath: logPath})
+		if err != nil {
+			panic(err)
+		}
+		appendTime := timeIt(1, func() {
+			for i := 0; i < n; i++ {
+				db.MustAssert(fmt.Sprintf("E%06d", i), "REL", fmt.Sprintf("V%06d", i%997))
+			}
+			db.Sync()
+		})
+		snapTime := timeIt(1, func() {
+			if err := db.SaveSnapshot(snapPath); err != nil {
+				panic(err)
+			}
+		})
+		db.Close()
+
+		recoverTime := timeIt(1, func() {
+			db2, err := lsdb.Open(lsdb.Options{LogPath: logPath})
+			if err != nil {
+				panic(err)
+			}
+			db2.Close()
+		})
+		os.RemoveAll(dir)
+		t.AddRow(
+			[]string{fmt.Sprint(n)},
+			[]string{dur(appendTime)},
+			[]string{dur(snapTime)},
+			[]string{dur(recoverTime)},
+		)
+	}
+	return t
+}

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// Smoke tests: every experiment driver must produce a renderable,
+// non-empty table on minimal parameters. (The real sweeps run via
+// cmd/lsdb-bench and the root bench_test.go.)
+
+func checkTable(t *testing.T, name, out string, wantRows int) {
+	t.Helper()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + header + separator + rows.
+	if len(lines) < 3+wantRows {
+		t.Errorf("%s: table too small (%d lines):\n%s", name, len(lines), out)
+	}
+}
+
+func TestE1(t *testing.T) {
+	checkTable(t, "E1", E1([]int{500}).Render(), 1)
+}
+
+func TestE2(t *testing.T) {
+	checkTable(t, "E2", E2([]int{50}).Render(), 1)
+}
+
+func TestE3(t *testing.T) {
+	out := E3([]int{2})
+	checkTable(t, "E3", out.Render(), 1)
+	// The closure must be larger than the base.
+	if len(out.Body) != 1 {
+		t.Fatalf("rows = %d", len(out.Body))
+	}
+}
+
+func TestE4(t *testing.T) {
+	checkTable(t, "E4", E4([]int{50}).Render(), 1)
+}
+
+func TestE5(t *testing.T) {
+	out := E5([]int{1, 2})
+	checkTable(t, "E5", out.Render(), 2)
+	// limit 1 must report zero paths.
+	if out.Body[0][1][0] != "0" {
+		t.Errorf("limit 1 paths = %v", out.Body[0][1])
+	}
+}
+
+func TestE6(t *testing.T) {
+	checkTable(t, "E6", E6().Render(), 3)
+}
+
+func TestE7(t *testing.T) {
+	checkTable(t, "E7", E7().Render(), 3)
+}
+
+func TestE8(t *testing.T) {
+	out := E8()
+	checkTable(t, "E8", out.Render(), 3)
+	// Climb waves must equal the taxonomy depth in each row.
+	for _, row := range out.Body {
+		depth, waves := row[1][0], row[2][0]
+		if depth != waves {
+			t.Errorf("climb waves %s != depth %s", waves, depth)
+		}
+	}
+}
+
+func TestE9(t *testing.T) {
+	checkTable(t, "E9", E9([]int{0, 1}).Render(), 2)
+}
+
+func TestE10(t *testing.T) {
+	checkTable(t, "E10", E10([]int{500}).Render(), 1)
+}

@@ -1,0 +1,302 @@
+package browse
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/compose"
+	"repro/internal/fact"
+	"repro/internal/query"
+	"repro/internal/rules"
+	"repro/internal/store"
+	"repro/internal/sym"
+	"repro/internal/virtual"
+)
+
+func setup(limit int, facts ...[3]string) (*fact.Universe, *Browser) {
+	u := fact.NewUniverse()
+	s := store.New(u)
+	for _, f := range facts {
+		s.Insert(u.NewFact(f[0], f[1], f[2]))
+	}
+	e := rules.New(s, virtual.New(u))
+	return u, New(e, compose.New(e, limit))
+}
+
+func musicFacts() [][3]string {
+	return [][3]string{
+		{"JOHN", "in", "PERSON"},
+		{"JOHN", "in", "EMPLOYEE"},
+		{"JOHN", "in", "PET-OWNER"},
+		{"JOHN", "in", "MUSIC-LOVER"},
+		{"JOHN", "LIKES", "CAT"},
+		{"JOHN", "LIKES", "FELIX"},
+		{"JOHN", "LIKES", "HEATHCLIFF"},
+		{"JOHN", "LIKES", "MOZART"},
+		{"JOHN", "LIKES", "MARY"},
+		{"JOHN", "WORKS-FOR", "DEPARTMENT"},
+		{"JOHN", "WORKS-FOR", "SHIPPING"},
+		{"JOHN", "BOSS", "PETER"},
+		{"JOHN", "FAVORITE-MUSIC", "PC#9-WAM"},
+		{"JOHN", "FAVORITE-MUSIC", "PC#2-BB"},
+		{"JOHN", "FAVORITE-MUSIC", "S#5-LVB"},
+		{"PC#9-WAM", "in", "CONCERTO"},
+		{"PC#9-WAM", "in", "CLASSICAL"},
+		{"PC#9-WAM", "in", "COMPOSITION"},
+		{"PC#9-WAM", "COMPOSED-BY", "MOZART"},
+		{"PC#9-WAM", "PERFORMED-BY", "SERKIN"},
+		{"PC#9-WAM", "PERFORMED-BY", "BARENBOIM"},
+		{"FAVORITE-MUSIC", "inv", "FAVORITE-OF"},
+		{"FAVORITE-OF", "in", "@class"},
+		{"LEOPOLD", "FATHER-OF", "MOZART"},
+		{"LEOPOLD", "FAVORITE-MUSIC", "PC#9-WAM"},
+	}
+}
+
+func TestNeighborhoodJohn(t *testing.T) {
+	u, b := setup(3, musicFacts()...)
+	n := b.Neighborhood(u.Entity("JOHN"))
+
+	classes := map[string]bool{}
+	for _, c := range n.Classes {
+		classes[u.Name(c)] = true
+	}
+	for _, want := range []string{"PERSON", "EMPLOYEE", "PET-OWNER", "MUSIC-LOVER"} {
+		if !classes[want] {
+			t.Errorf("JOHN classes missing %s: %v", want, classes)
+		}
+	}
+
+	byRel := map[string][]string{}
+	for _, g := range n.Out {
+		var items []string
+		for _, e := range g.Entities {
+			items = append(items, u.Name(e))
+		}
+		byRel[u.Name(g.Rel)] = items
+	}
+	// Every entry of the paper's table must be present. (The closure
+	// may add class abstractions on top, e.g. (JOHN, FAVORITE-MUSIC,
+	// CONCERTO) via member-target — see DESIGN.md.)
+	wantCols := map[string][]string{
+		"LIKES":          {"CAT", "FELIX", "HEATHCLIFF", "MOZART", "MARY"},
+		"FAVORITE-MUSIC": {"PC#9-WAM", "PC#2-BB", "S#5-LVB"},
+		"WORKS-FOR":      {"DEPARTMENT", "SHIPPING"},
+		"BOSS":           {"PETER"},
+	}
+	for rel, wants := range wantCols {
+		have := map[string]bool{}
+		for _, v := range byRel[rel] {
+			have[v] = true
+		}
+		for _, w := range wants {
+			if !have[w] {
+				t.Errorf("%s column missing %s: %v", rel, w, byRel[rel])
+			}
+		}
+	}
+}
+
+func TestNeighborhoodSuppressesVirtualNoise(t *testing.T) {
+	u, b := setup(3, [3]string{"A", "R", "B"})
+	n := b.Neighborhood(u.Entity("A"))
+	for _, c := range n.Classes {
+		if c == u.Top {
+			t.Error("Δ leaked into classes")
+		}
+		if c == u.Entity("A") {
+			t.Error("reflexive generalization leaked into classes")
+		}
+	}
+	for _, g := range n.Out {
+		switch g.Rel {
+		case u.Eq, u.Neq, u.Lt, u.Gt, u.Le, u.Ge:
+			t.Errorf("virtual relationship %s leaked", u.Name(g.Rel))
+		}
+	}
+}
+
+func TestNeighborhoodIncoming(t *testing.T) {
+	u, b := setup(3,
+		[3]string{"MARY", "LIKES", "JOHN"},
+		[3]string{"PETER", "LIKES", "JOHN"},
+		[3]string{"JOHN", "LIKES", "MARY"})
+	n := b.Neighborhood(u.Entity("JOHN"))
+	if len(n.In) != 1 || len(n.In[0].Entities) != 2 {
+		t.Errorf("incoming = %+v", n.In)
+	}
+}
+
+func TestNeighborhoodPC9(t *testing.T) {
+	u, b := setup(3, musicFacts()...)
+	n := b.Neighborhood(u.Entity("PC#9-WAM"))
+	classes := map[string]bool{}
+	for _, c := range n.Classes {
+		classes[u.Name(c)] = true
+	}
+	for _, want := range []string{"CONCERTO", "CLASSICAL", "COMPOSITION"} {
+		if !classes[want] {
+			t.Errorf("PC#9-WAM classes missing %s", want)
+		}
+	}
+	// FAVORITE-OF is inferred by inversion and appears as outgoing.
+	found := false
+	for _, g := range n.Out {
+		if u.Name(g.Rel) == "FAVORITE-OF" {
+			found = true
+			names := map[string]bool{}
+			for _, e := range g.Entities {
+				names[u.Name(e)] = true
+			}
+			if !names["JOHN"] || !names["LEOPOLD"] {
+				t.Errorf("FAVORITE-OF = %v", names)
+			}
+		}
+	}
+	if !found {
+		t.Error("inverted FAVORITE-OF not in neighborhood")
+	}
+}
+
+func TestBetweenLeopoldMozart(t *testing.T) {
+	u, b := setup(3, musicFacts()...)
+	assocs := b.Between(u.Entity("LEOPOLD"), u.Entity("MOZART"))
+	names := make([]string, len(assocs))
+	for i, a := range assocs {
+		names[i] = u.Name(a.Rel)
+	}
+	joined := strings.Join(names, " | ")
+	if !strings.Contains(joined, "FATHER-OF") {
+		t.Errorf("missing direct FATHER-OF: %v", names)
+	}
+	if !strings.Contains(joined, "FAVORITE-MUSIC PC#9-WAM COMPOSED-BY") {
+		t.Errorf("missing composed association: %v", names)
+	}
+}
+
+func TestBetweenComposedFlag(t *testing.T) {
+	u, b := setup(3, musicFacts()...)
+	for _, a := range b.Between(u.Entity("LEOPOLD"), u.Entity("MOZART")) {
+		name := u.Name(a.Rel)
+		if strings.Contains(name, " ") && a.Path == nil {
+			t.Errorf("composed association %q has no path", name)
+		}
+		if !strings.Contains(name, " ") && a.Path != nil {
+			t.Errorf("direct association %q has a path", name)
+		}
+	}
+}
+
+func TestNeighborhoodTableRendering(t *testing.T) {
+	u, b := setup(3, musicFacts()...)
+	n := b.Neighborhood(u.Entity("JOHN"))
+	out := n.Table(u).Render()
+	for _, want := range []string{"JOHN**", "LIKES", "WORKS-FOR", "FAVORITE-MUSIC", "FELIX", "SHIPPING", "PC#9-WAM"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBetweenTableRendering(t *testing.T) {
+	u, b := setup(3, musicFacts()...)
+	out := b.BetweenTable(u.Entity("LEOPOLD"), u.Entity("MOZART")).Render()
+	if !strings.Contains(out, "LEOPOLD+MOZART") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "FATHER-OF") {
+		t.Errorf("missing association:\n%s", out)
+	}
+}
+
+func TestDegree(t *testing.T) {
+	u, b := setup(3,
+		[3]string{"A", "R", "B"},
+		[3]string{"A", "R", "C"},
+		[3]string{"D", "R", "A"})
+	n := b.Neighborhood(u.Entity("A"))
+	if n.Degree() != 3 {
+		t.Errorf("Degree = %d, want 3", n.Degree())
+	}
+}
+
+func TestNeighborhoodInheritedFacts(t *testing.T) {
+	// Navigation sees the closure: JOHN inherits EMPLOYEE's facts.
+	u, b := setup(3,
+		[3]string{"JOHN", "in", "EMPLOYEE"},
+		[3]string{"EMPLOYEE", "EARNS", "SALARY"})
+	n := b.Neighborhood(u.Entity("JOHN"))
+	found := false
+	for _, g := range n.Out {
+		if u.Name(g.Rel) == "EARNS" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("inherited fact missing from neighborhood")
+	}
+}
+
+func TestBrowserWithoutComposer(t *testing.T) {
+	u := fact.NewUniverse()
+	s := store.New(u)
+	s.Insert(u.NewFact("A", "R", "B"))
+	e := rules.New(s, virtual.New(u))
+	b := New(e, nil)
+	if got := b.Between(u.Entity("A"), u.Entity("B")); len(got) != 1 {
+		t.Errorf("direct associations = %d", len(got))
+	}
+}
+
+func TestAnswerTableOneVar(t *testing.T) {
+	u := fact.NewUniverse()
+	q := query.MustParse(u, "(JOHN, LIKES, ?who)")
+	// Build the result by hand to keep the test local to rendering.
+	res := &query.Result{Vars: []string{"who"}, True: true}
+	for _, n := range []string{"CAT", "FELIX"} {
+		res.Tuples = append(res.Tuples, []sym.ID{u.Entity(n)})
+	}
+	out := AnswerTable(u, q, res)
+	if !strings.Contains(out, "(JOHN, LIKES, ?who)") || !strings.Contains(out, "FELIX") {
+		t.Errorf("one-var table:\n%s", out)
+	}
+}
+
+func TestAnswerTableTwoVars(t *testing.T) {
+	u := fact.NewUniverse()
+	q := query.MustParse(u, "(?x, LIKES, ?y)")
+	res := &query.Result{Vars: []string{"x", "y"}, True: true}
+	res.Tuples = append(res.Tuples,
+		[]sym.ID{u.Entity("JOHN"), u.Entity("CAT")},
+		[]sym.ID{u.Entity("JOHN"), u.Entity("FELIX")},
+		[]sym.ID{u.Entity("MARY"), u.Entity("DOG")})
+	out := AnswerTable(u, q, res)
+	if !strings.Contains(out, "CAT, FELIX") {
+		t.Errorf("two-var table did not group by first var:\n%s", out)
+	}
+	if !strings.Contains(out, "MARY") {
+		t.Errorf("row lost:\n%s", out)
+	}
+}
+
+func TestAnswerTableProposition(t *testing.T) {
+	u := fact.NewUniverse()
+	q := query.MustParse(u, "(A, R, B)")
+	if got := AnswerTable(u, q, &query.Result{True: true}); got != "true\n" {
+		t.Errorf("proposition = %q", got)
+	}
+	if got := AnswerTable(u, q, &query.Result{}); got != "false\n" {
+		t.Errorf("failed proposition = %q", got)
+	}
+}
+
+func TestAnswerTableThreeVars(t *testing.T) {
+	u := fact.NewUniverse()
+	q := query.MustParse(u, "(?x, ?r, ?y)")
+	res := &query.Result{Vars: []string{"x", "r", "y"}, True: true}
+	res.Tuples = append(res.Tuples, []sym.ID{u.Entity("A"), u.Entity("R"), u.Entity("B")})
+	out := AnswerTable(u, q, res)
+	if !strings.Contains(out, "A") || !strings.Contains(out, "B") {
+		t.Errorf("three-var fallback:\n%s", out)
+	}
+}

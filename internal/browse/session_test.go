@@ -1,0 +1,91 @@
+package browse
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSessionVisitAndTrail(t *testing.T) {
+	u, b := setup(3, musicFacts()...)
+	s := NewSession(b)
+	if _, ok := s.Here(); ok {
+		t.Error("Here before first visit")
+	}
+	n := s.Visit(u.Entity("JOHN"))
+	if n.Degree() == 0 {
+		t.Fatal("empty neighborhood")
+	}
+	s.Visit(u.Entity("PC#9-WAM"))
+	here, ok := s.Here()
+	if !ok || u.Name(here) != "PC#9-WAM" {
+		t.Errorf("Here = %v", here)
+	}
+	if got := s.Breadcrumbs(u); got != "JOHN > PC#9-WAM" {
+		t.Errorf("breadcrumbs = %q", got)
+	}
+	if len(s.Trail()) != 2 {
+		t.Errorf("trail = %v", s.Trail())
+	}
+}
+
+func TestSessionBack(t *testing.T) {
+	u, b := setup(3, musicFacts()...)
+	s := NewSession(b)
+	s.Visit(u.Entity("JOHN"))
+	s.Visit(u.Entity("PC#9-WAM"))
+	n := s.Back()
+	if n == nil {
+		t.Fatal("Back returned nil")
+	}
+	here, _ := s.Here()
+	if u.Name(here) != "JOHN" {
+		t.Errorf("after Back, Here = %s", u.Name(here))
+	}
+	if s.Back() != nil {
+		t.Error("Back past the start should return nil")
+	}
+	// Backing out of the last entry empties the trail.
+	if _, ok := s.Here(); ok {
+		t.Error("trail not emptied")
+	}
+}
+
+func TestSessionUnexplored(t *testing.T) {
+	u, b := setup(3, musicFacts()...)
+	s := NewSession(b)
+	s.Visit(u.Entity("JOHN"))
+	unexplored := s.Unexplored(u)
+	if len(unexplored) == 0 {
+		t.Fatal("no unexplored entities after a visit")
+	}
+	for _, id := range unexplored {
+		if u.Name(id) == "JOHN" {
+			t.Error("visited entity listed as unexplored")
+		}
+	}
+	// Visiting one removes it.
+	first := unexplored[0]
+	s.Visit(first)
+	for _, id := range s.Unexplored(u) {
+		if id == first {
+			t.Error("visited entity still unexplored")
+		}
+	}
+}
+
+func TestSessionDot(t *testing.T) {
+	u, b := setup(3, musicFacts()...)
+	s := NewSession(b)
+	s.Visit(u.Entity("JOHN"))
+	s.Visit(u.Entity("PC#9-WAM"))
+	dot := s.Dot(u)
+	if !strings.HasPrefix(dot, "digraph browse {") {
+		t.Errorf("dot header: %q", dot[:30])
+	}
+	if !strings.Contains(dot, `"JOHN" -> "PC#9-WAM" [label="FAVORITE-MUSIC"]`) {
+		t.Errorf("edge missing:\n%s", dot)
+	}
+	if strings.Contains(dot, "MOZART") {
+		t.Errorf("unvisited entity in dot:\n%s", dot)
+	}
+}

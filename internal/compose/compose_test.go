@@ -1,0 +1,267 @@
+package compose
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fact"
+	"repro/internal/rules"
+	"repro/internal/store"
+	"repro/internal/sym"
+	"repro/internal/virtual"
+)
+
+func setup(limit int, facts ...[3]string) (*fact.Universe, *rules.Engine, *Composer) {
+	u := fact.NewUniverse()
+	s := store.New(u)
+	for _, f := range facts {
+		s.Insert(u.NewFact(f[0], f[1], f[2]))
+	}
+	e := rules.New(s, virtual.New(u))
+	return u, e, New(e, limit)
+}
+
+func TestPaperExample(t *testing.T) {
+	u, _, c := setup(3,
+		[3]string{"TOM", "ENROLLED-IN", "CS100"},
+		[3]string{"CS100", "TAUGHT-BY", "HARRY"})
+	paths := c.Paths(u.Entity("TOM"), u.Entity("HARRY"))
+	if len(paths) != 1 {
+		t.Fatalf("paths = %d, want 1", len(paths))
+	}
+	if got := paths[0].RelName(u); got != "ENROLLED-IN CS100 TAUGHT-BY" {
+		t.Errorf("composed name = %q", got)
+	}
+	f := paths[0].Fact(u)
+	if u.Name(f.S) != "TOM" || u.Name(f.T) != "HARRY" {
+		t.Errorf("composed fact endpoints: %s", u.FormatFact(f))
+	}
+}
+
+func TestLimitOneDisables(t *testing.T) {
+	u, _, c := setup(1,
+		[3]string{"A", "R1", "B"},
+		[3]string{"B", "R2", "C"})
+	if c.Enabled() {
+		t.Error("limit 1 should disable composition (§6.1)")
+	}
+	if paths := c.Paths(u.Entity("A"), u.Entity("C")); len(paths) != 0 {
+		t.Errorf("limit 1 produced %d paths", len(paths))
+	}
+}
+
+func TestLimitTwoAllowsPairsOnly(t *testing.T) {
+	u, _, c := setup(2,
+		[3]string{"A", "R1", "B"},
+		[3]string{"B", "R2", "C"},
+		[3]string{"C", "R3", "D"})
+	if paths := c.Paths(u.Entity("A"), u.Entity("C")); len(paths) != 1 {
+		t.Errorf("2-chain: %d paths, want 1", len(paths))
+	}
+	if paths := c.Paths(u.Entity("A"), u.Entity("D")); len(paths) != 0 {
+		t.Errorf("3-chain at limit 2: %d paths, want 0", len(paths))
+	}
+	c.SetLimit(3)
+	if paths := c.Paths(u.Entity("A"), u.Entity("D")); len(paths) != 1 {
+		t.Errorf("3-chain at limit 3: %d paths, want 1", len(paths))
+	}
+}
+
+func TestUnlimited(t *testing.T) {
+	u, _, c := setup(Unlimited,
+		[3]string{"A", "R", "B"},
+		[3]string{"B", "R", "C"},
+		[3]string{"C", "R", "D"},
+		[3]string{"D", "R", "E"})
+	paths := c.Paths(u.Entity("A"), u.Entity("E"))
+	if len(paths) != 1 || paths[0].Len() != 4 {
+		t.Errorf("unlimited: %d paths", len(paths))
+	}
+}
+
+func TestCycleAvoidance(t *testing.T) {
+	// §3.7: (JOHN, LOVES, MARY) and (MARY, LOVES, JOHN) must not
+	// produce a JOHN→JOHN composition, nor infinitely many paths.
+	u, _, c := setup(Unlimited,
+		[3]string{"JOHN", "LOVES", "MARY"},
+		[3]string{"MARY", "LOVES", "JOHN"})
+	if paths := c.Paths(u.Entity("JOHN"), u.Entity("JOHN")); len(paths) != 0 {
+		t.Errorf("cyclical composition produced %d paths", len(paths))
+	}
+	// JOHN→MARY still has only the direct fact, no composition.
+	if paths := c.Paths(u.Entity("JOHN"), u.Entity("MARY")); len(paths) != 0 {
+		t.Errorf("JOHN→MARY compositions: %d, want 0", len(paths))
+	}
+}
+
+func TestMultiplePaths(t *testing.T) {
+	// The paper's (JOHN, x, MARY) example: several composed paths.
+	u, _, c := setup(Unlimited,
+		[3]string{"JOHN", "FATHER-OF", "NANCY"},
+		[3]string{"NANCY", "DAUGHTER-OF", "MARY"},
+		[3]string{"JOHN", "WORKS-FOR", "PETER"},
+		[3]string{"PETER", "FATHER-OF", "MARY"})
+	paths := c.Paths(u.Entity("JOHN"), u.Entity("MARY"))
+	if len(paths) != 2 {
+		t.Fatalf("paths = %d, want 2", len(paths))
+	}
+	names := []string{paths[0].RelName(u), paths[1].RelName(u)}
+	joined := strings.Join(names, " | ")
+	if !strings.Contains(joined, "FATHER-OF NANCY DAUGHTER-OF") ||
+		!strings.Contains(joined, "WORKS-FOR PETER FATHER-OF") {
+		t.Errorf("paths = %v", names)
+	}
+}
+
+func TestComposesOverClosure(t *testing.T) {
+	// Inverted facts participate: TAUGHT-BY is derived, and the
+	// §4.1 Leopold example composes over FAVORITE-MUSIC + COMPOSED-BY.
+	u, _, c := setup(3,
+		[3]string{"LEOPOLD", "FAVORITE-MUSIC", "PC#9-WAM"},
+		[3]string{"PC#9-WAM", "COMPOSED-BY", "MOZART"})
+	paths := c.Paths(u.Entity("LEOPOLD"), u.Entity("MOZART"))
+	if len(paths) != 1 {
+		t.Fatalf("paths = %d, want 1", len(paths))
+	}
+	if got := paths[0].RelName(u); got != "FAVORITE-MUSIC PC#9-WAM COMPOSED-BY" {
+		t.Errorf("composed name = %q", got)
+	}
+}
+
+func TestStructuralRelationshipsExcluded(t *testing.T) {
+	u, _, c := setup(3,
+		[3]string{"JOHN", "in", "EMPLOYEE"},
+		[3]string{"EMPLOYEE", "isa", "PERSON"},
+		[3]string{"PERSON", "LIKES", "MUSIC"})
+	// Composition must not route through ∈/≺ facts themselves...
+	paths := c.Paths(u.Entity("JOHN"), u.Entity("MUSIC"))
+	for _, p := range paths {
+		for _, step := range p.Steps {
+			if step.R == u.Member || step.R == u.Gen {
+				t.Errorf("path steps through structural fact %s", u.FormatFact(step))
+			}
+		}
+	}
+}
+
+func TestPathsFrom(t *testing.T) {
+	u, _, c := setup(2,
+		[3]string{"A", "R1", "B"},
+		[3]string{"B", "R2", "C"},
+		[3]string{"B", "R3", "D"})
+	paths := c.PathsFrom(u.Entity("A"))
+	if len(paths) != 2 {
+		t.Errorf("PathsFrom = %d paths, want 2", len(paths))
+	}
+}
+
+func TestMatchBoundRelationship(t *testing.T) {
+	u, _, c := setup(3,
+		[3]string{"TOM", "ENROLLED-IN", "CS100"},
+		[3]string{"CS100", "TAUGHT-BY", "HARRY"})
+	rel := u.Intern("ENROLLED-IN CS100 TAUGHT-BY")
+	n := 0
+	c.Match(u.Entity("TOM"), rel, u.Entity("HARRY"), func(f fact.Fact) bool {
+		n++
+		return true
+	})
+	if n != 1 {
+		t.Errorf("bound composed rel matched %d", n)
+	}
+	// A non-composed bound relationship is not compose's business.
+	n = 0
+	c.Match(u.Entity("TOM"), u.Entity("ENROLLED-IN"), sym.None, func(fact.Fact) bool {
+		n++
+		return true
+	})
+	if n != 0 {
+		t.Errorf("plain relationship matched %d composed facts", n)
+	}
+}
+
+func TestMatchIntoTarget(t *testing.T) {
+	u, _, c := setup(3,
+		[3]string{"TOM", "ENROLLED-IN", "CS100"},
+		[3]string{"CS100", "TAUGHT-BY", "HARRY"})
+	n := 0
+	c.Match(sym.None, sym.None, u.Entity("HARRY"), func(f fact.Fact) bool {
+		if u.Name(f.S) != "TOM" {
+			t.Errorf("unexpected source %s", u.Name(f.S))
+		}
+		n++
+		return true
+	})
+	if n != 1 {
+		t.Errorf("pathsInto matched %d", n)
+	}
+}
+
+func TestMatchRefusesAllFree(t *testing.T) {
+	u, _, c := setup(3,
+		[3]string{"A", "R1", "B"},
+		[3]string{"B", "R2", "C"})
+	n := 0
+	c.Match(sym.None, sym.None, sym.None, func(fact.Fact) bool { n++; return true })
+	if n != 0 {
+		t.Errorf("all-free composition enumeration emitted %d facts", n)
+	}
+	_ = u
+}
+
+func TestMaxResults(t *testing.T) {
+	facts := [][3]string{}
+	// A dense bipartite-ish graph with many paths A→Mi→Z.
+	for i := 0; i < 20; i++ {
+		m := "M" + string(rune('A'+i))
+		facts = append(facts, [3]string{"A", "R", m}, [3]string{m, "R", "Z"})
+	}
+	u, _, c := setup(2, facts...)
+	c.MaxResults = 5
+	paths := c.Paths(u.Entity("A"), u.Entity("Z"))
+	if len(paths) != 5 {
+		t.Errorf("MaxResults: %d paths, want 5", len(paths))
+	}
+}
+
+func TestSimplePathTermination(t *testing.T) {
+	// A fully connected 6-node graph with unlimited composition must
+	// terminate (simple paths only).
+	var facts [][3]string
+	nodes := []string{"N1", "N2", "N3", "N4", "N5", "N6"}
+	for _, a := range nodes {
+		for _, b := range nodes {
+			if a != b {
+				facts = append(facts, [3]string{a, "E", b})
+			}
+		}
+	}
+	u, _, c := setup(Unlimited, facts...)
+	paths := c.Paths(u.Entity("N1"), u.Entity("N6"))
+	if len(paths) == 0 {
+		t.Error("no paths in complete graph")
+	}
+	for _, p := range paths {
+		seen := map[sym.ID]bool{}
+		for _, step := range p.Steps {
+			if seen[step.S] {
+				t.Fatalf("path revisits %s", u.Name(step.S))
+			}
+			seen[step.S] = true
+		}
+	}
+}
+
+func TestRelEntityInterning(t *testing.T) {
+	u, _, c := setup(3,
+		[3]string{"A", "R1", "B"},
+		[3]string{"B", "R2", "C"})
+	paths := c.Paths(u.Entity("A"), u.Entity("C"))
+	if len(paths) != 1 {
+		t.Fatal("expected one path")
+	}
+	id1 := paths[0].RelEntity(u)
+	id2 := paths[0].RelEntity(u)
+	if id1 != id2 {
+		t.Error("RelEntity not stable")
+	}
+}

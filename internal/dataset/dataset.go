@@ -1,0 +1,316 @@
+// Package dataset builds the worlds used by examples, tests and
+// benchmarks: the paper's own employment and music examples
+// (regenerated verbatim by the §4.1/§6.1 tests), a university world
+// with reified enrollments (§2.6), and synthetic taxonomies and
+// graphs with tunable shape for the benchmark sweeps of DESIGN.md.
+//
+// All generators are deterministic given their seed.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	lsdb "repro"
+)
+
+// Employment builds the paper's employment world (§3.1, §3.2, §6.1):
+// a PERSON ⊐ EMPLOYEE ⊐ MANAGER hierarchy, departments, salaries,
+// and the WORKS-FOR/EMPLOYS inversion. The three §6.1 employees
+// (JOHN, TOM, MARY) are always present; extra employees are generated
+// deterministically.
+func Employment(extraEmployees int, seed int64) *lsdb.Database {
+	db := lsdb.New()
+	rng := rand.New(rand.NewSource(seed))
+
+	for _, f := range [][3]string{
+		{"EMPLOYEE", "isa", "PERSON"},
+		{"MANAGER", "isa", "EMPLOYEE"},
+		{"SALARY", "isa", "COMPENSATION"},
+		{"WORKS-FOR", "isa", "IS-PAID-BY"},
+		{"WORKS-FOR", "inv", "EMPLOYS"},
+		// EMPLOYS is declared a class relationship: the inverse of an
+		// inherited class-level fact such as (EMPLOYEE, WORKS-FOR,
+		// DEPARTMENT) is existential ("a department employs some
+		// employee"), and must not be re-distributed to every
+		// department instance by member-source. See DESIGN.md §2.
+		{"EMPLOYS", "in", "@class"},
+		{"EMPLOYEE", "WORKS-FOR", "DEPARTMENT"},
+		{"EMPLOYEE", "EARNS", "SALARY"},
+		{"TOTAL-NUMBER", "in", "@class"},
+
+		{"SHIPPING", "in", "DEPARTMENT"},
+		{"ACCOUNTING", "in", "DEPARTMENT"},
+		{"RECEIVING", "in", "DEPARTMENT"},
+
+		// The §6.1 relation-operator table rows.
+		{"JOHN", "in", "EMPLOYEE"},
+		{"JOHN", "WORKS-FOR", "SHIPPING"},
+		{"JOHN", "EARNS", "$26000"},
+		{"$26000", "in", "SALARY"},
+		{"TOM", "in", "EMPLOYEE"},
+		{"TOM", "WORKS-FOR", "ACCOUNTING"},
+		{"TOM", "EARNS", "$27000"},
+		{"$27000", "in", "SALARY"},
+		{"MARY", "in", "EMPLOYEE"},
+		{"MARY", "WORKS-FOR", "RECEIVING"},
+		{"MARY", "EARNS", "$25000"},
+		{"$25000", "in", "SALARY"},
+	} {
+		db.MustAssert(f[0], f[1], f[2])
+	}
+
+	depts := []string{"SHIPPING", "ACCOUNTING", "RECEIVING"}
+	extraDepts := extraEmployees / 50
+	for i := 0; i < extraDepts; i++ {
+		d := fmt.Sprintf("DEPT-%03d", i)
+		db.MustAssert(d, "in", "DEPARTMENT")
+		depts = append(depts, d)
+	}
+	for i := 0; i < extraEmployees; i++ {
+		e := fmt.Sprintf("EMP-%05d", i)
+		db.MustAssert(e, "in", "EMPLOYEE")
+		db.MustAssert(e, "WORKS-FOR", depts[rng.Intn(len(depts))])
+		sal := fmt.Sprintf("$%d", 20000+rng.Intn(60)*500)
+		db.MustAssert(e, "EARNS", sal)
+		db.MustAssert(sal, "in", "SALARY")
+		if rng.Intn(10) == 0 {
+			db.MustAssert(e, "in", "MANAGER")
+		}
+	}
+	return db
+}
+
+// Music builds the §4.1 browsing example exactly: John, his pets, his
+// department and boss, his favorite pieces, Mozart, Leopold. The
+// three navigation tables of §4.1 are regenerated from this world.
+func Music() *lsdb.Database {
+	db := lsdb.New()
+	for _, f := range [][3]string{
+		// JOHN's classes.
+		{"JOHN", "in", "PERSON"},
+		{"JOHN", "in", "EMPLOYEE"},
+		{"JOHN", "in", "PET-OWNER"},
+		{"JOHN", "in", "MUSIC-LOVER"},
+		// JOHN's likes.
+		{"JOHN", "LIKES", "CAT"},
+		{"JOHN", "LIKES", "FELIX"},
+		{"JOHN", "LIKES", "HEATHCLIFF"},
+		{"JOHN", "LIKES", "MOZART"},
+		{"JOHN", "LIKES", "MARY"},
+		// Work.
+		{"JOHN", "WORKS-FOR", "DEPARTMENT"},
+		{"JOHN", "WORKS-FOR", "SHIPPING"},
+		{"JOHN", "BOSS", "PETER"},
+		// Favorite music.
+		{"JOHN", "FAVORITE-MUSIC", "PC#9-WAM"},
+		{"JOHN", "FAVORITE-MUSIC", "PC#2-BB"},
+		{"JOHN", "FAVORITE-MUSIC", "S#5-LVB"},
+		// The piece PC#9-WAM.
+		{"PC#9-WAM", "in", "CONCERTO"},
+		{"PC#9-WAM", "in", "CLASSICAL"},
+		{"PC#9-WAM", "in", "COMPOSITION"},
+		{"PC#9-WAM", "COMPOSED-BY", "MOZART"},
+		{"PC#9-WAM", "PERFORMED-BY", "SERKIN"},
+		{"PC#9-WAM", "PERFORMED-BY", "BARENBOIM"},
+		{"FAVORITE-MUSIC", "inv", "FAVORITE-OF"},
+		// Class-level inverse (DESIGN.md §2): keeps member-source from
+		// distributing abstracted FAVORITE-OF facts to every piece.
+		{"FAVORITE-OF", "in", "@class"},
+		// Mozart's family.
+		{"LEOPOLD", "FATHER-OF", "MOZART"},
+		{"LEOPOLD", "FAVORITE-MUSIC", "PC#9-WAM"},
+	} {
+		db.MustAssert(f[0], f[1], f[2])
+	}
+	return db
+}
+
+// UniversityConfig parameterizes the university world.
+type UniversityConfig struct {
+	Students    int
+	Courses     int
+	Instructors int
+	// EnrollPerStudent is the number of reified enrollments (§2.6's
+	// E123 pattern) generated per student.
+	EnrollPerStudent int
+	Seed             int64
+}
+
+// University builds a university world: students, courses,
+// instructors, a small generalization hierarchy, and reified
+// enrollments carrying grades, following §2.6's decomposition of the
+// ternary "Tom is enrolled in CS100 and received the grade A" into
+// (E123, ENROLL-STUDENT, TOM), (E123, ENROLL-COURSE, CS100),
+// (E123, ENROLL-GRADE, A).
+func University(cfg UniversityConfig) *lsdb.Database {
+	db := lsdb.New()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	for _, f := range [][3]string{
+		{"STUDENT", "isa", "PERSON"},
+		{"FRESHMAN", "isa", "STUDENT"},
+		{"GRADUATE", "isa", "STUDENT"},
+		{"INSTRUCTOR", "isa", "PERSON"},
+		{"PROFESSOR", "isa", "INSTRUCTOR"},
+		{"TEACHES", "inv", "TAUGHT-BY"},
+		{"STUDENT", "ENROLLED-IN", "COURSE"},
+		{"GRADUATE-OF", "isa", "ATTENDED"},
+	} {
+		db.MustAssert(f[0], f[1], f[2])
+	}
+	grades := []string{"A", "B", "C", "D", "F"}
+	for _, g := range grades {
+		db.MustAssert(g, "in", "GRADE")
+	}
+
+	courses := make([]string, cfg.Courses)
+	for i := range courses {
+		courses[i] = fmt.Sprintf("CS%03d", 100+i)
+		db.MustAssert(courses[i], "in", "COURSE")
+	}
+	instructors := make([]string, cfg.Instructors)
+	for i := range instructors {
+		instructors[i] = fmt.Sprintf("INSTR-%03d", i)
+		db.MustAssert(instructors[i], "in", "INSTRUCTOR")
+		if len(courses) > 0 {
+			db.MustAssert(instructors[i], "TEACHES", courses[rng.Intn(len(courses))])
+		}
+	}
+	enrollID := 0
+	for i := 0; i < cfg.Students; i++ {
+		s := fmt.Sprintf("STU-%05d", i)
+		switch rng.Intn(3) {
+		case 0:
+			db.MustAssert(s, "in", "FRESHMAN")
+		case 1:
+			db.MustAssert(s, "in", "GRADUATE")
+		default:
+			db.MustAssert(s, "in", "STUDENT")
+		}
+		for k := 0; k < cfg.EnrollPerStudent && len(courses) > 0; k++ {
+			e := fmt.Sprintf("E%06d", enrollID)
+			enrollID++
+			db.MustAssert(e, "in", "ENROLLMENT")
+			db.MustAssert(e, "ENROLL-STUDENT", s)
+			db.MustAssert(e, "ENROLL-COURSE", courses[rng.Intn(len(courses))])
+			db.MustAssert(e, "ENROLL-GRADE", grades[rng.Intn(len(grades))])
+		}
+	}
+	return db
+}
+
+// TaxonomyConfig parameterizes a generalization hierarchy for the
+// inference and probing benchmarks (DESIGN.md E3, E8).
+type TaxonomyConfig struct {
+	// Branching is the number of children per internal node; Depth is
+	// the tree height. The root's children specialize the root, etc.
+	Branching, Depth int
+	// MembersPerLeaf instances are attached (∈) to each leaf class.
+	MembersPerLeaf int
+	// FactsPerClass attaches this many ordinary facts to every class,
+	// which inheritance then copies down the hierarchy.
+	FactsPerClass int
+	Seed          int64
+}
+
+// Taxonomy builds the synthetic hierarchy. Class names encode their
+// path ("C0", "C0.1", "C0.1.2", …) with the root "C0" most general.
+func Taxonomy(cfg TaxonomyConfig) *lsdb.Database {
+	db := lsdb.New()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	var leaves []string
+	var grow func(name string, depth int)
+	grow = func(name string, depth int) {
+		for i := 0; i < cfg.FactsPerClass; i++ {
+			db.MustAssert(name, fmt.Sprintf("ATTR-%d", i), fmt.Sprintf("VAL-%s-%d", name, i))
+		}
+		if depth == cfg.Depth {
+			leaves = append(leaves, name)
+			return
+		}
+		for c := 0; c < cfg.Branching; c++ {
+			child := fmt.Sprintf("%s.%d", name, c)
+			db.MustAssert(child, "isa", name)
+			grow(child, depth+1)
+		}
+	}
+	grow("C0", 0)
+
+	for _, leaf := range leaves {
+		for m := 0; m < cfg.MembersPerLeaf; m++ {
+			inst := fmt.Sprintf("I-%s-%d", leaf, m)
+			db.MustAssert(inst, "in", leaf)
+			if cfg.FactsPerClass > 0 && rng.Intn(2) == 0 {
+				db.MustAssert(inst, "OWN-ATTR", fmt.Sprintf("OWN-%s-%d", leaf, m))
+			}
+		}
+	}
+	return db
+}
+
+// GraphConfig parameterizes a random fact graph for navigation and
+// composition benchmarks (DESIGN.md E5, E6).
+type GraphConfig struct {
+	Entities int
+	// Facts is the total number of ordinary facts; sources are drawn
+	// with a Zipf-like skew so some entities have very high degree.
+	Facts         int
+	Relationships int
+	Seed          int64
+}
+
+// Graph builds the random fact graph and returns the database plus
+// the entity names ordered by expected degree (hub first).
+func Graph(cfg GraphConfig) (*lsdb.Database, []string) {
+	db := lsdb.New()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	names := make([]string, cfg.Entities)
+	for i := range names {
+		names[i] = fmt.Sprintf("N%06d", i)
+	}
+	rels := make([]string, cfg.Relationships)
+	for i := range rels {
+		rels[i] = fmt.Sprintf("REL-%02d", i)
+	}
+	zipf := rand.NewZipf(rng, 1.3, 2.0, uint64(cfg.Entities-1))
+	for i := 0; i < cfg.Facts; i++ {
+		s := names[int(zipf.Uint64())]
+		t := names[rng.Intn(cfg.Entities)]
+		if s == t {
+			continue
+		}
+		db.MustAssert(s, rels[rng.Intn(len(rels))], t)
+	}
+	return db, names
+}
+
+// Opera builds the §5.2 probing example: students, freshmen, loves ⊂
+// likes, opera ⊂ music and theater, costs, free ⊂ cheap. The probing
+// example and tests run against it.
+func Opera() *lsdb.Database {
+	db := lsdb.New()
+	for _, f := range [][3]string{
+		{"FRESHMAN", "isa", "STUDENT"},
+		{"LOVE", "isa", "LIKE"},
+		{"OPERA", "isa", "MUSIC"},
+		{"OPERA", "isa", "THEATER"},
+		{"FREE", "isa", "CHEAP"},
+		{"GRADUATE-OF", "isa", "ATTENDED"},
+
+		// Data: freshmen love the campus concert, which is free;
+		// students like the library (free); students love coffee
+		// (cheap, not free).
+		{"FRESHMAN", "LOVE", "CONCERT"},
+		{"CONCERT", "COSTS", "FREE"},
+		{"STUDENT", "LIKE", "LIBRARY"},
+		{"LIBRARY", "COSTS", "FREE"},
+		{"STUDENT", "LOVE", "COFFEE"},
+		{"COFFEE", "COSTS", "CHEAP"},
+	} {
+		db.MustAssert(f[0], f[1], f[2])
+	}
+	return db
+}

@@ -1,0 +1,163 @@
+package dataset
+
+import (
+	"testing"
+)
+
+func TestEmploymentPaperRows(t *testing.T) {
+	db := Employment(0, 1)
+	for _, f := range [][3]string{
+		{"JOHN", "WORKS-FOR", "SHIPPING"},
+		{"TOM", "WORKS-FOR", "ACCOUNTING"},
+		{"MARY", "WORKS-FOR", "RECEIVING"},
+		{"JOHN", "EARNS", "$26000"},
+	} {
+		if !db.HasStored(f[0], f[1], f[2]) {
+			t.Errorf("missing §6.1 fact %v", f)
+		}
+	}
+	// Inference sanity: John is paid by Shipping.
+	if !db.Has("JOHN", "IS-PAID-BY", "SHIPPING") {
+		t.Error("gen-rel inference broken in employment world")
+	}
+	if !db.Has("SHIPPING", "EMPLOYS", "JOHN") {
+		t.Error("inversion broken in employment world")
+	}
+}
+
+func TestEmploymentScales(t *testing.T) {
+	small := Employment(10, 1)
+	big := Employment(100, 1)
+	if big.Len() <= small.Len() {
+		t.Errorf("sizes: %d vs %d", small.Len(), big.Len())
+	}
+}
+
+func TestEmploymentDeterministic(t *testing.T) {
+	a := Employment(50, 42)
+	b := Employment(50, 42)
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for _, f := range a.Store().Facts() {
+		u := a.Universe()
+		if !b.HasStored(u.Name(f.S), u.Name(f.R), u.Name(f.T)) {
+			t.Fatalf("fact %s missing under same seed", u.FormatFact(f))
+		}
+	}
+}
+
+func TestMusicWorld(t *testing.T) {
+	db := Music()
+	if !db.HasStored("JOHN", "FAVORITE-MUSIC", "PC#9-WAM") {
+		t.Error("music world incomplete")
+	}
+	if !db.Has("PC#9-WAM", "FAVORITE-OF", "LEOPOLD") {
+		t.Error("FAVORITE-OF inversion missing")
+	}
+	assocs := db.Between("LEOPOLD", "MOZART")
+	if len(assocs) < 2 {
+		t.Errorf("Leopold-Mozart associations = %d, want ≥ 2", len(assocs))
+	}
+}
+
+func TestUniversityReifiedEnrollments(t *testing.T) {
+	db := University(UniversityConfig{
+		Students: 10, Courses: 3, Instructors: 2, EnrollPerStudent: 2, Seed: 7,
+	})
+	rows, err := db.Query("(?e, ENROLL-STUDENT, STU-00000)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Tuples) != 2 {
+		t.Errorf("STU-00000 enrollments = %d, want 2", len(rows.Tuples))
+	}
+	// Every enrollment has a grade (project the grade away: the
+	// closure also abstracts each grade to its class GRADE).
+	rows, err = db.Query("exists ?g . (?e, in, ENROLLMENT) & (?e, ENROLL-GRADE, ?g)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Tuples) != 20 {
+		t.Errorf("graded enrollments = %d, want 20", len(rows.Tuples))
+	}
+}
+
+func TestUniversityHierarchy(t *testing.T) {
+	db := University(UniversityConfig{Students: 9, Courses: 2, Instructors: 1, EnrollPerStudent: 1, Seed: 1})
+	// Freshmen are students are persons (member-up).
+	rows, err := db.Query("(?s, in, FRESHMAN)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Tuples) == 0 {
+		t.Skip("seed produced no freshmen")
+	}
+	name := rows.Tuples[0][0]
+	if !db.Has(name, "in", "PERSON") {
+		t.Errorf("%s not inferred to be a PERSON", name)
+	}
+}
+
+func TestTaxonomyShape(t *testing.T) {
+	db := Taxonomy(TaxonomyConfig{Branching: 2, Depth: 3, MembersPerLeaf: 2, FactsPerClass: 1, Seed: 1})
+	// 2^3 = 8 leaves, each with 2 members.
+	rows, err := db.Query("(?m, in, ?leaf) & (?m, isa, ?m2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = rows
+	// Deep inheritance: a leaf member reaches the root's attribute.
+	if !db.Has("I-C0.0.0.0-0", "ATTR-0", "VAL-C0-0") {
+		t.Error("leaf instance did not inherit root attribute")
+	}
+	// Membership propagates to the root class.
+	if !db.Has("I-C0.0.0.0-0", "in", "C0") {
+		t.Error("member-up failed in taxonomy")
+	}
+}
+
+func TestTaxonomySizeGrowsWithDepth(t *testing.T) {
+	d2 := Taxonomy(TaxonomyConfig{Branching: 2, Depth: 2, MembersPerLeaf: 1, FactsPerClass: 1, Seed: 1})
+	d4 := Taxonomy(TaxonomyConfig{Branching: 2, Depth: 4, MembersPerLeaf: 1, FactsPerClass: 1, Seed: 1})
+	if d4.Len() <= d2.Len() {
+		t.Errorf("taxonomy sizes: depth2=%d depth4=%d", d2.Len(), d4.Len())
+	}
+}
+
+func TestGraphShape(t *testing.T) {
+	db, names := Graph(GraphConfig{Entities: 100, Facts: 500, Relationships: 5, Seed: 3})
+	if len(names) != 100 {
+		t.Fatalf("names = %d", len(names))
+	}
+	if db.Len() == 0 || db.Len() > 500 {
+		t.Errorf("facts = %d", db.Len())
+	}
+	// Zipf skew: the first entity should have high degree.
+	deg0 := db.Store().Degree(db.Entity(names[0]))
+	if deg0 < 10 {
+		t.Errorf("hub degree = %d, expected skewed distribution", deg0)
+	}
+}
+
+func TestGraphDeterministic(t *testing.T) {
+	a, _ := Graph(GraphConfig{Entities: 50, Facts: 200, Relationships: 3, Seed: 9})
+	b, _ := Graph(GraphConfig{Entities: 50, Facts: 200, Relationships: 3, Seed: 9})
+	if a.Len() != b.Len() {
+		t.Errorf("graph not deterministic: %d vs %d", a.Len(), b.Len())
+	}
+}
+
+func TestOperaWorld(t *testing.T) {
+	db := Opera()
+	out, err := db.Probe("(STUDENT, LOVE, ?z) & (?z, COSTS, FREE)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Succeeded() {
+		t.Error("the §5.2 query should fail in the opera world")
+	}
+	if len(out.Waves) == 0 || len(out.Waves[len(out.Waves)-1].Successes()) == 0 {
+		t.Error("retraction found nothing in the opera world")
+	}
+}

@@ -1,0 +1,117 @@
+package factfile
+
+import (
+	"strings"
+	"testing"
+
+	lsdb "repro"
+)
+
+const employeesCSV = `NAME, DEPT, SALARY
+JOHN, SHIPPING, 26000
+TOM, ACCOUNTING, 27000
+MARY, RECEIVING, 25000
+`
+
+func TestImportCSVKeyed(t *testing.T) {
+	db := lsdb.New()
+	n, err := ImportCSV(db, strings.NewReader(employeesCSV), CSVOptions{
+		KeyColumn: "NAME",
+		Class:     "EMPLOYEE",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 rows × (class + 2 cells) = 9 facts.
+	if n != 9 {
+		t.Errorf("imported %d facts, want 9", n)
+	}
+	if !db.HasStored("JOHN", "DEPT", "SHIPPING") {
+		t.Error("cell fact missing")
+	}
+	if !db.Has("TOM", "in", "EMPLOYEE") {
+		t.Error("class fact missing")
+	}
+	// The §6.1 relation operator rebuilds the table from the heap.
+	db.MustAssert("SHIPPING", "in", "DEPARTMENT")
+	db.MustAssert("ACCOUNTING", "in", "DEPARTMENT")
+	db.MustAssert("RECEIVING", "in", "DEPARTMENT")
+	table, err := db.Relation("EMPLOYEE", "DEPT", "DEPARTMENT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := table.Render()
+	for _, want := range []string{"JOHN", "SHIPPING", "MARY", "RECEIVING"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rebuilt table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestImportCSVReified(t *testing.T) {
+	src := `STUDENT, COURSE, GRADE
+TOM, CS100, A
+SUE, MATH101, B
+`
+	db := lsdb.New()
+	n, err := ImportCSV(db, strings.NewReader(src), CSVOptions{
+		Prefix: "ENROLL",
+		Class:  "ENROLLMENT",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 8 { // 2 rows × (class + 3 cells)
+		t.Errorf("imported %d facts, want 8", n)
+	}
+	rows, err := db.Query("(?e, STUDENT, TOM) & (?e, COURSE, CS100) & (?e, GRADE, ?g)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Tuples) != 1 || rows.Tuples[0][1] != "A" {
+		t.Errorf("reified query = %v", rows.Tuples)
+	}
+}
+
+func TestImportCSVEmptyCells(t *testing.T) {
+	src := `NAME, PET
+JOHN, FELIX
+MARY,
+`
+	db := lsdb.New()
+	n, err := ImportCSV(db, strings.NewReader(src), CSVOptions{KeyColumn: "NAME"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("imported %d facts, want 1 (empty cells skipped)", n)
+	}
+	db2 := lsdb.New()
+	n, err = ImportCSV(db2, strings.NewReader(src), CSVOptions{KeyColumn: "NAME", KeepEmpty: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || !db2.HasStored("MARY", "PET", "∇") {
+		t.Errorf("KeepEmpty: %d facts", n)
+	}
+}
+
+func TestImportCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		opts CSVOptions
+	}{
+		{"missing key column", employeesCSV, CSVOptions{KeyColumn: "NOPE"}},
+		{"empty header name", "A,,C\n1,2,3\n", CSVOptions{}},
+		{"empty key cell", "NAME,X\n,1\n", CSVOptions{KeyColumn: "NAME"}},
+		{"ragged row", "A,B\n1,2,3\n", CSVOptions{}},
+		{"empty input", "", CSVOptions{}},
+	}
+	for _, c := range cases {
+		db := lsdb.New()
+		if _, err := ImportCSV(db, strings.NewReader(c.src), c.opts); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package factfile
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	lsdb "repro"
+)
+
+const sampleFile = `
+# The employment example.
+(JOHN, in, EMPLOYEE).
+(EMPLOYEE, EARNS, SALARY)
+(EMPLOYEE, isa, PERSON).
+// C-style comments work too.
+('ODD NAME', REL, 'OTHER ODD')
+
+rule promote: (?x, in, MANAGER) => (?x, in, EMPLOYEE).
+constraint pos-age: (?x, HAS-AGE, ?y) => (?y, >, 0).
+`
+
+func TestLoad(t *testing.T) {
+	db := lsdb.New()
+	st, err := Load(db, strings.NewReader(sampleFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Facts != 4 || st.Rules != 1 || st.Constraints != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if !db.HasStored("JOHN", "in", "EMPLOYEE") {
+		t.Error("fact not loaded")
+	}
+	if !db.HasStored("ODD NAME", "REL", "OTHER ODD") {
+		t.Error("quoted entities not loaded")
+	}
+	// The rule is live.
+	db.MustAssert("BOB", "in", "MANAGER")
+	if !db.Has("BOB", "in", "EMPLOYEE") {
+		t.Error("loaded rule inactive")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := []string{
+		"(?x, R, B).",              // non-ground fact
+		"(A, R).",                  // arity
+		"rule broken (A, R, B).",   // missing colon
+		"rule r: (A, R, B).",       // missing =>
+		"constraint c: => (A,R,B)", // empty body
+		"garbage line here (",
+	}
+	for _, src := range cases {
+		db := lsdb.New()
+		if _, err := Load(db, strings.NewReader(src)); err == nil {
+			t.Errorf("Load(%q) succeeded", src)
+		}
+	}
+}
+
+func TestLoadReportsLineNumbers(t *testing.T) {
+	db := lsdb.New()
+	_, err := Load(db, strings.NewReader("(A, R, B).\n(?bad, R, B).\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDumpRoundTrip(t *testing.T) {
+	db := lsdb.New()
+	if _, err := Load(db, strings.NewReader(sampleFile)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Dump(db, &buf); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := lsdb.New()
+	st, err := Load(db2, &buf)
+	if err != nil {
+		t.Fatalf("reload: %v\ndump was:\n%s", err, buf.String())
+	}
+	if st.Facts != db.Len() {
+		t.Errorf("reloaded %d facts, want %d", st.Facts, db.Len())
+	}
+	if st.Rules+st.Constraints != 2 {
+		t.Errorf("reloaded %d rules", st.Rules+st.Constraints)
+	}
+	for _, f := range db.Store().Facts() {
+		u := db.Universe()
+		if !db2.HasStored(u.Name(f.S), u.Name(f.R), u.Name(f.T)) {
+			t.Errorf("fact lost in round trip: %s", u.FormatFact(f))
+		}
+	}
+}
+
+func TestLoadDumpFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.facts")
+	db := lsdb.New()
+	db.MustAssert("A", "R", "B")
+	if err := DumpFile(db, path); err != nil {
+		t.Fatal(err)
+	}
+	db2 := lsdb.New()
+	st, err := LoadFile(db2, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Facts != 1 || !db2.HasStored("A", "R", "B") {
+		t.Errorf("file round trip failed: %+v", st)
+	}
+	if _, err := LoadFile(db2, filepath.Join(dir, "missing.facts")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestLoadConjunctionLine(t *testing.T) {
+	db := lsdb.New()
+	st, err := Load(db, strings.NewReader("(A, R, B) & (C, R, D)."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Facts != 1 { // one line
+		t.Errorf("stats = %+v", st)
+	}
+	if !db.HasStored("A", "R", "B") || !db.HasStored("C", "R", "D") {
+		t.Error("conjunction line not fully loaded")
+	}
+}
+
+func TestSpecialEntityRoundTrip(t *testing.T) {
+	db := lsdb.New()
+	db.MustAssert("MANAGER", "isa", "EMPLOYEE")
+	db.MustAssert("JOHN", "in", "EMPLOYEE")
+	var buf bytes.Buffer
+	Dump(db, &buf)
+	db2 := lsdb.New()
+	if _, err := Load(db2, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !db2.HasStored("MANAGER", "isa", "EMPLOYEE") {
+		t.Error("≺ did not survive round trip")
+	}
+}

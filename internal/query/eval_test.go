@@ -1,0 +1,278 @@
+package query_test
+
+import (
+	"testing"
+
+	"repro/internal/fact"
+	"repro/internal/query"
+	"repro/internal/rules"
+	"repro/internal/store"
+	"repro/internal/sym"
+	"repro/internal/virtual"
+)
+
+func evalSetup(facts ...[3]string) (*fact.Universe, *query.Evaluator) {
+	u := fact.NewUniverse()
+	s := store.New(u)
+	for _, f := range facts {
+		s.Insert(u.NewFact(f[0], f[1], f[2]))
+	}
+	e := rules.New(s, virtual.New(u))
+	return u, &query.Evaluator{
+		M:      e,
+		Domain: func() []sym.ID { return e.Closure().Entities() },
+	}
+}
+
+func mustEval(t *testing.T, u *fact.Universe, ev *query.Evaluator, src string) *query.Result {
+	t.Helper()
+	res, err := ev.Eval(query.MustParse(u, src))
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", src, err)
+	}
+	return res
+}
+
+func tupleNames(u *fact.Universe, res *query.Result) [][]string {
+	out := make([][]string, len(res.Tuples))
+	for i, tp := range res.Tuples {
+		row := make([]string, len(tp))
+		for j, id := range tp {
+			row[j] = u.Name(id)
+		}
+		out[i] = row
+	}
+	return out
+}
+
+func TestEvalSingleTemplate(t *testing.T) {
+	u, ev := evalSetup(
+		[3]string{"MOBY-DICK", "in", "BOOK"},
+		[3]string{"HAMLET", "in", "BOOK"},
+		[3]string{"JOHN", "in", "PERSON"})
+	res := mustEval(t, u, ev, "(?y, in, BOOK)")
+	if len(res.Tuples) != 2 {
+		t.Fatalf("books = %v", tupleNames(u, res))
+	}
+}
+
+func TestEvalSelfCitation(t *testing.T) {
+	// §2.7: (x, CITES, x) matches self-citations only.
+	u, ev := evalSetup(
+		[3]string{"B1", "CITES", "B1"},
+		[3]string{"B1", "CITES", "B2"},
+		[3]string{"B2", "CITES", "B1"})
+	res := mustEval(t, u, ev, "(?x, CITES, ?x)")
+	got := tupleNames(u, res)
+	if len(got) != 1 || got[0][0] != "B1" {
+		t.Errorf("self-citations = %v", got)
+	}
+}
+
+func TestEvalAuthorsWhoCiteThemselves(t *testing.T) {
+	// §2.7's worked example.
+	u, ev := evalSetup(
+		[3]string{"B1", "in", "BOOK"},
+		[3]string{"B2", "in", "BOOK"},
+		[3]string{"ANNA", "in", "PERSON"},
+		[3]string{"BOB", "in", "PERSON"},
+		[3]string{"B1", "CITES", "B1"},
+		[3]string{"B1", "AUTHOR", "ANNA"},
+		[3]string{"B2", "CITES", "B1"},
+		[3]string{"B2", "AUTHOR", "BOB"})
+	res := mustEval(t, u, ev,
+		"exists ?x . (?x, in, BOOK) & (?y, in, PERSON) & (?x, CITES, ?x) & (?x, AUTHOR, ?y)")
+	got := tupleNames(u, res)
+	if len(got) != 1 || got[0][0] != "ANNA" {
+		t.Errorf("self-citing authors = %v", got)
+	}
+}
+
+func TestEvalNegativeViaComplement(t *testing.T) {
+	// §2.7: "all books whose author is not John" via ≠.
+	u, ev := evalSetup(
+		[3]string{"B1", "in", "BOOK"},
+		[3]string{"B2", "in", "BOOK"},
+		[3]string{"B1", "AUTHOR", "JOHN"},
+		[3]string{"B2", "AUTHOR", "MARY"})
+	res := mustEval(t, u, ev,
+		"(?x, in, BOOK) & (?x, AUTHOR, ?y) & (?y, !=, JOHN)")
+	got := tupleNames(u, res)
+	if len(got) != 1 || got[0][0] != "B2" {
+		t.Errorf("books not by John = %v", got)
+	}
+}
+
+func TestEvalDisjunction(t *testing.T) {
+	u, ev := evalSetup(
+		[3]string{"A", "LOVES", "X"},
+		[3]string{"B", "HATES", "X"})
+	res := mustEval(t, u, ev, "(?p, LOVES, X) | (?p, HATES, X)")
+	if len(res.Tuples) != 2 {
+		t.Errorf("disjunction = %v", tupleNames(u, res))
+	}
+}
+
+func TestEvalDisjunctionDedupes(t *testing.T) {
+	u, ev := evalSetup(
+		[3]string{"A", "LOVES", "X"},
+		[3]string{"A", "HATES", "X"})
+	res := mustEval(t, u, ev, "(?p, LOVES, X) | (?p, HATES, X)")
+	if len(res.Tuples) != 1 {
+		t.Errorf("duplicate binding not removed: %v", tupleNames(u, res))
+	}
+}
+
+func TestEvalUnsafeDisjunction(t *testing.T) {
+	u, ev := evalSetup([3]string{"A", "R", "B"})
+	_, err := ev.Eval(query.MustParse(u, "(?x, R, B) | (A, R, ?y)"))
+	if err == nil {
+		t.Error("unsafe disjunction accepted")
+	}
+}
+
+func TestEvalExistsProjects(t *testing.T) {
+	u, ev := evalSetup(
+		[3]string{"JOHN", "LIKES", "CATS"},
+		[3]string{"JOHN", "LIKES", "DOGS"},
+		[3]string{"MARY", "LIKES", "CATS"})
+	res := mustEval(t, u, ev, "exists ?what . (?who, LIKES, ?what)")
+	if len(res.Tuples) != 2 {
+		t.Errorf("likers = %v", tupleNames(u, res))
+	}
+	if len(res.Vars) != 1 || res.Vars[0] != "who" {
+		t.Errorf("vars = %v", res.Vars)
+	}
+}
+
+func TestEvalForallVacuous(t *testing.T) {
+	u, ev := evalSetup([3]string{"A", "in", "THING"})
+	// Everything in the domain is ≺ Δ — true for all entities.
+	res := mustEval(t, u, ev, "forall ?x . (?x, isa, TOP)")
+	if !res.True {
+		t.Error("∀x (x ≺ Δ) should hold")
+	}
+}
+
+func TestEvalForallFalse(t *testing.T) {
+	u, ev := evalSetup(
+		[3]string{"A", "in", "THING"},
+		[3]string{"B", "OTHER", "C"})
+	res := mustEval(t, u, ev, "forall ?x . (?x, in, THING)")
+	if res.True {
+		t.Error("∀x (x ∈ THING) should fail: domain has non-THINGs")
+	}
+}
+
+func TestEvalForallWithFreeVar(t *testing.T) {
+	// The target loved by every lover in the domain... restrict the
+	// domain by making every entity a lover of X.
+	u, ev := evalSetup(
+		[3]string{"A", "LOVES", "A"},
+		[3]string{"A", "LOVES", "X"})
+	// Domain = {A, LOVES, X}. For ∀p (p LOVES y) we need y loved by
+	// A, LOVES, and X — LOVES and X love nothing, so no y.
+	res := mustEval(t, u, ev, "forall ?p . (?p, LOVES, ?y)")
+	if res.True {
+		t.Errorf("unexpected universal lover target: %v", tupleNames(u, res))
+	}
+}
+
+func TestEvalProposition(t *testing.T) {
+	u, ev := evalSetup(
+		[3]string{"JOHN", "LIKES", "FELIX"},
+		[3]string{"FELIX", "LIKES", "JOHN"})
+	res := mustEval(t, u, ev, "(JOHN, LIKES, FELIX) & (FELIX, LIKES, JOHN)")
+	if !res.True || res.Empty() {
+		t.Error("true proposition misreported")
+	}
+	res = mustEval(t, u, ev, "(FELIX, LIKES, FELIX)")
+	if res.True {
+		t.Error("false proposition reported true")
+	}
+}
+
+func TestEvalMathComparator(t *testing.T) {
+	u, ev := evalSetup(
+		[3]string{"JOHN", "EARNS", "25000"},
+		[3]string{"TOM", "EARNS", "15000"},
+		[3]string{"JOHN", "in", "EMPLOYEE"},
+		[3]string{"TOM", "in", "EMPLOYEE"})
+	res := mustEval(t, u, ev,
+		"exists ?y . (?x, in, EMPLOYEE) & (?x, EARNS, ?y) & (?y, >, 20000)")
+	got := tupleNames(u, res)
+	if len(got) != 1 || got[0][0] != "JOHN" {
+		t.Errorf("earners over 20000 = %v", got)
+	}
+}
+
+func TestEvalInferredFacts(t *testing.T) {
+	u, ev := evalSetup(
+		[3]string{"JOHN", "in", "EMPLOYEE"},
+		[3]string{"EMPLOYEE", "EARNS", "SALARY"})
+	res := mustEval(t, u, ev, "(JOHN, EARNS, ?what)")
+	got := tupleNames(u, res)
+	if len(got) != 1 || got[0][0] != "SALARY" {
+		t.Errorf("inferred earn = %v", got)
+	}
+}
+
+func TestEvalLimit(t *testing.T) {
+	u, ev := evalSetup(
+		[3]string{"A", "R", "X"},
+		[3]string{"B", "R", "X"},
+		[3]string{"C", "R", "X"})
+	ev.Limit = 2
+	res := mustEval(t, u, ev, "(?p, R, X)")
+	if len(res.Tuples) != 2 {
+		t.Errorf("limit: %d tuples", len(res.Tuples))
+	}
+}
+
+func TestEvalTuplesSorted(t *testing.T) {
+	u, ev := evalSetup(
+		[3]string{"C", "R", "X"},
+		[3]string{"A", "R", "X"},
+		[3]string{"B", "R", "X"})
+	res1 := mustEval(t, u, ev, "(?p, R, X)")
+	res2 := mustEval(t, u, ev, "(?p, R, X)")
+	for i := range res1.Tuples {
+		if res1.Tuples[i][0] != res2.Tuples[i][0] {
+			t.Fatal("evaluation not deterministic")
+		}
+	}
+}
+
+func TestEvalColumnHelperViaNames(t *testing.T) {
+	u, ev := evalSetup([3]string{"A", "R", "B"})
+	res := mustEval(t, u, ev, "(?src, R, ?dst)")
+	if len(res.Vars) != 2 || res.Vars[0] != "src" || res.Vars[1] != "dst" {
+		t.Errorf("vars = %v", res.Vars)
+	}
+}
+
+func TestEvalEmptyResultIsFailure(t *testing.T) {
+	u, ev := evalSetup([3]string{"A", "R", "B"})
+	res := mustEval(t, u, ev, "(?x, ABSENT-REL, ?y)")
+	if !res.Empty() || res.True {
+		t.Error("empty answer not reported as failure")
+	}
+}
+
+func TestEvalConjunctionJoinOrder(t *testing.T) {
+	// A join where naive left-to-right would enumerate everything:
+	// the evaluator should still produce correct results.
+	u, ev := evalSetup(
+		[3]string{"S1", "in", "STUDENT"},
+		[3]string{"S2", "in", "STUDENT"},
+		[3]string{"S1", "TAKES", "CS"},
+		[3]string{"S2", "TAKES", "MATH"},
+		[3]string{"CS", "ROOM", "R1"},
+		[3]string{"MATH", "ROOM", "R2"})
+	res := mustEval(t, u, ev,
+		"(?s, in, STUDENT) & (?s, TAKES, ?c) & (?c, ROOM, R1)")
+	got := tupleNames(u, res)
+	if len(got) != 1 || got[0][0] != "S1" {
+		t.Errorf("join = %v", got)
+	}
+}

@@ -1,0 +1,53 @@
+package query
+
+import (
+	"testing"
+
+	"repro/internal/fact"
+)
+
+// FuzzParse checks that the parser never panics and that anything it
+// accepts renders back to a string it accepts again (print/parse
+// stability). The seed corpus covers every syntactic construct; `go
+// test` runs the corpus, `go test -fuzz=FuzzParse` explores further.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"(JOHN, EARNS, $25000)",
+		"(?x, LIKES, ?y)",
+		"(*, in, *)",
+		"exists ?x . (?x, in, BOOK) & (?x, AUTHOR, ?y)",
+		"forall ?x . (?x, isa, TOP)",
+		"(A, R, B) | (C, R, D) & (E, R, F)",
+		"[exists ?x . (?x, R, B)] & (C, R, D)",
+		"('FAVORITE MUSIC', \"IS A\", THING)",
+		"(25.5, <, 26)",
+		"(PC#9-WAM, COMPOSED-BY, MOZART)",
+		"∃ ?x . (?x, ∈, BOOK) ∧ (?x, ≺, ?y)",
+		"(?x, !=, JOHN)",
+		"((((A, B, C))))",
+		"(A, B, C) &",
+		"?",
+		"(((",
+		"exists . x",
+		"'unterminated",
+		"(Δ, ∇, ⊥)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	u := fact.NewUniverse()
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(u, src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		rendered := q.String()
+		q2, err := Parse(u, rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its rendering %q: %v", src, rendered, err)
+		}
+		if q2.String() != rendered {
+			t.Fatalf("rendering unstable: %q -> %q", rendered, q2.String())
+		}
+	})
+}

@@ -1,0 +1,313 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fact"
+)
+
+func TestParseTemplate(t *testing.T) {
+	u := fact.NewUniverse()
+	q, err := Parse(u, "(JOHN, EARNS, $25000)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	atoms := q.Atoms()
+	if len(atoms) != 1 {
+		t.Fatalf("atoms = %d", len(atoms))
+	}
+	tpl := atoms[0].Tpl
+	if !tpl.Ground() {
+		t.Error("ground template parsed with variables")
+	}
+	if u.Name(tpl.S.Entity) != "JOHN" || u.Name(tpl.R.Entity) != "EARNS" || u.Name(tpl.T.Entity) != "$25000" {
+		t.Errorf("template = %s", u.FormatTemplate(tpl))
+	}
+	if !q.IsProposition() {
+		t.Error("ground template should be a proposition")
+	}
+}
+
+func TestParseVariables(t *testing.T) {
+	u := fact.NewUniverse()
+	q, err := Parse(u, "(?x, LIKES, ?y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Free) != 2 {
+		t.Fatalf("free vars = %d", len(q.Free))
+	}
+	if q.VarName(q.Free[0]) != "x" || q.VarName(q.Free[1]) != "y" {
+		t.Errorf("names = %s, %s", q.VarName(q.Free[0]), q.VarName(q.Free[1]))
+	}
+}
+
+func TestParseSharedVariable(t *testing.T) {
+	u := fact.NewUniverse()
+	q, err := Parse(u, "(?x, CITES, ?x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Free) != 1 {
+		t.Errorf("self-citation template: free = %d, want 1", len(q.Free))
+	}
+	tpl := q.Atoms()[0].Tpl
+	if tpl.S.Variable != tpl.T.Variable {
+		t.Error("?x occurrences got different variables")
+	}
+}
+
+func TestParseStarsAreIndependent(t *testing.T) {
+	u := fact.NewUniverse()
+	q, err := Parse(u, "(*, in, *)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §4.1: (*,∈,*) is identical to (x,∈,y), not (x,∈,x).
+	tpl := q.Atoms()[0].Tpl
+	if tpl.S.Variable == tpl.T.Variable {
+		t.Error("two *s unified into one variable")
+	}
+	if len(q.Free) != 2 {
+		t.Errorf("free = %d, want 2", len(q.Free))
+	}
+}
+
+func TestParseConjunctionDisjunction(t *testing.T) {
+	u := fact.NewUniverse()
+	q, err := Parse(u, "(A, R, B) & (C, R, D) | (E, R, F)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// '&' binds tighter than '|'.
+	or, ok := q.Root.(*Or)
+	if !ok {
+		t.Fatalf("root = %T, want *Or", q.Root)
+	}
+	if _, ok := or.L.(*And); !ok {
+		t.Errorf("left of | = %T, want *And", or.L)
+	}
+}
+
+func TestParseQuantifiers(t *testing.T) {
+	u := fact.NewUniverse()
+	q, err := Parse(u, "exists ?x . (?x, in, BOOK) & (?x, AUTHOR, ?y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, ok := q.Root.(*Exists)
+	if !ok {
+		t.Fatalf("root = %T", q.Root)
+	}
+	// The dot scope extends right: the And is inside the quantifier.
+	if _, ok := ex.Body.(*And); !ok {
+		t.Errorf("body = %T, want *And", ex.Body)
+	}
+	if len(q.Free) != 1 || q.VarName(q.Free[0]) != "y" {
+		t.Errorf("free = %v", q.Free)
+	}
+}
+
+func TestParseMultiVarQuantifier(t *testing.T) {
+	u := fact.NewUniverse()
+	q, err := Parse(u, "exists ?x ?y . (?x, LIKES, ?y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Free) != 0 {
+		t.Errorf("free = %d, want 0", len(q.Free))
+	}
+	if _, ok := q.Root.(*Exists); !ok {
+		t.Fatalf("root = %T", q.Root)
+	}
+}
+
+func TestParseForall(t *testing.T) {
+	u := fact.NewUniverse()
+	q, err := Parse(u, "forall ?x . (?x, in, PERSON)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := q.Root.(*Forall); !ok {
+		t.Fatalf("root = %T", q.Root)
+	}
+}
+
+func TestParseUnicodeOperators(t *testing.T) {
+	u := fact.NewUniverse()
+	for _, src := range []string{
+		"(A, R, B) ∧ (C, R, D)",
+		"(A, R, B) ∨ (C, R, D)",
+		"∃ ?x . (?x, R, B)",
+		"∀ ?x . (?x, R, B)",
+	} {
+		if _, err := Parse(u, src); err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+		}
+	}
+}
+
+func TestParseBrackets(t *testing.T) {
+	u := fact.NewUniverse()
+	q, err := Parse(u, "[exists ?x . (?x, R, B)] & (C, R, D)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	and, ok := q.Root.(*And)
+	if !ok {
+		t.Fatalf("root = %T, want *And (bracket limits scope)", q.Root)
+	}
+	if _, ok := and.L.(*Exists); !ok {
+		t.Errorf("left = %T", and.L)
+	}
+}
+
+func TestParseParenthesizedFormula(t *testing.T) {
+	u := fact.NewUniverse()
+	q, err := Parse(u, "((A, R, B) | (C, R, D)) & (E, R, F)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := q.Root.(*And); !ok {
+		t.Fatalf("root = %T", q.Root)
+	}
+}
+
+func TestParseQuotedEntities(t *testing.T) {
+	u := fact.NewUniverse()
+	q, err := Parse(u, "('FAVORITE MUSIC', 'IS A', \"NICE THING\")")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpl := q.Atoms()[0].Tpl
+	if u.Name(tpl.S.Entity) != "FAVORITE MUSIC" {
+		t.Errorf("quoted entity = %q", u.Name(tpl.S.Entity))
+	}
+}
+
+func TestParseAliases(t *testing.T) {
+	u := fact.NewUniverse()
+	q, err := Parse(u, "(JOHN, in, EMPLOYEE) & (EMPLOYEE, isa, PERSON)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	atoms := q.Atoms()
+	if atoms[0].Tpl.R.Entity != u.Member {
+		t.Error("'in' not normalized to ∈")
+	}
+	if atoms[1].Tpl.R.Entity != u.Gen {
+		t.Error("'isa' not normalized to ≺")
+	}
+}
+
+func TestParseSpecialCharEntities(t *testing.T) {
+	u := fact.NewUniverse()
+	for _, name := range []string{"$25000", "PC#9-WAM", "ISBN-914894-COPY1", "S#5-LVB", "25.5", "-3"} {
+		q, err := Parse(u, "("+name+", R, B)")
+		if err != nil {
+			t.Errorf("Parse entity %q: %v", name, err)
+			continue
+		}
+		if got := u.Name(q.Atoms()[0].Tpl.S.Entity); got != name {
+			t.Errorf("entity %q parsed as %q", name, got)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	u := fact.NewUniverse()
+	cases := []string{
+		"",
+		"(A, B)",
+		"(A, B, C",
+		"(A, B, C) &",
+		"exists . (A, B, C)",
+		"exists ?x (A, B, C)",
+		"(A, B, C) extra",
+		"?",
+		"'unterminated",
+		"(A, B, C) ! (D, E, F)",
+		"[ (A, B, C)",
+	}
+	for _, src := range cases {
+		if _, err := Parse(u, src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseErrorPosition(t *testing.T) {
+	u := fact.NewUniverse()
+	_, err := Parse(u, "(A, B, C) &")
+	if err == nil {
+		t.Fatal("no error")
+	}
+	var pe *ParseError
+	if !asParseError(err, &pe) {
+		t.Fatalf("error type %T", err)
+	}
+	if pe.Pos == 0 {
+		t.Error("error position not set")
+	}
+}
+
+func asParseError(err error, target **ParseError) bool {
+	pe, ok := err.(*ParseError)
+	if ok {
+		*target = pe
+	}
+	return ok
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	u := fact.NewUniverse()
+	cases := []string{
+		"(JOHN, EARNS, $25000)",
+		"exists ?x . (?x, in, BOOK) & (?x, AUTHOR, ?y)",
+		"(?x, LIKES, ?y) | (?y, LIKES, ?x)",
+		"forall ?z . (?z, in, PERSON)",
+	}
+	for _, src := range cases {
+		q, err := Parse(u, src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		rendered := q.String()
+		q2, err := Parse(u, rendered)
+		if err != nil {
+			t.Errorf("re-Parse(%q): %v", rendered, err)
+			continue
+		}
+		if q2.String() != rendered {
+			t.Errorf("round trip unstable: %q -> %q", rendered, q2.String())
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic on bad input")
+		}
+	}()
+	MustParse(fact.NewUniverse(), "(((")
+}
+
+func TestCloneIndependence(t *testing.T) {
+	u := fact.NewUniverse()
+	q := MustParse(u, "(?x, LIKES, MARY)")
+	c := q.Clone()
+	c.Atoms()[0].Tpl.T = fact.E(u.Entity("FELIX"))
+	if strings.Contains(q.String(), "FELIX") {
+		t.Error("clone mutation leaked into original")
+	}
+}
+
+func TestMaxVar(t *testing.T) {
+	u := fact.NewUniverse()
+	q := MustParse(u, "exists ?a . (?a, R, ?b) & (?b, R, ?c)")
+	if q.MaxVar() != 3 {
+		t.Errorf("MaxVar = %d, want 3", q.MaxVar())
+	}
+}

@@ -1,0 +1,185 @@
+// Package relstore is the structured baseline: a small schema-first
+// relational store of the kind the paper argues against (§1, §4).
+//
+// It exists so the benchmarks can quantify the organization/retrieval
+// trade-off: a relational database answers keyed queries through its
+// schema and indexes, but a browsing question like "find something
+// interesting about JOHN" requires knowing every relation where the
+// token JOHN may appear — or an extensive scan (§1). Restructuring
+// (adding an attribute) requires a schema change and table rebuild,
+// whereas the loosely structured store just gains facts.
+package relstore
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Table is a relation with a fixed column list. The first column is
+// treated as the key and is always hash-indexed; secondary indexes
+// may be added per column.
+type Table struct {
+	Name    string
+	Columns []string
+	rows    [][]string
+	indexes map[int]map[string][]int // column → value → row ids
+}
+
+// DB is a set of named tables.
+type DB struct {
+	tables map[string]*Table
+	order  []string
+}
+
+// New returns an empty relational database.
+func New() *DB {
+	return &DB{tables: make(map[string]*Table)}
+}
+
+// Create adds a table with the given columns (the first is the key).
+func (db *DB) Create(name string, columns ...string) (*Table, error) {
+	if len(columns) == 0 {
+		return nil, fmt.Errorf("relstore: table %q needs at least one column", name)
+	}
+	if _, dup := db.tables[name]; dup {
+		return nil, fmt.Errorf("relstore: table %q already exists", name)
+	}
+	t := &Table{
+		Name:    name,
+		Columns: append([]string(nil), columns...),
+		indexes: map[int]map[string][]int{0: {}},
+	}
+	db.tables[name] = t
+	db.order = append(db.order, name)
+	return t, nil
+}
+
+// Table returns the named table, or nil.
+func (db *DB) Table(name string) *Table { return db.tables[name] }
+
+// Tables returns the table names in creation order.
+func (db *DB) Tables() []string { return append([]string(nil), db.order...) }
+
+// Insert appends a row; the value count must match the schema.
+func (t *Table) Insert(values ...string) error {
+	if len(values) != len(t.Columns) {
+		return fmt.Errorf("relstore: %s: got %d values, schema has %d columns",
+			t.Name, len(values), len(t.Columns))
+	}
+	id := len(t.rows)
+	t.rows = append(t.rows, append([]string(nil), values...))
+	for col, idx := range t.indexes {
+		idx[values[col]] = append(idx[values[col]], id)
+	}
+	return nil
+}
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// CreateIndex adds a hash index on the given column.
+func (t *Table) CreateIndex(col int) error {
+	if col < 0 || col >= len(t.Columns) {
+		return fmt.Errorf("relstore: %s: no column %d", t.Name, col)
+	}
+	if _, have := t.indexes[col]; have {
+		return nil
+	}
+	idx := make(map[string][]int)
+	for id, row := range t.rows {
+		idx[row[col]] = append(idx[row[col]], id)
+	}
+	t.indexes[col] = idx
+	return nil
+}
+
+// Lookup returns the rows whose column col equals val, using an index
+// when one exists and scanning otherwise.
+func (t *Table) Lookup(col int, val string) [][]string {
+	if idx, ok := t.indexes[col]; ok {
+		ids := idx[val]
+		out := make([][]string, len(ids))
+		for i, id := range ids {
+			out[i] = t.rows[id]
+		}
+		return out
+	}
+	var out [][]string
+	for _, row := range t.rows {
+		if row[col] == val {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// Scan calls fn for every row; fn returning false stops the scan.
+func (t *Table) Scan(fn func(row []string) bool) {
+	for _, row := range t.rows {
+		if !fn(row) {
+			return
+		}
+	}
+}
+
+// AddColumn performs the schema change the paper calls restructuring:
+// every existing row is rebuilt with the default value, and every
+// index is rebuilt.
+func (t *Table) AddColumn(name, defaultVal string) {
+	t.Columns = append(t.Columns, name)
+	for i := range t.rows {
+		t.rows[i] = append(t.rows[i], defaultVal)
+	}
+	for col := range t.indexes {
+		idx := make(map[string][]int)
+		for id, row := range t.rows {
+			idx[row[col]] = append(idx[row[col]], id)
+		}
+		t.indexes[col] = idx
+	}
+}
+
+// Hit is one occurrence of a value somewhere in the database.
+type Hit struct {
+	Table  string
+	Column string
+	Row    []string
+}
+
+// FindEverywhere locates every occurrence of val in any column of any
+// table — the only way a relational system can answer "something
+// interesting about JOHN" without prior knowledge of the schema (§1).
+// It is a full scan by construction; the benchmark E1 measures it
+// against the triple store's indexed neighborhood.
+func (db *DB) FindEverywhere(val string) []Hit {
+	var out []Hit
+	names := append([]string(nil), db.order...)
+	sort.Strings(names)
+	for _, name := range names {
+		t := db.tables[name]
+		for _, row := range t.rows {
+			for ci, cell := range row {
+				if cell == val {
+					out = append(out, Hit{Table: name, Column: t.Columns[ci], Row: row})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// FindKnowing locates val when the caller already knows the table and
+// column to look in — the schema-assisted path that is fast but
+// requires exactly the knowledge browsing users lack.
+func (db *DB) FindKnowing(table string, col int, val string) []Hit {
+	t := db.tables[table]
+	if t == nil {
+		return nil
+	}
+	rows := t.Lookup(col, val)
+	out := make([]Hit, len(rows))
+	for i, row := range rows {
+		out[i] = Hit{Table: table, Column: t.Columns[col], Row: row}
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package relstore
+
+import (
+	"testing"
+)
+
+func sample(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	emp, err := db.Create("EMPLOYEES", "NAME", "DEPT", "SALARY")
+	if err != nil {
+		t.Fatal(err)
+	}
+	emp.Insert("JOHN", "SHIPPING", "26000")
+	emp.Insert("TOM", "ACCOUNTING", "27000")
+	emp.Insert("MARY", "RECEIVING", "25000")
+	pets, _ := db.Create("PETS", "OWNER", "PET")
+	pets.Insert("JOHN", "FELIX")
+	music, _ := db.Create("FAVORITES", "PERSON", "PIECE")
+	music.Insert("JOHN", "PC#9-WAM")
+	return db
+}
+
+func TestCreateDuplicate(t *testing.T) {
+	db := New()
+	if _, err := db.Create("T", "A"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Create("T", "A"); err == nil {
+		t.Error("duplicate table accepted")
+	}
+	if _, err := db.Create("EMPTY"); err == nil {
+		t.Error("zero-column table accepted")
+	}
+}
+
+func TestInsertArity(t *testing.T) {
+	db := New()
+	tb, _ := db.Create("T", "A", "B")
+	if err := tb.Insert("only-one"); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if err := tb.Insert("a", "b"); err != nil {
+		t.Error(err)
+	}
+	if tb.Len() != 1 {
+		t.Errorf("Len = %d", tb.Len())
+	}
+}
+
+func TestKeyLookupUsesIndex(t *testing.T) {
+	db := sample(t)
+	rows := db.Table("EMPLOYEES").Lookup(0, "JOHN")
+	if len(rows) != 1 || rows[0][1] != "SHIPPING" {
+		t.Errorf("Lookup = %v", rows)
+	}
+}
+
+func TestSecondaryIndex(t *testing.T) {
+	db := sample(t)
+	emp := db.Table("EMPLOYEES")
+	if err := emp.CreateIndex(1); err != nil {
+		t.Fatal(err)
+	}
+	rows := emp.Lookup(1, "SHIPPING")
+	if len(rows) != 1 || rows[0][0] != "JOHN" {
+		t.Errorf("indexed dept lookup = %v", rows)
+	}
+	// Index stays fresh on later inserts.
+	emp.Insert("NEW", "SHIPPING", "20000")
+	if got := len(emp.Lookup(1, "SHIPPING")); got != 2 {
+		t.Errorf("after insert: %d rows", got)
+	}
+	if err := emp.CreateIndex(9); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}
+
+func TestUnindexedLookupScans(t *testing.T) {
+	db := sample(t)
+	rows := db.Table("EMPLOYEES").Lookup(2, "27000")
+	if len(rows) != 1 || rows[0][0] != "TOM" {
+		t.Errorf("scan lookup = %v", rows)
+	}
+}
+
+func TestFindEverywhere(t *testing.T) {
+	db := sample(t)
+	hits := db.FindEverywhere("JOHN")
+	if len(hits) != 3 {
+		t.Fatalf("JOHN hits = %d, want 3 (EMPLOYEES, PETS, FAVORITES)", len(hits))
+	}
+	tables := map[string]bool{}
+	for _, h := range hits {
+		tables[h.Table] = true
+	}
+	for _, want := range []string{"EMPLOYEES", "PETS", "FAVORITES"} {
+		if !tables[want] {
+			t.Errorf("missing hit in %s", want)
+		}
+	}
+}
+
+func TestFindKnowing(t *testing.T) {
+	db := sample(t)
+	hits := db.FindKnowing("EMPLOYEES", 0, "JOHN")
+	if len(hits) != 1 || hits[0].Row[2] != "26000" {
+		t.Errorf("FindKnowing = %v", hits)
+	}
+	if hits := db.FindKnowing("ABSENT", 0, "JOHN"); hits != nil {
+		t.Error("absent table returned hits")
+	}
+}
+
+func TestAddColumnRestructures(t *testing.T) {
+	db := sample(t)
+	emp := db.Table("EMPLOYEES")
+	emp.CreateIndex(1)
+	emp.AddColumn("OFFICE", "UNKNOWN")
+	if len(emp.Columns) != 4 {
+		t.Fatalf("columns = %v", emp.Columns)
+	}
+	rows := emp.Lookup(0, "JOHN")
+	if len(rows) != 1 || rows[0][3] != "UNKNOWN" {
+		t.Errorf("default not applied: %v", rows)
+	}
+	// Secondary index survives the rebuild.
+	if got := len(emp.Lookup(1, "SHIPPING")); got != 1 {
+		t.Errorf("index lost after AddColumn: %d", got)
+	}
+	if err := emp.Insert("NEW", "D", "1", "ROOM-5"); err != nil {
+		t.Errorf("new arity rejected: %v", err)
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	db := sample(t)
+	n := 0
+	db.Table("EMPLOYEES").Scan(func([]string) bool {
+		n++
+		return false
+	})
+	if n != 1 {
+		t.Errorf("scan did not stop: %d", n)
+	}
+}
+
+func TestTablesOrder(t *testing.T) {
+	db := sample(t)
+	names := db.Tables()
+	if len(names) != 3 || names[0] != "EMPLOYEES" {
+		t.Errorf("Tables = %v", names)
+	}
+}

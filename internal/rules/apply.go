@@ -1,0 +1,412 @@
+package rules
+
+import (
+	"sort"
+
+	"repro/internal/fact"
+	"repro/internal/store"
+	"repro/internal/sym"
+)
+
+// derivation is a fact together with the rule that produced it and
+// the premise facts the rule combined, used for provenance
+// (Engine.Explain, Engine.Derivation).
+type derivation struct {
+	f        fact.Fact
+	why      string
+	premises []fact.Fact
+}
+
+// computeClosure materializes the closure of the base store under the
+// active rules by semi-naive forward chaining: a worklist of newly
+// added facts is processed once each, joining every new fact against
+// the facts derived so far, until a fixpoint. Termination is
+// guaranteed because derived facts only combine entities already in
+// the universe. Called with e.mu held.
+func (e *Engine) computeClosure() (*store.Store, map[fact.Fact]Provenance) {
+	derived := e.base.Clone()
+	prov := make(map[fact.Fact]Provenance)
+	work := derived.Facts()
+
+	push := func(d derivation) {
+		if derived.Insert(d.f) {
+			sortPremises(d.premises)
+			prov[d.f] = Provenance{Rule: d.why, Premises: d.premises}
+			work = append(work, d.f)
+		}
+	}
+
+	for _, ax := range e.axiomFacts() {
+		push(ax)
+	}
+	for i := 0; i < len(work); i++ {
+		for _, d := range e.deriveFrom(work[i], derived) {
+			push(d)
+		}
+	}
+	return derived, prov
+}
+
+// sortPremises orders premise facts deterministically (the closure
+// worklist order depends on map iteration, so the same fact can be
+// derived with its premises discovered in either order).
+func sortPremises(ps []fact.Fact) {
+	sort.Slice(ps, func(i, j int) bool {
+		a, b := ps[i], ps[j]
+		if a.S != b.S {
+			return a.S < b.S
+		}
+		if a.R != b.R {
+			return a.R < b.R
+		}
+		return a.T < b.T
+	})
+}
+
+// axiomFacts returns the built-in facts the paper postulates:
+// ⇌ is its own inverse (§3.4), ⊥ is its own inverse so contradiction
+// facts come in symmetric pairs (§3.5), and the mathematical
+// comparators contradict each other pairwise (§3.5–3.6).
+func (e *Engine) axiomFacts() []derivation {
+	u := e.u
+	ax := []fact.Fact{
+		{S: u.Inv, R: u.Inv, T: u.Inv},
+		{S: u.Contra, R: u.Inv, T: u.Contra},
+		{S: u.Lt, R: u.Contra, T: u.Gt},
+		{S: u.Gt, R: u.Contra, T: u.Lt},
+		{S: u.Lt, R: u.Contra, T: u.Eq},
+		{S: u.Eq, R: u.Contra, T: u.Lt},
+		{S: u.Gt, R: u.Contra, T: u.Eq},
+		{S: u.Eq, R: u.Contra, T: u.Gt},
+		{S: u.Eq, R: u.Contra, T: u.Neq},
+		{S: u.Neq, R: u.Contra, T: u.Eq},
+		{S: u.Lt, R: u.Contra, T: u.Ge},
+		{S: u.Ge, R: u.Contra, T: u.Lt},
+		{S: u.Gt, R: u.Contra, T: u.Le},
+		{S: u.Le, R: u.Contra, T: u.Gt},
+	}
+	out := make([]derivation, len(ax))
+	for i, f := range ax {
+		out[i] = derivation{f: f, why: "axiom"}
+	}
+	return out
+}
+
+// deriveFrom computes every fact derivable in one step by joining the
+// newly added fact f against the facts in derived. It collects
+// results rather than inserting so that no store is mutated while
+// being iterated. Called with e.mu held.
+func (e *Engine) deriveFrom(f fact.Fact, derived *store.Store) []derivation {
+	u := e.u
+	var out []derivation
+	emit := func(g fact.Fact, why string, premises ...fact.Fact) {
+		if !derived.Has(g) {
+			out = append(out, derivation{f: g, why: why, premises: premises})
+		}
+	}
+
+	findiv := e.Individual(f.R)
+
+	// f as the data fact (s, r, t) of the §3.1/§3.2 rules.
+	if findiv {
+		if e.std[GenSource] {
+			// (s,r,t) ∧ (s',≺,s) ⇒ (s',r,t)
+			derived.Match(sym.None, u.Gen, f.S, func(g fact.Fact) bool {
+				emit(fact.Fact{S: g.S, R: f.R, T: f.T}, "gen-source", f, g)
+				return true
+			})
+		}
+		if e.std[GenRel] {
+			// (s,r,t) ∧ (r,≺,r') ⇒ (s,r',t)
+			derived.Match(f.R, u.Gen, sym.None, func(g fact.Fact) bool {
+				emit(fact.Fact{S: f.S, R: g.T, T: f.T}, "gen-rel", f, g)
+				return true
+			})
+		}
+		if e.std[GenTarget] {
+			// (s,r,t) ∧ (t,≺,t') ⇒ (s,r,t')
+			derived.Match(f.T, u.Gen, sym.None, func(g fact.Fact) bool {
+				emit(fact.Fact{S: f.S, R: f.R, T: g.T}, "gen-target", f, g)
+				return true
+			})
+		}
+		if e.std[MemberSource] {
+			// (s,r,t) ∧ (s',∈,s) ⇒ (s',r,t)
+			derived.Match(sym.None, u.Member, f.S, func(g fact.Fact) bool {
+				emit(fact.Fact{S: g.S, R: f.R, T: f.T}, "member-source", f, g)
+				return true
+			})
+		}
+		if e.std[MemberTarget] {
+			// (s,r,t) ∧ (t,∈,t') ⇒ (s,r,t')
+			derived.Match(f.T, u.Member, sym.None, func(g fact.Fact) bool {
+				emit(fact.Fact{S: f.S, R: f.R, T: g.T}, "member-target", f, g)
+				return true
+			})
+		}
+	}
+	if e.std[Inversion] {
+		// (s,r,t) ∧ (r,⇌,r') ⇒ (t,r',s), in both orientations of the
+		// stored inversion fact (they are symmetric by axiom, but the
+		// symmetric twin may not have been processed yet).
+		derived.Match(f.R, u.Inv, sym.None, func(g fact.Fact) bool {
+			emit(fact.Fact{S: f.T, R: g.T, T: f.S}, "inversion", f, g)
+			return true
+		})
+		derived.Match(sym.None, u.Inv, f.R, func(g fact.Fact) bool {
+			emit(fact.Fact{S: f.T, R: g.S, T: f.S}, "inversion", f, g)
+			return true
+		})
+	}
+
+	// f as a generalization fact (a, ≺, b).
+	if f.R == u.Gen && f.S != f.T {
+		if e.std[GenTransitive] {
+			derived.Match(f.T, u.Gen, sym.None, func(g fact.Fact) bool {
+				if g.T != f.S {
+					emit(fact.Fact{S: f.S, R: u.Gen, T: g.T}, "gen-transitive", f, g)
+				}
+				return true
+			})
+			derived.Match(sym.None, u.Gen, f.S, func(g fact.Fact) bool {
+				if g.S != f.T {
+					emit(fact.Fact{S: g.S, R: u.Gen, T: f.T}, "gen-transitive", f, g)
+				}
+				return true
+			})
+		}
+		if e.std[Synonym] {
+			// (s,≺,t) ∧ (t,≺,s) ⇒ (s,≈,t): a two-way generalization
+			// is a synonym (§3.3).
+			if derived.Has(fact.Fact{S: f.T, R: u.Gen, T: f.S}) {
+				twin := fact.Fact{S: f.T, R: u.Gen, T: f.S}
+				emit(fact.Fact{S: f.S, R: u.Syn, T: f.T}, "synonym", f, twin)
+				emit(fact.Fact{S: f.T, R: u.Syn, T: f.S}, "synonym", f, twin)
+			}
+		}
+		if e.std[MemberUp] {
+			// (m,∈,a) ∧ (a,≺,b) ⇒ (m,∈,b)
+			derived.Match(sym.None, u.Member, f.S, func(g fact.Fact) bool {
+				emit(fact.Fact{S: g.S, R: u.Member, T: f.T}, "member-up", f, g)
+				return true
+			})
+		}
+		if e.std[GenSource] {
+			// a inherits every individual fact about b.
+			derived.Match(f.T, sym.None, sym.None, func(g fact.Fact) bool {
+				if e.Individual(g.R) {
+					emit(fact.Fact{S: f.S, R: g.R, T: g.T}, "gen-source", f, g)
+				}
+				return true
+			})
+		}
+		if e.std[GenRel] {
+			// Facts using relationship a also hold under b.
+			derived.Match(sym.None, f.S, sym.None, func(g fact.Fact) bool {
+				if e.Individual(g.R) {
+					emit(fact.Fact{S: g.S, R: f.T, T: g.T}, "gen-rel", f, g)
+				}
+				return true
+			})
+		}
+		if e.std[GenTarget] {
+			// Facts targeting a also target b.
+			derived.Match(sym.None, sym.None, f.S, func(g fact.Fact) bool {
+				if e.Individual(g.R) {
+					emit(fact.Fact{S: g.S, R: g.R, T: f.T}, "gen-target", f, g)
+				}
+				return true
+			})
+		}
+	}
+
+	// f as a membership fact (m, ∈, c).
+	if f.R == u.Member {
+		if e.std[MemberUp] {
+			derived.Match(f.T, u.Gen, sym.None, func(g fact.Fact) bool {
+				if g.T != f.T {
+					emit(fact.Fact{S: f.S, R: u.Member, T: g.T}, "member-up", f, g)
+				}
+				return true
+			})
+		}
+		if e.std[MemberSource] {
+			// m inherits every individual fact about its class c.
+			derived.Match(f.T, sym.None, sym.None, func(g fact.Fact) bool {
+				if e.Individual(g.R) {
+					emit(fact.Fact{S: f.S, R: g.R, T: g.T}, "member-source", f, g)
+				}
+				return true
+			})
+		}
+		if e.std[MemberTarget] {
+			// Facts targeting the instance m also target its class c.
+			derived.Match(sym.None, sym.None, f.S, func(g fact.Fact) bool {
+				if e.Individual(g.R) {
+					emit(fact.Fact{S: g.S, R: g.R, T: f.T}, "member-target", f, g)
+				}
+				return true
+			})
+		}
+	}
+
+	// f as a synonym fact (a, ≈, b): defined as two-way generalization.
+	if f.R == u.Syn && e.std[Synonym] {
+		emit(fact.Fact{S: f.T, R: u.Syn, T: f.S}, "synonym", f)
+		emit(fact.Fact{S: f.S, R: u.Gen, T: f.T}, "synonym", f)
+		emit(fact.Fact{S: f.T, R: u.Gen, T: f.S}, "synonym", f)
+	}
+
+	// f as an inversion fact (q, ⇌, q').
+	if f.R == u.Inv && e.std[Inversion] {
+		emit(fact.Fact{S: f.T, R: u.Inv, T: f.S}, "inversion", f)
+		derived.Match(sym.None, f.S, sym.None, func(g fact.Fact) bool {
+			emit(fact.Fact{S: g.T, R: f.T, T: g.S}, "inversion", f, g)
+			return true
+		})
+	}
+
+	// User rules: f may instantiate any body atom of any rule.
+	for _, r := range e.userRules {
+		e.applyUserRule(r, f, derived, func(g fact.Fact, premises []fact.Fact) {
+			emit(g, r.Name, premises...)
+		})
+	}
+	return out
+}
+
+// applyUserRule finds every instantiation of rule r in which the new
+// fact f matches at least one body atom, joining the remaining atoms
+// against derived facts and virtual facts, and emits the instantiated
+// head facts.
+func (e *Engine) applyUserRule(r *Rule, f fact.Fact, derived *store.Store, emit func(fact.Fact, []fact.Fact)) {
+	for i := range r.Body {
+		b := make(binding)
+		if !unifyTemplate(r.Body[i], f, b) {
+			continue
+		}
+		rest := make([]fact.Template, 0, len(r.Body)-1)
+		rest = append(rest, r.Body[:i]...)
+		rest = append(rest, r.Body[i+1:]...)
+		e.joinAtoms(rest, b, derived, func(bb binding) {
+			premises := make([]fact.Fact, 0, len(r.Body))
+			for _, atom := range r.Body {
+				if p, ok := instantiate(atom, bb); ok {
+					premises = append(premises, p)
+				}
+			}
+			for _, h := range r.Head {
+				g, ok := instantiate(h, bb)
+				if ok {
+					emit(g, premises)
+				}
+			}
+		})
+	}
+}
+
+// binding maps rule/query variables to entities.
+type binding map[fact.Var]sym.ID
+
+func (b binding) clone() binding {
+	c := make(binding, len(b)+1)
+	for k, v := range b {
+		c[k] = v
+	}
+	return c
+}
+
+// unifyTemplate extends b so that template tp matches fact f,
+// mutating b. It reports false (leaving b partially extended) when
+// unification fails; callers pass a scratch binding.
+func unifyTemplate(tp fact.Template, f fact.Fact, b binding) bool {
+	return unifyTerm(tp.S, f.S, b) && unifyTerm(tp.R, f.R, b) && unifyTerm(tp.T, f.T, b)
+}
+
+func unifyTerm(t fact.Term, id sym.ID, b binding) bool {
+	if !t.IsVar() {
+		return t.Entity == id
+	}
+	if have, ok := b[t.Variable]; ok {
+		return have == id
+	}
+	b[t.Variable] = id
+	return true
+}
+
+// resolve returns the pattern IDs of tp under binding b: bound
+// variables and constants become concrete, unbound variables map to
+// sym.None (wildcard).
+func resolve(tp fact.Template, b binding) (s, r, t sym.ID) {
+	get := func(term fact.Term) sym.ID {
+		if !term.IsVar() {
+			return term.Entity
+		}
+		if id, ok := b[term.Variable]; ok {
+			return id
+		}
+		return sym.None
+	}
+	return get(tp.S), get(tp.R), get(tp.T)
+}
+
+// instantiate grounds head template h under b.
+func instantiate(h fact.Template, b binding) (fact.Fact, bool) {
+	get := func(term fact.Term) (sym.ID, bool) {
+		if !term.IsVar() {
+			return term.Entity, true
+		}
+		id, ok := b[term.Variable]
+		return id, ok
+	}
+	s, ok1 := get(h.S)
+	r, ok2 := get(h.R)
+	t, ok3 := get(h.T)
+	if !ok1 || !ok2 || !ok3 {
+		return fact.Fact{}, false
+	}
+	return fact.Fact{S: s, R: r, T: t}, true
+}
+
+// joinAtoms enumerates every extension of b satisfying all atoms
+// against derived ∪ virtual facts, choosing at each step the most
+// bound atom first (a greedy join order).
+func (e *Engine) joinAtoms(atoms []fact.Template, b binding, derived *store.Store, found func(binding)) {
+	if len(atoms) == 0 {
+		found(b)
+		return
+	}
+	// Pick the atom with the most bound positions under b.
+	best, bestScore := 0, -1
+	for i, a := range atoms {
+		s, r, t := resolve(a, b)
+		score := 0
+		if s != sym.None {
+			score++
+		}
+		if r != sym.None {
+			score += 2 // a bound relationship is usually most selective
+		}
+		if t != sym.None {
+			score++
+		}
+		if score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	atom := atoms[best]
+	rest := make([]fact.Template, 0, len(atoms)-1)
+	rest = append(rest, atoms[:best]...)
+	rest = append(rest, atoms[best+1:]...)
+
+	s, r, t := resolve(atom, b)
+	try := func(f fact.Fact) bool {
+		bb := b.clone()
+		if unifyTemplate(atom, f, bb) {
+			e.joinAtoms(rest, bb, derived, found)
+		}
+		return true
+	}
+	derived.Match(s, r, t, try)
+	e.vp.Match(s, r, t, derived, try)
+}

@@ -1,0 +1,127 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fact"
+)
+
+func TestDeriveStoredFact(t *testing.T) {
+	u, s, e := newEngine()
+	ins(u, s, [3]string{"A", "R", "B"})
+	d := e.Derive(u.NewFact("A", "R", "B"))
+	if d == nil || d.Rule != "stored" || len(d.Premises) != 0 {
+		t.Errorf("derivation = %+v", d)
+	}
+}
+
+func TestDeriveAbsentFact(t *testing.T) {
+	u, _, e := newEngine()
+	if d := e.Derive(u.NewFact("X", "Y", "Z")); d != nil {
+		t.Errorf("absent fact has derivation %+v", d)
+	}
+}
+
+func TestDeriveOneStep(t *testing.T) {
+	u, s, e := newEngine()
+	ins(u, s,
+		[3]string{"JOHN", "in", "EMPLOYEE"},
+		[3]string{"EMPLOYEE", "EARNS", "SALARY"})
+	d := e.Derive(u.NewFact("JOHN", "EARNS", "SALARY"))
+	if d == nil {
+		t.Fatal("no derivation")
+	}
+	if d.Rule != "member-source" {
+		t.Errorf("rule = %q", d.Rule)
+	}
+	if len(d.Premises) != 2 {
+		t.Fatalf("premises = %d", len(d.Premises))
+	}
+	for _, p := range d.Premises {
+		if p.Rule != "stored" {
+			t.Errorf("premise %s has rule %q", u.FormatFact(p.Fact), p.Rule)
+		}
+	}
+}
+
+func TestDeriveChainReachesStored(t *testing.T) {
+	u, s, e := newEngine()
+	ins(u, s,
+		[3]string{"A", "isa", "B"},
+		[3]string{"B", "isa", "C"},
+		[3]string{"C", "isa", "D"},
+		[3]string{"D", "HAS", "X"})
+	d := e.Derive(u.NewFact("A", "HAS", "X"))
+	if d == nil {
+		t.Fatal("no derivation")
+	}
+	leaves := 0
+	var walk func(*Derivation)
+	walk = func(n *Derivation) {
+		if len(n.Premises) == 0 {
+			leaves++
+			if n.Rule != "stored" && n.Rule != "axiom" {
+				t.Errorf("leaf %s: rule %q", u.FormatFact(n.Fact), n.Rule)
+			}
+			return
+		}
+		for _, p := range n.Premises {
+			walk(p)
+		}
+	}
+	walk(d)
+	if leaves < 2 {
+		t.Errorf("tree has %d leaves", leaves)
+	}
+}
+
+func TestDeriveUserRulePremises(t *testing.T) {
+	u, s, e := newEngine()
+	r, _ := ParseRule(u, "gp", Inference,
+		"(?x, PARENT, ?y) & (?y, PARENT, ?z) => (?x, GRANDPARENT, ?z)")
+	e.AddRule(r)
+	ins(u, s,
+		[3]string{"LEOPOLD", "PARENT", "MOZART"},
+		[3]string{"MOZART", "PARENT", "KARL"})
+	d := e.Derive(u.NewFact("LEOPOLD", "GRANDPARENT", "KARL"))
+	if d == nil {
+		t.Fatal("no derivation")
+	}
+	if d.Rule != "gp" || len(d.Premises) != 2 {
+		t.Errorf("derivation = rule %q with %d premises", d.Rule, len(d.Premises))
+	}
+	out := d.Format(u)
+	if !strings.Contains(out, "(LEOPOLD, PARENT, MOZART)") ||
+		!strings.Contains(out, "(MOZART, PARENT, KARL)") {
+		t.Errorf("format:\n%s", out)
+	}
+}
+
+func TestDeriveAxiom(t *testing.T) {
+	u, _, e := newEngine()
+	d := e.Derive(fact3(u, "⇌", "⇌", "⇌"))
+	if d == nil || d.Rule != "axiom" {
+		t.Errorf("axiom derivation = %+v", d)
+	}
+}
+
+func TestDeriveSynonymCycleTerminates(t *testing.T) {
+	u, s, e := newEngine()
+	ins(u, s,
+		[3]string{"A", "syn", "B"},
+		[3]string{"B", "syn", "C"},
+		[3]string{"C", "syn", "A"})
+	// Every derived syn/gen fact must have a finite proof tree.
+	for _, f := range e.Closure().Facts() {
+		d := e.Derive(f)
+		if d == nil {
+			t.Errorf("closure fact %s has no derivation", u.FormatFact(f))
+		}
+	}
+}
+
+// fact3 builds a fact from three names (helper for special symbols).
+func fact3(u *fact.Universe, s, r, t string) fact.Fact {
+	return fact.Fact{S: u.Entity(s), R: u.Entity(r), T: u.Entity(t)}
+}

@@ -1,0 +1,454 @@
+package rules
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/fact"
+	"repro/internal/store"
+	"repro/internal/sym"
+	"repro/internal/virtual"
+)
+
+// Engine evaluates the database closure: the set of facts obtainable
+// by repeated application of the active rules to the stored facts
+// (§2.6), together with the virtual facts of §2.3/§3.6.
+//
+// The closure is materialized lazily by semi-naive forward chaining
+// and cached; a batch of pure insertions is folded in incrementally
+// (the rules are monotonic), while deletions and rule toggling force
+// a recomputation.
+//
+// Concurrency: any number of goroutines may query concurrently, but
+// mutations of the base store must be serialized with queries by the
+// caller — the incremental update extends the cached closure store in
+// place.
+type Engine struct {
+	base *store.Store
+	vp   *virtual.Provider
+	u    *fact.Universe
+
+	mu         sync.Mutex
+	std        [numStdRules]bool
+	userRules  []*Rule
+	cfgVersion uint64
+
+	closure   *store.Store
+	prov      map[fact.Fact]Provenance // how each derived fact was first obtained
+	closedAt  uint64                   // base.Version() when closure was computed
+	closedCfg uint64                   // cfgVersion when closure was computed
+}
+
+// New returns an engine over base with all standard rules enabled.
+func New(base *store.Store, vp *virtual.Provider) *Engine {
+	e := &Engine{base: base, vp: vp, u: base.Universe()}
+	for i := range e.std {
+		e.std[i] = true
+	}
+	return e
+}
+
+// Base returns the underlying store of explicit facts.
+func (e *Engine) Base() *store.Store { return e.base }
+
+// Virtual returns the virtual-fact provider.
+func (e *Engine) Virtual() *virtual.Provider { return e.vp }
+
+// Universe returns the entity universe.
+func (e *Engine) Universe() *fact.Universe { return e.u }
+
+// Include enables a standard rule (§6.1 include operator).
+func (e *Engine) Include(r StdRule) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.std[r] {
+		e.std[r] = true
+		e.cfgVersion++
+	}
+}
+
+// Exclude disables a standard rule (§6.1 exclude operator).
+func (e *Engine) Exclude(r StdRule) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.std[r] {
+		e.std[r] = false
+		e.cfgVersion++
+	}
+}
+
+// Included reports whether a standard rule is active.
+func (e *Engine) Included(r StdRule) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.std[r]
+}
+
+// AddRule registers a user rule (inference or constraint). Rule names
+// are unique; adding a rule with an existing name replaces it.
+func (e *Engine) AddRule(r Rule) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, have := range e.userRules {
+		if have.Name == r.Name {
+			e.userRules[i] = &r
+			e.cfgVersion++
+			return nil
+		}
+	}
+	e.userRules = append(e.userRules, &r)
+	e.cfgVersion++
+	return nil
+}
+
+// RemoveRule unregisters the named user rule, reporting whether it existed.
+func (e *Engine) RemoveRule(name string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, have := range e.userRules {
+		if have.Name == name {
+			e.userRules = append(e.userRules[:i], e.userRules[i+1:]...)
+			e.cfgVersion++
+			return true
+		}
+	}
+	return false
+}
+
+// Rules returns the registered user rules sorted by name.
+func (e *Engine) Rules() []Rule {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Rule, 0, len(e.userRules))
+	for _, r := range e.userRules {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Individual reports whether rel belongs to R_i, the individual
+// relationships to which the generalization and membership rules
+// apply (§2.2). A relationship is individual unless it is one of the
+// built-in structural relationships or is declared a class
+// relationship by a stored fact (rel, ∈, @class).
+func (e *Engine) Individual(rel sym.ID) bool {
+	if e.u.Special(rel) {
+		return false
+	}
+	return !e.base.Has(fact.Fact{S: rel, R: e.u.Member, T: e.u.RelClassOfClass})
+}
+
+// Closure returns the materialized closure store: all stored facts
+// plus every fact derivable by the active rules. The result must be
+// treated as read-only; it is cached until the base store or rule
+// configuration changes.
+func (e *Engine) Closure() *store.Store {
+	c, _ := e.closureWithProv()
+	return c
+}
+
+func (e *Engine) closureWithProv() (*store.Store, map[fact.Fact]Provenance) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	bv := e.base.Version()
+	if e.closure != nil && e.closedAt == bv && e.closedCfg == e.cfgVersion {
+		return e.closure, e.prov
+	}
+	// Incremental maintenance: the rules are monotonic, so a batch of
+	// pure insertions extends the cached closure by a semi-naive pass
+	// seeded with just the new facts. Deletions (non-monotonic) and a
+	// stale history force a full recomputation.
+	if e.closure != nil && e.closedCfg == e.cfgVersion && bv > e.closedAt {
+		if chs, ok := e.base.ChangesSince(e.closedAt); ok && insertsOnly(chs) {
+			e.applyIncremental(chs)
+			e.closedAt = bv
+			return e.closure, e.prov
+		}
+	}
+	e.closure, e.prov = e.computeClosure()
+	e.closedAt = bv
+	e.closedCfg = e.cfgVersion
+	return e.closure, e.prov
+}
+
+func insertsOnly(chs []store.Change) bool {
+	for _, c := range chs {
+		if c.Deleted {
+			return false
+		}
+	}
+	return true
+}
+
+// applyIncremental extends the cached closure with the consequences
+// of newly inserted base facts. Called with e.mu held. The closure
+// store is extended in place; it is safe for concurrent readers (the
+// store is internally locked) but snapshots taken before the update
+// will observe the new facts.
+func (e *Engine) applyIncremental(chs []store.Change) {
+	derived := e.closure
+	var work []fact.Fact
+	push := func(d derivation) {
+		if derived.Insert(d.f) {
+			sortPremises(d.premises)
+			e.prov[d.f] = Provenance{Rule: d.why, Premises: d.premises}
+			work = append(work, d.f)
+		}
+	}
+	for _, c := range chs {
+		if derived.Insert(c.Fact) {
+			work = append(work, c.Fact)
+		} else {
+			// The fact was already derived; it is now also stored, so
+			// its provenance becomes "stored" (base.Has wins in
+			// Explain), but its consequences are already present.
+		}
+	}
+	for i := 0; i < len(work); i++ {
+		for _, d := range e.deriveFrom(work[i], derived) {
+			push(d)
+		}
+	}
+}
+
+// Invalidate drops the cached closure. Mutations of the base store
+// are detected automatically; Invalidate is only needed after
+// out-of-band changes (e.g. a swapped virtual provider).
+func (e *Engine) Invalidate() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.closure = nil
+	e.prov = nil
+}
+
+// Provenance records how a derived fact was first obtained: the rule
+// (a standard rule name, a user rule name, or "axiom") and the
+// premise facts the rule combined. Premises may themselves be
+// derived; Derive follows them back to stored facts.
+type Provenance struct {
+	Rule     string
+	Premises []fact.Fact
+}
+
+// provOf reads a provenance record under the engine lock (the map is
+// extended by incremental closure updates).
+func (e *Engine) provOf(f fact.Fact) (Provenance, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	p, ok := e.prov[f]
+	return p, ok
+}
+
+// Explain returns how fact f entered the closure: "stored", the name
+// of the rule that first derived it, or "" if f is not in the
+// (materialized part of the) closure.
+func (e *Engine) Explain(f fact.Fact) string {
+	c, _ := e.closureWithProv()
+	if e.base.Has(f) {
+		return "stored"
+	}
+	if c.Has(f) {
+		if why, ok := e.provOf(f); ok {
+			return why.Rule
+		}
+		return "derived"
+	}
+	return ""
+}
+
+// Derivation is a proof tree for a closure fact: the fact, how it was
+// obtained, and — for derived facts — the derivations of its premises.
+type Derivation struct {
+	Fact     fact.Fact
+	Rule     string // "stored", "axiom", or the deriving rule's name
+	Premises []*Derivation
+}
+
+// Derive returns the proof tree of f, or nil if f is not in the
+// materialized closure. The tree is cycle-free: each fact's first
+// recorded derivation is used, and recursion stops at stored facts
+// and axioms.
+func (e *Engine) Derive(f fact.Fact) *Derivation {
+	c, _ := e.closureWithProv()
+	if !c.Has(f) {
+		return nil
+	}
+	seen := make(map[fact.Fact]bool)
+	var build func(fact.Fact) *Derivation
+	build = func(g fact.Fact) *Derivation {
+		if e.base.Has(g) {
+			return &Derivation{Fact: g, Rule: "stored"}
+		}
+		p, ok := e.provOf(g)
+		if !ok {
+			return &Derivation{Fact: g, Rule: "derived"}
+		}
+		d := &Derivation{Fact: g, Rule: p.Rule}
+		if seen[g] {
+			return d // cut potential sharing cycles short
+		}
+		seen[g] = true
+		for _, prem := range p.Premises {
+			d.Premises = append(d.Premises, build(prem))
+		}
+		return d
+	}
+	return build(f)
+}
+
+// Format renders the proof tree indented, one fact per line.
+func (d *Derivation) Format(u *fact.Universe) string {
+	var b strings.Builder
+	var walk func(*Derivation, int)
+	walk = func(n *Derivation, depth int) {
+		for i := 0; i < depth; i++ {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%s  [%s]\n", u.FormatFact(n.Fact), n.Rule)
+		for _, p := range n.Premises {
+			walk(p, depth+1)
+		}
+	}
+	walk(d, 0)
+	return b.String()
+}
+
+// Has reports whether f is in the database closure, including virtual
+// facts and the Δ/∇ conventions (a Δ or ∇ endpoint matches any
+// entity, see Match).
+func (e *Engine) Has(f fact.Fact) bool {
+	found := false
+	e.Match(f.S, f.R, f.T, func(fact.Fact) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// Match calls fn for every fact of the database closure matching the
+// pattern, where sym.None positions are wildcards. Virtual facts are
+// included. The special entities Δ and ∇ act as wildcards in any
+// pattern position (every entity satisfies (E,≺,Δ) and (∇,≺,E), so a
+// query position that has been generalized to Δ constrains nothing —
+// this is exactly how §5.2's retraction uses Δ); matched facts retain
+// Δ/∇ in that position so bindings stay faithful to the query.
+// Iteration stops when fn returns false; Match reports completion.
+func (e *Engine) Match(src, rel, tgt sym.ID, fn func(fact.Fact) bool) bool {
+	u := e.u
+	// Δ/∇ positions match anything; rewrite results back.
+	wildS := src == u.Top || src == u.Bottom
+	wildR := rel == u.Top || rel == u.Bottom
+	wildT := tgt == u.Top || tgt == u.Bottom
+	if wildS || wildR || wildT {
+		qs, qr, qt := src, rel, tgt
+		if wildS {
+			qs = sym.None
+		}
+		if wildR {
+			qr = sym.None
+		}
+		if wildT {
+			qt = sym.None
+		}
+		seen := make(map[fact.Fact]struct{})
+		return e.matchConcrete(qs, qr, qt, func(f fact.Fact) bool {
+			// A Δ/∇ position stands for a chain of generalization
+			// inferences (§3.1), which only apply to individual
+			// relationships (plus the ∈/≺ structure itself) — a
+			// virtual ≠ or comparator fact is no witness for it.
+			if !e.wildcardRel(f.R) {
+				return true
+			}
+			if wildS {
+				f.S = src
+			}
+			if wildR {
+				f.R = rel
+			}
+			if wildT {
+				f.T = tgt
+			}
+			if _, dup := seen[f]; dup {
+				return true
+			}
+			seen[f] = struct{}{}
+			return fn(f)
+		})
+	}
+	return e.matchConcrete(src, rel, tgt, fn)
+}
+
+// wildcardRel reports whether a fact with relationship rel can
+// witness a Δ/∇-wildcard pattern position.
+func (e *Engine) wildcardRel(rel sym.ID) bool {
+	return e.Individual(rel) || rel == e.u.Gen || rel == e.u.Member
+}
+
+// matchConcrete matches against materialized closure plus virtual
+// facts, deduplicating only when both sources can emit the same fact.
+func (e *Engine) matchConcrete(src, rel, tgt sym.ID, fn func(fact.Fact) bool) bool {
+	c := e.Closure()
+	u := e.u
+	overlap := rel == sym.None || rel == u.Gen || rel == u.Eq || rel == u.Neq ||
+		rel == u.Lt || rel == u.Gt || rel == u.Le || rel == u.Ge
+	if !overlap {
+		return c.Match(src, rel, tgt, fn)
+	}
+	seen := make(map[fact.Fact]struct{})
+	done := c.Match(src, rel, tgt, func(f fact.Fact) bool {
+		seen[f] = struct{}{}
+		return fn(f)
+	})
+	if !done {
+		return false
+	}
+	return e.vp.Match(src, rel, tgt, c, func(f fact.Fact) bool {
+		if _, dup := seen[f]; dup {
+			return true
+		}
+		return fn(f)
+	})
+}
+
+// MatchAll collects matching closure facts into a slice.
+func (e *Engine) MatchAll(src, rel, tgt sym.ID) []fact.Fact {
+	var out []fact.Fact
+	e.Match(src, rel, tgt, func(f fact.Fact) bool {
+		out = append(out, f)
+		return true
+	})
+	return out
+}
+
+// ClosureSize returns the number of materialized closure facts
+// (stored + derived, excluding virtual families).
+func (e *Engine) ClosureSize() int { return e.Closure().Len() }
+
+// EstimateCount estimates the number of closure facts matching the
+// pattern in O(1) from the closure store's index bucket sizes.
+// Virtual families are not included; patterns over purely virtual
+// relationships estimate to 0 and should be scheduled late by
+// planners (they are usually guards over bound values anyway).
+func (e *Engine) EstimateCount(src, rel, tgt sym.ID) int {
+	return e.Closure().EstimateCount(src, rel, tgt)
+}
+
+// String summarizes the engine configuration.
+func (e *Engine) String() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	on := 0
+	for _, b := range e.std {
+		if b {
+			on++
+		}
+	}
+	return fmt.Sprintf("rules.Engine{std %d/%d, user %d, base %d facts}",
+		on, int(numStdRules), len(e.userRules), e.base.Len())
+}

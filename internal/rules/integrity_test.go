@@ -1,0 +1,202 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestContradictionDetected(t *testing.T) {
+	u, s, e := newEngine()
+	ins(u, s,
+		[3]string{"LOVES", "contra", "HATES"},
+		[3]string{"JOHN", "LOVES", "MARY"},
+		[3]string{"JOHN", "HATES", "MARY"})
+	vs := e.Check()
+	if len(vs) != 1 {
+		t.Fatalf("Check = %d violations, want 1: %v", len(vs), vs)
+	}
+	msg := vs[0].Format(u)
+	if !strings.Contains(msg, "LOVES") || !strings.Contains(msg, "HATES") {
+		t.Errorf("violation message %q", msg)
+	}
+	if e.Consistent() {
+		t.Error("Consistent() = true with a violation present")
+	}
+}
+
+func TestContradictionSymmetric(t *testing.T) {
+	// ⊥ is its own inverse (§3.5), so declaring (LOVES,⊥,HATES) also
+	// catches (x,HATES,y) ∧ (x,LOVES,y) — and each conflict is
+	// reported once, not twice.
+	u, s, e := newEngine()
+	ins(u, s,
+		[3]string{"LOVES", "contra", "HATES"},
+		[3]string{"A", "HATES", "B"},
+		[3]string{"A", "LOVES", "B"})
+	if got := len(e.Check()); got != 1 {
+		t.Errorf("Check = %d violations, want 1", got)
+	}
+}
+
+func TestNoFalsePositives(t *testing.T) {
+	u, s, e := newEngine()
+	ins(u, s,
+		[3]string{"LOVES", "contra", "HATES"},
+		[3]string{"JOHN", "LOVES", "MARY"},
+		[3]string{"JOHN", "HATES", "FELIX"}) // different target
+	if vs := e.Check(); len(vs) != 0 {
+		t.Errorf("spurious violations: %v", vs)
+	}
+}
+
+func TestMathContradictionViaConstraint(t *testing.T) {
+	// §2.5's age example: (x,∈,AGE) ⇒ (x,>,0). A negative age then
+	// contradicts the virtual fact (-5,<,0) via the built-in (<,⊥,>).
+	u, s, e := newEngine()
+	r, err := ParseRule(u, "positive-age", Constraint, "(?x, in, AGE) => (?x, >, 0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.AddRule(r)
+	ins(u, s, [3]string{"25", "in", "AGE"})
+	if vs := e.Check(); len(vs) != 0 {
+		t.Fatalf("valid age flagged: %v", vs)
+	}
+	ins(u, s, [3]string{"-5", "in", "AGE"})
+	vs := e.Check()
+	if len(vs) == 0 {
+		t.Fatal("negative age not flagged")
+	}
+	found := false
+	for _, v := range vs {
+		if v.WhyA == "positive-age" || v.WhyB == "positive-age" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("violation not attributed to the constraint: %v", vs)
+	}
+}
+
+func TestSalaryConstraint(t *testing.T) {
+	// §2.5's manager-salary constraint, adapted: an employee's salary
+	// must not exceed the manager's.
+	u, s, e := newEngine()
+	r, err := ParseRule(u, "manager-earns-more", Constraint,
+		"(?x, MANAGER, ?y) & (?x, EARNS, ?u) & (?y, EARNS, ?v) => (?v, >, ?u)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.AddRule(r)
+	ins(u, s,
+		[3]string{"JOHN", "MANAGER", "PETER"}, // Peter manages John? (x MANAGER y: y is x's manager)
+		[3]string{"JOHN", "EARNS", "30000"},
+		[3]string{"PETER", "EARNS", "50000"})
+	if vs := e.Check(); len(vs) != 0 {
+		t.Fatalf("valid salaries flagged: %v", vs)
+	}
+	// Now give John more than his manager.
+	s.Delete(u.NewFact("JOHN", "EARNS", "30000"))
+	ins(u, s, [3]string{"JOHN", "EARNS", "60000"})
+	if vs := e.Check(); len(vs) == 0 {
+		t.Error("salary inversion not flagged")
+	}
+}
+
+func TestSelfContradictoryRelationship(t *testing.T) {
+	u, s, e := newEngine()
+	ins(u, s,
+		[3]string{"IMPOSSIBLE", "contra", "IMPOSSIBLE"},
+		[3]string{"A", "IMPOSSIBLE", "B"})
+	if vs := e.Check(); len(vs) != 1 {
+		t.Errorf("self-contradictory relationship: %d violations, want 1", len(vs))
+	}
+}
+
+func TestWouldViolate(t *testing.T) {
+	u, s, e := newEngine()
+	ins(u, s,
+		[3]string{"LOVES", "contra", "HATES"},
+		[3]string{"JOHN", "LOVES", "MARY"})
+	f := u.NewFact("JOHN", "HATES", "MARY")
+	vs := e.WouldViolate(f)
+	if len(vs) != 1 {
+		t.Fatalf("WouldViolate = %d, want 1", len(vs))
+	}
+	if s.Has(f) {
+		t.Error("WouldViolate left the fact inserted")
+	}
+	ok := u.NewFact("JOHN", "LOVES", "FELIX")
+	if vs := e.WouldViolate(ok); len(vs) != 0 {
+		t.Errorf("harmless fact flagged: %v", vs)
+	}
+}
+
+func TestWouldViolateExistingFact(t *testing.T) {
+	u, s, e := newEngine()
+	ins(u, s, [3]string{"A", "R", "B"})
+	if vs := e.WouldViolate(u.NewFact("A", "R", "B")); vs != nil {
+		t.Errorf("existing fact reported violations: %v", vs)
+	}
+}
+
+func TestWouldViolateIgnoresPreexisting(t *testing.T) {
+	u, s, e := newEngine()
+	ins(u, s,
+		[3]string{"LOVES", "contra", "HATES"},
+		[3]string{"A", "LOVES", "B"},
+		[3]string{"A", "HATES", "B"}) // pre-existing violation
+	vs := e.WouldViolate(u.NewFact("C", "LIKES", "D"))
+	if len(vs) != 0 {
+		t.Errorf("pre-existing violation re-reported: %v", vs)
+	}
+}
+
+func TestContradictionThroughInference(t *testing.T) {
+	// A derived fact can contradict a stored one: JOHN inherits
+	// (EMPLOYEE, LOVES, WORK) but JOHN hates work.
+	u, s, e := newEngine()
+	ins(u, s,
+		[3]string{"LOVES", "contra", "HATES"},
+		[3]string{"JOHN", "in", "EMPLOYEE"},
+		[3]string{"EMPLOYEE", "LOVES", "WORK"},
+		[3]string{"JOHN", "HATES", "WORK"})
+	vs := e.Check()
+	if len(vs) == 0 {
+		t.Fatal("derived contradiction not detected")
+	}
+	found := false
+	for _, v := range vs {
+		if v.WhyA == "member-source" || v.WhyB == "member-source" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("provenance missing member-source: %v", vs)
+	}
+}
+
+func TestBuiltinMathContradictions(t *testing.T) {
+	// Storing (5, <, 3) contradicts the virtual (5, >, 3).
+	u, s, e := newEngine()
+	ins(u, s, [3]string{"5", "<", "3"})
+	if vs := e.Check(); len(vs) == 0 {
+		t.Error("stored false comparator not flagged against virtual math")
+	}
+}
+
+func TestValidDatabaseIsConsistent(t *testing.T) {
+	u, s, e := newEngine()
+	ins(u, s,
+		[3]string{"JOHN", "in", "EMPLOYEE"},
+		[3]string{"EMPLOYEE", "isa", "PERSON"},
+		[3]string{"EMPLOYEE", "EARNS", "SALARY"},
+		[3]string{"MARY", "MAJOR", "MATH"},
+		[3]string{"MARY", "ASSISTANT", "MATH"}, // same pair, two rels: allowed (§2.6)
+		[3]string{"JOHN", "EARNS", "$25000"},
+		[3]string{"JOHN", "EARNS", "$40000"}, // replication allowed (§2.6)
+		[3]string{"3", "<", "5"})             // true math fact stored: consistent
+	if vs := e.Check(); len(vs) != 0 {
+		t.Errorf("valid database flagged: %v", vs)
+	}
+}

@@ -1,0 +1,353 @@
+package rules
+
+import (
+	"repro/internal/fact"
+	"repro/internal/store"
+	"repro/internal/sym"
+)
+
+// On-demand matching answers a template query without materializing
+// the closure: rules are applied backwards from the query pattern,
+// with memoization, down to the stored and virtual facts. The result
+// is exact with respect to a bounded derivation depth — every fact
+// derivable from the stored facts by at most `depth` rule
+// applications is found. With depth at least the derivation diameter
+// of the database the result equals the full closure (property tests
+// assert this agreement on generated databases).
+//
+// This is the second retrieval strategy of DESIGN.md experiment E7:
+// it trades repeated work per query for not paying closure
+// materialization and storage up front, which is the right trade for
+// sparse browsing over a large, rarely-queried heap of facts.
+
+// bkey memoizes one bounded sub-query.
+type bkey struct {
+	s, r, t sym.ID
+	d       int
+}
+
+// bounded is the per-call evaluation context.
+type bounded struct {
+	e    *Engine
+	base *store.Store
+	memo map[bkey][]fact.Fact
+	open map[bkey]bool // cycle guard for in-progress keys
+}
+
+// MatchBounded calls fn for every fact matching the pattern that is
+// derivable with at most depth rule applications. sym.None positions
+// are wildcards; Δ and ∇ act as wildcards as in Match. Iteration
+// stops when fn returns false; MatchBounded reports completion.
+func (e *Engine) MatchBounded(src, rel, tgt sym.ID, depth int, fn func(fact.Fact) bool) bool {
+	u := e.u
+	wildS := src == u.Top || src == u.Bottom
+	wildR := rel == u.Top || rel == u.Bottom
+	wildT := tgt == u.Top || tgt == u.Bottom
+	qs, qr, qt := src, rel, tgt
+	if wildS {
+		qs = sym.None
+	}
+	if wildR {
+		qr = sym.None
+	}
+	if wildT {
+		qt = sym.None
+	}
+
+	e.mu.Lock()
+	b := &bounded{
+		e:    e,
+		base: e.base,
+		memo: make(map[bkey][]fact.Fact),
+		open: make(map[bkey]bool),
+	}
+	results := b.enum(qs, qr, qt, depth)
+	e.mu.Unlock()
+
+	anyWild := wildS || wildR || wildT
+	seen := make(map[fact.Fact]struct{}, len(results))
+	for _, f := range results {
+		if anyWild && !e.wildcardRel(f.R) {
+			continue
+		}
+		if wildS {
+			f.S = src
+		}
+		if wildR {
+			f.R = rel
+		}
+		if wildT {
+			f.T = tgt
+		}
+		if _, dup := seen[f]; dup {
+			continue
+		}
+		seen[f] = struct{}{}
+		if !fn(f) {
+			return false
+		}
+	}
+	return true
+}
+
+// HasBounded reports whether f is derivable within depth rule applications.
+func (e *Engine) HasBounded(f fact.Fact, depth int) bool {
+	found := false
+	e.MatchBounded(f.S, f.R, f.T, depth, func(fact.Fact) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+func match3(f fact.Fact, s, r, t sym.ID) bool {
+	return (s == sym.None || f.S == s) &&
+		(r == sym.None || f.R == r) &&
+		(t == sym.None || f.T == t)
+}
+
+// enum returns all facts matching (s,r,t) derivable within d steps.
+func (b *bounded) enum(s, r, t sym.ID, d int) []fact.Fact {
+	key := bkey{s, r, t, d}
+	if res, ok := b.memo[key]; ok {
+		return res
+	}
+	if b.open[key] {
+		return nil
+	}
+	b.open[key] = true
+	defer func() { b.open[key] = false }()
+
+	set := make(map[fact.Fact]struct{})
+	add := func(f fact.Fact) {
+		if match3(f, s, r, t) {
+			set[f] = struct{}{}
+		}
+	}
+
+	b.base.Match(s, r, t, func(f fact.Fact) bool { add(f); return true })
+	b.e.vp.Match(s, r, t, b.base, func(f fact.Fact) bool { add(f); return true })
+	for _, ax := range b.e.axiomFacts() {
+		add(ax.f)
+	}
+
+	if d > 0 {
+		b.backward(s, r, t, d, add)
+	}
+
+	out := make([]fact.Fact, 0, len(set))
+	for f := range set {
+		out = append(out, f)
+	}
+	b.memo[key] = out
+	return out
+}
+
+// backward applies each enabled rule in reverse: it enumerates
+// derivations whose final step produces a fact matching (s,r,t),
+// recursing at depth d-1 for the premises.
+func (b *bounded) backward(s, r, t sym.ID, d int, add func(fact.Fact)) {
+	e := b.e
+	u := e.u
+
+	// GenSource: (s0,r0,t0) ∧ (s,≺,s0) ⇒ (s,r0,t0).
+	if e.std[GenSource] {
+		for _, g := range b.enum(s, u.Gen, sym.None, d-1) {
+			if g.S == g.T || g.T == u.Top || g.S == u.Bottom {
+				continue
+			}
+			for _, f := range b.enum(g.T, r, t, d-1) {
+				if e.Individual(f.R) {
+					add(fact.Fact{S: g.S, R: f.R, T: f.T})
+				}
+			}
+		}
+	}
+	// MemberSource: (s0,r0,t0) ∧ (s,∈,s0) ⇒ (s,r0,t0).
+	if e.std[MemberSource] {
+		for _, g := range b.enum(s, u.Member, sym.None, d-1) {
+			for _, f := range b.enum(g.T, r, t, d-1) {
+				if e.Individual(f.R) {
+					add(fact.Fact{S: g.S, R: f.R, T: f.T})
+				}
+			}
+		}
+	}
+	// GenTarget: (s0,r0,t0) ∧ (t0,≺,t) ⇒ (s0,r0,t).
+	if e.std[GenTarget] {
+		for _, g := range b.enum(sym.None, u.Gen, t, d-1) {
+			if g.S == g.T || g.S == u.Bottom || g.T == u.Top {
+				continue
+			}
+			for _, f := range b.enum(s, r, g.S, d-1) {
+				if e.Individual(f.R) {
+					add(fact.Fact{S: f.S, R: f.R, T: g.T})
+				}
+			}
+		}
+	}
+	// MemberTarget: (s0,r0,t0) ∧ (t0,∈,t) ⇒ (s0,r0,t).
+	if e.std[MemberTarget] {
+		for _, g := range b.enum(sym.None, u.Member, t, d-1) {
+			for _, f := range b.enum(s, r, g.S, d-1) {
+				if e.Individual(f.R) {
+					add(fact.Fact{S: f.S, R: f.R, T: g.T})
+				}
+			}
+		}
+	}
+	// GenRel: (s0,r0,t0) ∧ (r0,≺,r) ⇒ (s0,r,t0).
+	if e.std[GenRel] {
+		for _, g := range b.enum(sym.None, u.Gen, r, d-1) {
+			if g.S == g.T || g.T == u.Top || g.S == u.Bottom {
+				continue
+			}
+			for _, f := range b.enum(s, g.S, t, d-1) {
+				if f.R == g.S && e.Individual(f.R) {
+					add(fact.Fact{S: f.S, R: g.T, T: f.T})
+				}
+			}
+		}
+	}
+	// Inversion: (s0,r0,t0) ∧ (r0,⇌,r) ⇒ (t0,r,s0).
+	if e.std[Inversion] {
+		for _, g := range b.enum(sym.None, u.Inv, r, d-1) {
+			for _, f := range b.enum(t, g.S, s, d-1) {
+				if f.R == g.S {
+					add(fact.Fact{S: f.T, R: g.T, T: f.S})
+				}
+			}
+		}
+	}
+
+	relIs := func(id sym.ID) bool { return r == sym.None || r == id }
+
+	// GenTransitive: (s,≺,x) ∧ (x,≺,t) ⇒ (s,≺,t).
+	if e.std[GenTransitive] && relIs(u.Gen) {
+		for _, g := range b.enum(s, u.Gen, sym.None, d-1) {
+			if g.S == g.T || g.T == u.Top || g.S == u.Bottom {
+				continue
+			}
+			for _, h := range b.enum(g.T, u.Gen, t, d-1) {
+				if h.S != h.T && g.S != h.T && h.T != u.Top {
+					add(fact.Fact{S: g.S, R: u.Gen, T: h.T})
+				}
+			}
+		}
+	}
+	// MemberUp: (s,∈,x) ∧ (x,≺,t) ⇒ (s,∈,t).
+	if e.std[MemberUp] && relIs(u.Member) {
+		for _, g := range b.enum(s, u.Member, sym.None, d-1) {
+			for _, h := range b.enum(g.T, u.Gen, t, d-1) {
+				if h.S != h.T && h.T != u.Top && h.S != u.Bottom {
+					add(fact.Fact{S: g.S, R: u.Member, T: h.T})
+				}
+			}
+		}
+	}
+	// Synonym definition: (s,≈,t) ⇒ (s,≺,t) and (t,≺,s).
+	if e.std[Synonym] {
+		if relIs(u.Gen) {
+			for _, g := range b.enum(s, u.Syn, t, d-1) {
+				add(fact.Fact{S: g.S, R: u.Gen, T: g.T})
+			}
+			for _, g := range b.enum(t, u.Syn, s, d-1) {
+				add(fact.Fact{S: g.T, R: u.Gen, T: g.S})
+			}
+		}
+		if relIs(u.Syn) {
+			// Symmetry: (t,≈,s) ⇒ (s,≈,t).
+			for _, g := range b.enum(t, u.Syn, s, d-1) {
+				add(fact.Fact{S: g.T, R: u.Syn, T: g.S})
+			}
+			// Two-way generalization is a synonym.
+			for _, g := range b.enum(s, u.Gen, t, d-1) {
+				if g.S == g.T {
+					continue
+				}
+				for _, h := range b.enum(g.T, u.Gen, g.S, d-1) {
+					if h.S == g.T && h.T == g.S {
+						add(fact.Fact{S: g.S, R: u.Syn, T: g.T})
+					}
+				}
+			}
+		}
+		if relIs(u.Inv) {
+			// Inversion symmetry via (⇌,⇌,⇌) is handled by the
+			// Inversion case above; nothing extra here.
+			_ = u.Inv
+		}
+	}
+
+	// User rules, backwards: any head atom may match the pattern.
+	for _, rule := range e.userRules {
+		for _, h := range rule.Head {
+			bind := make(binding)
+			if !unifyPattern(h, s, r, t, bind) {
+				continue
+			}
+			b.joinBounded(rule.Body, bind, d-1, func(bb binding) {
+				if f, ok := instantiate(h, bb); ok {
+					add(f)
+				}
+			})
+		}
+	}
+}
+
+// unifyPattern checks that head template h is compatible with the
+// query pattern, binding head variables to pattern constants.
+func unifyPattern(h fact.Template, s, r, t sym.ID, b binding) bool {
+	ok := func(term fact.Term, id sym.ID) bool {
+		if id == sym.None {
+			return true
+		}
+		if !term.IsVar() {
+			return term.Entity == id
+		}
+		if have, bound := b[term.Variable]; bound {
+			return have == id
+		}
+		b[term.Variable] = id
+		return true
+	}
+	return ok(h.S, s) && ok(h.R, r) && ok(h.T, t)
+}
+
+// joinBounded enumerates bindings satisfying all atoms against the
+// depth-bounded closure.
+func (b *bounded) joinBounded(atoms []fact.Template, bind binding, d int, found func(binding)) {
+	if len(atoms) == 0 {
+		found(bind)
+		return
+	}
+	best, bestScore := 0, -1
+	for i, a := range atoms {
+		s, r, t := resolve(a, bind)
+		score := 0
+		if s != sym.None {
+			score++
+		}
+		if r != sym.None {
+			score += 2
+		}
+		if t != sym.None {
+			score++
+		}
+		if score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	atom := atoms[best]
+	rest := make([]fact.Template, 0, len(atoms)-1)
+	rest = append(rest, atoms[:best]...)
+	rest = append(rest, atoms[best+1:]...)
+
+	s, r, t := resolve(atom, bind)
+	for _, f := range b.enum(s, r, t, d) {
+		bb := bind.clone()
+		if unifyTemplate(atom, f, bb) {
+			b.joinBounded(rest, bb, d, found)
+		}
+	}
+}

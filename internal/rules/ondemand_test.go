@@ -1,0 +1,189 @@
+package rules
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fact"
+	"repro/internal/store"
+	"repro/internal/sym"
+	"repro/internal/virtual"
+)
+
+func TestBoundedDepthZeroIsStored(t *testing.T) {
+	u, s, e := newEngine()
+	ins(u, s,
+		[3]string{"JOHN", "in", "EMPLOYEE"},
+		[3]string{"EMPLOYEE", "EARNS", "SALARY"})
+	if !e.HasBounded(u.NewFact("JOHN", "in", "EMPLOYEE"), 0) {
+		t.Error("stored fact not found at depth 0")
+	}
+	if e.HasBounded(u.NewFact("JOHN", "EARNS", "SALARY"), 0) {
+		t.Error("derived fact found at depth 0")
+	}
+}
+
+func TestBoundedFindsOneStepInferences(t *testing.T) {
+	u, s, e := newEngine()
+	ins(u, s,
+		[3]string{"JOHN", "in", "EMPLOYEE"},
+		[3]string{"EMPLOYEE", "EARNS", "SALARY"},
+		[3]string{"MANAGER", "isa", "EMPLOYEE"},
+		[3]string{"EMPLOYEE", "WORKS-FOR", "DEPARTMENT"},
+		[3]string{"TEACHES", "inv", "TAUGHT-BY"},
+		[3]string{"HARRY", "TEACHES", "CS100"})
+	for _, f := range [][3]string{
+		{"JOHN", "EARNS", "SALARY"},            // member-source
+		{"MANAGER", "WORKS-FOR", "DEPARTMENT"}, // gen-source
+		{"CS100", "TAUGHT-BY", "HARRY"},        // inversion
+	} {
+		if !e.HasBounded(u.NewFact(f[0], f[1], f[2]), 1) {
+			t.Errorf("depth-1 inference missing: %v", f)
+		}
+	}
+}
+
+func TestBoundedChainNeedsDepth(t *testing.T) {
+	u, s, e := newEngine()
+	ins(u, s,
+		[3]string{"A", "isa", "B"},
+		[3]string{"B", "isa", "C"},
+		[3]string{"C", "isa", "D"},
+		[3]string{"D", "HAS", "X"})
+	target := u.NewFact("A", "HAS", "X")
+	if e.HasBounded(target, 1) {
+		t.Error("3-step chain found at depth 1")
+	}
+	if !e.HasBounded(target, 4) {
+		t.Error("chain not found at depth 4")
+	}
+}
+
+func TestBoundedMatchesVirtual(t *testing.T) {
+	u, _, e := newEngine()
+	if !e.HasBounded(u.NewFact("25000", ">", "20000"), 0) {
+		t.Error("virtual math fact missing from bounded matcher")
+	}
+}
+
+func TestBoundedTopWildcard(t *testing.T) {
+	u, s, e := newEngine()
+	ins(u, s, [3]string{"STUDENT", "LOVE", "CONCERT"})
+	if !e.HasBounded(fact.Fact{S: u.Entity("STUDENT"), R: u.Top, T: u.Entity("CONCERT")}, 1) {
+		t.Error("Δ wildcard failed in bounded matcher")
+	}
+}
+
+func TestBoundedUserRules(t *testing.T) {
+	u, s, e := newEngine()
+	r, _ := ParseRule(u, "gp", Inference,
+		"(?x, PARENT, ?y) & (?y, PARENT, ?z) => (?x, GRANDPARENT, ?z)")
+	e.AddRule(r)
+	ins(u, s,
+		[3]string{"A", "PARENT", "B"},
+		[3]string{"B", "PARENT", "C"})
+	if !e.HasBounded(u.NewFact("A", "GRANDPARENT", "C"), 1) {
+		t.Error("user rule not applied backwards")
+	}
+}
+
+func TestBoundedSubsetOfClosure(t *testing.T) {
+	// Soundness: everything the bounded matcher finds must be in the
+	// materialized closure (at any depth).
+	u, s, e := newEngine()
+	ins(u, s,
+		[3]string{"JOHN", "in", "EMPLOYEE"},
+		[3]string{"EMPLOYEE", "isa", "PERSON"},
+		[3]string{"EMPLOYEE", "EARNS", "SALARY"},
+		[3]string{"SALARY", "isa", "COMPENSATION"},
+		[3]string{"EARNS", "inv", "EARNED-BY"},
+		[3]string{"JOHN", "syn", "JOHNNY"})
+	c := e.Closure()
+	vp := e.Virtual()
+	for d := 0; d <= 4; d++ {
+		e.MatchBounded(sym.None, sym.None, sym.None, d, func(f fact.Fact) bool {
+			if !c.Has(f) && !vp.Has(f) {
+				t.Errorf("depth %d found %s, not in closure", d, u.FormatFact(f))
+			}
+			return true
+		})
+	}
+}
+
+func TestBoundedMonotoneInDepth(t *testing.T) {
+	u, s, e := newEngine()
+	ins(u, s,
+		[3]string{"A", "isa", "B"},
+		[3]string{"B", "isa", "C"},
+		[3]string{"M", "in", "A"},
+		[3]string{"C", "HAS", "X"})
+	prev := 0
+	for d := 0; d <= 5; d++ {
+		n := 0
+		e.MatchBounded(sym.None, sym.None, sym.None, d, func(fact.Fact) bool {
+			n++
+			return true
+		})
+		if n < prev {
+			t.Errorf("result count shrank from depth %d to %d: %d -> %d", d-1, d, prev, n)
+		}
+		prev = n
+	}
+}
+
+// TestQuickBoundedEqualsClosure builds random small databases and
+// checks that at sufficient depth the bounded matcher agrees exactly
+// with the materialized closure on stored-entity patterns.
+func TestQuickBoundedEqualsClosure(t *testing.T) {
+	names := []string{"A", "B", "C", "D", "R1", "R2"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		u := fact.NewUniverse()
+		s := store.New(u)
+		e := New(s, virtual.New(u))
+		ids := make([]sym.ID, len(names))
+		for i, n := range names {
+			ids[i] = u.Entity(n)
+		}
+		rels := []sym.ID{u.Gen, u.Member, u.Syn, u.Inv, ids[4], ids[5]}
+		nf := 4 + rng.Intn(6)
+		for i := 0; i < nf; i++ {
+			s.Insert(fact.Fact{
+				S: ids[rng.Intn(4)],
+				R: rels[rng.Intn(len(rels))],
+				T: ids[rng.Intn(4)],
+			})
+		}
+		c := e.Closure()
+		const depth = 12
+		// Closure ⊆ bounded at high depth.
+		okAll := true
+		c.Match(sym.None, sym.None, sym.None, func(g fact.Fact) bool {
+			// Skip axiom facts involving entities outside the stored set.
+			if !e.HasBounded(g, depth) {
+				okAll = false
+				t.Logf("seed %d: closure fact %s not found bounded (%s)",
+					seed, u.FormatFact(g), e.Explain(g))
+				return false
+			}
+			return true
+		})
+		if !okAll {
+			return false
+		}
+		// Bounded ⊆ closure ∪ virtual.
+		e.MatchBounded(sym.None, sym.None, sym.None, depth, func(g fact.Fact) bool {
+			if !c.Has(g) && !e.Virtual().Has(g) {
+				okAll = false
+				t.Logf("seed %d: bounded fact %s not in closure", seed, u.FormatFact(g))
+				return false
+			}
+			return true
+		})
+		return okAll
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,129 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fact"
+)
+
+func TestParseRuleBasic(t *testing.T) {
+	u := fact.NewUniverse()
+	r, err := ParseRule(u, "inherit", Inference,
+		"(?x, in, EMPLOYEE) & (EMPLOYEE, EARNS, ?y) => (?x, EARNS, ?y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Body) != 2 || len(r.Head) != 1 {
+		t.Errorf("body %d, head %d", len(r.Body), len(r.Head))
+	}
+	if r.Kind != Inference || r.Name != "inherit" {
+		t.Errorf("rule = %+v", r)
+	}
+	// Variables shared across the arrow: the head ?x and ?y must be
+	// the body's variables.
+	var bodyVars, headVars []fact.Var
+	for _, tp := range r.Body {
+		bodyVars = tp.Vars(bodyVars)
+	}
+	for _, tp := range r.Head {
+		headVars = tp.Vars(headVars)
+	}
+	for _, hv := range headVars {
+		found := false
+		for _, bv := range bodyVars {
+			if hv == bv {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("head variable %d not shared with body", hv)
+		}
+	}
+}
+
+func TestParseRuleUnicodeArrow(t *testing.T) {
+	u := fact.NewUniverse()
+	if _, err := ParseRule(u, "r", Inference, "(?x, A, ?y) ⇒ (?x, B, ?y)"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseRuleMultiHead(t *testing.T) {
+	u := fact.NewUniverse()
+	r, err := ParseRule(u, "r", Inference,
+		"(?x, MARRIED-TO, ?y) => (?x, RELATED-TO, ?y) & (?y, RELATED-TO, ?x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Head) != 2 {
+		t.Errorf("head = %d templates", len(r.Head))
+	}
+}
+
+func TestParseRuleErrors(t *testing.T) {
+	u := fact.NewUniverse()
+	cases := []struct{ name, src string }{
+		{"no-arrow", "(?x, A, ?y) (?x, B, ?y)"},
+		{"empty-body", " => (?x, B, ?y)"},
+		{"empty-head", "(?x, A, ?y) => "},
+		{"disjunctive", "(?x, A, ?y) | (?x, C, ?y) => (?x, B, ?y)"},
+		{"quantified", "exists ?z . (?x, A, ?z) => (?x, B, ?x)"},
+		{"unsafe", "(?x, A, B) => (?x, C, ?unbound)"},
+		{"syntax", "((( => (?x, B, ?y)"},
+	}
+	for _, c := range cases {
+		if _, err := ParseRule(u, c.name, Inference, c.src); err == nil {
+			t.Errorf("%s: ParseRule(%q) succeeded", c.name, c.src)
+		}
+	}
+}
+
+func TestParseRuleUnnamed(t *testing.T) {
+	u := fact.NewUniverse()
+	if _, err := ParseRule(u, "", Inference, "(?x, A, ?y) => (?x, B, ?y)"); err == nil {
+		t.Error("unnamed rule accepted")
+	}
+}
+
+func TestRuleFormatRoundTrip(t *testing.T) {
+	u := fact.NewUniverse()
+	r, err := ParseRule(u, "r", Constraint,
+		"(?x, in, AGE) => (?x, >, 0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := r.Format(u)
+	if !strings.Contains(rendered, "⇒") {
+		t.Errorf("format = %q", rendered)
+	}
+	r2, err := ParseRule(u, "r", Constraint, rendered)
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", rendered, err)
+	}
+	if r2.Format(u) != rendered {
+		t.Errorf("format unstable: %q -> %q", rendered, r2.Format(u))
+	}
+}
+
+func TestStdRuleNames(t *testing.T) {
+	for _, r := range StdRules() {
+		name := r.String()
+		got, ok := StdRuleByName(name)
+		if !ok || got != r {
+			t.Errorf("name round trip failed for %v (%q)", r, name)
+		}
+	}
+	if _, ok := StdRuleByName("nope"); ok {
+		t.Error("bogus name resolved")
+	}
+	if s := StdRule(99).String(); !strings.Contains(s, "99") {
+		t.Errorf("out-of-range String = %q", s)
+	}
+}
+
+func TestRuleKindString(t *testing.T) {
+	if Inference.String() != "inference" || Constraint.String() != "constraint" {
+		t.Error("Kind.String wrong")
+	}
+}

@@ -1,0 +1,349 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/fact"
+)
+
+// Durability has two parts, both name-based so files survive re-interning:
+//
+//   - Snapshots: a full dump of the fact set, written atomically.
+//   - Operation log: an append-only record of inserts and deletes,
+//     replayed on open to recover the post-snapshot state.
+//
+// The formats are versioned by magic headers below.
+
+const (
+	snapMagic = "LSDBSNAP1\n"
+	logMagic  = "LSDBLOG1\n"
+)
+
+const (
+	opInsert byte = 1
+	opDelete byte = 2
+)
+
+var (
+	// ErrBadFormat reports a snapshot or log file with an unknown
+	// header or corrupt record.
+	ErrBadFormat = errors.New("store: bad file format")
+)
+
+func writeString(w *bufio.Writer, s string) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(s)))
+	if _, err := w.Write(buf[:n]); err != nil {
+		return err
+	}
+	_, err := w.WriteString(s)
+	return err
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("%w: entity name of %d bytes", ErrBadFormat, n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func writeFact(w *bufio.Writer, u *fact.Universe, f fact.Fact) error {
+	if err := writeString(w, u.Name(f.S)); err != nil {
+		return err
+	}
+	if err := writeString(w, u.Name(f.R)); err != nil {
+		return err
+	}
+	return writeString(w, u.Name(f.T))
+}
+
+func readFact(r *bufio.Reader, u *fact.Universe) (fact.Fact, error) {
+	s, err := readString(r)
+	if err != nil {
+		return fact.Fact{}, err
+	}
+	rel, err := readString(r)
+	if err != nil {
+		return fact.Fact{}, err
+	}
+	t, err := readString(r)
+	if err != nil {
+		return fact.Fact{}, err
+	}
+	return fact.Fact{S: u.Intern(s), R: u.Intern(rel), T: u.Intern(t)}, nil
+}
+
+// SaveSnapshot writes all stored facts to w.
+func (s *Store) SaveSnapshot(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(snapMagic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(s.facts)))
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return err
+	}
+	for f := range s.facts {
+		if err := writeFact(bw, s.u, f); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadSnapshot reads facts from r into the store (merging with any
+// facts already present). Loaded facts are not appended to a log.
+func (s *Store) LoadSnapshot(r io.Reader) error {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(snapMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return err
+	}
+	if string(magic) != snapMagic {
+		return fmt.Errorf("%w: bad snapshot magic", ErrBadFormat)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := uint64(0); i < count; i++ {
+		f, err := readFact(br, s.u)
+		if err != nil {
+			return fmt.Errorf("%w: truncated snapshot: %v", ErrBadFormat, err)
+		}
+		if _, ok := s.facts[f]; !ok {
+			s.insertLocked(f)
+		}
+	}
+	return nil
+}
+
+// SaveSnapshotFile writes a snapshot to path atomically (via a
+// temporary file renamed into place).
+func (s *Store) SaveSnapshotFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := s.SaveSnapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadSnapshotFile loads a snapshot from path into the store.
+func (s *Store) LoadSnapshotFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.LoadSnapshot(f)
+}
+
+// Log is an append-only operation log backing a Store.
+type Log struct {
+	f *os.File
+	w *bufio.Writer
+	n int // records appended since open or last compaction
+}
+
+// AttachLog opens (creating if absent) the operation log at path,
+// replays any existing records into the store, and arranges for all
+// future mutations to be appended. It returns the number of records
+// replayed. A store may have at most one attached log.
+func (s *Store) AttachLog(path string) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log != nil {
+		return 0, errors.New("store: log already attached")
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	replayed, err := s.replayLocked(f)
+	if err != nil {
+		f.Close()
+		return 0, err
+	}
+	if replayed == 0 {
+		// Fresh file: write the header.
+		if _, err := f.Seek(0, io.SeekEnd); err != nil {
+			f.Close()
+			return 0, err
+		}
+		if st, _ := f.Stat(); st != nil && st.Size() == 0 {
+			if _, err := f.WriteString(logMagic); err != nil {
+				f.Close()
+				return 0, err
+			}
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return 0, err
+	}
+	s.log = &Log{f: f, w: bufio.NewWriter(f)}
+	return replayed, nil
+}
+
+// replayLocked replays the log file into the store. The caller holds
+// the write lock. Returns the number of records applied.
+func (s *Store) replayLocked(f *os.File) (int, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	if st.Size() == 0 {
+		return 0, nil
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, err
+	}
+	br := bufio.NewReader(f)
+	magic := make([]byte, len(logMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return 0, err
+	}
+	if string(magic) != logMagic {
+		return 0, fmt.Errorf("%w: bad log magic", ErrBadFormat)
+	}
+	n := 0
+	for {
+		op, err := br.ReadByte()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		rec, err := readFact(br, s.u)
+		if err != nil {
+			// A torn final record (crash mid-append) is tolerated;
+			// anything else is corruption.
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return n, nil
+			}
+			return n, err
+		}
+		switch op {
+		case opInsert:
+			if _, ok := s.facts[rec]; !ok {
+				s.insertLocked(rec)
+			}
+		case opDelete:
+			if _, ok := s.facts[rec]; ok {
+				delete(s.facts, rec)
+				removeFact(s.byS, rec.S, rec)
+				removeFact(s.byR, rec.R, rec)
+				removeFact(s.byT, rec.T, rec)
+				removePair(s.bySR, pair{rec.S, rec.R}, rec)
+				removePair(s.byRT, pair{rec.R, rec.T}, rec)
+				removePair(s.byST, pair{rec.S, rec.T}, rec)
+				s.version++
+				s.record(Change{Deleted: true, Fact: rec})
+			}
+		default:
+			return n, fmt.Errorf("%w: unknown op %d", ErrBadFormat, op)
+		}
+		n++
+	}
+}
+
+// append writes one record. Called with the store write lock held.
+func (l *Log) append(op byte, u *fact.Universe, f fact.Fact) {
+	// Errors here are sticky on the bufio.Writer and surface at Sync.
+	l.w.WriteByte(op)
+	writeFact(l.w, u, f)
+	l.n++
+}
+
+// SyncLog flushes buffered log records and fsyncs the file.
+func (s *Store) SyncLog() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log == nil {
+		return nil
+	}
+	if err := s.log.w.Flush(); err != nil {
+		return err
+	}
+	return s.log.f.Sync()
+}
+
+// CloseLog flushes and detaches the log.
+func (s *Store) CloseLog() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log == nil {
+		return nil
+	}
+	err := s.log.w.Flush()
+	if cerr := s.log.f.Close(); err == nil {
+		err = cerr
+	}
+	s.log = nil
+	return err
+}
+
+// CompactLog rewrites the attached log to contain exactly the current
+// fact set (one insert per stored fact), truncating deleted history.
+func (s *Store) CompactLog() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log == nil {
+		return errors.New("store: no log attached")
+	}
+	if err := s.log.w.Flush(); err != nil {
+		return err
+	}
+	if err := s.log.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := s.log.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	s.log.w.Reset(s.log.f)
+	if _, err := s.log.w.WriteString(logMagic); err != nil {
+		return err
+	}
+	for f := range s.facts {
+		s.log.w.WriteByte(opInsert)
+		if err := writeFact(s.log.w, s.u, f); err != nil {
+			return err
+		}
+	}
+	s.log.n = len(s.facts)
+	return s.log.w.Flush()
+}

@@ -1,0 +1,400 @@
+// Package store implements the physical layer of a loosely structured
+// database: an indexed heap of facts.
+//
+// The paper (§2.6) defines a database as "a set of facts" with no
+// further physical organization, and defers storage strategy to the
+// implementation. This store keeps each fact exactly once and
+// maintains six hash indexes (S, R, T, SR, RT, ST) so that any
+// template — any combination of bound and free positions — is answered
+// from the most selective index available. Durability is provided by
+// an append-only operation log plus snapshots (see persist.go).
+//
+// A Store is safe for concurrent use: reads take a shared lock,
+// mutations an exclusive one.
+package store
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/fact"
+	"repro/internal/sym"
+)
+
+type pair struct{ a, b sym.ID }
+
+// Store is an indexed collection of facts over a shared Universe.
+type Store struct {
+	mu sync.RWMutex
+	u  *fact.Universe
+
+	facts map[fact.Fact]struct{}
+	byS   map[sym.ID][]fact.Fact
+	byR   map[sym.ID][]fact.Fact
+	byT   map[sym.ID][]fact.Fact
+	bySR  map[pair][]fact.Fact
+	byRT  map[pair][]fact.Fact
+	byST  map[pair][]fact.Fact
+
+	version uint64 // incremented on every successful mutation
+
+	// recent is a bounded history of mutations used by incremental
+	// consumers (the rules engine's delta closure maintenance).
+	// recentBase is the version *before* recent[0] was applied.
+	recent     []Change
+	recentBase uint64
+
+	log *Log // optional durability log; nil when in-memory only
+}
+
+// Change records one mutation for ChangesSince.
+type Change struct {
+	Deleted bool
+	Fact    fact.Fact
+}
+
+// maxRecent bounds the mutation history; consumers that fall behind
+// more than this must recompute from scratch.
+const maxRecent = 8192
+
+// New returns an empty in-memory store over universe u.
+func New(u *fact.Universe) *Store {
+	return &Store{
+		u:     u,
+		facts: make(map[fact.Fact]struct{}),
+		byS:   make(map[sym.ID][]fact.Fact),
+		byR:   make(map[sym.ID][]fact.Fact),
+		byT:   make(map[sym.ID][]fact.Fact),
+		bySR:  make(map[pair][]fact.Fact),
+		byRT:  make(map[pair][]fact.Fact),
+		byST:  make(map[pair][]fact.Fact),
+	}
+}
+
+// Universe returns the entity universe the store interns against.
+func (s *Store) Universe() *fact.Universe { return s.u }
+
+// Len returns the number of stored facts.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.facts)
+}
+
+// Version returns a counter incremented by every successful mutation.
+// Callers use it to invalidate caches derived from the fact set.
+func (s *Store) Version() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
+}
+
+// Has reports whether f is stored (explicitly; inference is layered above).
+func (s *Store) Has(f fact.Fact) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.facts[f]
+	return ok
+}
+
+// Insert adds f. It returns false if f was already present.
+func (s *Store) Insert(f fact.Fact) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.facts[f]; ok {
+		return false
+	}
+	s.insertLocked(f)
+	if s.log != nil {
+		s.log.append(opInsert, s.u, f)
+	}
+	return true
+}
+
+func (s *Store) insertLocked(f fact.Fact) {
+	s.facts[f] = struct{}{}
+	s.byS[f.S] = append(s.byS[f.S], f)
+	s.byR[f.R] = append(s.byR[f.R], f)
+	s.byT[f.T] = append(s.byT[f.T], f)
+	s.bySR[pair{f.S, f.R}] = append(s.bySR[pair{f.S, f.R}], f)
+	s.byRT[pair{f.R, f.T}] = append(s.byRT[pair{f.R, f.T}], f)
+	s.byST[pair{f.S, f.T}] = append(s.byST[pair{f.S, f.T}], f)
+	s.version++
+	s.record(Change{Fact: f})
+}
+
+// record appends a mutation to the bounded history.
+func (s *Store) record(c Change) {
+	if len(s.recent) >= maxRecent {
+		drop := len(s.recent) / 2
+		s.recent = append(s.recent[:0], s.recent[drop:]...)
+		s.recentBase += uint64(drop)
+	}
+	s.recent = append(s.recent, c)
+}
+
+// ChangesSince returns the mutations applied after version v, in
+// order, and whether the history still covers that point. A false
+// result means the caller must resynchronize from scratch.
+func (s *Store) ChangesSince(v uint64) ([]Change, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if v < s.recentBase {
+		return nil, false
+	}
+	idx := v - s.recentBase
+	if idx > uint64(len(s.recent)) {
+		return nil, false
+	}
+	out := make([]Change, len(s.recent)-int(idx))
+	copy(out, s.recent[idx:])
+	return out, true
+}
+
+// Delete removes f. It returns false if f was not present.
+func (s *Store) Delete(f fact.Fact) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.facts[f]; !ok {
+		return false
+	}
+	delete(s.facts, f)
+	removeFact(s.byS, f.S, f)
+	removeFact(s.byR, f.R, f)
+	removeFact(s.byT, f.T, f)
+	removePair(s.bySR, pair{f.S, f.R}, f)
+	removePair(s.byRT, pair{f.R, f.T}, f)
+	removePair(s.byST, pair{f.S, f.T}, f)
+	s.version++
+	s.record(Change{Deleted: true, Fact: f})
+	if s.log != nil {
+		s.log.append(opDelete, s.u, f)
+	}
+	return true
+}
+
+func removeFact(m map[sym.ID][]fact.Fact, k sym.ID, f fact.Fact) {
+	bucket := m[k]
+	for i, g := range bucket {
+		if g == f {
+			bucket[i] = bucket[len(bucket)-1]
+			bucket = bucket[:len(bucket)-1]
+			break
+		}
+	}
+	if len(bucket) == 0 {
+		delete(m, k)
+	} else {
+		m[k] = bucket
+	}
+}
+
+func removePair(m map[pair][]fact.Fact, k pair, f fact.Fact) {
+	bucket := m[k]
+	for i, g := range bucket {
+		if g == f {
+			bucket[i] = bucket[len(bucket)-1]
+			bucket = bucket[:len(bucket)-1]
+			break
+		}
+	}
+	if len(bucket) == 0 {
+		delete(m, k)
+	} else {
+		m[k] = bucket
+	}
+}
+
+// Match calls fn for every stored fact matching the pattern, where a
+// sym.None position is a wildcard. Iteration stops if fn returns
+// false; Match reports whether iteration ran to completion. fn must
+// not mutate the store.
+func (s *Store) Match(src, rel, tgt sym.ID, fn func(fact.Fact) bool) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	switch {
+	case src != sym.None && rel != sym.None && tgt != sym.None:
+		f := fact.Fact{S: src, R: rel, T: tgt}
+		if _, ok := s.facts[f]; ok {
+			return fn(f)
+		}
+		return true
+	case src != sym.None && rel != sym.None:
+		return each(s.bySR[pair{src, rel}], fn)
+	case rel != sym.None && tgt != sym.None:
+		return each(s.byRT[pair{rel, tgt}], fn)
+	case src != sym.None && tgt != sym.None:
+		return each(s.byST[pair{src, tgt}], fn)
+	case src != sym.None:
+		return each(s.byS[src], fn)
+	case rel != sym.None:
+		return each(s.byR[rel], fn)
+	case tgt != sym.None:
+		return each(s.byT[tgt], fn)
+	default:
+		for f := range s.facts {
+			if !fn(f) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+func each(bucket []fact.Fact, fn func(fact.Fact) bool) bool {
+	for _, f := range bucket {
+		if !fn(f) {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of stored facts matching the pattern
+// (sym.None positions are wildcards) without allocating results.
+func (s *Store) Count(src, rel, tgt sym.ID) int {
+	n := 0
+	s.Match(src, rel, tgt, func(fact.Fact) bool { n++; return true })
+	return n
+}
+
+// EstimateCount returns the exact number of facts the pattern's index
+// bucket holds, in O(1): the size of the most selective index bucket
+// covering the pattern. For fully bound patterns it returns 0 or 1;
+// for the all-wildcard pattern, the store size. Query planners use it
+// to order joins by selectivity.
+func (s *Store) EstimateCount(src, rel, tgt sym.ID) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	switch {
+	case src != sym.None && rel != sym.None && tgt != sym.None:
+		if _, ok := s.facts[fact.Fact{S: src, R: rel, T: tgt}]; ok {
+			return 1
+		}
+		return 0
+	case src != sym.None && rel != sym.None:
+		return len(s.bySR[pair{src, rel}])
+	case rel != sym.None && tgt != sym.None:
+		return len(s.byRT[pair{rel, tgt}])
+	case src != sym.None && tgt != sym.None:
+		return len(s.byST[pair{src, tgt}])
+	case src != sym.None:
+		return len(s.byS[src])
+	case rel != sym.None:
+		return len(s.byR[rel])
+	case tgt != sym.None:
+		return len(s.byT[tgt])
+	default:
+		return len(s.facts)
+	}
+}
+
+// MatchAll collects the facts matching the pattern into a new slice.
+func (s *Store) MatchAll(src, rel, tgt sym.ID) []fact.Fact {
+	var out []fact.Fact
+	s.Match(src, rel, tgt, func(f fact.Fact) bool {
+		out = append(out, f)
+		return true
+	})
+	return out
+}
+
+// Facts returns a copy of all stored facts in unspecified order.
+func (s *Store) Facts() []fact.Fact {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]fact.Fact, 0, len(s.facts))
+	for f := range s.facts {
+		out = append(out, f)
+	}
+	return out
+}
+
+// Entities returns the set of entities that occur in at least one
+// stored fact, in any position. This is the active domain used for
+// ∀-quantifier evaluation (§2.7) and retraction (§5).
+func (s *Store) Entities() []sym.ID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	seen := make(map[sym.ID]struct{}, len(s.byS)+len(s.byT))
+	for f := range s.facts {
+		seen[f.S] = struct{}{}
+		seen[f.R] = struct{}{}
+		seen[f.T] = struct{}{}
+	}
+	out := make([]sym.ID, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HasEntity reports whether id occurs in any stored fact.
+func (s *Store) HasEntity(id sym.ID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if _, ok := s.byS[id]; ok {
+		return true
+	}
+	if _, ok := s.byR[id]; ok {
+		return true
+	}
+	_, ok := s.byT[id]
+	return ok
+}
+
+// Relationships returns the distinct relationship entities in use,
+// with the number of facts carrying each, sorted by descending count.
+func (s *Store) Relationships() []RelStat {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]RelStat, 0, len(s.byR))
+	for r, bucket := range s.byR {
+		out = append(out, RelStat{Rel: r, Count: len(bucket)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Rel < out[j].Rel
+	})
+	return out
+}
+
+// RelStat pairs a relationship entity with its fact count.
+type RelStat struct {
+	Rel   sym.ID
+	Count int
+}
+
+// Degree returns the number of facts in which id occurs as source or
+// target (its neighborhood size; used by navigation benchmarks).
+func (s *Store) Degree(id sym.ID) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byS[id]) + len(s.byT[id])
+}
+
+// Clone returns a deep copy of the store sharing the same Universe.
+// The clone has no durability log attached.
+func (s *Store) Clone() *Store {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c := New(s.u)
+	for f := range s.facts {
+		c.insertLocked(f)
+	}
+	return c
+}
+
+// InsertAll inserts every fact, returning the number newly added.
+func (s *Store) InsertAll(facts []fact.Fact) int {
+	n := 0
+	for _, f := range facts {
+		if s.Insert(f) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,107 @@
+package tabular
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestColumnarRender(t *testing.T) {
+	c := &Columnar{}
+	c.Add("JOHN**", "PERSON", "EMPLOYEE")
+	c.Add("LIKES", "CAT", "FELIX", "HEATHCLIFF")
+	c.Add("BOSS", "PETER")
+	out := c.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + separator + 3 item rows (tallest column).
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "JOHN**") {
+		t.Errorf("header line: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "PERSON") || !strings.Contains(lines[2], "CAT") || !strings.Contains(lines[2], "PETER") {
+		t.Errorf("first row: %q", lines[2])
+	}
+	// Short columns pad with blanks.
+	if !strings.Contains(lines[4], "HEATHCLIFF") {
+		t.Errorf("tallest column truncated: %q", lines[4])
+	}
+}
+
+func TestColumnarAlignment(t *testing.T) {
+	c := &Columnar{}
+	c.Add("A", "LONGENTITYNAME")
+	c.Add("B", "X")
+	out := c.Render()
+	lines := strings.Split(out, "\n")
+	// The second column header must start at the same offset in all lines.
+	idx := strings.Index(lines[0], "B")
+	if idx < 0 {
+		t.Fatal("no second header")
+	}
+	if got := strings.Index(lines[2], "X"); got != idx {
+		t.Errorf("column misaligned: header at %d, cell at %d\n%s", idx, got, out)
+	}
+}
+
+func TestColumnarTitle(t *testing.T) {
+	c := &Columnar{Title: "the title"}
+	c.Add("H", "x")
+	if !strings.HasPrefix(c.Render(), "the title\n") {
+		t.Error("title missing")
+	}
+}
+
+func TestColumnarEmpty(t *testing.T) {
+	c := &Columnar{}
+	if out := c.Render(); out != "" {
+		t.Errorf("empty table rendered %q", out)
+	}
+}
+
+func TestColumnarUnicodeWidths(t *testing.T) {
+	c := &Columnar{}
+	c.Add("≺", "Δ", "∇")
+	out := c.Render()
+	if !strings.Contains(out, "Δ") {
+		t.Error("unicode content lost")
+	}
+}
+
+func TestRowsRender(t *testing.T) {
+	r := &Rows{Headers: []string{"EMPLOYEE", "WORKS-FOR DEPARTMENT", "EARNS SALARY"}}
+	r.AddRow([]string{"JOHN"}, []string{"SHIPPING"}, []string{"$26000"})
+	r.AddRow([]string{"TOM"}, []string{"ACCOUNTING"}, []string{"$27000"})
+	out := r.Render()
+	for _, want := range []string{"EMPLOYEE", "JOHN", "SHIPPING", "$26000", "TOM"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRowsMultiValuedCell(t *testing.T) {
+	r := &Rows{Headers: []string{"K", "V"}}
+	r.AddRow([]string{"A"}, []string{"X", "Y"})
+	out := r.Render()
+	if !strings.Contains(out, "X, Y") {
+		t.Errorf("multi-valued cell not joined:\n%s", out)
+	}
+}
+
+func TestRowsMissingCells(t *testing.T) {
+	r := &Rows{Headers: []string{"K", "V"}}
+	r.AddRow([]string{"A"})
+	out := r.Render()
+	if !strings.Contains(out, "A") {
+		t.Errorf("row lost:\n%s", out)
+	}
+}
+
+func TestRowsEmptyBody(t *testing.T) {
+	r := &Rows{Headers: []string{"K"}}
+	out := r.Render()
+	if !strings.Contains(out, "K") {
+		t.Error("headers not rendered for empty body")
+	}
+}

@@ -1,0 +1,176 @@
+package views
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseDefine(t *testing.T) {
+	r := NewRegistry()
+	if err := r.ParseDefine("author-of(?b, ?p) := (?b, in, BOOK) & (?b, AUTHOR, ?p)"); err != nil {
+		t.Fatal(err)
+	}
+	d, ok := r.Lookup("author-of")
+	if !ok || len(d.Params) != 2 || d.Params[0] != "b" || d.Params[1] != "p" {
+		t.Errorf("def = %+v", d)
+	}
+}
+
+func TestParseDefineErrors(t *testing.T) {
+	r := NewRegistry()
+	cases := []string{
+		"no-params() := (?x, R, ?y)",
+		"bad-param(x) := (?x, R, ?y)",
+		"dup(?x, ?x) := (?x, R, ?x)",
+		"missing-body(?x) :=  ",
+		"not a definition at all",
+	}
+	for _, src := range cases {
+		if err := r.ParseDefine(src); err == nil {
+			t.Errorf("ParseDefine(%q) succeeded", src)
+		}
+	}
+}
+
+func TestExpandSubstitutesArguments(t *testing.T) {
+	r := NewRegistry()
+	r.ParseDefine("loves(?who, ?what) := (?who, LOVES, ?what)")
+	out, err := r.Expand("loves(JOHN, OPERA)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "(JOHN, LOVES, OPERA)") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestExpandRenamesInternalVariables(t *testing.T) {
+	r := NewRegistry()
+	r.ParseDefine("indirect(?a, ?b) := (?a, R, ?mid) & (?mid, R, ?b)")
+	out, err := r.Expand("indirect(?x, ?y) & (?mid, OTHER, ?x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The caller's ?mid must stay distinct from the definition's ?mid.
+	if strings.Count(out, "?mid,") < 1 {
+		t.Fatalf("caller variable lost: %q", out)
+	}
+	if !strings.Contains(out, "?mid_indirect") {
+		t.Errorf("internal variable not renamed apart: %q", out)
+	}
+}
+
+func TestExpandTwoCallsGetDistinctVariables(t *testing.T) {
+	r := NewRegistry()
+	r.ParseDefine("f(?a) := (?a, R, ?tmp)")
+	out, err := r.Expand("f(?x) & f(?y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each invocation's ?tmp must be unique, otherwise the two calls
+	// would be forced to share the intermediate value.
+	first := strings.Index(out, "?tmp_")
+	last := strings.LastIndex(out, "?tmp_")
+	if first == last {
+		t.Fatalf("only one renamed variable: %q", out)
+	}
+	a := out[first:]
+	a = a[:strings.IndexAny(a, ",) ")]
+	b := out[last:]
+	b = b[:strings.IndexAny(b, ",) ")]
+	if a == b {
+		t.Errorf("both calls share %q: %q", a, out)
+	}
+}
+
+func TestExpandNestedDefinitions(t *testing.T) {
+	r := NewRegistry()
+	r.ParseDefine("base(?a, ?b) := (?a, R, ?b)")
+	r.ParseDefine("twice(?a, ?c) := base(?a, ?m) & base(?m, ?c)")
+	out, err := r.Expand("twice(X, Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "base(") {
+		t.Errorf("nested call not expanded: %q", out)
+	}
+	if strings.Count(out, ", R,") != 2 {
+		t.Errorf("expected two R templates: %q", out)
+	}
+}
+
+func TestExpandRecursiveDefinitionRejected(t *testing.T) {
+	r := NewRegistry()
+	r.ParseDefine("loop(?a) := loop(?a)")
+	if _, err := r.Expand("loop(X)"); err == nil {
+		t.Error("recursive definition expanded forever?")
+	}
+}
+
+func TestExpandLeavesUndefinedNamesAlone(t *testing.T) {
+	r := NewRegistry()
+	out, err := r.Expand("(JOHN, LIKES, MARY)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "(JOHN, LIKES, MARY)" {
+		t.Errorf("untouched source changed: %q", out)
+	}
+}
+
+func TestExpandDoesNotFireInsideWords(t *testing.T) {
+	r := NewRegistry()
+	r.ParseDefine("of(?a, ?b) := (?a, R, ?b)")
+	// "author-of" contains "of" but must not be treated as a call;
+	// and an entity simply named "of" inside a template is not a call
+	// either (no '(' follows).
+	out, err := r.Expand("(author-of, isa, of)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "(author-of, isa, of)" {
+		t.Errorf("expansion fired inside a word: %q", out)
+	}
+}
+
+func TestExpandArityMismatch(t *testing.T) {
+	r := NewRegistry()
+	r.ParseDefine("pair(?a, ?b) := (?a, R, ?b)")
+	if _, err := r.Expand("pair(X)"); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}
+
+func TestUndefine(t *testing.T) {
+	r := NewRegistry()
+	r.ParseDefine("f(?a) := (?a, R, B)")
+	if !r.Undefine("f") || r.Undefine("f") {
+		t.Error("Undefine misbehaved")
+	}
+	out, _ := r.Expand("f(X)")
+	if out != "f(X)" {
+		t.Errorf("undefined name still expanded: %q", out)
+	}
+}
+
+func TestNames(t *testing.T) {
+	r := NewRegistry()
+	r.ParseDefine("f(?a) := (?a, R, B)")
+	r.ParseDefine("g(?a) := (?a, S, B)")
+	if len(r.Names()) != 2 {
+		t.Errorf("Names = %v", r.Names())
+	}
+}
+
+func TestRedefineReplaces(t *testing.T) {
+	r := NewRegistry()
+	r.ParseDefine("f(?a) := (?a, OLD, B)")
+	r.ParseDefine("f(?a) := (?a, NEW, B)")
+	out, err := r.Expand("f(X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "NEW") || strings.Contains(out, "OLD") {
+		t.Errorf("redefinition not effective: %q", out)
+	}
+}

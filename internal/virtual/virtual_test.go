@@ -1,0 +1,288 @@
+package virtual
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fact"
+	"repro/internal/store"
+	"repro/internal/sym"
+)
+
+func setup() (*fact.Universe, *store.Store, *Provider) {
+	u := fact.NewUniverse()
+	s := store.New(u)
+	return u, s, New(u)
+}
+
+func TestHasGenAxioms(t *testing.T) {
+	u, _, p := setup()
+	john := u.Entity("JOHN")
+	cases := []struct {
+		f    fact.Fact
+		want bool
+	}{
+		{fact.Fact{S: john, R: u.Gen, T: john}, true},           // reflexive
+		{fact.Fact{S: john, R: u.Gen, T: u.Top}, true},          // (E,≺,Δ)
+		{fact.Fact{S: u.Bottom, R: u.Gen, T: john}, true},       // (∇,≺,E)
+		{fact.Fact{S: john, R: u.Gen, T: u.Entity("X")}, false}, // not virtual
+		{fact.Fact{S: u.Top, R: u.Gen, T: u.Top}, true},         // Δ reflexive
+	}
+	for i, c := range cases {
+		if got := p.Has(c.f); got != c.want {
+			t.Errorf("case %d: Has(%s) = %v", i, u.FormatFact(c.f), got)
+		}
+	}
+}
+
+func TestHasEquality(t *testing.T) {
+	u, _, p := setup()
+	a, b := u.Entity("A"), u.Entity("B")
+	if !p.Has(fact.Fact{S: a, R: u.Eq, T: a}) {
+		t.Error("(A,=,A) missing")
+	}
+	if p.Has(fact.Fact{S: a, R: u.Eq, T: b}) {
+		t.Error("(A,=,B) present")
+	}
+	if !p.Has(fact.Fact{S: a, R: u.Neq, T: b}) {
+		t.Error("(A,≠,B) missing")
+	}
+	if p.Has(fact.Fact{S: a, R: u.Neq, T: a}) {
+		t.Error("(A,≠,A) present")
+	}
+}
+
+func TestHasComparators(t *testing.T) {
+	u, _, p := setup()
+	cases := []struct {
+		a, rel, b string
+		want      bool
+	}{
+		{"25000", ">", "20000", true},
+		{"25000", "<", "20000", false},
+		{"2", "<", "2.6", true},
+		{"2", "<=", "2", true},
+		{"2", ">=", "2", true},
+		{"3", ">=", "5", false},
+		{"$25000", ">", "20000", true}, // currency prefix
+		{"JOHN", ">", "20000", false},  // not numeric
+		{"5", ">", "MARY", false},
+	}
+	for i, c := range cases {
+		f := u.NewFact(c.a, c.rel, c.b)
+		if got := p.Has(f); got != c.want {
+			t.Errorf("case %d: Has(%s) = %v, want %v", i, u.FormatFact(f), got, c.want)
+		}
+	}
+}
+
+func TestMatchComparatorEnumerates(t *testing.T) {
+	u, s, p := setup()
+	s.Insert(u.NewFact("JOHN", "EARNS", "25000"))
+	s.Insert(u.NewFact("TOM", "EARNS", "15000"))
+	var hits []fact.Fact
+	p.Match(sym.None, u.Gt, u.Entity("20000"), s, func(f fact.Fact) bool {
+		hits = append(hits, f)
+		return true
+	})
+	if len(hits) != 1 || u.Name(hits[0].S) != "25000" {
+		t.Errorf("(?, >, 20000) over domain = %v", hits)
+	}
+}
+
+func TestMatchComparatorBothFree(t *testing.T) {
+	u, s, p := setup()
+	s.Insert(u.NewFact("A", "VAL", "1"))
+	s.Insert(u.NewFact("B", "VAL", "2"))
+	s.Insert(u.NewFact("C", "VAL", "3"))
+	n := 0
+	p.Match(sym.None, u.Lt, sym.None, s, func(fact.Fact) bool { n++; return true })
+	// Pairs (1,2), (1,3), (2,3) = 3.
+	if n != 3 {
+		t.Errorf("free < enumeration = %d pairs, want 3", n)
+	}
+}
+
+func TestMatchEqOverDomain(t *testing.T) {
+	u, s, p := setup()
+	s.Insert(u.NewFact("A", "R", "B"))
+	n := 0
+	p.Match(sym.None, u.Eq, sym.None, s, func(f fact.Fact) bool {
+		if f.S != f.T {
+			t.Errorf("non-reflexive = fact: %s", u.FormatFact(f))
+		}
+		n++
+		return true
+	})
+	if n != 3 { // A, R, B
+		t.Errorf("= over domain: %d facts, want 3", n)
+	}
+}
+
+func TestMatchNeqBoundSource(t *testing.T) {
+	u, s, p := setup()
+	s.Insert(u.NewFact("A", "R", "B"))
+	a := u.Entity("A")
+	n := 0
+	p.Match(a, u.Neq, sym.None, s, func(f fact.Fact) bool {
+		if f.S != a || f.T == a {
+			t.Errorf("bad ≠ fact %s", u.FormatFact(f))
+		}
+		n++
+		return true
+	})
+	if n != 2 { // R, B
+		t.Errorf("(A,≠,?) = %d facts, want 2", n)
+	}
+}
+
+func TestMatchGenFreeTarget(t *testing.T) {
+	u, s, p := setup()
+	s.Insert(u.NewFact("A", "R", "B"))
+	a := u.Entity("A")
+	var tgts []string
+	p.Match(a, u.Gen, sym.None, s, func(f fact.Fact) bool {
+		tgts = append(tgts, u.Name(f.T))
+		return true
+	})
+	// (A,≺,A) and (A,≺,Δ).
+	if len(tgts) != 2 {
+		t.Errorf("(A,≺,?) virtual = %v", tgts)
+	}
+}
+
+func TestMatchGenTopEnumerates(t *testing.T) {
+	u, s, p := setup()
+	s.Insert(u.NewFact("A", "R", "B"))
+	n := 0
+	p.Match(sym.None, u.Gen, u.Top, s, func(f fact.Fact) bool { n++; return true })
+	// (Δ,≺,Δ), (∇,≺,Δ), plus (E,≺,Δ) for E in {A,R,B}.
+	if n < 3 {
+		t.Errorf("(?,≺,Δ) enumerated %d facts", n)
+	}
+}
+
+func TestRelFreeRequiresBothEndpoints(t *testing.T) {
+	u, s, p := setup()
+	s.Insert(u.NewFact("1", "R", "2"))
+	n := 0
+	p.Match(u.Entity("1"), sym.None, sym.None, s, func(fact.Fact) bool { n++; return true })
+	if n != 0 {
+		t.Errorf("rel-free with free target emitted %d facts, want 0", n)
+	}
+	var rels []string
+	p.Match(u.Entity("1"), sym.None, u.Entity("2"), s, func(f fact.Fact) bool {
+		rels = append(rels, u.Name(f.R))
+		return true
+	})
+	// 1 vs 2: ≠, <, ≤ hold.
+	want := map[string]bool{"≠": true, "<": true, "≤": true}
+	if len(rels) != len(want) {
+		t.Errorf("(1,?,2) = %v", rels)
+	}
+	for _, r := range rels {
+		if !want[r] {
+			t.Errorf("unexpected relationship %q", r)
+		}
+	}
+}
+
+func TestDisableKinds(t *testing.T) {
+	u, _, p := setup()
+	f := u.NewFact("2", "<", "3")
+	if !p.Has(f) {
+		t.Fatal("math fact missing")
+	}
+	p.Disable(Math)
+	if p.Has(f) {
+		t.Error("disabled math still answers")
+	}
+	p.Enable(Math)
+	if !p.Has(f) {
+		t.Error("re-enabled math does not answer")
+	}
+
+	g := fact.Fact{S: u.Entity("A"), R: u.Gen, T: u.Top}
+	p.Disable(GenAxioms)
+	if p.Has(g) {
+		t.Error("disabled gen axioms still answer")
+	}
+	p.Enable(GenAxioms)
+
+	e := fact.Fact{S: u.Entity("A"), R: u.Eq, T: u.Entity("A")}
+	p.Disable(Equality)
+	if p.Has(e) {
+		t.Error("disabled equality still answers")
+	}
+}
+
+func TestEarlyStopPropagates(t *testing.T) {
+	u, s, p := setup()
+	s.Insert(u.NewFact("A", "R", "B"))
+	s.Insert(u.NewFact("C", "R", "D"))
+	n := 0
+	done := p.Match(sym.None, u.Eq, sym.None, s, func(fact.Fact) bool {
+		n++
+		return false
+	})
+	if done || n != 1 {
+		t.Errorf("early stop: done=%v n=%d", done, n)
+	}
+}
+
+// TestQuickTrichotomy checks §3.6: for every two different number
+// entities exactly one of (E1,<,E2), (E1,>,E2) holds.
+func TestQuickTrichotomy(t *testing.T) {
+	u, _, p := setup()
+	f := func(a, b int16) bool {
+		ea := u.Entity(itoa(int64(a)))
+		eb := u.Entity(itoa(int64(b)))
+		lt := p.Has(fact.Fact{S: ea, R: u.Lt, T: eb})
+		gt := p.Has(fact.Fact{S: ea, R: u.Gt, T: eb})
+		if a == b {
+			return !lt && !gt
+		}
+		return lt != gt
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEqExclusive checks §3.6: exactly one of (E1,=,E2),
+// (E1,≠,E2) holds for every pair.
+func TestQuickEqExclusive(t *testing.T) {
+	u, _, p := setup()
+	f := func(a, b uint8) bool {
+		ea := u.Entity("E" + itoa(int64(a)))
+		eb := u.Entity("E" + itoa(int64(b)))
+		eq := p.Has(fact.Fact{S: ea, R: u.Eq, T: eb})
+		ne := p.Has(fact.Fact{S: ea, R: u.Neq, T: eb})
+		return eq != ne
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(n int64) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [24]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

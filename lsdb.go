@@ -1,0 +1,518 @@
+// Package lsdb is a loosely structured database: an implementation of
+// the architecture of Amihai Motro's "Browsing in a Loosely
+// Structured Database" (SIGMOD 1984).
+//
+// A database is a heap of facts — named pairs of entities such as
+// (JOHN, EARNS, $25000) — plus a set of conjunctive rules serving
+// both as inference rules and integrity constraints. There is no
+// schema: "schema" relationships like (EMPLOYEE, EARNS, SALARY) and
+// "data" relationships are stored and retrieved uniformly. Retrieval
+// is by a predicate-logic query language whose atomic formulas are
+// templates, and by two browsing styles that assume no knowledge of
+// the database's organization:
+//
+//   - Navigation: iterative neighborhood exploration with templates
+//     like (JOHN, *, *), including composed relationship paths.
+//   - Probing: hit-and-miss querying with automatic retraction — a
+//     failed query is automatically broadened along the
+//     generalization hierarchy, and every success is reported with
+//     the generalization that produced it.
+//
+// Quick start:
+//
+//	db := lsdb.New()
+//	db.MustAssert("JOHN", "in", "EMPLOYEE")
+//	db.MustAssert("EMPLOYEE", "EARNS", "SALARY")
+//	rows, _ := db.Query("(JOHN, EARNS, ?what)")
+//	// rows.Tuples == [["SALARY"]]   (inference by membership)
+package lsdb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/browse"
+	"repro/internal/compose"
+	"repro/internal/fact"
+	"repro/internal/ops"
+	"repro/internal/probe"
+	"repro/internal/query"
+	"repro/internal/rules"
+	"repro/internal/store"
+	"repro/internal/sym"
+	"repro/internal/tabular"
+	"repro/internal/views"
+	"repro/internal/virtual"
+)
+
+// Options configures a Database.
+type Options struct {
+	// Strict makes every Assert verify that the new fact keeps the
+	// database closure contradiction-free (§2.6), rejecting the
+	// insertion otherwise. Strict asserts recompute the closure and
+	// are expensive; bulk loads should assert loosely and call
+	// Check once.
+	Strict bool
+	// CompositionLimit is the §6.1 limit(n) on composition chain
+	// length: 1 disables composition, n≥2 allows chains of up to n
+	// facts, Unlimited allows any simple path. Default 3.
+	CompositionLimit int
+	// LogPath, when non-empty, attaches an append-only durability log
+	// at that path: existing records are replayed on open and every
+	// mutation is appended.
+	LogPath string
+}
+
+// Unlimited is the composition limit value meaning "no bound" (§6.1 n=∞).
+const Unlimited = compose.Unlimited
+
+// Database is a loosely structured database.
+//
+// Concurrency: any number of goroutines may query, navigate and probe
+// concurrently. Mutations (Assert, Retract, Batch, rule changes) must
+// be serialized with queries by the caller — the cached closure is
+// maintained incrementally in place.
+type Database struct {
+	u    *fact.Universe
+	st   *store.Store
+	vp   *virtual.Provider
+	eng  *rules.Engine
+	comp *compose.Composer
+	br   *browse.Browser
+	pr   *probe.Prober
+	vw   *views.Registry
+
+	strict bool
+}
+
+// New returns an empty in-memory database with default options.
+func New() *Database {
+	db, err := Open(Options{})
+	if err != nil {
+		panic(err) // cannot happen without a log path
+	}
+	return db
+}
+
+// Open returns a database configured by opts.
+func Open(opts Options) (*Database, error) {
+	u := fact.NewUniverse()
+	st := store.New(u)
+	if opts.LogPath != "" {
+		if _, err := st.AttachLog(opts.LogPath); err != nil {
+			return nil, fmt.Errorf("lsdb: attach log: %w", err)
+		}
+	}
+	vp := virtual.New(u)
+	eng := rules.New(st, vp)
+	limit := opts.CompositionLimit
+	if limit == 0 {
+		limit = 3
+	}
+	comp := compose.New(eng, limit)
+	db := &Database{
+		u:      u,
+		st:     st,
+		vp:     vp,
+		eng:    eng,
+		comp:   comp,
+		br:     browse.New(eng, comp),
+		vw:     views.NewRegistry(),
+		strict: opts.Strict,
+	}
+	db.pr = probe.New(eng, db.evaluator())
+	return db, nil
+}
+
+// Close flushes and detaches the durability log, if any.
+func (db *Database) Close() error { return db.st.CloseLog() }
+
+// Universe exposes the entity universe (interning, special entities).
+func (db *Database) Universe() *fact.Universe { return db.u }
+
+// Store exposes the underlying fact store.
+func (db *Database) Store() *store.Store { return db.st }
+
+// Engine exposes the inference engine.
+func (db *Database) Engine() *rules.Engine { return db.eng }
+
+// Composer exposes the composition engine.
+func (db *Database) Composer() *compose.Composer { return db.comp }
+
+// Browser exposes the navigation browser.
+func (db *Database) Browser() *browse.Browser { return db.br }
+
+// Prober exposes the probing engine.
+func (db *Database) Prober() *probe.Prober { return db.pr }
+
+// Entity interns an entity name (normalizing ASCII aliases such as
+// "in" for ∈ and "isa" for ≺) and returns its ID.
+func (db *Database) Entity(name string) sym.ID { return db.u.Entity(name) }
+
+// Name resolves an entity ID back to its name.
+func (db *Database) Name(id sym.ID) string { return db.u.Name(id) }
+
+// Len returns the number of stored (explicit) facts.
+func (db *Database) Len() int { return db.st.Len() }
+
+// ClosureLen returns the number of facts in the materialized closure.
+func (db *Database) ClosureLen() int { return db.eng.ClosureSize() }
+
+// Assert inserts the fact (s, r, t). Under Strict options it first
+// verifies that the closure stays contradiction-free and returns the
+// violations as an error otherwise.
+func (db *Database) Assert(s, r, t string) error {
+	return db.AssertFact(db.u.NewFact(s, r, t))
+}
+
+// AssertFact inserts f, enforcing integrity when the database is strict.
+func (db *Database) AssertFact(f fact.Fact) error {
+	if db.strict {
+		if v := db.eng.WouldViolate(f); len(v) > 0 {
+			msgs := make([]string, len(v))
+			for i, viol := range v {
+				msgs[i] = viol.Format(db.u)
+			}
+			return fmt.Errorf("lsdb: integrity violation: %s", strings.Join(msgs, "; "))
+		}
+	}
+	db.st.Insert(f)
+	return nil
+}
+
+// MustAssert is Assert, panicking on integrity violation.
+func (db *Database) MustAssert(s, r, t string) {
+	if err := db.Assert(s, r, t); err != nil {
+		panic(err)
+	}
+}
+
+// Retract deletes the stored fact (s, r, t), reporting whether it was
+// present. Derived facts disappear with their premises.
+func (db *Database) Retract(s, r, t string) bool {
+	return db.st.Delete(db.u.NewFact(s, r, t))
+}
+
+// Has reports whether (s, r, t) is in the database closure —
+// stored, derived by rules, or virtual.
+func (db *Database) Has(s, r, t string) bool {
+	return db.eng.Has(db.u.NewFact(s, r, t))
+}
+
+// HasStored reports whether (s, r, t) is stored explicitly.
+func (db *Database) HasStored(s, r, t string) bool {
+	return db.st.Has(db.u.NewFact(s, r, t))
+}
+
+// matcher layers composition on top of the closure: a template like
+// (JOHN, ?x, MARY) also matches composed relationships (§3.7).
+type matcher struct {
+	eng  *rules.Engine
+	comp *compose.Composer
+}
+
+func (m matcher) Match(s, r, t sym.ID, fn func(fact.Fact) bool) bool {
+	if !m.eng.Match(s, r, t, fn) {
+		return false
+	}
+	if m.comp != nil {
+		return m.comp.Match(s, r, t, fn)
+	}
+	return true
+}
+
+// EstimateCount lets the evaluator order joins by closure index
+// cardinality (query.Estimator).
+func (m matcher) EstimateCount(s, r, t sym.ID) int {
+	return m.eng.EstimateCount(s, r, t)
+}
+
+func (db *Database) evaluator() *query.Evaluator {
+	return &query.Evaluator{
+		M:      matcher{eng: db.eng, comp: db.comp},
+		Domain: func() []sym.ID { return db.eng.Closure().Entities() },
+	}
+}
+
+// Rows is a query answer with entity names resolved.
+type Rows struct {
+	// Vars are the output column names, in first-occurrence order.
+	Vars []string
+	// Tuples are the satisfying assignments.
+	Tuples [][]string
+	// True is the truth value: for a proposition, whether it holds;
+	// for an open query, whether any tuple satisfies it.
+	True bool
+}
+
+// Empty reports query failure (§5): no satisfying tuples.
+func (r *Rows) Empty() bool { return !r.True }
+
+// Column returns the values of the named output column.
+func (r *Rows) Column(name string) []string {
+	idx := -1
+	for i, v := range r.Vars {
+		if v == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil
+	}
+	out := make([]string, len(r.Tuples))
+	for i, t := range r.Tuples {
+		out[i] = t[idx]
+	}
+	return out
+}
+
+// Query parses and evaluates a query in the surface syntax of §2.7:
+//
+//	exists ?x . (?x, in, BOOK) & (?x, CITES, ?x) & (?x, AUTHOR, ?y)
+//
+// Free variables (?y above, or * wildcards) are the output columns.
+// Invocations of defined operators (see Define) are expanded first.
+func (db *Database) Query(src string) (*Rows, error) {
+	q, err := db.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return db.Eval(q)
+}
+
+// Parse parses a query without evaluating it, expanding defined
+// operators first.
+func (db *Database) Parse(src string) (*query.Query, error) {
+	expanded, err := db.vw.Expand(src)
+	if err != nil {
+		return nil, err
+	}
+	return query.Parse(db.u, expanded)
+}
+
+// Define registers a new retrieval operator on top of the standard
+// query language (§6: "a definition facility to implement new
+// retrieval operators"):
+//
+//	db.Define("author-of(?b, ?p) := (?b, in, BOOK) & (?b, AUTHOR, ?p)")
+//	rows, _ := db.Query("author-of(?x, JOHN)")
+func (db *Database) Define(src string) error {
+	return db.vw.ParseDefine(src)
+}
+
+// Undefine removes a defined operator, reporting whether it existed.
+func (db *Database) Undefine(name string) bool { return db.vw.Undefine(name) }
+
+// Defined returns the names of the registered operators.
+func (db *Database) Defined() []string {
+	names := db.vw.Names()
+	sort.Strings(names)
+	return names
+}
+
+// Definition returns the named operator definition.
+func (db *Database) Definition(name string) (views.Def, bool) {
+	return db.vw.Lookup(name)
+}
+
+// Derive returns the proof tree showing why (s, r, t) is in the
+// materialized closure, or nil if it is not (virtual facts have no
+// materialized derivation).
+func (db *Database) Derive(s, r, t string) *rules.Derivation {
+	return db.eng.Derive(db.u.NewFact(s, r, t))
+}
+
+// Eval evaluates a parsed query.
+func (db *Database) Eval(q *query.Query) (*Rows, error) {
+	res, err := db.evaluator().Eval(q)
+	if err != nil {
+		return nil, err
+	}
+	return db.resolveResult(res), nil
+}
+
+func (db *Database) resolveResult(res *query.Result) *Rows {
+	rows := &Rows{Vars: res.Vars, True: res.True}
+	for _, t := range res.Tuples {
+		row := make([]string, len(t))
+		for i, id := range t {
+			row[i] = db.u.Name(id)
+		}
+		rows.Tuples = append(rows.Tuples, row)
+	}
+	return rows
+}
+
+// QueryTable evaluates a query and renders the answer in the §4.1
+// navigation layout: a single column for one free variable, a
+// two-dimensional table for two.
+func (db *Database) QueryTable(src string) (string, error) {
+	q, err := db.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	res, err := db.evaluator().Eval(q)
+	if err != nil {
+		return "", err
+	}
+	return browse.AnswerTable(db.u, q, res), nil
+}
+
+// Navigate returns the neighborhood of the entity — the navigation
+// step (e, *, *) plus (*, *, e) of §4.1.
+func (db *Database) Navigate(entity string) *browse.Neighborhood {
+	return db.br.Neighborhood(db.u.Entity(entity))
+}
+
+// Between returns every association between two entities — direct
+// relationships and composition paths (§4.1's (LEOPOLD, *, MOZART)).
+func (db *Database) Between(src, tgt string) []browse.Association {
+	return db.br.Between(db.u.Entity(src), db.u.Entity(tgt))
+}
+
+// Probe evaluates the query and on failure runs automatic retraction
+// (§5.2), broadening the query along minimal generalizations until
+// some broader query succeeds.
+func (db *Database) Probe(src string) (*probe.Outcome, error) {
+	q, err := db.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return db.pr.Probe(q)
+}
+
+// Try returns every fact involving the entity (§6.1 try(e)), giving
+// an unfamiliar user a starting point for navigation.
+func (db *Database) Try(entity string) []fact.Fact {
+	return ops.Try(db.eng, db.u.Entity(entity))
+}
+
+// IncludeRule re-enables a standard inference rule by name (§6.1).
+// Names: gen-source, gen-rel, gen-target, member-source,
+// member-target, gen-transitive, member-up, synonym, inversion.
+func (db *Database) IncludeRule(name string) error { return ops.Include(db.eng, name) }
+
+// ExcludeRule disables a standard inference rule by name (§6.1).
+func (db *Database) ExcludeRule(name string) error { return ops.Exclude(db.eng, name) }
+
+// Limit sets the composition chain bound (§6.1 limit(n)).
+func (db *Database) Limit(n int) { db.comp.SetLimit(n) }
+
+// AddRule parses and registers a user inference rule:
+//
+//	db.AddRule("works", "(?x, in, EMPLOYEE) => (?x, WORKS-FOR, DEPARTMENT)")
+func (db *Database) AddRule(name, src string) error {
+	r, err := rules.ParseRule(db.u, name, rules.Inference, src)
+	if err != nil {
+		return err
+	}
+	return db.eng.AddRule(r)
+}
+
+// AddConstraint parses and registers an integrity constraint (§2.5);
+// constraints share the rule mechanism, and violations surface as
+// contradictions in Check.
+func (db *Database) AddConstraint(name, src string) error {
+	r, err := rules.ParseRule(db.u, name, rules.Constraint, src)
+	if err != nil {
+		return err
+	}
+	return db.eng.AddRule(r)
+}
+
+// RemoveRule drops a user rule or constraint by name.
+func (db *Database) RemoveRule(name string) bool { return db.eng.RemoveRule(name) }
+
+// Check returns every contradiction in the closure (§2.5, §3.5); an
+// empty result means the database is valid (§2.6).
+func (db *Database) Check() []rules.Violation { return db.eng.Check() }
+
+// Consistent reports whether the closure is contradiction-free.
+func (db *Database) Consistent() bool { return db.eng.Consistent() }
+
+// Relation builds the §6.1 relation(s, r₁ t₁, …) structured view.
+// attrs alternate relationship and class names:
+//
+//	db.Relation("EMPLOYEE", "WORKS-FOR", "DEPARTMENT", "EARNS", "SALARY")
+func (db *Database) Relation(class string, attrs ...string) (*tabular.Rows, error) {
+	if len(attrs)%2 != 0 {
+		return nil, fmt.Errorf("lsdb: Relation needs relationship/class name pairs")
+	}
+	ras := make([]ops.RelationAttr, 0, len(attrs)/2)
+	for i := 0; i < len(attrs); i += 2 {
+		ras = append(ras, ops.RelationAttr{
+			Rel:   db.u.Entity(attrs[i]),
+			Class: db.u.Entity(attrs[i+1]),
+		})
+	}
+	return ops.Relation(db.eng, db.u.Entity(class), ras...), nil
+}
+
+// Relationships lists the relationship entities in use with their
+// stored fact counts, most frequent first.
+func (db *Database) Relationships() []string {
+	stats := db.st.Relationships()
+	out := make([]string, len(stats))
+	for i, s := range stats {
+		out[i] = fmt.Sprintf("%s (%d)", db.u.Name(s.Rel), s.Count)
+	}
+	return out
+}
+
+// Find returns the names of active-domain entities whose name
+// contains substr (case-insensitive), sorted. It is the browsing aid
+// for users who do not know the exact entity names — pair it with Try
+// to pick a navigation starting point (§6.1).
+func (db *Database) Find(substr string) []string {
+	needle := strings.ToLower(substr)
+	var out []string
+	for _, id := range db.st.Entities() {
+		name := db.u.Name(id)
+		if strings.Contains(strings.ToLower(name), needle) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Entities returns the sorted names of every entity occurring in a
+// stored fact.
+func (db *Database) Entities() []string {
+	ids := db.st.Entities()
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = db.u.Name(id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SaveSnapshot writes all stored facts to path atomically.
+func (db *Database) SaveSnapshot(path string) error { return db.st.SaveSnapshotFile(path) }
+
+// LoadSnapshot merges the facts from a snapshot file at path.
+func (db *Database) LoadSnapshot(path string) error { return db.st.LoadSnapshotFile(path) }
+
+// Sync flushes the durability log to disk.
+func (db *Database) Sync() error { return db.st.SyncLog() }
+
+// Merge inserts every stored fact of other into db. This is the §1
+// motivation of unified access across databases: two loosely
+// structured databases merge by name with no schema mediation.
+func (db *Database) Merge(other *Database) int {
+	n := 0
+	for _, f := range other.st.Facts() {
+		g := fact.Fact{
+			S: db.u.Intern(other.u.Name(f.S)),
+			R: db.u.Intern(other.u.Name(f.R)),
+			T: db.u.Intern(other.u.Name(f.T)),
+		}
+		if db.st.Insert(g) {
+			n++
+		}
+	}
+	return n
+}

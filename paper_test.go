@@ -1,0 +1,205 @@
+package lsdb_test
+
+import (
+	"strings"
+	"testing"
+
+	lsdb "repro"
+	"repro/internal/dataset"
+)
+
+// These tests regenerate the paper's illustrative output tables
+// (DESIGN.md experiments T1 and T2). Every entry the paper shows must
+// be present; the closure may add inferred entries on top (see
+// DESIGN.md §2).
+
+func TestPaperSection41JohnTable(t *testing.T) {
+	db := dataset.Music()
+	n := db.Navigate("JOHN")
+	out := n.Table(db.Universe()).Render()
+
+	// First navigation step: (JOHN, *, *).
+	for _, want := range []string{
+		"JOHN**",
+		"PERSON", "EMPLOYEE", "PET-OWNER", "MUSIC-LOVER",
+		"LIKES", "CAT", "FELIX", "HEATHCLIFF", "MOZART", "MARY",
+		"WORKS-FOR", "DEPARTMENT", "SHIPPING",
+		"BOSS", "PETER",
+		"FAVORITE-MUSIC", "PC#9-WAM", "PC#2-BB", "S#5-LVB",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JOHN table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPaperSection41PC9Table(t *testing.T) {
+	db := dataset.Music()
+	n := db.Navigate("PC#9-WAM")
+	out := n.Table(db.Universe()).Render()
+	for _, want := range []string{
+		"PC#9-WAM**",
+		"CONCERTO", "CLASSICAL", "COMPOSITION",
+		"COMPOSED-BY", "MOZART",
+		"PERFORMED-BY", "SERKIN", "BARENBOIM",
+		// FAVORITE-OF is inferred by inversion from FAVORITE-MUSIC.
+		"FAVORITE-OF", "JOHN", "LEOPOLD",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("PC#9-WAM table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPaperSection41LeopoldMozart(t *testing.T) {
+	db := dataset.Music()
+	out := db.Browser().BetweenTable(
+		db.Entity("LEOPOLD"), db.Entity("MOZART")).Render()
+	for _, want := range []string{
+		"LEOPOLD+MOZART",
+		"FATHER-OF",
+		"FAVORITE-MUSIC PC#9-WAM COMPOSED-BY",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("LEOPOLD+MOZART table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPaperSection61RelationTable(t *testing.T) {
+	db := dataset.Employment(0, 1)
+	table, err := db.Relation("EMPLOYEE",
+		"WORKS-FOR", "DEPARTMENT",
+		"EARNS", "SALARY")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := table.Render()
+	for _, want := range []string{
+		"EMPLOYEE", "WORKS-FOR DEPARTMENT", "EARNS SALARY",
+		"JOHN", "SHIPPING", "$26000",
+		"TOM", "ACCOUNTING", "$27000",
+		"MARY", "RECEIVING", "$25000",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("§6.1 relation table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPaperSection52Menu(t *testing.T) {
+	db := dataset.Opera()
+	out, err := db.Probe("(STUDENT, LOVE, ?z) & (?z, COSTS, FREE)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	menu := out.Menu(db.Universe())
+	for _, want := range []string{
+		"Query failed. Retrying",
+		"FRESHMAN instead of STUDENT",
+		"CHEAP instead of FREE",
+		"You may select",
+	} {
+		if !strings.Contains(menu, want) {
+			t.Errorf("§5.2 menu missing %q:\n%s", want, menu)
+		}
+	}
+}
+
+func TestPaperSection52Misspelling(t *testing.T) {
+	// (JOHN, LOWES, z): LOWES is not a database entity; after the
+	// other positions generalize away, the failure is reported as
+	// "no such database entities".
+	db := lsdb.New()
+	db.MustAssert("JOHN", "LOVES", "MARY")
+	out, err := db.Probe("(JOHN, LOWES, ?z)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Succeeded() {
+		t.Fatal("misspelled query succeeded")
+	}
+	menu := out.Menu(db.Universe())
+	if !strings.Contains(menu, "no such database entities") ||
+		!strings.Contains(menu, "LOWES") {
+		t.Errorf("misspelling diagnosis missing:\n%s", menu)
+	}
+}
+
+func TestPaperSection26ComplexFact(t *testing.T) {
+	// §2.6: "Tom is enrolled in CS100 and received the grade A"
+	// decomposed into three atomic facts around E123.
+	db := lsdb.New()
+	db.MustAssert("E123", "ENROLL-STUDENT", "TOM")
+	db.MustAssert("E123", "ENROLL-COURSE", "CS100")
+	db.MustAssert("E123", "ENROLL-GRADE", "A")
+	rows, err := db.Query(
+		"exists ?e . (?e, ENROLL-STUDENT, TOM) & (?e, ENROLL-COURSE, CS100) & (?e, ENROLL-GRADE, ?g)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Tuples) != 1 || rows.Tuples[0][0] != "A" {
+		t.Errorf("Tom's CS100 grade = %v", rows.Tuples)
+	}
+}
+
+func TestPaperSection26Irregularities(t *testing.T) {
+	// §2.6 explicitly allows: multiple relationships between the same
+	// pair, one relationship between many pairs, many-to-many,
+	// inconsistencies and replications.
+	db := lsdb.New()
+	for _, f := range [][3]string{
+		{"MARY", "MAJOR", "MATH"},
+		{"MARY", "ASSISTANT", "MATH"},
+		{"JOHN", "LIKES", "FELIX"},
+		{"PERSON", "LIKES", "PERSON"},
+		{"TOM", "ENROLLED-IN", "CS100"},
+		{"TOM", "ENROLLED-IN", "MATH101"},
+		{"SUE", "ENROLLED-IN", "MATH101"},
+		{"JOHN", "EARNS", "$25000"},
+		{"JOHN", "EARNS", "$40000"},
+		{"JOHN", "INCOME", "$40000"},
+	} {
+		if err := db.Assert(f[0], f[1], f[2]); err != nil {
+			t.Fatalf("irregular but legal fact rejected: %v", err)
+		}
+	}
+	if !db.Consistent() {
+		t.Error("heap of irregular facts reported inconsistent")
+	}
+}
+
+func TestPaperTryOperator(t *testing.T) {
+	db := dataset.Music()
+	facts := db.Try("MOZART")
+	if len(facts) == 0 {
+		t.Fatal("try(MOZART) found nothing")
+	}
+	foundComposed, foundLiked := false, false
+	u := db.Universe()
+	for _, f := range facts {
+		if u.Name(f.S) == "PC#9-WAM" && u.Name(f.R) == "COMPOSED-BY" {
+			foundComposed = true
+		}
+		if u.Name(f.S) == "JOHN" && u.Name(f.R) == "LIKES" {
+			foundLiked = true
+		}
+	}
+	if !foundComposed || !foundLiked {
+		t.Error("try(MOZART) missed occurrences")
+	}
+}
+
+func TestPaperIncludeExcludeComposition(t *testing.T) {
+	// §6.1: composition may be switched on before a retrieval and off
+	// after. limit(1) disables it.
+	db := dataset.Music()
+	db.Limit(1)
+	if n := len(db.Between("LEOPOLD", "MOZART")); n != 1 {
+		t.Errorf("with composition off: %d associations, want 1 (FATHER-OF)", n)
+	}
+	db.Limit(3)
+	if n := len(db.Between("LEOPOLD", "MOZART")); n < 2 {
+		t.Errorf("with composition on: %d associations", n)
+	}
+}

@@ -1,0 +1,285 @@
+package lsdb_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	lsdb "repro"
+	"repro/internal/query"
+)
+
+// Whole-system property tests over randomly generated databases.
+
+// randomDB builds a small random world with a generalization
+// hierarchy, memberships and data facts.
+func randomDB(seed int64) *lsdb.Database {
+	rng := rand.New(rand.NewSource(seed))
+	db := lsdb.New()
+
+	classes := []string{"C0", "C1", "C2", "C3", "C4"}
+	rels := []string{"R0", "R1", "R2"}
+	insts := []string{"I0", "I1", "I2", "I3"}
+
+	// A random forest of generalizations.
+	for i := 1; i < len(classes); i++ {
+		if rng.Intn(3) > 0 {
+			db.MustAssert(classes[i], "isa", classes[rng.Intn(i)])
+		}
+	}
+	// Random relationship generalizations.
+	if rng.Intn(2) == 0 {
+		db.MustAssert("R1", "isa", "R0")
+	}
+	// Random memberships.
+	for _, inst := range insts {
+		if rng.Intn(4) > 0 {
+			db.MustAssert(inst, "in", classes[rng.Intn(len(classes))])
+		}
+	}
+	// Random data facts.
+	n := 3 + rng.Intn(5)
+	for i := 0; i < n; i++ {
+		pool := append(append([]string{}, classes...), insts...)
+		db.MustAssert(pool[rng.Intn(len(pool))], rels[rng.Intn(len(rels))], pool[rng.Intn(len(pool))])
+	}
+	return db
+}
+
+// TestQuickBroadnessMonotonicity verifies the paper's central probing
+// theorem (§5.1): if Q' is minimally broader than Q, then {Q} ⊆ {Q'}.
+func TestQuickBroadnessMonotonicity(t *testing.T) {
+	f := func(seed int64, relIdx, classIdx uint8) bool {
+		db := randomDB(seed)
+		u := db.Universe()
+		rel := fmt.Sprintf("R%d", relIdx%3)
+		class := fmt.Sprintf("C%d", classIdx%5)
+		q, err := db.Parse(fmt.Sprintf("(?x, %s, %s)", rel, class))
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := db.Eval(q)
+		if err != nil {
+			return false
+		}
+		baseSet := map[string]bool{}
+		for _, tp := range base.Tuples {
+			baseSet[tp[0]] = true
+		}
+
+		// Build every minimally broader query via the prober's own
+		// generalization machinery.
+		pr := db.Prober()
+		for _, gen := range pr.MinimalGens(u.Entity(class)) {
+			broader := fmt.Sprintf("(?x, %s, %s)", rel, u.Name(gen))
+			res, err := db.Query(broader)
+			if err != nil {
+				return false
+			}
+			have := map[string]bool{}
+			for _, tp := range res.Tuples {
+				have[tp[0]] = true
+			}
+			for x := range baseSet {
+				if !have[x] {
+					t.Logf("seed %d: %s ⊈ %s: lost %s", seed, q.String(), broader, x)
+					return false
+				}
+			}
+		}
+		for _, gen := range pr.MinimalGens(u.Entity(rel)) {
+			broader := fmt.Sprintf("(?x, %s, %s)", u.Name(gen), class)
+			res, err := db.Query(broader)
+			if err != nil {
+				return false
+			}
+			have := map[string]bool{}
+			for _, tp := range res.Tuples {
+				have[tp[0]] = true
+			}
+			for x := range baseSet {
+				if !have[x] {
+					t.Logf("seed %d: rel-broadening lost %s", seed, x)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickClosureMonotoneInFacts: adding a fact never removes
+// closure facts (the rules are monotonic).
+func TestQuickClosureMonotoneInFacts(t *testing.T) {
+	f := func(seed int64) bool {
+		db := randomDB(seed)
+		before := db.Engine().Closure().Facts()
+		db.MustAssert("EXTRA", "R0", "C0")
+		after := db.Engine().Closure()
+		for _, g := range before {
+			if !after.Has(g) {
+				u := db.Universe()
+				t.Logf("seed %d: lost %s", seed, u.FormatFact(g))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickGenClosureIsTransitive: the generalization facts of the
+// closure form a transitive relation over stored entities.
+func TestQuickGenClosureIsTransitive(t *testing.T) {
+	f := func(seed int64) bool {
+		db := randomDB(seed)
+		u := db.Universe()
+		c := db.Engine().Closure()
+		gens := c.MatchAll(0, u.Gen, 0)
+		idx := map[[2]string]bool{}
+		for _, g := range gens {
+			idx[[2]string{u.Name(g.S), u.Name(g.T)}] = true
+		}
+		for a := range idx {
+			for b := range idx {
+				if a[1] == b[0] && a[0] != b[1] {
+					if !idx[[2]string{a[0], b[1]}] {
+						t.Logf("seed %d: %v ∘ %v missing", seed, a, b)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSynonymsAreEquivalence: synonym facts in the closure are
+// symmetric and transitive.
+func TestQuickSynonymsAreEquivalence(t *testing.T) {
+	f := func(seed int64, pairs []uint8) bool {
+		db := lsdb.New()
+		names := []string{"S0", "S1", "S2", "S3"}
+		for i, p := range pairs {
+			if i >= 4 {
+				break
+			}
+			db.MustAssert(names[int(p)%len(names)], "syn", names[(int(p)/4)%len(names)])
+		}
+		u := db.Universe()
+		c := db.Engine().Closure()
+		syns := c.MatchAll(0, u.Syn, 0)
+		idx := map[[2]string]bool{}
+		for _, s := range syns {
+			idx[[2]string{u.Name(s.S), u.Name(s.T)}] = true
+		}
+		for p := range idx {
+			if !idx[[2]string{p[1], p[0]}] {
+				return false // not symmetric
+			}
+			for q := range idx {
+				if p[1] == q[0] && p[0] != q[1] {
+					if !idx[[2]string{p[0], q[1]}] {
+						return false // not transitive
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickProbeTerminates: probing always terminates and classifies
+// the outcome.
+func TestQuickProbeTerminates(t *testing.T) {
+	f := func(seed int64, relIdx, classIdx uint8) bool {
+		db := randomDB(seed)
+		src := fmt.Sprintf("(?x, R%d, C%d)", relIdx%3, classIdx%5)
+		out, err := db.Probe(src)
+		if err != nil {
+			return false
+		}
+		if out.Succeeded() {
+			return len(out.Waves) == 0
+		}
+		hasSuccess := false
+		for _, w := range out.Waves {
+			if len(w.Successes()) > 0 {
+				hasSuccess = true
+			}
+		}
+		return hasSuccess || out.Exhausted
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickQueryDeterminism: evaluating the same query twice yields
+// identical tuple lists.
+func TestQuickQueryDeterminism(t *testing.T) {
+	f := func(seed int64) bool {
+		db := randomDB(seed)
+		q := "(?x, ?r, ?y)"
+		r1, err1 := db.Query(q)
+		r2, err2 := db.Query(q)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if len(r1.Tuples) != len(r2.Tuples) {
+			return false
+		}
+		for i := range r1.Tuples {
+			for j := range r1.Tuples[i] {
+				if r1.Tuples[i][j] != r2.Tuples[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickParserRoundTrip: rendering and reparsing a random
+// template query is stable.
+func TestQuickParserRoundTrip(t *testing.T) {
+	db := lsdb.New()
+	u := db.Universe()
+	f := func(a, b, c uint8, vs, vr, vt bool) bool {
+		term := func(n uint8, isVar bool, vname string) string {
+			if isVar {
+				return "?" + vname
+			}
+			return fmt.Sprintf("E%d", n%16)
+		}
+		src := fmt.Sprintf("(%s, %s, %s)",
+			term(a, vs, "x"), term(b, vr, "r"), term(c, vt, "y"))
+		q, err := query.Parse(u, src)
+		if err != nil {
+			return false
+		}
+		q2, err := query.Parse(u, q.String())
+		if err != nil {
+			return false
+		}
+		return q2.String() == q.String()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

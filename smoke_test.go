@@ -1,0 +1,147 @@
+package lsdb
+
+import "testing"
+
+// Smoke tests for the paper's running examples (§2–§3). Deeper,
+// per-module tests live in the internal packages.
+
+func TestMembershipInference(t *testing.T) {
+	db := New()
+	db.MustAssert("JOHN", "in", "EMPLOYEE")
+	db.MustAssert("EMPLOYEE", "EARNS", "SALARY")
+	if !db.Has("JOHN", "EARNS", "SALARY") {
+		t.Fatal("(JOHN, EARNS, SALARY) not inferred from membership (§3.2)")
+	}
+}
+
+func TestGeneralizationInference(t *testing.T) {
+	db := New()
+	db.MustAssert("EMPLOYEE", "WORKS-FOR", "DEPARTMENT")
+	db.MustAssert("MANAGER", "isa", "EMPLOYEE")
+	db.MustAssert("EMPLOYEE", "EARNS", "SALARY")
+	db.MustAssert("SALARY", "isa", "COMPENSATION")
+	db.MustAssert("JOHN", "WORKS-FOR", "SHIPPING")
+	db.MustAssert("WORKS-FOR", "isa", "IS-PAID-BY")
+
+	for _, want := range [][3]string{
+		{"MANAGER", "WORKS-FOR", "DEPARTMENT"},
+		{"EMPLOYEE", "EARNS", "COMPENSATION"},
+		{"JOHN", "IS-PAID-BY", "SHIPPING"},
+	} {
+		if !db.Has(want[0], want[1], want[2]) {
+			t.Errorf("(%s, %s, %s) not inferred (§3.1)", want[0], want[1], want[2])
+		}
+	}
+}
+
+func TestSynonymInference(t *testing.T) {
+	db := New()
+	db.MustAssert("JOHN", "EARNS", "$25000")
+	db.MustAssert("JOHN", "syn", "JOHNNY")
+	db.MustAssert("SALARY", "syn", "WAGE")
+	db.MustAssert("SALARY", "syn", "PAY")
+	if !db.Has("JOHNNY", "EARNS", "$25000") {
+		t.Error("synonym substitution failed (§3.3)")
+	}
+	if !db.Has("WAGE", "syn", "PAY") {
+		t.Error("synonym symmetry+transitivity failed (§3.3)")
+	}
+}
+
+func TestInversionInference(t *testing.T) {
+	db := New()
+	db.MustAssert("INSTRUCTOR", "TEACHES", "COURSE")
+	db.MustAssert("TEACHES", "inv", "TAUGHT-BY")
+	if !db.Has("COURSE", "TAUGHT-BY", "INSTRUCTOR") {
+		t.Error("inversion failed (§3.4)")
+	}
+	if !db.Has("TAUGHT-BY", "inv", "TEACHES") {
+		t.Error("inversion facts must come in pairs (§3.4)")
+	}
+}
+
+func TestMathQuery(t *testing.T) {
+	db := New()
+	db.MustAssert("JOHN", "in", "EMPLOYEE")
+	db.MustAssert("JOHN", "EARNS", "25000")
+	db.MustAssert("TOM", "in", "EMPLOYEE")
+	db.MustAssert("TOM", "EARNS", "15000")
+	rows, err := db.Query("exists ?y . (?x, in, EMPLOYEE) & (?x, EARNS, ?y) & (?y, >, 20000)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Tuples) != 1 || rows.Tuples[0][0] != "JOHN" {
+		t.Errorf("math query (§3.6): got %v, want [[JOHN]]", rows.Tuples)
+	}
+}
+
+func TestProposition(t *testing.T) {
+	db := New()
+	db.MustAssert("JOHN", "LIKES", "FELIX")
+	db.MustAssert("FELIX", "LIKES", "JOHN")
+	rows, err := db.Query("(JOHN, LIKES, FELIX) & (FELIX, LIKES, JOHN)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows.True {
+		t.Error("mutual-liking proposition should be true (§2.7)")
+	}
+	rows, err = db.Query("(JOHN, LIKES, FELIX) & (FELIX, LIKES, MARY)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.True {
+		t.Error("false proposition reported true")
+	}
+}
+
+func TestComposition(t *testing.T) {
+	db := New()
+	db.MustAssert("TOM", "ENROLLED-IN", "CS100")
+	db.MustAssert("CS100", "TAUGHT-BY", "HARRY")
+	assocs := db.Between("TOM", "HARRY")
+	found := false
+	for _, a := range assocs {
+		if db.Name(a.Rel) == "ENROLLED-IN CS100 TAUGHT-BY" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("composition (§3.7): associations = %v", assocs)
+	}
+}
+
+func TestProbingRetraction(t *testing.T) {
+	db := New()
+	// §5.1's opera example: nobody loves opera, but someone enjoys it.
+	db.MustAssert("LOVES", "isa", "ENJOYS")
+	db.MustAssert("OPERA", "isa", "MUSIC")
+	db.MustAssert("MARY", "ENJOYS", "OPERA")
+	db.MustAssert("MARY", "in", "PERSON")
+	out, err := db.Probe("(?z, LOVES, OPERA)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Succeeded() {
+		t.Fatal("original probe should fail")
+	}
+	if len(out.Waves) == 0 {
+		t.Fatal("no retraction waves")
+	}
+	succ := out.Waves[len(out.Waves)-1].Successes()
+	if len(succ) == 0 {
+		t.Fatal("no retraction success")
+	}
+	found := false
+	for _, e := range succ {
+		for _, c := range e.Changes {
+			if db.Name(c.From) == "LOVES" && db.Name(c.To) == "ENJOYS" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("expected success with ENJOYS instead of LOVES; got %s",
+			out.Menu(db.Universe()))
+	}
+}

@@ -1,0 +1,210 @@
+package lsdb_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	lsdb "repro"
+	"repro/internal/rules"
+)
+
+func TestBatchCommits(t *testing.T) {
+	db := lsdb.New()
+	err := db.Batch(func(tx *lsdb.Tx) error {
+		tx.Assert("A", "R", "B")
+		tx.Assert("C", "R", "D")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db.HasStored("A", "R", "B") || !db.HasStored("C", "R", "D") {
+		t.Error("batch facts not committed")
+	}
+}
+
+func TestBatchRollsBackOnError(t *testing.T) {
+	db := lsdb.New()
+	db.MustAssert("KEEP", "R", "ME")
+	sentinel := errors.New("boom")
+	err := db.Batch(func(tx *lsdb.Tx) error {
+		tx.Assert("A", "R", "B")
+		tx.Retract("KEEP", "R", "ME")
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if db.HasStored("A", "R", "B") {
+		t.Error("inserted fact survived rollback")
+	}
+	if !db.HasStored("KEEP", "R", "ME") {
+		t.Error("retracted fact not restored by rollback")
+	}
+}
+
+func TestBatchStrictIntegrity(t *testing.T) {
+	db, _ := lsdb.Open(lsdb.Options{Strict: true})
+	db.MustAssert("LOVES", "contra", "HATES")
+	db.MustAssert("JOHN", "LOVES", "MARY")
+	err := db.Batch(func(tx *lsdb.Tx) error {
+		tx.Assert("JOHN", "HATES", "MARY")
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "integrity") {
+		t.Fatalf("err = %v", err)
+	}
+	if db.HasStored("JOHN", "HATES", "MARY") {
+		t.Error("violating batch committed")
+	}
+}
+
+func TestBatchIntermediateStatesUnchecked(t *testing.T) {
+	// The point of a transaction: a multi-fact update may pass
+	// through contradictory intermediate states as long as the final
+	// state is consistent. Swap John's salary by retract+assert while
+	// a constraint watches.
+	db, _ := lsdb.Open(lsdb.Options{Strict: true})
+	db.MustAssert("SINGLE", "contra", "MARRIED")
+	db.MustAssert("JOHN", "SINGLE", "YES")
+	err := db.Batch(func(tx *lsdb.Tx) error {
+		tx.Assert("JOHN", "MARRIED", "YES") // momentarily contradictory
+		tx.Retract("JOHN", "SINGLE", "YES")
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("consistent final state rejected: %v", err)
+	}
+	if !db.HasStored("JOHN", "MARRIED", "YES") || db.HasStored("JOHN", "SINGLE", "YES") {
+		t.Error("final state wrong")
+	}
+}
+
+func TestBatchStrictIgnoresPreexistingViolations(t *testing.T) {
+	db, _ := lsdb.Open(lsdb.Options{Strict: true})
+	// Sneak a violation in loosely via the store.
+	db.Store().Insert(db.Universe().NewFact("LOVES", "⊥", "HATES"))
+	db.Store().Insert(db.Universe().NewFact("A", "LOVES", "B"))
+	db.Store().Insert(db.Universe().NewFact("A", "HATES", "B"))
+	err := db.Batch(func(tx *lsdb.Tx) error {
+		tx.Assert("X", "LIKES", "Y")
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("harmless batch blocked by pre-existing violation: %v", err)
+	}
+}
+
+func TestBatchUseAfterFinishPanics(t *testing.T) {
+	db := lsdb.New()
+	var leaked *lsdb.Tx
+	db.Batch(func(tx *lsdb.Tx) error {
+		leaked = tx
+		return nil
+	})
+	defer func() {
+		if recover() == nil {
+			t.Error("use of finished transaction did not panic")
+		}
+	}()
+	leaked.Assert("A", "R", "B")
+}
+
+func TestDefineOperator(t *testing.T) {
+	db := lsdb.New()
+	db.MustAssert("B1", "in", "BOOK")
+	db.MustAssert("B1", "AUTHOR", "JOHN")
+	db.MustAssert("B2", "in", "BOOK")
+	db.MustAssert("B2", "AUTHOR", "MARY")
+	if err := db.Define("author-of(?b, ?p) := (?b, in, BOOK) & (?b, AUTHOR, ?p)"); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := db.Query("author-of(?x, JOHN)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Tuples) != 1 || rows.Tuples[0][0] != "B1" {
+		t.Errorf("author-of(?x, JOHN) = %v", rows.Tuples)
+	}
+	if got := db.Defined(); len(got) != 1 || got[0] != "author-of" {
+		t.Errorf("Defined = %v", got)
+	}
+	if !db.Undefine("author-of") {
+		t.Error("Undefine failed")
+	}
+}
+
+func TestDefinedOperatorInProbe(t *testing.T) {
+	db := lsdb.New()
+	db.MustAssert("LOVE", "isa", "LIKE")
+	db.MustAssert("MARY", "LIKE", "OPERA")
+	db.Define("loves(?w, ?x) := (?w, LOVE, ?x)")
+	out, err := db.Probe("loves(?z, OPERA)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Succeeded() {
+		t.Fatal("should fail")
+	}
+	found := false
+	for _, w := range out.Waves {
+		for _, e := range w.Successes() {
+			for _, c := range e.Changes {
+				if db.Name(c.To) == "LIKE" {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Errorf("probe through defined operator failed:\n%s", out.Menu(db.Universe()))
+	}
+}
+
+func TestDeriveTree(t *testing.T) {
+	db := lsdb.New()
+	db.MustAssert("JOHN", "in", "EMPLOYEE")
+	db.MustAssert("EMPLOYEE", "isa", "PERSON")
+	db.MustAssert("PERSON", "NEEDS", "SLEEP")
+	d := db.Derive("JOHN", "NEEDS", "SLEEP")
+	if d == nil {
+		t.Fatal("no derivation for a derived fact")
+	}
+	out := d.Format(db.Universe())
+	for _, want := range []string{"stored", "NEEDS", "SLEEP"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("derivation missing %q:\n%s", want, out)
+		}
+	}
+	if db.Derive("NO", "SUCH", "FACT") != nil {
+		t.Error("derivation for absent fact")
+	}
+	if got := db.Derive("JOHN", "in", "EMPLOYEE"); got == nil || got.Rule != "stored" {
+		t.Errorf("stored fact derivation = %+v", got)
+	}
+}
+
+func TestDeriveLeavesAreStoredOrAxiom(t *testing.T) {
+	db := lsdb.New()
+	db.MustAssert("A", "isa", "B")
+	db.MustAssert("B", "isa", "C")
+	db.MustAssert("C", "HAS", "X")
+	d := db.Derive("A", "HAS", "X")
+	if d == nil {
+		t.Fatal("no derivation")
+	}
+	var walk func(n *rules.Derivation)
+	walk = func(n *rules.Derivation) {
+		if len(n.Premises) == 0 {
+			if n.Rule != "stored" && n.Rule != "axiom" {
+				t.Errorf("leaf %s has rule %q", db.Universe().FormatFact(n.Fact), n.Rule)
+			}
+			return
+		}
+		for _, p := range n.Premises {
+			walk(p)
+		}
+	}
+	walk(d)
+}

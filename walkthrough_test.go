@@ -1,0 +1,173 @@
+package lsdb_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	lsdb "repro"
+	"repro/internal/factfile"
+)
+
+// TestFullWalkthrough drives one database through the entire life
+// cycle the paper describes: construction as a heap of facts, rule
+// and constraint definition, inference, standard querying, both
+// browsing styles, the §6.1 operators, views, a transactional update,
+// and durable restart — one integration test across every subsystem.
+func TestFullWalkthrough(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "walk.log")
+
+	db, err := lsdb.Open(lsdb.Options{LogPath: logPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 1. Construction (§2.6): facts one by one, schema and data mixed.
+	facts := [][3]string{
+		{"EMPLOYEE", "isa", "PERSON"},
+		{"MANAGER", "isa", "EMPLOYEE"},
+		{"EMPLOYEE", "EARNS", "SALARY"},
+		{"WORKS-FOR", "inv", "EMPLOYS"},
+		{"EMPLOYS", "in", "@class"},
+		{"SHIPPING", "in", "DEPARTMENT"},
+		{"RECEIVING", "in", "DEPARTMENT"},
+		{"JOHN", "in", "EMPLOYEE"},
+		{"JOHN", "WORKS-FOR", "SHIPPING"},
+		{"JOHN", "EARNS", "26000"},
+		{"26000", "in", "SALARY"},
+		{"MARY", "in", "MANAGER"},
+		{"MARY", "WORKS-FOR", "RECEIVING"},
+		{"MARY", "EARNS", "31000"},
+		{"31000", "in", "SALARY"},
+		{"JOHN", "REPORTS-TO", "MARY"},
+	}
+	for _, f := range facts {
+		db.MustAssert(f[0], f[1], f[2])
+	}
+
+	// 2. Rules and constraints share one mechanism (§2.5).
+	if err := db.AddRule("colleagues",
+		"(?a, WORKS-FOR, ?d) & (?b, WORKS-FOR, ?d) & (?a, !=, ?b) => (?a, COLLEAGUE-OF, ?b)"); err != nil {
+		t.Fatal(err)
+	}
+	// The amount guards (?x ∈ SALARY) keep the constraint off the
+	// class-level (EMPLOYEE, EARNS, SALARY) abstraction the closure
+	// also contains.
+	if err := db.AddConstraint("manager-earns-more",
+		"(?e, REPORTS-TO, ?m) & (?e, EARNS, ?x) & (?x, in, SALARY) & (?m, EARNS, ?y) & (?y, in, SALARY) => (?y, >, ?x)"); err != nil {
+		t.Fatal(err)
+	}
+	if !db.Consistent() {
+		t.Fatalf("violations: %v", db.Check())
+	}
+
+	// 3. Inference: membership, generalization, inversion.
+	for _, want := range [][3]string{
+		{"MARY", "in", "PERSON"},
+		{"MARY", "EARNS", "SALARY"},
+		{"SHIPPING", "EMPLOYS", "JOHN"},
+	} {
+		if !db.Has(want[0], want[1], want[2]) {
+			t.Errorf("missing inference %v", want)
+		}
+	}
+
+	// 4. Standard querying with math guards (§3.6).
+	rows, err := db.Query("exists ?amt . (?who, EARNS, ?amt) & (?amt, >, 30000)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Tuples) != 1 || rows.Tuples[0][0] != "MARY" {
+		t.Errorf("high earners = %v", rows.Tuples)
+	}
+
+	// 5. Navigation (§4.1) and composition (§3.7).
+	nav := db.Navigate("JOHN")
+	if nav.Degree() == 0 {
+		t.Error("empty neighborhood")
+	}
+	found := false
+	for _, a := range db.Between("JOHN", "RECEIVING") {
+		if strings.Contains(db.Name(a.Rel), "REPORTS-TO MARY WORKS-FOR") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("composed path JOHN→MARY→RECEIVING missing")
+	}
+
+	// 6. Probing (§5): misspelled relationship diagnosed; a too-narrow
+	// query broadened.
+	out, err := db.Probe("(JOHN, ERNS, ?x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Succeeded() || len(out.Unknown) == 0 {
+		t.Error("misspelling not diagnosed")
+	}
+
+	// 7. §6.1 operators and views.
+	table, err := db.Relation("EMPLOYEE", "WORKS-FOR", "DEPARTMENT", "EARNS", "SALARY")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := table.Render()
+	if !strings.Contains(rendered, "JOHN") || !strings.Contains(rendered, "31000") {
+		t.Errorf("relation view:\n%s", rendered)
+	}
+	if err := db.Define("dept-of(?e, ?d) := (?e, WORKS-FOR, ?d) & (?d, in, DEPARTMENT)"); err != nil {
+		t.Fatal(err)
+	}
+	rows, err = db.Query("dept-of(MARY, ?d)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Tuples) != 1 || rows.Tuples[0][0] != "RECEIVING" {
+		t.Errorf("dept-of = %v", rows.Tuples)
+	}
+
+	// 8. A raise for John above Mary must be caught.
+	db.MustAssert("40000", "in", "SALARY")
+	db.MustAssert("JOHN", "EARNS", "40000")
+	if db.Consistent() {
+		t.Error("salary inversion not caught")
+	}
+	db.Retract("JOHN", "EARNS", "40000")
+	db.Retract("40000", "in", "SALARY")
+	if !db.Consistent() {
+		t.Error("retraction did not restore consistency")
+	}
+
+	// 9. Dump to the text format and reload elsewhere.
+	dumpPath := filepath.Join(dir, "walk.facts")
+	if err := factfile.DumpFile(db, dumpPath); err != nil {
+		t.Fatal(err)
+	}
+	clone := lsdb.New()
+	if _, err := factfile.LoadFile(clone, dumpPath); err != nil {
+		t.Fatal(err)
+	}
+	if clone.Len() != db.Len() {
+		t.Errorf("reload: %d facts, want %d", clone.Len(), db.Len())
+	}
+	if !clone.Has("MARY", "EARNS", "SALARY") {
+		t.Error("inference lost after reload (rules not dumped?)")
+	}
+
+	// 10. Durable restart from the log.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db3, err := lsdb.Open(lsdb.Options{LogPath: logPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	if db3.Len() != len(facts) {
+		t.Errorf("recovered %d facts, want %d", db3.Len(), len(facts))
+	}
+	if !db3.Has("SHIPPING", "EMPLOYS", "JOHN") {
+		t.Error("inference broken after recovery")
+	}
+}
