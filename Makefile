@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build vet test race bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark sweep (slow). Use BENCH=E7 etc. to narrow.
+BENCH ?= .
+bench:
+	$(GO) test -bench '$(BENCH)' -benchmem -run xxx .
+
+# Tier-1 verification plus the race detector in one command.
+check: build vet test race

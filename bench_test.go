@@ -56,6 +56,7 @@ func BenchmarkE1_TripleStoreNeighborhood(b *testing.B) {
 			db, _ := universityPair(n)
 			st := db.Store()
 			target := db.Entity("STU-00007")
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				st.MatchAll(target, sym.None, sym.None)
@@ -69,6 +70,7 @@ func BenchmarkE1_RelationalFindEverywhere(b *testing.B) {
 	for _, n := range []int{200, 1000, 5000} {
 		b.Run(fmt.Sprintf("students=%d", n), func(b *testing.B) {
 			_, rdb := universityPair(n)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				rdb.FindEverywhere("STU-00007")
@@ -79,6 +81,7 @@ func BenchmarkE1_RelationalFindEverywhere(b *testing.B) {
 
 func BenchmarkE1_RelationalKeyed(b *testing.B) {
 	_, rdb := universityPair(1000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rdb.FindKnowing("ENROLL_STUDENT", 1, "STU-00007")
@@ -89,6 +92,7 @@ func BenchmarkE1_RelationalKeyed(b *testing.B) {
 // E2: construction and restructuring.
 
 func BenchmarkE2_LooseLoad(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		dataset.University(dataset.UniversityConfig{
 			Students: 500, Courses: 50, Instructors: 20, EnrollPerStudent: 3, Seed: 11,
@@ -97,6 +101,7 @@ func BenchmarkE2_LooseLoad(b *testing.B) {
 }
 
 func BenchmarkE2_RelationalLoad(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		universityPair(500)
 	}
@@ -104,6 +109,7 @@ func BenchmarkE2_RelationalLoad(b *testing.B) {
 
 func BenchmarkE2_LooseAddRelationshipKind(b *testing.B) {
 	db, _ := universityPair(500)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		db.MustAssert(fmt.Sprintf("STU-%05d", i%500), "ADVISOR", fmt.Sprintf("INSTR-%03d", i%20))
@@ -112,6 +118,7 @@ func BenchmarkE2_LooseAddRelationshipKind(b *testing.B) {
 
 func BenchmarkE2_RelationalRestructure(b *testing.B) {
 	_, rdb := universityPair(500)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rdb.Table("ENROLL_STUDENT").AddColumn(fmt.Sprintf("COL%d", i), "X")
@@ -127,6 +134,7 @@ func BenchmarkE3_Closure(b *testing.B) {
 				Branching: 3, Depth: depth, MembersPerLeaf: 4, FactsPerClass: 2, Seed: 5,
 			})
 			eng := db.Engine()
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				eng.Invalidate()
@@ -143,6 +151,7 @@ func BenchmarkE3_ClosureNoInheritance(b *testing.B) {
 	eng := db.Engine()
 	eng.Exclude(rules.GenSource)
 	eng.Exclude(rules.MemberSource)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng.Invalidate()
@@ -158,6 +167,7 @@ func BenchmarkE3_IncrementalInsert(b *testing.B) {
 	})
 	eng := db.Engine()
 	eng.Closure()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		db.MustAssert(fmt.Sprintf("X%d", i), "in", "C0.0")
@@ -171,6 +181,7 @@ func BenchmarkE3_FullRecomputePerInsert(b *testing.B) {
 		Branching: 3, Depth: 3, MembersPerLeaf: 4, FactsPerClass: 2, Seed: 5,
 	})
 	eng := db.Engine()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		db.MustAssert(fmt.Sprintf("X%d", i), "in", "C0.0")
@@ -199,6 +210,7 @@ func BenchmarkE4_Query(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := db.Eval(q); err != nil {
@@ -212,6 +224,7 @@ func BenchmarkE4_Query(b *testing.B) {
 func BenchmarkE4_Parse(b *testing.B) {
 	db := lsdb.New()
 	src := "exists ?e . (?e, ENROLL-STUDENT, ?s) & (?e, ENROLL-COURSE, CS100) & (?e, ENROLL-GRADE, A)"
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := db.Parse(src); err != nil {
@@ -231,6 +244,7 @@ func BenchmarkE5_CompositionLimit(b *testing.B) {
 	for _, n := range []int{1, 2, 3, 4} {
 		b.Run(fmt.Sprintf("limit=%d", n), func(b *testing.B) {
 			db.Limit(n)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				db.Composer().Paths(src, tgt)
@@ -251,9 +265,44 @@ func BenchmarkE6_NavigationByDegree(b *testing.B) {
 		id := db.Entity(names[idx])
 		deg := db.Store().Degree(id)
 		b.Run(fmt.Sprintf("degree=%d", deg), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				db.Browser().Neighborhood(id)
 			}
+		})
+	}
+}
+
+// E7 (concurrency): warm-closure reads from many goroutines at once.
+// Browsing is read-heavy: N users navigating a warm database issue
+// template matches and Explain calls with no interleaved mutation.
+// The benchmark pins the worst case for a mutex-serialized engine —
+// every read revalidates the cached closure.
+
+func BenchmarkE7_ConcurrentClosureReads(b *testing.B) {
+	for _, n := range []int{200, 1000, 5000} {
+		b.Run(fmt.Sprintf("students=%d", n), func(b *testing.B) {
+			db, _ := universityPair(n)
+			eng := db.Engine()
+			db.ClosureLen() // warm the closure
+			target := db.Entity("STU-00007")
+			derived := db.Universe().NewFact("STU-00007", "in", "PERSON")
+			b.ReportAllocs()
+			b.SetParallelism(8) // 8×GOMAXPROCS reader goroutines
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if i%4 == 3 {
+						if eng.Explain(derived) == "" {
+							b.Error("derived fact lost")
+						}
+					} else {
+						eng.MatchAll(target, sym.None, sym.None)
+					}
+					i++
+				}
+			})
 		})
 	}
 }

@@ -48,8 +48,10 @@ func main() {
 		"E8":  bench.E8,
 		"E9":  func() *tabular.Rows { return bench.E9(constraints) },
 		"E10": func() *tabular.Rows { return bench.E10(logSizes) },
+		"E3p": func() *tabular.Rows { return bench.E3Parallel(students) },
+		"E7c": func() *tabular.Rows { return bench.E7Concurrent(students) },
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"}
+	order := []string{"E1", "E2", "E3", "E3p", "E4", "E5", "E6", "E7", "E7c", "E8", "E9", "E10"}
 
 	selected := flag.Args()
 	if len(selected) == 0 {

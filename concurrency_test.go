@@ -79,3 +79,82 @@ func TestSerializedWriteReadCycles(t *testing.T) {
 		}
 	}
 }
+
+// TestStressReadersWithConcurrentInserts hammers the snapshot path:
+// 100 reader goroutines query, navigate and explain while a single
+// writer (the supported mutation pattern) keeps inserting facts.
+// Readers may observe any snapshot at or after the one they started
+// from, but established inferences are monotone under insertion and
+// must never be lost. Run under -race this also checks the engine's
+// publication discipline: readers must never see a half-built
+// closure.
+func TestStressReadersWithConcurrentInserts(t *testing.T) {
+	db := dataset.Employment(60, 3)
+	db.ClosureLen() // materialize once
+
+	const (
+		readers     = 100
+		readsPerG   = 15
+		writerTotal = 200
+	)
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		for i := 0; i < writerTotal; i++ {
+			db.MustAssert(fmt.Sprintf("TEMP-%03d", i), "in", "EMPLOYEE")
+		}
+	}()
+
+	errs := make(chan error, readers)
+	var wg sync.WaitGroup
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < readsPerG; i++ {
+				switch (g + i) % 4 {
+				case 0:
+					rows, err := db.Query("(?who, in, EMPLOYEE) & (?who, EARNS, ?amt)")
+					if err != nil {
+						errs <- err
+						return
+					}
+					if len(rows.Tuples) == 0 {
+						errs <- fmt.Errorf("reader %d: no tuples", g)
+						return
+					}
+				case 1:
+					if n := db.Navigate("JOHN"); n.Degree() == 0 {
+						errs <- fmt.Errorf("reader %d: empty neighborhood", g)
+						return
+					}
+				case 2:
+					if !db.Has("JOHN", "EARNS", "SALARY") {
+						errs <- fmt.Errorf("reader %d: inference lost mid-write", g)
+						return
+					}
+				case 3:
+					if db.Engine().ClosureSize() == 0 {
+						errs <- fmt.Errorf("reader %d: empty closure", g)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	writerWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// After the dust settles every insert must be visible and derived.
+	for i := 0; i < writerTotal; i++ {
+		name := fmt.Sprintf("TEMP-%03d", i)
+		if !db.Has(name, "EARNS", "SALARY") {
+			t.Fatalf("%s: inference missing after concurrent run", name)
+		}
+	}
+}

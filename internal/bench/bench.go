@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sync"
 	"time"
 
 	lsdb "repro"
@@ -435,6 +437,104 @@ func E10(sizes []int) *tabular.Rows {
 			[]string{dur(snapTime)},
 			[]string{dur(recoverTime)},
 		)
+	}
+	return t
+}
+
+// E3Parallel compares closure materialization with sequential rounds
+// against frontier-parallel rounds (one worker per GOMAXPROCS). The
+// two builds produce identical closures and provenance — the table
+// only shows how build latency scales with workers.
+func E3Parallel(students []int) *tabular.Rows {
+	procs := runtime.GOMAXPROCS(0)
+	t := &tabular.Rows{
+		Title: fmt.Sprintf("E3p  closure build: sequential vs parallel rounds (GOMAXPROCS=%d)", procs),
+		Headers: []string{"students", "closure facts", "workers=1",
+			fmt.Sprintf("workers=%d", procs), "speedup"},
+	}
+	for _, n := range students {
+		db := dataset.University(dataset.UniversityConfig{
+			Students: n, Courses: 50, Instructors: 20, EnrollPerStudent: 3, Seed: 11,
+		})
+		eng := db.Engine()
+		eng.SetWorkers(1)
+		seq := timeIt(3, func() {
+			eng.Invalidate()
+			eng.Closure()
+		})
+		size := eng.ClosureSize()
+		eng.SetWorkers(0)
+		par := timeIt(3, func() {
+			eng.Invalidate()
+			eng.Closure()
+		})
+		t.AddRow(
+			[]string{fmt.Sprint(n)},
+			[]string{fmt.Sprint(size)},
+			[]string{dur(seq)},
+			[]string{dur(par)},
+			[]string{fmt.Sprintf("%.2fx", float64(seq)/float64(par))},
+		)
+	}
+	return t
+}
+
+// E7Concurrent measures warm-closure read throughput as reader
+// goroutines are added: a 3:1 mix of neighborhood template matches
+// and Explain calls against a warm closure, the workload of N
+// browsing users on an unchanging database. With snapshot
+// publication the readers share one sealed closure without locking,
+// so throughput should hold (or scale with cores) rather than
+// collapse under lock contention.
+func E7Concurrent(students []int) *tabular.Rows {
+	t := &tabular.Rows{
+		Title: fmt.Sprintf("E7c  warm-closure concurrent reads (GOMAXPROCS=%d)",
+			runtime.GOMAXPROCS(0)),
+		Headers: []string{"students", "goroutines", "reads/s", "vs 1 goroutine"},
+	}
+	const opsPerGoroutine = 4000
+	for _, n := range students {
+		db := dataset.University(dataset.UniversityConfig{
+			Students: n, Courses: 50, Instructors: 20, EnrollPerStudent: 3, Seed: 11,
+		})
+		eng := db.Engine()
+		db.ClosureLen() // warm the closure
+		target := db.Entity("STU-00007")
+		derived := db.Universe().NewFact("STU-00007", "in", "PERSON")
+
+		run := func(goroutines int) float64 {
+			start := time.Now()
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < opsPerGoroutine; i++ {
+						if i%4 == 3 {
+							eng.Explain(derived)
+						} else {
+							eng.MatchAll(target, sym.None, sym.None)
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			return float64(goroutines*opsPerGoroutine) / time.Since(start).Seconds()
+		}
+		run(1) // warm-up
+		base := run(1)
+		for _, g := range []int{1, 2, 4, 8} {
+			tput := base
+			if g != 1 {
+				tput = run(g)
+			}
+			t.AddRow(
+				[]string{fmt.Sprint(n)},
+				[]string{fmt.Sprint(g)},
+				[]string{fmt.Sprintf("%.0f", tput)},
+				[]string{fmt.Sprintf("%.2fx", tput/base)},
+			)
+		}
 	}
 	return t
 }

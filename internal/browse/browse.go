@@ -7,6 +7,11 @@
 // neighborhood, retrieves its neighborhood, and so on. Because
 // navigation queries are a restricted form of standard queries,
 // navigation can be interleaved freely with standard querying.
+//
+// A Browser is stateless and safe for concurrent use: every
+// navigation step reads the engine's published closure snapshot,
+// which is sealed (immutable), so N simultaneous browsing sessions
+// share one materialized closure without locking.
 package browse
 
 import (

@@ -12,6 +12,11 @@
 // fails, the process repeats one level higher in the broadness
 // hierarchy, until some retrieval succeeds or the space is exhausted
 // (§5.2).
+//
+// A Prober is safe for concurrent use once configured: a probe issues
+// many closure reads (the original query, then whole waves of
+// retraction queries), all of which resolve against the engine's
+// published immutable closure snapshot without locking.
 package probe
 
 import (

@@ -3,7 +3,7 @@ package query
 import (
 	"fmt"
 	"sort"
-	"strings"
+	"strconv"
 
 	"repro/internal/fact"
 	"repro/internal/sym"
@@ -101,11 +101,12 @@ func (ev *Evaluator) Eval(q *Query) (*Result, error) {
 }
 
 func tupleKey(t []sym.ID) string {
-	var b strings.Builder
+	buf := make([]byte, 0, 8*len(t))
 	for _, id := range t {
-		fmt.Fprintf(&b, "%d,", id)
+		buf = strconv.AppendUint(buf, uint64(id), 10)
+		buf = append(buf, ',')
 	}
-	return b.String()
+	return string(buf)
 }
 
 func sortTuples(ts [][]sym.ID) {
@@ -306,9 +307,12 @@ func bindKey(b bind) string {
 		vars = append(vars, v)
 	}
 	sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
-	var sb strings.Builder
+	buf := make([]byte, 0, 16*len(vars))
 	for _, v := range vars {
-		fmt.Fprintf(&sb, "%d=%d;", v, b[v])
+		buf = strconv.AppendInt(buf, int64(v), 10)
+		buf = append(buf, '=')
+		buf = strconv.AppendUint(buf, uint64(b[v]), 10)
+		buf = append(buf, ';')
 	}
-	return sb.String()
+	return string(buf)
 }

@@ -2,6 +2,7 @@ package rules
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/fact"
 	"repro/internal/store"
@@ -18,33 +19,109 @@ type derivation struct {
 }
 
 // computeClosure materializes the closure of the base store under the
-// active rules by semi-naive forward chaining: a worklist of newly
-// added facts is processed once each, joining every new fact against
-// the facts derived so far, until a fixpoint. Termination is
-// guaranteed because derived facts only combine entities already in
-// the universe. Called with e.mu held.
-func (e *Engine) computeClosure() (*store.Store, map[fact.Fact]Provenance) {
+// active rules by frontier-based semi-naive forward chaining: each
+// round joins every fact of the current frontier (the facts first
+// obtained in the previous round) against everything derived so far,
+// and the new facts form the next frontier, until a fixpoint.
+// Termination is guaranteed because derived facts only combine
+// entities already in the universe.
+//
+// Rounds are data-parallel: the frontier is partitioned into
+// contiguous chunks, one worker per chunk, all joining against the
+// same store — which no one mutates until the round's sequential
+// merge. The merge concatenates chunk outputs in partition order, so
+// the insertion order (and with it every first-wins provenance
+// record and index bucket order) is identical for any worker count.
+// The generation-0 frontier is sorted to pin down the one remaining
+// source of nondeterminism, map iteration over the base fact set.
+// Called with e.mu held.
+func (e *Engine) computeClosure(cfg *ruleset) (*store.Store, map[fact.Fact]Provenance) {
 	derived := e.base.Clone()
 	prov := make(map[fact.Fact]Provenance)
-	work := derived.Facts()
 
+	var next []fact.Fact
 	push := func(d derivation) {
 		if derived.Insert(d.f) {
 			sortPremises(d.premises)
 			prov[d.f] = Provenance{Rule: d.why, Premises: d.premises}
-			work = append(work, d.f)
+			next = append(next, d.f)
 		}
 	}
 
+	frontier := derived.Facts()
+	sortFacts(frontier)
 	for _, ax := range e.axiomFacts() {
 		push(ax)
 	}
-	for i := 0; i < len(work); i++ {
-		for _, d := range e.deriveFrom(work[i], derived) {
+	frontier = append(frontier, next...)
+	next = nil
+
+	for len(frontier) > 0 {
+		for _, d := range e.deriveRound(cfg, frontier, derived) {
 			push(d)
 		}
+		frontier, next = next, frontier[:0]
 	}
 	return derived, prov
+}
+
+// parallelThreshold is the frontier size below which a round runs on
+// the calling goroutine; smaller rounds lose more to goroutine
+// startup than they gain from parallelism.
+const parallelThreshold = 64
+
+// deriveRound computes every one-step derivation from the frontier
+// facts against derived, without mutating derived. Output order is
+// deterministic: the concatenation of per-fact derivations in
+// frontier order, regardless of how many workers ran.
+func (e *Engine) deriveRound(cfg *ruleset, frontier []fact.Fact, derived *store.Store) []derivation {
+	workers := e.buildWorkers(len(frontier) / parallelThreshold)
+	if workers <= 1 {
+		var out []derivation
+		for _, f := range frontier {
+			out = e.deriveFrom(cfg, f, derived, out)
+		}
+		return out
+	}
+	chunks := make([][]derivation, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := len(frontier) * w / workers
+		hi := len(frontier) * (w + 1) / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var out []derivation
+			for _, f := range frontier[lo:hi] {
+				out = e.deriveFrom(cfg, f, derived, out)
+			}
+			chunks[w] = out
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var out []derivation
+	for _, c := range chunks {
+		out = append(out, c...)
+	}
+	return out
+}
+
+// sortFacts orders facts by (S, R, T) so generation-0 processing is
+// deterministic across builds.
+func sortFacts(fs []fact.Fact) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.S != b.S {
+			return a.S < b.S
+		}
+		if a.R != b.R {
+			return a.R < b.R
+		}
+		return a.T < b.T
+	})
 }
 
 // sortPremises orders premise facts deterministically (the closure
@@ -92,13 +169,14 @@ func (e *Engine) axiomFacts() []derivation {
 	return out
 }
 
-// deriveFrom computes every fact derivable in one step by joining the
-// newly added fact f against the facts in derived. It collects
-// results rather than inserting so that no store is mutated while
-// being iterated. Called with e.mu held.
-func (e *Engine) deriveFrom(f fact.Fact, derived *store.Store) []derivation {
+// deriveFrom appends to out every fact derivable in one step by
+// joining the fact f against the facts in derived, and returns the
+// extended slice. It collects results rather than inserting so that
+// no store is mutated while being iterated — which also makes it safe
+// to run for many facts concurrently against the same store (cfg is
+// immutable, derived is only read).
+func (e *Engine) deriveFrom(cfg *ruleset, f fact.Fact, derived *store.Store, out []derivation) []derivation {
 	u := e.u
-	var out []derivation
 	emit := func(g fact.Fact, why string, premises ...fact.Fact) {
 		if !derived.Has(g) {
 			out = append(out, derivation{f: g, why: why, premises: premises})
@@ -109,35 +187,35 @@ func (e *Engine) deriveFrom(f fact.Fact, derived *store.Store) []derivation {
 
 	// f as the data fact (s, r, t) of the §3.1/§3.2 rules.
 	if findiv {
-		if e.std[GenSource] {
+		if cfg.std[GenSource] {
 			// (s,r,t) ∧ (s',≺,s) ⇒ (s',r,t)
 			derived.Match(sym.None, u.Gen, f.S, func(g fact.Fact) bool {
 				emit(fact.Fact{S: g.S, R: f.R, T: f.T}, "gen-source", f, g)
 				return true
 			})
 		}
-		if e.std[GenRel] {
+		if cfg.std[GenRel] {
 			// (s,r,t) ∧ (r,≺,r') ⇒ (s,r',t)
 			derived.Match(f.R, u.Gen, sym.None, func(g fact.Fact) bool {
 				emit(fact.Fact{S: f.S, R: g.T, T: f.T}, "gen-rel", f, g)
 				return true
 			})
 		}
-		if e.std[GenTarget] {
+		if cfg.std[GenTarget] {
 			// (s,r,t) ∧ (t,≺,t') ⇒ (s,r,t')
 			derived.Match(f.T, u.Gen, sym.None, func(g fact.Fact) bool {
 				emit(fact.Fact{S: f.S, R: f.R, T: g.T}, "gen-target", f, g)
 				return true
 			})
 		}
-		if e.std[MemberSource] {
+		if cfg.std[MemberSource] {
 			// (s,r,t) ∧ (s',∈,s) ⇒ (s',r,t)
 			derived.Match(sym.None, u.Member, f.S, func(g fact.Fact) bool {
 				emit(fact.Fact{S: g.S, R: f.R, T: f.T}, "member-source", f, g)
 				return true
 			})
 		}
-		if e.std[MemberTarget] {
+		if cfg.std[MemberTarget] {
 			// (s,r,t) ∧ (t,∈,t') ⇒ (s,r,t')
 			derived.Match(f.T, u.Member, sym.None, func(g fact.Fact) bool {
 				emit(fact.Fact{S: f.S, R: f.R, T: g.T}, "member-target", f, g)
@@ -145,7 +223,7 @@ func (e *Engine) deriveFrom(f fact.Fact, derived *store.Store) []derivation {
 			})
 		}
 	}
-	if e.std[Inversion] {
+	if cfg.std[Inversion] {
 		// (s,r,t) ∧ (r,⇌,r') ⇒ (t,r',s), in both orientations of the
 		// stored inversion fact (they are symmetric by axiom, but the
 		// symmetric twin may not have been processed yet).
@@ -161,7 +239,7 @@ func (e *Engine) deriveFrom(f fact.Fact, derived *store.Store) []derivation {
 
 	// f as a generalization fact (a, ≺, b).
 	if f.R == u.Gen && f.S != f.T {
-		if e.std[GenTransitive] {
+		if cfg.std[GenTransitive] {
 			derived.Match(f.T, u.Gen, sym.None, func(g fact.Fact) bool {
 				if g.T != f.S {
 					emit(fact.Fact{S: f.S, R: u.Gen, T: g.T}, "gen-transitive", f, g)
@@ -175,7 +253,7 @@ func (e *Engine) deriveFrom(f fact.Fact, derived *store.Store) []derivation {
 				return true
 			})
 		}
-		if e.std[Synonym] {
+		if cfg.std[Synonym] {
 			// (s,≺,t) ∧ (t,≺,s) ⇒ (s,≈,t): a two-way generalization
 			// is a synonym (§3.3).
 			if derived.Has(fact.Fact{S: f.T, R: u.Gen, T: f.S}) {
@@ -184,14 +262,14 @@ func (e *Engine) deriveFrom(f fact.Fact, derived *store.Store) []derivation {
 				emit(fact.Fact{S: f.T, R: u.Syn, T: f.S}, "synonym", f, twin)
 			}
 		}
-		if e.std[MemberUp] {
+		if cfg.std[MemberUp] {
 			// (m,∈,a) ∧ (a,≺,b) ⇒ (m,∈,b)
 			derived.Match(sym.None, u.Member, f.S, func(g fact.Fact) bool {
 				emit(fact.Fact{S: g.S, R: u.Member, T: f.T}, "member-up", f, g)
 				return true
 			})
 		}
-		if e.std[GenSource] {
+		if cfg.std[GenSource] {
 			// a inherits every individual fact about b.
 			derived.Match(f.T, sym.None, sym.None, func(g fact.Fact) bool {
 				if e.Individual(g.R) {
@@ -200,7 +278,7 @@ func (e *Engine) deriveFrom(f fact.Fact, derived *store.Store) []derivation {
 				return true
 			})
 		}
-		if e.std[GenRel] {
+		if cfg.std[GenRel] {
 			// Facts using relationship a also hold under b.
 			derived.Match(sym.None, f.S, sym.None, func(g fact.Fact) bool {
 				if e.Individual(g.R) {
@@ -209,7 +287,7 @@ func (e *Engine) deriveFrom(f fact.Fact, derived *store.Store) []derivation {
 				return true
 			})
 		}
-		if e.std[GenTarget] {
+		if cfg.std[GenTarget] {
 			// Facts targeting a also target b.
 			derived.Match(sym.None, sym.None, f.S, func(g fact.Fact) bool {
 				if e.Individual(g.R) {
@@ -222,7 +300,7 @@ func (e *Engine) deriveFrom(f fact.Fact, derived *store.Store) []derivation {
 
 	// f as a membership fact (m, ∈, c).
 	if f.R == u.Member {
-		if e.std[MemberUp] {
+		if cfg.std[MemberUp] {
 			derived.Match(f.T, u.Gen, sym.None, func(g fact.Fact) bool {
 				if g.T != f.T {
 					emit(fact.Fact{S: f.S, R: u.Member, T: g.T}, "member-up", f, g)
@@ -230,7 +308,7 @@ func (e *Engine) deriveFrom(f fact.Fact, derived *store.Store) []derivation {
 				return true
 			})
 		}
-		if e.std[MemberSource] {
+		if cfg.std[MemberSource] {
 			// m inherits every individual fact about its class c.
 			derived.Match(f.T, sym.None, sym.None, func(g fact.Fact) bool {
 				if e.Individual(g.R) {
@@ -239,7 +317,7 @@ func (e *Engine) deriveFrom(f fact.Fact, derived *store.Store) []derivation {
 				return true
 			})
 		}
-		if e.std[MemberTarget] {
+		if cfg.std[MemberTarget] {
 			// Facts targeting the instance m also target its class c.
 			derived.Match(sym.None, sym.None, f.S, func(g fact.Fact) bool {
 				if e.Individual(g.R) {
@@ -251,14 +329,14 @@ func (e *Engine) deriveFrom(f fact.Fact, derived *store.Store) []derivation {
 	}
 
 	// f as a synonym fact (a, ≈, b): defined as two-way generalization.
-	if f.R == u.Syn && e.std[Synonym] {
+	if f.R == u.Syn && cfg.std[Synonym] {
 		emit(fact.Fact{S: f.T, R: u.Syn, T: f.S}, "synonym", f)
 		emit(fact.Fact{S: f.S, R: u.Gen, T: f.T}, "synonym", f)
 		emit(fact.Fact{S: f.T, R: u.Gen, T: f.S}, "synonym", f)
 	}
 
 	// f as an inversion fact (q, ⇌, q').
-	if f.R == u.Inv && e.std[Inversion] {
+	if f.R == u.Inv && cfg.std[Inversion] {
 		emit(fact.Fact{S: f.T, R: u.Inv, T: f.S}, "inversion", f)
 		derived.Match(sym.None, f.S, sym.None, func(g fact.Fact) bool {
 			emit(fact.Fact{S: g.T, R: f.T, T: g.S}, "inversion", f, g)
@@ -267,7 +345,7 @@ func (e *Engine) deriveFrom(f fact.Fact, derived *store.Store) []derivation {
 	}
 
 	// User rules: f may instantiate any body atom of any rule.
-	for _, r := range e.userRules {
+	for _, r := range cfg.userRules {
 		e.applyUserRule(r, f, derived, func(g fact.Fact, premises []fact.Fact) {
 			emit(g, r.Name, premises...)
 		})

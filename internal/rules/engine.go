@@ -2,9 +2,13 @@ package rules
 
 import (
 	"fmt"
+	"maps"
+	"runtime"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/fact"
 	"repro/internal/store"
@@ -17,36 +21,64 @@ import (
 // (§2.6), together with the virtual facts of §2.3/§3.6.
 //
 // The closure is materialized lazily by semi-naive forward chaining
-// and cached; a batch of pure insertions is folded in incrementally
-// (the rules are monotonic), while deletions and rule toggling force
-// a recomputation.
+// and published as an immutable snapshot (sealed closure store +
+// provenance map + the base/config versions it reflects) through an
+// atomic pointer. A batch of pure insertions is folded in by cloning
+// the previous snapshot and extending the copy (the rules are
+// monotonic); deletions and rule toggling force a recomputation.
+// Cold builds partition each derivation round across worker
+// goroutines (see apply.go).
 //
-// Concurrency: any number of goroutines may query concurrently, but
-// mutations of the base store must be serialized with queries by the
-// caller — the incremental update extends the cached closure store in
-// place.
+// Concurrency: any number of goroutines may query concurrently, and
+// queries may run concurrently with base-store mutations — warm reads
+// load the published snapshot without taking the engine lock, and a
+// stampede of cold readers coalesces into a single build. Mutators
+// still serialize among themselves on the base store's own lock.
 type Engine struct {
 	base *store.Store
 	vp   *virtual.Provider
 	u    *fact.Universe
 
+	// mu serializes configuration changes and snapshot builds; the
+	// read path never acquires it.
 	mu         sync.Mutex
-	std        [numStdRules]bool
-	userRules  []*Rule
-	cfgVersion uint64
+	rs         atomic.Pointer[ruleset]
+	cfgVersion atomic.Uint64
+	workers    int // closure build parallelism; 0 = GOMAXPROCS
 
-	closure   *store.Store
-	prov      map[fact.Fact]Provenance // how each derived fact was first obtained
-	closedAt  uint64                   // base.Version() when closure was computed
-	closedCfg uint64                   // cfgVersion when closure was computed
+	snap atomic.Pointer[snapshot]
+}
+
+// ruleset is an immutable snapshot of the rule configuration. Config
+// mutators replace the whole value (copy-on-write), so derivation
+// code can read it without holding the engine lock.
+type ruleset struct {
+	std       [numStdRules]bool
+	userRules []*Rule
+}
+
+// snapshot is one published closure: a sealed store plus the
+// provenance of every derived fact, labeled with the base and config
+// versions it reflects. All fields except the lazily computed entity
+// list are immutable after publication.
+type snapshot struct {
+	closure *store.Store
+	prov    map[fact.Fact]Provenance // how each derived fact was first obtained
+	baseVer uint64                   // base.Version() the closure reflects
+	cfgVer  uint64                   // cfgVersion the closure reflects
+
+	entitiesOnce sync.Once
+	entities     []sym.ID // closure.Entities(), computed on first use
 }
 
 // New returns an engine over base with all standard rules enabled.
 func New(base *store.Store, vp *virtual.Provider) *Engine {
 	e := &Engine{base: base, vp: vp, u: base.Universe()}
-	for i := range e.std {
-		e.std[i] = true
+	rs := &ruleset{}
+	for i := range rs.std {
+		rs.std[i] = true
 	}
+	e.rs.Store(rs)
 	return e
 }
 
@@ -59,31 +91,49 @@ func (e *Engine) Virtual() *virtual.Provider { return e.vp }
 // Universe returns the entity universe.
 func (e *Engine) Universe() *fact.Universe { return e.u }
 
+// SetWorkers bounds the number of goroutines a closure build may use.
+// n <= 0 restores the default (GOMAXPROCS). Worker count never
+// affects the computed closure or its provenance, only build latency.
+func (e *Engine) SetWorkers(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	e.workers = n
+}
+
 // Include enables a standard rule (§6.1 include operator).
 func (e *Engine) Include(r StdRule) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if !e.std[r] {
-		e.std[r] = true
-		e.cfgVersion++
+	cur := e.rs.Load()
+	if cur.std[r] {
+		return
 	}
+	next := &ruleset{std: cur.std, userRules: cur.userRules}
+	next.std[r] = true
+	e.rs.Store(next)
+	e.cfgVersion.Add(1)
 }
 
 // Exclude disables a standard rule (§6.1 exclude operator).
 func (e *Engine) Exclude(r StdRule) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.std[r] {
-		e.std[r] = false
-		e.cfgVersion++
+	cur := e.rs.Load()
+	if !cur.std[r] {
+		return
 	}
+	next := &ruleset{std: cur.std, userRules: cur.userRules}
+	next.std[r] = false
+	e.rs.Store(next)
+	e.cfgVersion.Add(1)
 }
 
 // Included reports whether a standard rule is active.
 func (e *Engine) Included(r StdRule) bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.std[r]
+	return e.rs.Load().std[r]
 }
 
 // AddRule registers a user rule (inference or constraint). Rule names
@@ -94,15 +144,21 @@ func (e *Engine) AddRule(r Rule) error {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	for i, have := range e.userRules {
+	cur := e.rs.Load()
+	next := &ruleset{std: cur.std, userRules: slices.Clone(cur.userRules)}
+	replaced := false
+	for i, have := range next.userRules {
 		if have.Name == r.Name {
-			e.userRules[i] = &r
-			e.cfgVersion++
-			return nil
+			next.userRules[i] = &r
+			replaced = true
+			break
 		}
 	}
-	e.userRules = append(e.userRules, &r)
-	e.cfgVersion++
+	if !replaced {
+		next.userRules = append(next.userRules, &r)
+	}
+	e.rs.Store(next)
+	e.cfgVersion.Add(1)
 	return nil
 }
 
@@ -110,10 +166,13 @@ func (e *Engine) AddRule(r Rule) error {
 func (e *Engine) RemoveRule(name string) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	for i, have := range e.userRules {
+	cur := e.rs.Load()
+	for i, have := range cur.userRules {
 		if have.Name == name {
-			e.userRules = append(e.userRules[:i], e.userRules[i+1:]...)
-			e.cfgVersion++
+			next := &ruleset{std: cur.std, userRules: slices.Clone(cur.userRules)}
+			next.userRules = append(next.userRules[:i], next.userRules[i+1:]...)
+			e.rs.Store(next)
+			e.cfgVersion.Add(1)
 			return true
 		}
 	}
@@ -122,10 +181,9 @@ func (e *Engine) RemoveRule(name string) bool {
 
 // Rules returns the registered user rules sorted by name.
 func (e *Engine) Rules() []Rule {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	out := make([]Rule, 0, len(e.userRules))
-	for _, r := range e.userRules {
+	rs := e.rs.Load()
+	out := make([]Rule, 0, len(rs.userRules))
+	for _, r := range rs.userRules {
 		out = append(out, *r)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
@@ -145,36 +203,87 @@ func (e *Engine) Individual(rel sym.ID) bool {
 }
 
 // Closure returns the materialized closure store: all stored facts
-// plus every fact derivable by the active rules. The result must be
-// treated as read-only; it is cached until the base store or rule
+// plus every fact derivable by the active rules. The returned store
+// is sealed (immutable); it is cached until the base store or rule
 // configuration changes.
 func (e *Engine) Closure() *store.Store {
-	c, _ := e.closureWithProv()
-	return c
+	return e.current().closure
+}
+
+// ClosureEntities returns the active domain of the closure — every
+// entity occurring in a materialized fact, sorted. The list is
+// computed once per snapshot and shared, so concurrent ∀-evaluation
+// does not rescan the closure.
+func (e *Engine) ClosureEntities() []sym.ID {
+	s := e.current()
+	s.entitiesOnce.Do(func() { s.entities = s.closure.Entities() })
+	return s.entities
 }
 
 func (e *Engine) closureWithProv() (*store.Store, map[fact.Fact]Provenance) {
+	s := e.current()
+	return s.closure, s.prov
+}
+
+// current returns a snapshot consistent with the base store and rule
+// configuration, building one if necessary. The warm path is a single
+// atomic load plus two version checks — no locks.
+func (e *Engine) current() *snapshot {
+	if s := e.validSnapshot(); s != nil {
+		return s
+	}
+	return e.rebuild()
+}
+
+// validSnapshot returns the published snapshot if it is still
+// current, else nil.
+func (e *Engine) validSnapshot() *snapshot {
+	s := e.snap.Load()
+	if s != nil && s.baseVer == e.base.Version() && s.cfgVer == e.cfgVersion.Load() {
+		return s
+	}
+	return nil
+}
+
+// rebuild computes and publishes a fresh snapshot under the engine
+// lock. Concurrent cold readers coalesce here: whoever wins the lock
+// builds once, the rest re-check and reuse the published result.
+func (e *Engine) rebuild() *snapshot {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	bv := e.base.Version()
-	if e.closure != nil && e.closedAt == bv && e.closedCfg == e.cfgVersion {
-		return e.closure, e.prov
+	if s := e.validSnapshot(); s != nil {
+		return s
 	}
+	// Read the versions *before* reading the base facts: if a writer
+	// races ahead of the build, the snapshot is labeled with an older
+	// version than its contents — the next read then redoes the (pure
+	// insert) delta idempotently instead of missing it.
+	bv := e.base.Version()
+	cv := e.cfgVersion.Load()
+	cfg := e.rs.Load()
+
 	// Incremental maintenance: the rules are monotonic, so a batch of
-	// pure insertions extends the cached closure by a semi-naive pass
-	// seeded with just the new facts. Deletions (non-monotonic) and a
-	// stale history force a full recomputation.
-	if e.closure != nil && e.closedCfg == e.cfgVersion && bv > e.closedAt {
-		if chs, ok := e.base.ChangesSince(e.closedAt); ok && insertsOnly(chs) {
-			e.applyIncremental(chs)
-			e.closedAt = bv
-			return e.closure, e.prov
+	// pure insertions extends the previous closure by a semi-naive
+	// pass seeded with just the new facts, applied to a copy (readers
+	// of the old snapshot are never disturbed). Deletions
+	// (non-monotonic), rule changes, and a stale history force a full
+	// recomputation.
+	old := e.snap.Load()
+	if old != nil && old.cfgVer == cv && bv > old.baseVer {
+		if chs, ok := e.base.ChangesSince(old.baseVer); ok && insertsOnly(chs) {
+			c, prov := e.applyIncremental(cfg, old, chs)
+			return e.publish(c, prov, bv, cv)
 		}
 	}
-	e.closure, e.prov = e.computeClosure()
-	e.closedAt = bv
-	e.closedCfg = e.cfgVersion
-	return e.closure, e.prov
+	c, prov := e.computeClosure(cfg)
+	return e.publish(c, prov, bv, cv)
+}
+
+func (e *Engine) publish(c *store.Store, prov map[fact.Fact]Provenance, bv, cv uint64) *snapshot {
+	c.Seal()
+	s := &snapshot{closure: c, prov: prov, baseVer: bv, cfgVer: cv}
+	e.snap.Store(s)
+	return s
 }
 
 func insertsOnly(chs []store.Change) bool {
@@ -186,18 +295,18 @@ func insertsOnly(chs []store.Change) bool {
 	return true
 }
 
-// applyIncremental extends the cached closure with the consequences
-// of newly inserted base facts. Called with e.mu held. The closure
-// store is extended in place; it is safe for concurrent readers (the
-// store is internally locked) but snapshots taken before the update
-// will observe the new facts.
-func (e *Engine) applyIncremental(chs []store.Change) {
-	derived := e.closure
+// applyIncremental returns a new closure extending the previous
+// snapshot with the consequences of newly inserted base facts. The
+// old snapshot's store and provenance are copied, never mutated.
+// Called with e.mu held.
+func (e *Engine) applyIncremental(cfg *ruleset, old *snapshot, chs []store.Change) (*store.Store, map[fact.Fact]Provenance) {
+	derived := old.closure.Clone()
+	prov := maps.Clone(old.prov)
 	var work []fact.Fact
 	push := func(d derivation) {
 		if derived.Insert(d.f) {
 			sortPremises(d.premises)
-			e.prov[d.f] = Provenance{Rule: d.why, Premises: d.premises}
+			prov[d.f] = Provenance{Rule: d.why, Premises: d.premises}
 			work = append(work, d.f)
 		}
 	}
@@ -210,21 +319,21 @@ func (e *Engine) applyIncremental(chs []store.Change) {
 			// Explain), but its consequences are already present.
 		}
 	}
+	var buf []derivation
 	for i := 0; i < len(work); i++ {
-		for _, d := range e.deriveFrom(work[i], derived) {
+		buf = e.deriveFrom(cfg, work[i], derived, buf[:0])
+		for _, d := range buf {
 			push(d)
 		}
 	}
+	return derived, prov
 }
 
 // Invalidate drops the cached closure. Mutations of the base store
 // are detected automatically; Invalidate is only needed after
 // out-of-band changes (e.g. a swapped virtual provider).
 func (e *Engine) Invalidate() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.closure = nil
-	e.prov = nil
+	e.snap.Store(nil)
 }
 
 // Provenance records how a derived fact was first obtained: the rule
@@ -236,25 +345,16 @@ type Provenance struct {
 	Premises []fact.Fact
 }
 
-// provOf reads a provenance record under the engine lock (the map is
-// extended by incremental closure updates).
-func (e *Engine) provOf(f fact.Fact) (Provenance, bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	p, ok := e.prov[f]
-	return p, ok
-}
-
 // Explain returns how fact f entered the closure: "stored", the name
 // of the rule that first derived it, or "" if f is not in the
 // (materialized part of the) closure.
 func (e *Engine) Explain(f fact.Fact) string {
-	c, _ := e.closureWithProv()
+	c, prov := e.closureWithProv()
 	if e.base.Has(f) {
 		return "stored"
 	}
 	if c.Has(f) {
-		if why, ok := e.provOf(f); ok {
+		if why, ok := prov[f]; ok {
 			return why.Rule
 		}
 		return "derived"
@@ -275,7 +375,7 @@ type Derivation struct {
 // recorded derivation is used, and recursion stops at stored facts
 // and axioms.
 func (e *Engine) Derive(f fact.Fact) *Derivation {
-	c, _ := e.closureWithProv()
+	c, prov := e.closureWithProv()
 	if !c.Has(f) {
 		return nil
 	}
@@ -285,7 +385,7 @@ func (e *Engine) Derive(f fact.Fact) *Derivation {
 		if e.base.Has(g) {
 			return &Derivation{Fact: g, Rule: "stored"}
 		}
-		p, ok := e.provOf(g)
+		p, ok := prov[g]
 		if !ok {
 			return &Derivation{Fact: g, Rule: "derived"}
 		}
@@ -439,16 +539,31 @@ func (e *Engine) EstimateCount(src, rel, tgt sym.ID) int {
 	return e.Closure().EstimateCount(src, rel, tgt)
 }
 
+// buildWorkers returns the number of goroutines a closure build may
+// use for a round of n frontier facts. Called with e.mu held.
+func (e *Engine) buildWorkers(n int) int {
+	w := e.workers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // String summarizes the engine configuration.
 func (e *Engine) String() string {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	rs := e.rs.Load()
 	on := 0
-	for _, b := range e.std {
+	for _, b := range rs.std {
 		if b {
 			on++
 		}
 	}
 	return fmt.Sprintf("rules.Engine{std %d/%d, user %d, base %d facts}",
-		on, int(numStdRules), len(e.userRules), e.base.Len())
+		on, int(numStdRules), len(rs.userRules), e.base.Len())
 }

@@ -30,13 +30,13 @@ func (v Violation) Format(u *fact.Universe) string {
 // with the active rules (including integrity constraints, whose
 // derived facts are part of the closure) is not a valid database.
 func (e *Engine) Check() []Violation {
-	c, _ := e.closureWithProv()
+	c, prov := e.closureWithProv()
 	u := e.u
 	why := func(f fact.Fact) string {
 		if e.base.Has(f) {
 			return "stored"
 		}
-		if w, ok := e.provOf(f); ok {
+		if w, ok := prov[f]; ok {
 			return w.Rule
 		}
 		return "virtual"

@@ -26,9 +26,12 @@ type bkey struct {
 	d       int
 }
 
-// bounded is the per-call evaluation context.
+// bounded is the per-call evaluation context. It carries its own
+// immutable ruleset snapshot, so a long backward enumeration is never
+// affected by (and never blocks) concurrent configuration changes.
 type bounded struct {
 	e    *Engine
+	cfg  *ruleset
 	base *store.Store
 	memo map[bkey][]fact.Fact
 	open map[bkey]bool // cycle guard for in-progress keys
@@ -54,15 +57,14 @@ func (e *Engine) MatchBounded(src, rel, tgt sym.ID, depth int, fn func(fact.Fact
 		qt = sym.None
 	}
 
-	e.mu.Lock()
 	b := &bounded{
 		e:    e,
+		cfg:  e.rs.Load(),
 		base: e.base,
 		memo: make(map[bkey][]fact.Fact),
 		open: make(map[bkey]bool),
 	}
 	results := b.enum(qs, qr, qt, depth)
-	e.mu.Unlock()
 
 	anyWild := wildS || wildR || wildT
 	seen := make(map[fact.Fact]struct{}, len(results))
@@ -151,7 +153,7 @@ func (b *bounded) backward(s, r, t sym.ID, d int, add func(fact.Fact)) {
 	u := e.u
 
 	// GenSource: (s0,r0,t0) ∧ (s,≺,s0) ⇒ (s,r0,t0).
-	if e.std[GenSource] {
+	if b.cfg.std[GenSource] {
 		for _, g := range b.enum(s, u.Gen, sym.None, d-1) {
 			if g.S == g.T || g.T == u.Top || g.S == u.Bottom {
 				continue
@@ -164,7 +166,7 @@ func (b *bounded) backward(s, r, t sym.ID, d int, add func(fact.Fact)) {
 		}
 	}
 	// MemberSource: (s0,r0,t0) ∧ (s,∈,s0) ⇒ (s,r0,t0).
-	if e.std[MemberSource] {
+	if b.cfg.std[MemberSource] {
 		for _, g := range b.enum(s, u.Member, sym.None, d-1) {
 			for _, f := range b.enum(g.T, r, t, d-1) {
 				if e.Individual(f.R) {
@@ -174,7 +176,7 @@ func (b *bounded) backward(s, r, t sym.ID, d int, add func(fact.Fact)) {
 		}
 	}
 	// GenTarget: (s0,r0,t0) ∧ (t0,≺,t) ⇒ (s0,r0,t).
-	if e.std[GenTarget] {
+	if b.cfg.std[GenTarget] {
 		for _, g := range b.enum(sym.None, u.Gen, t, d-1) {
 			if g.S == g.T || g.S == u.Bottom || g.T == u.Top {
 				continue
@@ -187,7 +189,7 @@ func (b *bounded) backward(s, r, t sym.ID, d int, add func(fact.Fact)) {
 		}
 	}
 	// MemberTarget: (s0,r0,t0) ∧ (t0,∈,t) ⇒ (s0,r0,t).
-	if e.std[MemberTarget] {
+	if b.cfg.std[MemberTarget] {
 		for _, g := range b.enum(sym.None, u.Member, t, d-1) {
 			for _, f := range b.enum(s, r, g.S, d-1) {
 				if e.Individual(f.R) {
@@ -197,7 +199,7 @@ func (b *bounded) backward(s, r, t sym.ID, d int, add func(fact.Fact)) {
 		}
 	}
 	// GenRel: (s0,r0,t0) ∧ (r0,≺,r) ⇒ (s0,r,t0).
-	if e.std[GenRel] {
+	if b.cfg.std[GenRel] {
 		for _, g := range b.enum(sym.None, u.Gen, r, d-1) {
 			if g.S == g.T || g.T == u.Top || g.S == u.Bottom {
 				continue
@@ -210,7 +212,7 @@ func (b *bounded) backward(s, r, t sym.ID, d int, add func(fact.Fact)) {
 		}
 	}
 	// Inversion: (s0,r0,t0) ∧ (r0,⇌,r) ⇒ (t0,r,s0).
-	if e.std[Inversion] {
+	if b.cfg.std[Inversion] {
 		for _, g := range b.enum(sym.None, u.Inv, r, d-1) {
 			for _, f := range b.enum(t, g.S, s, d-1) {
 				if f.R == g.S {
@@ -223,7 +225,7 @@ func (b *bounded) backward(s, r, t sym.ID, d int, add func(fact.Fact)) {
 	relIs := func(id sym.ID) bool { return r == sym.None || r == id }
 
 	// GenTransitive: (s,≺,x) ∧ (x,≺,t) ⇒ (s,≺,t).
-	if e.std[GenTransitive] && relIs(u.Gen) {
+	if b.cfg.std[GenTransitive] && relIs(u.Gen) {
 		for _, g := range b.enum(s, u.Gen, sym.None, d-1) {
 			if g.S == g.T || g.T == u.Top || g.S == u.Bottom {
 				continue
@@ -236,7 +238,7 @@ func (b *bounded) backward(s, r, t sym.ID, d int, add func(fact.Fact)) {
 		}
 	}
 	// MemberUp: (s,∈,x) ∧ (x,≺,t) ⇒ (s,∈,t).
-	if e.std[MemberUp] && relIs(u.Member) {
+	if b.cfg.std[MemberUp] && relIs(u.Member) {
 		for _, g := range b.enum(s, u.Member, sym.None, d-1) {
 			for _, h := range b.enum(g.T, u.Gen, t, d-1) {
 				if h.S != h.T && h.T != u.Top && h.S != u.Bottom {
@@ -246,7 +248,7 @@ func (b *bounded) backward(s, r, t sym.ID, d int, add func(fact.Fact)) {
 		}
 	}
 	// Synonym definition: (s,≈,t) ⇒ (s,≺,t) and (t,≺,s).
-	if e.std[Synonym] {
+	if b.cfg.std[Synonym] {
 		if relIs(u.Gen) {
 			for _, g := range b.enum(s, u.Syn, t, d-1) {
 				add(fact.Fact{S: g.S, R: u.Gen, T: g.T})
@@ -280,7 +282,7 @@ func (b *bounded) backward(s, r, t sym.ID, d int, add func(fact.Fact)) {
 	}
 
 	// User rules, backwards: any head atom may match the pattern.
-	for _, rule := range e.userRules {
+	for _, rule := range b.cfg.userRules {
 		for _, h := range rule.Head {
 			bind := make(binding)
 			if !unifyPattern(h, s, r, t, bind) {

@@ -124,6 +124,7 @@ func (s *Store) LoadSnapshot(r io.Reader) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.mustMutable()
 	for i := uint64(0); i < count; i++ {
 		f, err := readFact(br, s.u)
 		if err != nil {
@@ -185,6 +186,7 @@ type Log struct {
 func (s *Store) AttachLog(path string) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.mustMutable()
 	if s.log != nil {
 		return 0, errors.New("store: log already attached")
 	}
@@ -264,15 +266,7 @@ func (s *Store) replayLocked(f *os.File) (int, error) {
 			}
 		case opDelete:
 			if _, ok := s.facts[rec]; ok {
-				delete(s.facts, rec)
-				removeFact(s.byS, rec.S, rec)
-				removeFact(s.byR, rec.R, rec)
-				removeFact(s.byT, rec.T, rec)
-				removePair(s.bySR, pair{rec.S, rec.R}, rec)
-				removePair(s.byRT, pair{rec.R, rec.T}, rec)
-				removePair(s.byST, pair{rec.S, rec.T}, rec)
-				s.version++
-				s.record(Change{Deleted: true, Fact: rec})
+				s.deleteLocked(rec)
 			}
 		default:
 			return n, fmt.Errorf("%w: unknown op %d", ErrBadFormat, op)

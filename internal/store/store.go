@@ -10,12 +10,19 @@
 // an append-only operation log plus snapshots (see persist.go).
 //
 // A Store is safe for concurrent use: reads take a shared lock,
-// mutations an exclusive one.
+// mutations an exclusive one. A store can additionally be Sealed,
+// which freezes its fact set permanently: sealed reads skip lock
+// acquisition entirely and mutations panic. The rules engine seals
+// every closure store before publishing it, so the warm browsing path
+// reads materialized facts with zero synchronization.
 package store
 
 import (
+	"maps"
+	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/fact"
 	"repro/internal/sym"
@@ -28,6 +35,12 @@ type Store struct {
 	mu sync.RWMutex
 	u  *fact.Universe
 
+	// sealed freezes the store: reads go lock-free, mutations panic.
+	// Seal must happen-before the store is shared with other
+	// goroutines (the engine publishes sealed closures through an
+	// atomic pointer, which provides that edge).
+	sealed bool
+
 	facts map[fact.Fact]struct{}
 	byS   map[sym.ID][]fact.Fact
 	byR   map[sym.ID][]fact.Fact
@@ -36,7 +49,7 @@ type Store struct {
 	byRT  map[pair][]fact.Fact
 	byST  map[pair][]fact.Fact
 
-	version uint64 // incremented on every successful mutation
+	version atomic.Uint64 // incremented on every successful mutation
 
 	// recent is a bounded history of mutations used by incremental
 	// consumers (the rules engine's delta closure maintenance).
@@ -74,25 +87,41 @@ func New(u *fact.Universe) *Store {
 // Universe returns the entity universe the store interns against.
 func (s *Store) Universe() *fact.Universe { return s.u }
 
+// Seal permanently freezes the store. After Seal, all read methods
+// skip lock acquisition and any mutation panics. The mutation history
+// is dropped: a sealed store will never change again, so ChangesSince
+// answers only for the current version. Seal must be called before
+// the store is shared across goroutines.
+func (s *Store) Seal() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sealed = true
+	s.recent = nil
+	s.recentBase = s.version.Load()
+}
+
+// Sealed reports whether the store has been frozen by Seal.
+func (s *Store) Sealed() bool { return s.sealed }
+
 // Len returns the number of stored facts.
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	if !s.sealed {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+	}
 	return len(s.facts)
 }
 
 // Version returns a counter incremented by every successful mutation.
 // Callers use it to invalidate caches derived from the fact set.
-func (s *Store) Version() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.version
-}
+func (s *Store) Version() uint64 { return s.version.Load() }
 
 // Has reports whether f is stored (explicitly; inference is layered above).
 func (s *Store) Has(f fact.Fact) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	if !s.sealed {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+	}
 	_, ok := s.facts[f]
 	return ok
 }
@@ -101,6 +130,7 @@ func (s *Store) Has(f fact.Fact) bool {
 func (s *Store) Insert(f fact.Fact) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.mustMutable()
 	if _, ok := s.facts[f]; ok {
 		return false
 	}
@@ -111,6 +141,12 @@ func (s *Store) Insert(f fact.Fact) bool {
 	return true
 }
 
+func (s *Store) mustMutable() {
+	if s.sealed {
+		panic("store: mutation of sealed store")
+	}
+}
+
 func (s *Store) insertLocked(f fact.Fact) {
 	s.facts[f] = struct{}{}
 	s.byS[f.S] = append(s.byS[f.S], f)
@@ -119,8 +155,20 @@ func (s *Store) insertLocked(f fact.Fact) {
 	s.bySR[pair{f.S, f.R}] = append(s.bySR[pair{f.S, f.R}], f)
 	s.byRT[pair{f.R, f.T}] = append(s.byRT[pair{f.R, f.T}], f)
 	s.byST[pair{f.S, f.T}] = append(s.byST[pair{f.S, f.T}], f)
-	s.version++
+	s.version.Add(1)
 	s.record(Change{Fact: f})
+}
+
+func (s *Store) deleteLocked(f fact.Fact) {
+	delete(s.facts, f)
+	removeFact(s.byS, f.S, f)
+	removeFact(s.byR, f.R, f)
+	removeFact(s.byT, f.T, f)
+	removePair(s.bySR, pair{f.S, f.R}, f)
+	removePair(s.byRT, pair{f.R, f.T}, f)
+	removePair(s.byST, pair{f.S, f.T}, f)
+	s.version.Add(1)
+	s.record(Change{Deleted: true, Fact: f})
 }
 
 // record appends a mutation to the bounded history.
@@ -135,16 +183,22 @@ func (s *Store) record(c Change) {
 
 // ChangesSince returns the mutations applied after version v, in
 // order, and whether the history still covers that point. A false
-// result means the caller must resynchronize from scratch.
+// result means the caller must resynchronize from scratch. A caller
+// already at the current version gets (nil, true) without allocating.
 func (s *Store) ChangesSince(v uint64) ([]Change, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	if !s.sealed {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+	}
 	if v < s.recentBase {
 		return nil, false
 	}
 	idx := v - s.recentBase
 	if idx > uint64(len(s.recent)) {
 		return nil, false
+	}
+	if idx == uint64(len(s.recent)) {
+		return nil, true
 	}
 	out := make([]Change, len(s.recent)-int(idx))
 	copy(out, s.recent[idx:])
@@ -155,18 +209,11 @@ func (s *Store) ChangesSince(v uint64) ([]Change, bool) {
 func (s *Store) Delete(f fact.Fact) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.mustMutable()
 	if _, ok := s.facts[f]; !ok {
 		return false
 	}
-	delete(s.facts, f)
-	removeFact(s.byS, f.S, f)
-	removeFact(s.byR, f.R, f)
-	removeFact(s.byT, f.T, f)
-	removePair(s.bySR, pair{f.S, f.R}, f)
-	removePair(s.byRT, pair{f.R, f.T}, f)
-	removePair(s.byST, pair{f.S, f.T}, f)
-	s.version++
-	s.record(Change{Deleted: true, Fact: f})
+	s.deleteLocked(f)
 	if s.log != nil {
 		s.log.append(opDelete, s.u, f)
 	}
@@ -210,8 +257,10 @@ func removePair(m map[pair][]fact.Fact, k pair, f fact.Fact) {
 // false; Match reports whether iteration ran to completion. fn must
 // not mutate the store.
 func (s *Store) Match(src, rel, tgt sym.ID, fn func(fact.Fact) bool) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	if !s.sealed {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+	}
 	switch {
 	case src != sym.None && rel != sym.None && tgt != sym.None:
 		f := fact.Fact{S: src, R: rel, T: tgt}
@@ -264,8 +313,10 @@ func (s *Store) Count(src, rel, tgt sym.ID) int {
 // for the all-wildcard pattern, the store size. Query planners use it
 // to order joins by selectivity.
 func (s *Store) EstimateCount(src, rel, tgt sym.ID) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	if !s.sealed {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+	}
 	switch {
 	case src != sym.None && rel != sym.None && tgt != sym.None:
 		if _, ok := s.facts[fact.Fact{S: src, R: rel, T: tgt}]; ok {
@@ -301,8 +352,10 @@ func (s *Store) MatchAll(src, rel, tgt sym.ID) []fact.Fact {
 
 // Facts returns a copy of all stored facts in unspecified order.
 func (s *Store) Facts() []fact.Fact {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	if !s.sealed {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+	}
 	out := make([]fact.Fact, 0, len(s.facts))
 	for f := range s.facts {
 		out = append(out, f)
@@ -314,8 +367,10 @@ func (s *Store) Facts() []fact.Fact {
 // stored fact, in any position. This is the active domain used for
 // ∀-quantifier evaluation (§2.7) and retraction (§5).
 func (s *Store) Entities() []sym.ID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	if !s.sealed {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+	}
 	seen := make(map[sym.ID]struct{}, len(s.byS)+len(s.byT))
 	for f := range s.facts {
 		seen[f.S] = struct{}{}
@@ -332,8 +387,10 @@ func (s *Store) Entities() []sym.ID {
 
 // HasEntity reports whether id occurs in any stored fact.
 func (s *Store) HasEntity(id sym.ID) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	if !s.sealed {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+	}
 	if _, ok := s.byS[id]; ok {
 		return true
 	}
@@ -347,8 +404,10 @@ func (s *Store) HasEntity(id sym.ID) bool {
 // Relationships returns the distinct relationship entities in use,
 // with the number of facts carrying each, sorted by descending count.
 func (s *Store) Relationships() []RelStat {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	if !s.sealed {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+	}
 	out := make([]RelStat, 0, len(s.byR))
 	for r, bucket := range s.byR {
 		out = append(out, RelStat{Rel: r, Count: len(bucket)})
@@ -371,21 +430,46 @@ type RelStat struct {
 // Degree returns the number of facts in which id occurs as source or
 // target (its neighborhood size; used by navigation benchmarks).
 func (s *Store) Degree(id sym.ID) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	if !s.sealed {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+	}
 	return len(s.byS[id]) + len(s.byT[id])
 }
 
 // Clone returns a deep copy of the store sharing the same Universe.
-// The clone has no durability log attached.
+// The copy duplicates the fact set and all six index maps directly
+// (bucket slices are cloned so later appends cannot alias). The clone
+// is unsealed and mutable even when the receiver is sealed, carries
+// no durability log, and starts with an *empty* mutation history: its
+// version equals the fact count (as if each fact had been inserted
+// fresh) and ChangesSince answers only from that point forward.
 func (s *Store) Clone() *Store {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	c := New(s.u)
-	for f := range s.facts {
-		c.insertLocked(f)
+	if !s.sealed {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
 	}
+	c := &Store{
+		u:     s.u,
+		facts: maps.Clone(s.facts),
+		byS:   cloneIndex(s.byS),
+		byR:   cloneIndex(s.byR),
+		byT:   cloneIndex(s.byT),
+		bySR:  cloneIndex(s.bySR),
+		byRT:  cloneIndex(s.byRT),
+		byST:  cloneIndex(s.byST),
+	}
+	c.version.Store(uint64(len(c.facts)))
+	c.recentBase = uint64(len(c.facts))
 	return c
+}
+
+func cloneIndex[K comparable](m map[K][]fact.Fact) map[K][]fact.Fact {
+	out := make(map[K][]fact.Fact, len(m))
+	for k, bucket := range m {
+		out[k] = slices.Clone(bucket)
+	}
+	return out
 }
 
 // InsertAll inserts every fact, returning the number newly added.

@@ -357,3 +357,120 @@ func TestChangesSinceHistoryBounded(t *testing.T) {
 		t.Errorf("recent history lost: %d, ok=%v", len(chs), ok)
 	}
 }
+
+func TestChangesSinceExactVersionNoAlloc(t *testing.T) {
+	u, s := mk(t)
+	s.Insert(u.NewFact("A", "R", "B"))
+	v := s.Version()
+	chs, ok := s.ChangesSince(v)
+	if !ok {
+		t.Fatal("exact version reported not ok")
+	}
+	if chs != nil {
+		t.Errorf("exact version allocated a slice: %v", chs)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		s.ChangesSince(v)
+	})
+	if allocs != 0 {
+		t.Errorf("ChangesSince at current version allocates %.0f times", allocs)
+	}
+}
+
+func TestChangesSinceFallenBehind(t *testing.T) {
+	u, s := mk(t)
+	v0 := s.Version()
+	for i := 0; i < maxRecent*2; i++ {
+		s.Insert(u.NewFact("E", "R", fmt.Sprintf("T%d", i)))
+	}
+	if chs, ok := s.ChangesSince(v0); ok || chs != nil {
+		t.Errorf("fallen-behind caller got (%v, %v), want (nil, false)", chs, ok)
+	}
+}
+
+func TestCloneFreshHistory(t *testing.T) {
+	u, s := mk(t)
+	for i := 0; i < 10; i++ {
+		s.Insert(u.NewFact("E", "R", fmt.Sprintf("T%d", i)))
+	}
+	c := s.Clone()
+	if got, want := c.Version(), uint64(c.Len()); got != want {
+		t.Errorf("clone version = %d, want fact count %d", got, want)
+	}
+	// A clone starts with empty history: its current version answers
+	// (nil, true), anything earlier is out of range.
+	if chs, ok := c.ChangesSince(c.Version()); !ok || chs != nil {
+		t.Errorf("clone current version: (%v, %v), want (nil, true)", chs, ok)
+	}
+	if _, ok := c.ChangesSince(0); ok {
+		t.Error("clone answered for history it never recorded")
+	}
+	// Mutations after the clone are tracked normally.
+	v := c.Version()
+	c.Insert(u.NewFact("X", "R", "Y"))
+	chs, ok := c.ChangesSince(v)
+	if !ok || len(chs) != 1 {
+		t.Errorf("post-clone history: %d changes, ok=%v", len(chs), ok)
+	}
+}
+
+func TestCloneIndexesIndependent(t *testing.T) {
+	u, s := mk(t)
+	e := u.Entity("E")
+	s.Insert(u.NewFact("E", "R", "T1"))
+	c := s.Clone()
+	// Appends into a shared bucket backing array would corrupt the
+	// sibling store; both must see only their own facts.
+	s.Insert(u.NewFact("E", "R", "T2"))
+	c.Insert(u.NewFact("E", "R", "T3"))
+	if n := len(s.MatchAll(e, sym.None, sym.None)); n != 2 {
+		t.Errorf("original byS bucket has %d facts, want 2", n)
+	}
+	if n := len(c.MatchAll(e, sym.None, sym.None)); n != 2 {
+		t.Errorf("clone byS bucket has %d facts, want 2", n)
+	}
+	if c.Has(u.NewFact("E", "R", "T2")) || s.Has(u.NewFact("E", "R", "T3")) {
+		t.Error("mutations leaked between clone and original")
+	}
+}
+
+func TestSealFreezesStore(t *testing.T) {
+	u, s := mk(t)
+	f := u.NewFact("A", "R", "B")
+	s.Insert(f)
+	v := s.Version()
+	s.Seal()
+	if !s.Sealed() {
+		t.Fatal("Sealed() false after Seal")
+	}
+	if !s.Has(f) || s.Len() != 1 || s.Version() != v {
+		t.Error("sealing changed observable state")
+	}
+	if got := s.MatchAll(u.Entity("A"), sym.None, sym.None); len(got) != 1 {
+		t.Errorf("sealed Match returned %d facts, want 1", len(got))
+	}
+	if chs, ok := s.ChangesSince(v); !ok || chs != nil {
+		t.Errorf("sealed current version: (%v, %v), want (nil, true)", chs, ok)
+	}
+	for _, fn := range map[string]func(){
+		"Insert": func() { s.Insert(u.NewFact("X", "R", "Y")) },
+		"Delete": func() { s.Delete(f) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("mutation of sealed store did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+	// A sealed store still clones into a mutable copy.
+	c := s.Clone()
+	if c.Sealed() {
+		t.Error("clone of sealed store is sealed")
+	}
+	if !c.Insert(u.NewFact("X", "R", "Y")) {
+		t.Error("clone of sealed store not mutable")
+	}
+}

@@ -70,9 +70,15 @@ const Unlimited = compose.Unlimited
 // Database is a loosely structured database.
 //
 // Concurrency: any number of goroutines may query, navigate and probe
-// concurrently. Mutations (Assert, Retract, Batch, rule changes) must
-// be serialized with queries by the caller — the cached closure is
-// maintained incrementally in place.
+// concurrently, including while other goroutines mutate. The
+// inference engine publishes each materialized closure as an
+// immutable, sealed snapshot through an atomic pointer: warm reads
+// take no locks at all, and readers that overlap a mutation see
+// either the old or the new closure, never a partial one. Mutations
+// (Assert, Retract, Batch, rule changes) serialize among themselves
+// on the store's internal lock, but Batch and strict Asserts perform
+// multi-step read-check-write sequences, so concurrent *writers* still
+// need caller-side coordination for transactional semantics.
 type Database struct {
 	u    *fact.Universe
 	st   *store.Store
@@ -230,8 +236,10 @@ func (m matcher) EstimateCount(s, r, t sym.ID) int {
 
 func (db *Database) evaluator() *query.Evaluator {
 	return &query.Evaluator{
-		M:      matcher{eng: db.eng, comp: db.comp},
-		Domain: func() []sym.ID { return db.eng.Closure().Entities() },
+		M: matcher{eng: db.eng, comp: db.comp},
+		// ClosureEntities is computed once per closure snapshot and
+		// shared, so ∀-heavy queries don't rescan the closure.
+		Domain: func() []sym.ID { return db.eng.ClosureEntities() },
 	}
 }
 

@@ -7,7 +7,9 @@ import (
 	"testing/quick"
 
 	lsdb "repro"
+	"repro/internal/dataset"
 	"repro/internal/query"
+	"repro/internal/rules"
 )
 
 // Whole-system property tests over randomly generated databases.
@@ -281,5 +283,77 @@ func TestQuickParserRoundTrip(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// closuresAgree materializes the database closure with two different
+// worker counts and reports whether the fact sets and per-fact
+// provenance (Explain) are identical. Both databases are built by mk
+// with the same seed, so they hold the same stored facts; excluded
+// lists the standard rules toggled off in both.
+func closuresAgree(t *testing.T, mk func() *lsdb.Database, excluded []rules.StdRule) bool {
+	t.Helper()
+	db1, db2 := mk(), mk()
+	for _, r := range excluded {
+		db1.Engine().Exclude(r)
+		db2.Engine().Exclude(r)
+	}
+	db1.Engine().SetWorkers(1)
+	db2.Engine().SetWorkers(8)
+	c1 := db1.Engine().Closure()
+	c2 := db2.Engine().Closure()
+	if c1.Len() != c2.Len() {
+		t.Logf("closure sizes differ: sequential %d vs parallel %d", c1.Len(), c2.Len())
+		return false
+	}
+	u := db1.Universe()
+	for _, f := range c1.Facts() {
+		if !c2.Has(f) {
+			t.Logf("parallel closure missing %s", u.FormatFact(f))
+			return false
+		}
+		if w1, w2 := db1.Engine().Explain(f), db2.Engine().Explain(f); w1 != w2 {
+			t.Logf("provenance differs for %s: sequential %q vs parallel %q",
+				u.FormatFact(f), w1, w2)
+			return false
+		}
+	}
+	return true
+}
+
+// TestQuickParallelClosureEquivalence: the closure and the rule
+// recorded for every derived fact are independent of the worker
+// count, across random databases and random standard-rule toggles.
+func TestQuickParallelClosureEquivalence(t *testing.T) {
+	all := rules.StdRules()
+	f := func(seed int64, toggles uint16) bool {
+		var excluded []rules.StdRule
+		for i, r := range all {
+			if toggles&(1<<uint(i%16)) != 0 && i%3 == int(seed&1) {
+				excluded = append(excluded, r)
+			}
+		}
+		return closuresAgree(t, func() *lsdb.Database { return randomDB(seed) }, excluded)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParallelClosureEquivalenceAtScale repeats the equivalence check
+// on a dataset large enough that closure rounds actually cross the
+// parallel threshold and fan out across workers (random databases
+// above are too small to leave the sequential path).
+func TestParallelClosureEquivalenceAtScale(t *testing.T) {
+	mk := func() *lsdb.Database {
+		return dataset.University(dataset.UniversityConfig{
+			Students: 300, Courses: 30, Instructors: 12, EnrollPerStudent: 3, Seed: 7,
+		})
+	}
+	if !closuresAgree(t, mk, nil) {
+		t.Error("parallel closure diverges from sequential at scale")
+	}
+	if !closuresAgree(t, mk, []rules.StdRule{rules.GenSource, rules.MemberSource}) {
+		t.Error("parallel closure diverges from sequential with rules excluded")
 	}
 }
