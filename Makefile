@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench check
+.PHONY: all build vet test race bench check fuzz soak
 
 all: check
 
@@ -21,5 +21,26 @@ BENCH ?= .
 bench:
 	$(GO) test -bench '$(BENCH)' -benchmem -run xxx .
 
-# Tier-1 verification plus the race detector in one command.
+# Native Go fuzzing across every target. FUZZTIME=2m for a longer run;
+# go test accepts one fuzz target per invocation, hence the fan-out.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzSnapshot -fuzztime $(FUZZTIME) ./internal/store
+	$(GO) test -run xxx -fuzz FuzzLogReplay -fuzztime $(FUZZTIME) ./internal/store
+	$(GO) test -run xxx -fuzz FuzzParseRule -fuzztime $(FUZZTIME) ./internal/rules
+	$(GO) test -run xxx -fuzz FuzzLoad -fuzztime $(FUZZTIME) ./internal/factfile
+	$(GO) test -run xxx -fuzz FuzzImportCSV -fuzztime $(FUZZTIME) ./internal/factfile
+	$(GO) test -run xxx -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/query
+
+# Differential soak: random worlds through every oracle in
+# internal/check. SEEDS=5000 or SOAKFLAGS='-duration 10m' to go deeper.
+SEEDS ?= 200
+SOAKFLAGS ?=
+soak:
+	$(GO) run ./cmd/lsdb-check -seeds $(SEEDS) $(SOAKFLAGS)
+
+# Tier-1 verification plus the race detector, a short soak, and a
+# brief pass over every fuzz target.
 check: build vet test race
+	$(MAKE) soak SEEDS=50
+	$(MAKE) fuzz FUZZTIME=5s

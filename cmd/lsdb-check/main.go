@@ -1,0 +1,145 @@
+// Command lsdb-check soaks the differential correctness harness: it
+// loops generate → mutate → check over a seed range or time budget,
+// running every oracle of internal/check on each generated world. On
+// the first divergence it greedily shrinks the failing world and
+// prints the minimal repro program, then exits non-zero.
+//
+// Usage:
+//
+//	lsdb-check -seeds 200              # check 200 consecutive seeds
+//	lsdb-check -duration 60s           # check as many seeds as fit in 60s
+//	lsdb-check -size medium -seeds 50  # bigger worlds
+//	lsdb-check -inject member-source   # verify the harness catches a bug
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	lsdb "repro"
+	"repro/internal/check"
+	"repro/internal/gen"
+	"repro/internal/rules"
+)
+
+type config struct {
+	seeds    int
+	start    int64
+	duration time.Duration
+	size     string
+	workers  int
+	inject   string
+	verbose  bool
+}
+
+func main() {
+	var cfg config
+	flag.IntVar(&cfg.seeds, "seeds", 200, "number of consecutive seeds to check (0 = until -duration expires)")
+	flag.Int64Var(&cfg.start, "start", 0, "first seed")
+	flag.DurationVar(&cfg.duration, "duration", 0, "stop after this much wall time (0 = seed count only)")
+	flag.StringVar(&cfg.size, "size", "small", "world size: small, medium or large")
+	flag.IntVar(&cfg.workers, "workers", 8, "parallel worker count compared against sequential builds")
+	flag.StringVar(&cfg.inject, "inject", "", "deliberately exclude this standard rule on one side (harness self-test; expects a failure)")
+	flag.BoolVar(&cfg.verbose, "v", false, "log every seed")
+	flag.Parse()
+
+	// An explicit -duration with no explicit -seeds means "as many
+	// seeds as fit", not "200 seeds or the deadline, whichever first".
+	seedsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seeds" {
+			seedsSet = true
+		}
+	})
+	if cfg.duration > 0 && !seedsSet {
+		cfg.seeds = 0
+	}
+
+	if err := soak(cfg, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lsdb-check:", err)
+		os.Exit(1)
+	}
+}
+
+// soak runs the generate→check loop, returning an error on the first
+// oracle failure (after printing its shrunk repro to out). When
+// cfg.inject names a rule, success is inverted: the run must detect
+// the injected divergence.
+func soak(cfg config, out io.Writer) error {
+	var worldCfg gen.Config
+	switch cfg.size {
+	case "small":
+		worldCfg = gen.Small()
+	case "medium":
+		worldCfg = gen.Medium()
+	case "large":
+		worldCfg = gen.Large()
+	default:
+		return fmt.Errorf("unknown -size %q (want small, medium or large)", cfg.size)
+	}
+
+	opts := check.Options{Workers: cfg.workers}
+	if cfg.inject != "" {
+		r, ok := rules.StdRuleByName(cfg.inject)
+		if !ok {
+			return fmt.Errorf("unknown rule %q for -inject", cfg.inject)
+		}
+		opts.Perturb = func(db *lsdb.Database) { db.Engine().Exclude(r) }
+	}
+
+	deadline := time.Time{}
+	if cfg.duration > 0 {
+		deadline = time.Now().Add(cfg.duration)
+	}
+	if cfg.seeds == 0 && cfg.duration == 0 {
+		return fmt.Errorf("need -seeds or -duration")
+	}
+
+	started := time.Now()
+	checked := 0
+	for seed := cfg.start; ; seed++ {
+		if cfg.seeds > 0 && checked >= cfg.seeds {
+			break
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		w := gen.Generate(seed, worldCfg)
+		if f := check.Run(w, opts); f != nil {
+			// Shrink against the specific oracle that fired, with
+			// persistence off so the loop doesn't thrash the disk.
+			shrinkOpts := opts
+			shrinkOpts.SkipPersistence = true
+			fails := func(c *gen.World) bool {
+				g := check.Run(c, shrinkOpts)
+				return g != nil && g.Oracle == f.Oracle
+			}
+			repro := w
+			if fails(w) {
+				repro = gen.Shrink(w, fails)
+			}
+			fmt.Fprintf(out, "seed %d failed after %d clean seeds (%.1fs)\n",
+				seed, checked, time.Since(started).Seconds())
+			fmt.Fprint(out, check.Describe(f, repro))
+			if cfg.inject != "" {
+				fmt.Fprintf(out, "injected bug (%s) detected: harness works\n", cfg.inject)
+				return nil
+			}
+			return fmt.Errorf("oracle %s failed at seed %d", f.Oracle, seed)
+		}
+		checked++
+		if cfg.verbose {
+			fmt.Fprintf(out, "seed %d ok\n", seed)
+		}
+	}
+
+	if cfg.inject != "" {
+		return fmt.Errorf("injected bug (%s) was NOT detected across %d seeds", cfg.inject, checked)
+	}
+	fmt.Fprintf(out, "ok: %d seeds (%s worlds, start %d) in %.1fs\n",
+		checked, cfg.size, cfg.start, time.Since(started).Seconds())
+	return nil
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSoakCleanSeeds: a short clean soak succeeds and reports its
+// seed count.
+func TestSoakCleanSeeds(t *testing.T) {
+	var out strings.Builder
+	cfg := config{seeds: 15, size: "small", workers: 4}
+	if err := soak(cfg, &out); err != nil {
+		t.Fatalf("clean soak failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "ok: 15 seeds") {
+		t.Errorf("unexpected output: %s", out.String())
+	}
+}
+
+// TestSoakDetectsInjectedBug: with -inject the soak must find the
+// divergence, print a shrunk repro, and succeed (self-test mode).
+func TestSoakDetectsInjectedBug(t *testing.T) {
+	var out strings.Builder
+	cfg := config{seeds: 200, size: "small", workers: 4, inject: "member-source"}
+	if err := soak(cfg, &out); err != nil {
+		t.Fatalf("injected bug not handled: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "parallel-equivalence") {
+		t.Errorf("expected parallel-equivalence failure, got: %s", s)
+	}
+	if !strings.Contains(s, "repro program") {
+		t.Errorf("expected shrunk repro in output, got: %s", s)
+	}
+	if !strings.Contains(s, "detected: harness works") {
+		t.Errorf("expected self-test success line, got: %s", s)
+	}
+}
+
+// TestSoakRejectsBadFlags: unknown sizes and rules are errors, and a
+// zero budget is rejected.
+func TestSoakRejectsBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := soak(config{seeds: 1, size: "huge"}, &out); err == nil {
+		t.Error("unknown size accepted")
+	}
+	if err := soak(config{seeds: 1, size: "small", inject: "no-such-rule"}, &out); err == nil {
+		t.Error("unknown inject rule accepted")
+	}
+	if err := soak(config{size: "small"}, &out); err == nil {
+		t.Error("zero budget accepted")
+	}
+}
+
+// TestSoakDurationBudget: a duration-only soak terminates.
+func TestSoakDurationBudget(t *testing.T) {
+	var out strings.Builder
+	cfg := config{seeds: 0, duration: 2 * time.Second, size: "small", workers: 4}
+	done := make(chan error, 1)
+	go func() { done <- soak(cfg, &out) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("duration soak failed: %v\n%s", err, out.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("duration soak did not terminate")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/dataset"
+	"repro/internal/gen"
 )
 
 // TestConcurrentReaders exercises the documented concurrency
@@ -155,6 +156,75 @@ func TestStressReadersWithConcurrentInserts(t *testing.T) {
 		name := fmt.Sprintf("TEMP-%03d", i)
 		if !db.Has(name, "EARNS", "SALARY") {
 			t.Fatalf("%s: inference missing after concurrent run", name)
+		}
+	}
+}
+
+// TestStressReadersOnGeneratedWorld repeats the reader/writer stress
+// pattern on a generated world instead of the curated Employment
+// dataset: a single writer replays a pure-assert workload
+// (gen.Inserts is monotone by construction) while readers verify that
+// every inference established before the writes began stays visible
+// in whichever closure snapshot they observe.
+func TestStressReadersOnGeneratedWorld(t *testing.T) {
+	cfg := gen.Small()
+	cfg.Workload = 0
+	cfg.RuleToggles = false
+	db := gen.Generate(99, cfg).Build()
+	u := db.Universe()
+
+	// Pin the pre-write closure as name triples; insertion is
+	// monotone, so these must never disappear.
+	base := db.Engine().Closure().Facts()
+	pinned := make([][3]string, 0, len(base))
+	for _, f := range base {
+		pinned = append(pinned, [3]string{u.Name(f.S), u.Name(f.R), u.Name(f.T)})
+	}
+	if len(pinned) == 0 {
+		t.Fatal("generated world produced an empty closure")
+	}
+
+	workload := gen.Inserts(7, 150)
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		for _, op := range workload {
+			gen.ApplyOp(db, op)
+		}
+	}()
+
+	const readers = 50
+	errs := make(chan error, readers)
+	var wg sync.WaitGroup
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				p := pinned[(g*20+i)%len(pinned)]
+				if !db.Has(p[0], p[1], p[2]) {
+					errs <- fmt.Errorf("reader %d: pinned inference (%s, %s, %s) lost mid-write", g, p[0], p[1], p[2])
+					return
+				}
+				if db.Engine().ClosureSize() == 0 {
+					errs <- fmt.Errorf("reader %d: empty closure", g)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	writerWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Every workload insert must be visible once the writer is done.
+	for _, op := range workload {
+		if !db.HasStored(op.S, op.R, op.T) {
+			t.Fatalf("workload fact (%s, %s, %s) missing after concurrent run", op.S, op.R, op.T)
 		}
 	}
 }

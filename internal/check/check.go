@@ -1,0 +1,519 @@
+// Package check is the differential correctness harness: a set of
+// oracles that assert pairwise equivalence of every answer path the
+// engine offers — materialized closure, bounded on-demand inference,
+// sequential vs parallel materialization, incremental COW maintenance
+// vs full recompute, persistence round-trips, sealed clones — plus
+// structural invariants of published closures. Each oracle takes a
+// generated world (internal/gen) and returns nil or a Failure naming
+// the oracle and the first divergence found.
+//
+// The oracles compare across *separate* Database instances, whose
+// universes intern entities independently, so all cross-database
+// comparisons canonicalize facts to name triples.
+package check
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	lsdb "repro"
+	"repro/internal/fact"
+	"repro/internal/gen"
+	"repro/internal/store"
+)
+
+// Failure describes one oracle divergence.
+type Failure struct {
+	Oracle string // which oracle fired
+	Detail string // first divergence found
+}
+
+func (f *Failure) Error() string { return f.Oracle + ": " + f.Detail }
+
+// Options tunes a Run.
+type Options struct {
+	// Workers is the parallel worker count compared against the
+	// sequential build (default 8).
+	Workers int
+	// MaxDepth bounds the on-demand search depth ladder (default 24).
+	MaxDepth int
+	// BoundedLimit skips the closure-vs-bounded oracle on closures
+	// larger than this, since bounded enumeration is quadratic in
+	// practice (default 4000; set negative to never skip).
+	BoundedLimit int
+	// TempDir hosts persistence round-trip files; when empty a fresh
+	// temporary directory is created and removed per run.
+	TempDir string
+	// Perturb, when non-nil, is applied to the second database of the
+	// parallel-equivalence oracle before its closure is read. It
+	// exists to verify the harness *detects* injected bugs (e.g.
+	// excluding one inference rule on one side only).
+	Perturb func(*lsdb.Database)
+	// SkipPersistence disables the snapshot/log round-trip oracle
+	// (useful for tight shrinking loops that would otherwise thrash
+	// the filesystem).
+	SkipPersistence bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers == 0 {
+		o.Workers = 8
+	}
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 24
+	}
+	if o.BoundedLimit == 0 {
+		o.BoundedLimit = 4000
+	}
+	return o
+}
+
+// Run replays the world and runs every oracle against it, returning
+// the first failure or nil if all paths agree.
+func Run(w *gen.World, opts Options) *Failure {
+	opts = opts.withDefaults()
+	if f := Invariants(w); f != nil {
+		return f
+	}
+	if f := ClosureVsBounded(w, opts); f != nil {
+		return f
+	}
+	if f := ParallelEquivalence(w, opts); f != nil {
+		return f
+	}
+	if f := IncrementalVsFull(w); f != nil {
+		return f
+	}
+	if f := SealedCloneVsOriginal(w); f != nil {
+		return f
+	}
+	if f := TxRollback(w); f != nil {
+		return f
+	}
+	if !opts.SkipPersistence {
+		if f := PersistenceRoundTrip(w, opts); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+// triple canonicalizes a fact of db to its name form.
+func triple(db *lsdb.Database, f fact.Fact) [3]string {
+	u := db.Universe()
+	return [3]string{u.Name(f.S), u.Name(f.R), u.Name(f.T)}
+}
+
+func tripleSet(db *lsdb.Database, st *store.Store) map[[3]string]bool {
+	out := make(map[[3]string]bool, st.Len())
+	for _, f := range st.Facts() {
+		out[triple(db, f)] = true
+	}
+	return out
+}
+
+// diffSets returns one element of a\b or b\a, preferring a\b.
+func diffSets(a, b map[[3]string]bool) (got [3]string, inA bool, ok bool) {
+	for t := range a {
+		if !b[t] {
+			return t, true, true
+		}
+	}
+	for t := range b {
+		if !a[t] {
+			return t, false, true
+		}
+	}
+	return [3]string{}, false, false
+}
+
+// Invariants checks structural properties a published closure must
+// have regardless of how it was computed: contradiction-freedom,
+// agreement between the six store indexes and the fact set, non-empty
+// provenance (Explain) and a materialized proof (Derive) for every
+// closure fact, and a sorted ClosureEntities domain.
+func Invariants(w *gen.World) *Failure {
+	db := w.Build()
+	u := db.Universe()
+	fail := func(format string, args ...any) *Failure {
+		return &Failure{Oracle: "invariants", Detail: fmt.Sprintf(format, args...)}
+	}
+
+	if contras := db.Check(); len(contras) != 0 {
+		return fail("closure has %d contradictions; first: %s", len(contras), contras[0].Format(u))
+	}
+
+	// Every stored fact must be reachable through all seven template
+	// shapes of the store's index structure.
+	base := db.Store()
+	facts := base.Facts()
+	limit := len(facts)
+	if limit > 200 {
+		limit = 200
+	}
+	for _, f := range facts[:limit] {
+		patterns := [][3]bool{
+			{true, true, true}, {true, true, false}, {true, false, true},
+			{false, true, true}, {true, false, false}, {false, true, false},
+			{false, false, true},
+		}
+		for _, p := range patterns {
+			s, r, t := f.S, f.R, f.T
+			if !p[0] {
+				s = 0
+			}
+			if !p[1] {
+				r = 0
+			}
+			if !p[2] {
+				t = 0
+			}
+			found := false
+			base.Match(s, r, t, func(g fact.Fact) bool {
+				if g == f {
+					found = true
+					return false
+				}
+				return true
+			})
+			if !found {
+				return fail("index miss: %s not found via template (%v,%v,%v)",
+					u.FormatFact(f), s, r, t)
+			}
+		}
+	}
+
+	// Every closure fact must explain and derive.
+	eng := db.Engine()
+	cfacts := eng.Closure().Facts()
+	climit := len(cfacts)
+	if climit > 500 {
+		climit = 500
+	}
+	for _, f := range cfacts[:climit] {
+		if eng.Explain(f) == "" {
+			return fail("closure fact %s has empty provenance", u.FormatFact(f))
+		}
+		if eng.Derive(f) == nil {
+			return fail("closure fact %s has no derivation", u.FormatFact(f))
+		}
+	}
+
+	ents := eng.ClosureEntities()
+	if !sort.SliceIsSorted(ents, func(i, j int) bool { return ents[i] < ents[j] }) {
+		return fail("ClosureEntities not sorted")
+	}
+	return nil
+}
+
+// ClosureVsBounded walks the bounded on-demand search up the depth
+// ladder and checks, at every depth: soundness (each bounded answer
+// is in the closure or is a virtual fact) and monotonicity in depth.
+// At the first depth d where the answer set stops growing the search
+// is complete, and the materialized closure must be contained in it —
+// the paper's backward and forward inference must agree exactly.
+func ClosureVsBounded(w *gen.World, opts Options) *Failure {
+	opts = opts.withDefaults()
+	db := w.Build()
+	u := db.Universe()
+	eng := db.Engine()
+	closure := eng.Closure()
+	if opts.BoundedLimit >= 0 && closure.Len() > opts.BoundedLimit {
+		return nil // too big for quadratic bounded enumeration
+	}
+	fail := func(format string, args ...any) *Failure {
+		return &Failure{Oracle: "closure-vs-bounded", Detail: fmt.Sprintf(format, args...)}
+	}
+
+	vp := eng.Virtual()
+	enumerate := func(depth int) map[fact.Fact]bool {
+		set := make(map[fact.Fact]bool)
+		eng.MatchBounded(0, 0, 0, depth, func(f fact.Fact) bool {
+			set[f] = true
+			return true
+		})
+		return set
+	}
+
+	prev := enumerate(0)
+	for f := range prev {
+		if !closure.Has(f) && !vp.Has(f) {
+			return fail("depth 0 answer %s not stored, derived or virtual", u.FormatFact(f))
+		}
+	}
+	for depth := 1; depth <= opts.MaxDepth; depth++ {
+		cur := enumerate(depth)
+		for f := range prev {
+			if !cur[f] {
+				return fail("bounded search not monotone: %s at depth %d but not %d",
+					u.FormatFact(f), depth-1, depth)
+			}
+		}
+		for f := range cur {
+			if !closure.Has(f) && !vp.Has(f) {
+				return fail("unsound at depth %d: %s not in closure and not virtual",
+					depth, u.FormatFact(f))
+			}
+		}
+		if len(cur) == len(prev) {
+			// Fixpoint: the bounded search is complete here, so every
+			// closure fact must be reachable backward.
+			for _, f := range closure.Facts() {
+				if !cur[f] {
+					return fail("incomplete at fixpoint depth %d: closure fact %s unreachable",
+						depth, u.FormatFact(f))
+				}
+			}
+			return nil
+		}
+		prev = cur
+	}
+	// Never reaching a fixpoint within MaxDepth on a generated world
+	// is itself suspicious — the closure is finite and bounded search
+	// is monotone, so it must saturate.
+	return fail("no fixpoint within depth %d (last size %d, closure %d)",
+		opts.MaxDepth, len(prev), closure.Len())
+}
+
+// ParallelEquivalence builds the world twice, materializes one
+// closure sequentially and one with opts.Workers workers, and
+// requires identical fact sets and identical per-fact provenance.
+// opts.Perturb, if set, is applied to the parallel database first.
+func ParallelEquivalence(w *gen.World, opts Options) *Failure {
+	opts = opts.withDefaults()
+	fail := func(format string, args ...any) *Failure {
+		return &Failure{Oracle: "parallel-equivalence", Detail: fmt.Sprintf(format, args...)}
+	}
+	db1, db2 := w.Build(), w.Build()
+	if opts.Perturb != nil {
+		opts.Perturb(db2)
+	}
+	db1.Engine().SetWorkers(1)
+	db2.Engine().SetWorkers(opts.Workers)
+	c1, c2 := db1.Engine().Closure(), db2.Engine().Closure()
+	s1, s2 := tripleSet(db1, c1), tripleSet(db2, c2)
+	if t, inA, ok := diffSets(s1, s2); ok {
+		if inA {
+			return fail("fact %v in sequential closure only (sizes %d vs %d)", t, len(s1), len(s2))
+		}
+		return fail("fact %v in parallel closure only (sizes %d vs %d)", t, len(s1), len(s2))
+	}
+	u2 := db2.Universe()
+	for _, f := range c1.Facts() {
+		tr := triple(db1, f)
+		f2 := fact.Fact{S: u2.Entity(tr[0]), R: u2.Entity(tr[1]), T: u2.Entity(tr[2])}
+		if w1, w2 := db1.Engine().Explain(f), db2.Engine().Explain(f2); w1 != w2 {
+			return fail("provenance differs for %v: sequential %q vs parallel %q", tr, w1, w2)
+		}
+	}
+	return nil
+}
+
+// IncrementalVsFull replays the world onto a live database while
+// forcing a closure materialization every other op — driving the COW
+// incremental path on insert runs and full recomputes after deletes
+// and rule toggles — and compares the final closure against a fresh
+// replay that computes its closure once, from scratch.
+func IncrementalVsFull(w *gen.World) *Failure {
+	live := lsdb.New()
+	for i, op := range w.Ops {
+		gen.ApplyOp(live, op)
+		if i%2 == 1 {
+			live.ClosureLen()
+		}
+	}
+	full := w.Build()
+	liveSet := tripleSet(live, live.Engine().Closure())
+	fullSet := tripleSet(full, full.Engine().Closure())
+	if t, inLive, ok := diffSets(liveSet, fullSet); ok {
+		side := "full-recompute"
+		if inLive {
+			side = "incremental"
+		}
+		return &Failure{
+			Oracle: "incremental-vs-full",
+			Detail: fmt.Sprintf("fact %v only in %s closure (sizes %d vs %d)",
+				t, side, len(liveSet), len(fullSet)),
+		}
+	}
+	return nil
+}
+
+// SealedCloneVsOriginal checks that a store clone holds exactly the
+// original's facts, that Count and EstimateCount agree on plain
+// stores, and that mutating the clone leaves the original untouched.
+func SealedCloneVsOriginal(w *gen.World) *Failure {
+	db := w.Build()
+	fail := func(format string, args ...any) *Failure {
+		return &Failure{Oracle: "sealed-clone", Detail: fmt.Sprintf(format, args...)}
+	}
+	orig := db.Store()
+	clone := orig.Clone()
+	if clone.Len() != orig.Len() {
+		return fail("clone size %d != original %d", clone.Len(), orig.Len())
+	}
+	for _, f := range orig.Facts() {
+		if !clone.Has(f) {
+			return fail("clone missing %s", db.Universe().FormatFact(f))
+		}
+		if c, e := orig.Count(0, f.R, 0), orig.EstimateCount(0, f.R, 0); c != e {
+			return fail("EstimateCount %d != Count %d for rel %s",
+				e, c, db.Universe().Name(f.R))
+		}
+	}
+	// Clone isolation: a marker insert must not leak back.
+	marker := db.Universe().NewFact("CLONE-MARKER", "CLONE-REL", "CLONE-TGT")
+	clone.Insert(marker)
+	if orig.Has(marker) {
+		return fail("insert into clone visible in original")
+	}
+	before := orig.Len()
+	if clone.Len() != before+1 {
+		return fail("clone insert did not stick")
+	}
+	return nil
+}
+
+// TxRollback applies a deterministic mutation workload inside a
+// transaction that aborts, and requires the stored fact set and the
+// closure to come back identical to the pre-transaction state.
+func TxRollback(w *gen.World) *Failure {
+	db := w.Build()
+	storedBefore := tripleSet(db, db.Store())
+	closureBefore := tripleSet(db, db.Engine().Closure())
+
+	sentinel := errors.New("abort")
+	err := db.Batch(func(tx *lsdb.Tx) error {
+		i := 0
+		for _, op := range w.Ops {
+			if op.Kind != gen.OpAssert {
+				continue
+			}
+			// Alternate retracting world facts and asserting fresh ones.
+			if i%2 == 0 {
+				tx.Retract(op.S, op.R, op.T)
+			} else {
+				tx.Assert(fmt.Sprintf("TX%d", i), op.R, op.T)
+			}
+			i++
+		}
+		tx.Assert("TX-ONLY", "isa", "TX-PARENT")
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		return &Failure{Oracle: "tx-rollback", Detail: fmt.Sprintf("Batch returned %v, want sentinel", err)}
+	}
+
+	storedAfter := tripleSet(db, db.Store())
+	closureAfter := tripleSet(db, db.Engine().Closure())
+	if t, inBefore, ok := diffSets(storedBefore, storedAfter); ok {
+		verb := "appeared in"
+		if inBefore {
+			verb = "vanished from"
+		}
+		return &Failure{Oracle: "tx-rollback",
+			Detail: fmt.Sprintf("stored fact %v %s store after rollback", t, verb)}
+	}
+	if t, inBefore, ok := diffSets(closureBefore, closureAfter); ok {
+		verb := "appeared in"
+		if inBefore {
+			verb = "vanished from"
+		}
+		return &Failure{Oracle: "tx-rollback",
+			Detail: fmt.Sprintf("closure fact %v %s closure after rollback", t, verb)}
+	}
+	return nil
+}
+
+// PersistenceRoundTrip checks both durability paths against the live
+// store: a snapshot written and reloaded into a fresh database must
+// hold the same stored facts, and a database whose mutations went
+// through an append-only log must come back identical (stored facts
+// and closure) when reopened from that log.
+func PersistenceRoundTrip(w *gen.World, opts Options) *Failure {
+	opts = opts.withDefaults()
+	fail := func(format string, args ...any) *Failure {
+		return &Failure{Oracle: "persistence", Detail: fmt.Sprintf(format, args...)}
+	}
+	dir := opts.TempDir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "lsdb-check-*")
+		if err != nil {
+			return fail("mktemp: %v", err)
+		}
+		defer os.RemoveAll(dir)
+	}
+
+	// Snapshot round-trip.
+	db := w.Build()
+	snap := filepath.Join(dir, fmt.Sprintf("w%d.snap", w.Seed))
+	if err := db.SaveSnapshot(snap); err != nil {
+		return fail("save snapshot: %v", err)
+	}
+	loaded := lsdb.New()
+	if err := loaded.LoadSnapshot(snap); err != nil {
+		return fail("load snapshot: %v", err)
+	}
+	want, got := tripleSet(db, db.Store()), tripleSet(loaded, loaded.Store())
+	if t, inWant, ok := diffSets(want, got); ok {
+		if inWant {
+			return fail("snapshot lost stored fact %v", t)
+		}
+		return fail("snapshot invented stored fact %v", t)
+	}
+
+	// Log round-trip: replay the world through an attached log, then
+	// reopen from the log alone.
+	logPath := filepath.Join(dir, fmt.Sprintf("w%d.log", w.Seed))
+	logged, err := lsdb.Open(lsdb.Options{LogPath: logPath})
+	if err != nil {
+		return fail("open with log: %v", err)
+	}
+	w.Apply(logged)
+	loggedStored := tripleSet(logged, logged.Store())
+	loggedClosure := len(tripleSet(logged, logged.Engine().Closure()))
+	if err := logged.Close(); err != nil {
+		return fail("close log: %v", err)
+	}
+	reopened, err := lsdb.Open(lsdb.Options{LogPath: logPath})
+	if err != nil {
+		return fail("reopen from log: %v", err)
+	}
+	defer reopened.Close()
+	// Rule toggles are not logged (they are session configuration),
+	// so reapply them before comparing closures.
+	for _, op := range w.Ops {
+		switch op.Kind {
+		case gen.OpExclude:
+			_ = reopened.ExcludeRule(op.Rule)
+		case gen.OpInclude:
+			_ = reopened.IncludeRule(op.Rule)
+		}
+	}
+	reStored := tripleSet(reopened, reopened.Store())
+	if t, inWant, ok := diffSets(loggedStored, reStored); ok {
+		if inWant {
+			return fail("log replay lost stored fact %v", t)
+		}
+		return fail("log replay invented stored fact %v", t)
+	}
+	if n := len(tripleSet(reopened, reopened.Engine().Closure())); n != loggedClosure {
+		return fail("closure after log replay has %d facts, live had %d", n, loggedClosure)
+	}
+	return nil
+}
+
+// Describe renders a failure with its shrunk repro program, the thing
+// lsdb-check prints and a developer replays.
+func Describe(f *Failure, repro *gen.World) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "oracle failure: %s\n", f.Error())
+	fmt.Fprintf(&b, "repro program (replay with gen.World{Ops: ...}.Build()):\n")
+	b.WriteString(repro.Program())
+	return b.String()
+}

@@ -1,0 +1,128 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	lsdb "repro"
+	"repro/internal/gen"
+	"repro/internal/rules"
+)
+
+// TestRunCleanOnSmallWorlds: all oracles pass on a window of small
+// generated worlds.
+func TestRunCleanOnSmallWorlds(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		w := gen.Generate(seed, gen.Small())
+		if f := Run(w, Options{}); f != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, f, w.Program())
+		}
+	}
+}
+
+// TestRunCleanOnMediumWorlds: a few medium worlds, which cross the
+// engine's parallel-round threshold.
+func TestRunCleanOnMediumWorlds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium worlds take a few seconds")
+	}
+	for seed := int64(100); seed < 106; seed++ {
+		w := gen.Generate(seed, gen.Medium())
+		if f := Run(w, Options{}); f != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, f, w.Program())
+		}
+	}
+}
+
+// TestInjectedRuleSkipIsCaught is the harness's own acceptance test:
+// deliberately disabling one inference rule on one side of the
+// parallel-equivalence oracle must be detected, and shrinking the
+// failing world must produce a repro of at most 20 asserts.
+func TestInjectedRuleSkipIsCaught(t *testing.T) {
+	inject := func(db *lsdb.Database) { db.Engine().Exclude(rules.MemberSource) }
+	opts := Options{Perturb: inject, SkipPersistence: true}
+
+	fails := func(w *gen.World) bool {
+		f := ParallelEquivalence(w, opts)
+		return f != nil
+	}
+
+	var failing *gen.World
+	for seed := int64(0); seed < 200; seed++ {
+		w := gen.Generate(seed, gen.Small())
+		if fails(w) {
+			failing = w
+			break
+		}
+	}
+	if failing == nil {
+		t.Fatal("injected member-source skip never detected across 200 seeds")
+	}
+
+	min := gen.Shrink(failing, fails)
+	if !fails(min) {
+		t.Fatal("shrunk world no longer triggers the oracle")
+	}
+	t.Logf("shrunk repro: %d ops, %d asserts\n%s",
+		len(min.Ops), min.NumAsserts(), min.Program())
+	if min.NumAsserts() > 20 {
+		t.Fatalf("shrunk repro has %d asserts, want ≤ 20", min.NumAsserts())
+	}
+}
+
+// TestInjectedInversionSkipIsCaught repeats the injection test with a
+// different rule to make sure detection is not rule-specific.
+func TestInjectedInversionSkipIsCaught(t *testing.T) {
+	inject := func(db *lsdb.Database) { db.Engine().Exclude(rules.Inversion) }
+	opts := Options{Perturb: inject, SkipPersistence: true}
+	detected := false
+	for seed := int64(0); seed < 200; seed++ {
+		w := gen.Generate(seed, gen.Small())
+		if f := ParallelEquivalence(w, opts); f != nil {
+			detected = true
+			if f.Oracle != "parallel-equivalence" {
+				t.Fatalf("unexpected oracle name %q", f.Oracle)
+			}
+			break
+		}
+	}
+	if !detected {
+		t.Fatal("injected inversion skip never detected across 200 seeds")
+	}
+}
+
+// TestDescribeIncludesProgram: the failure report embeds the repro
+// program so it can be replayed without the generator.
+func TestDescribeIncludesProgram(t *testing.T) {
+	w := gen.Generate(1, gen.Small())
+	f := &Failure{Oracle: "demo", Detail: "divergence"}
+	out := Describe(f, w)
+	if !strings.Contains(out, "demo: divergence") {
+		t.Error("missing oracle detail")
+	}
+	if !strings.Contains(out, "assert (") {
+		t.Error("missing program listing")
+	}
+}
+
+// TestTxRollbackOracle runs the rollback oracle directly across seeds
+// (it is also part of Run, but this pins the satellite requirement).
+func TestTxRollbackOracle(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		w := gen.Generate(seed, gen.Small())
+		if f := TxRollback(w); f != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, f, w.Program())
+		}
+	}
+}
+
+// TestBoundedOracleDirect pins the closure-vs-bounded oracle across
+// seeds with rule toggles in play.
+func TestBoundedOracleDirect(t *testing.T) {
+	for seed := int64(50); seed < 80; seed++ {
+		w := gen.Generate(seed, gen.Small())
+		if f := ClosureVsBounded(w, Options{}); f != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, f, w.Program())
+		}
+	}
+}

@@ -163,9 +163,35 @@ func DumpFile(db *lsdb.Database, path string) error {
 	return Dump(db, f)
 }
 
+// nameEscaper escapes the two runes the quoted-entity lexer treats
+// specially: backslash (the escape rune itself) and the quote.
+var nameEscaper = strings.NewReplacer(`\`, `\\`, `'`, `\'`)
+
 func quote(name string) string {
-	if strings.ContainsAny(name, " ,()?&|'\"[]") {
-		return "'" + name + "'"
+	if safeBare(name) {
+		return name
 	}
-	return name
+	return "'" + nameEscaper.Replace(name) + "'"
+}
+
+// safeBare reports whether name survives a Dump→Load round trip
+// unquoted: it must lex as a single bare word and not collide with a
+// boolean keyword. Anything else — empty names, names with spaces,
+// punctuation outside the word-rune set, embedded dots (a trailing
+// dot would merge with the statement terminator), or names reading
+// "and"/"or"/"exists"/"forall" — is single-quoted with escaping.
+func safeBare(name string) bool {
+	if name == "" {
+		return false
+	}
+	switch strings.ToLower(name) {
+	case "and", "or", "exists", "forall":
+		return false
+	}
+	for _, r := range name {
+		if !query.IsWordRune(r) {
+			return false
+		}
+	}
+	return true
 }

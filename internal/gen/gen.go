@@ -1,0 +1,322 @@
+// Package gen builds seeded, size-parameterized random worlds for the
+// differential correctness harness: generalization forests with
+// occasional cycles, synonym and inversion declarations, memberships,
+// data facts, random standard-rule toggles, and mixed assert/retract
+// workloads.
+//
+// A World is a deterministic *program* — an ordered list of Ops — not
+// a database. Replaying the program onto a fresh database (Build)
+// reproduces the world exactly; replaying any subsequence yields a
+// smaller valid world (asserting a present fact and retracting an
+// absent one are no-ops, and rule toggles are idempotent), which is
+// what makes greedy shrinking (Shrink) sound. A failing seed is
+// reported as its program (Program), which replays with no generator
+// code at all.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	lsdb "repro"
+	"repro/internal/rules"
+)
+
+// OpKind is the kind of one program step.
+type OpKind uint8
+
+const (
+	// OpAssert inserts the fact (S, R, T).
+	OpAssert OpKind = iota
+	// OpRetract deletes the stored fact (S, R, T).
+	OpRetract
+	// OpExclude disables the standard rule named Rule.
+	OpExclude
+	// OpInclude re-enables the standard rule named Rule.
+	OpInclude
+)
+
+// Op is one step of a world program.
+type Op struct {
+	Kind    OpKind
+	S, R, T string // OpAssert, OpRetract
+	Rule    string // OpExclude, OpInclude
+}
+
+func (o Op) String() string {
+	switch o.Kind {
+	case OpAssert:
+		return fmt.Sprintf("assert (%s, %s, %s)", o.S, o.R, o.T)
+	case OpRetract:
+		return fmt.Sprintf("retract (%s, %s, %s)", o.S, o.R, o.T)
+	case OpExclude:
+		return "exclude " + o.Rule
+	default:
+		return "include " + o.Rule
+	}
+}
+
+// World is a reproducible world: the seed and configuration that
+// generated it, plus the program of operations it denotes. Ops is the
+// authoritative content — Shrink edits Ops without regenerating.
+type World struct {
+	Seed int64
+	Cfg  Config
+	Ops  []Op
+}
+
+// Config sizes and shapes a generated world. The zero value is not
+// useful; start from Small, Medium or Large.
+type Config struct {
+	Classes   int // class entities C0..C{n-1}
+	Instances int // instance entities I0..I{n-1}
+	Rels      int // relationship entities R0..R{n-1}
+	DataFacts int // upper bound on random data facts (at least half are generated)
+	Workload  int // trailing mutation ops (asserts, retraction waves, rule toggles)
+
+	PCycle    float64 // probability a generalization edge gets a back edge (two-way ≺ ⇒ synonym)
+	PSyn      float64 // probability an entity declares a synonym
+	PInv      float64 // probability a relationship declares an inversion (possibly itself)
+	PClassRel float64 // probability a relationship is declared a class relationship (∉ R_i)
+
+	RuleToggles bool // randomly exclude standard rules up front and toggle them in the workload
+}
+
+// Small is the default soak-and-property-test size: worlds of a few
+// dozen ops whose closures stay in the hundreds of facts, small
+// enough for the bounded-inference oracle to reach its fixpoint fast.
+func Small() Config {
+	return Config{
+		Classes: 5, Instances: 4, Rels: 3,
+		DataFacts: 8, Workload: 12,
+		PCycle: 0.15, PSyn: 0.2, PInv: 0.3, PClassRel: 0.15,
+		RuleToggles: true,
+	}
+}
+
+// Medium grows the pools enough that closure builds cross the
+// parallel-round threshold while oracles stay affordable.
+func Medium() Config {
+	return Config{
+		Classes: 12, Instances: 16, Rels: 5,
+		DataFacts: 40, Workload: 30,
+		PCycle: 0.1, PSyn: 0.15, PInv: 0.25, PClassRel: 0.1,
+		RuleToggles: true,
+	}
+}
+
+// Large is for dedicated soaks; the bounded-inference oracle skips
+// worlds this big unless explicitly told otherwise.
+func Large() Config {
+	return Config{
+		Classes: 25, Instances: 60, Rels: 8,
+		DataFacts: 200, Workload: 120,
+		PCycle: 0.08, PSyn: 0.1, PInv: 0.2, PClassRel: 0.1,
+		RuleToggles: true,
+	}
+}
+
+// Generate builds the deterministic world program for (seed, cfg).
+func Generate(seed int64, cfg Config) *World {
+	rng := rand.New(rand.NewSource(seed))
+	w := &World{Seed: seed, Cfg: cfg}
+	assert := func(s, r, t string) {
+		w.Ops = append(w.Ops, Op{Kind: OpAssert, S: s, R: r, T: t})
+	}
+
+	classes := names("C", cfg.Classes)
+	insts := names("I", cfg.Instances)
+	rels := names("R", cfg.Rels)
+	pool := append(append([]string{}, classes...), insts...)
+
+	// Random standard-rule exclusions up front, so every oracle also
+	// runs against partial rule configurations (§6.1 exclude).
+	if cfg.RuleToggles {
+		for _, r := range rules.StdRules() {
+			if rng.Float64() < 0.12 {
+				w.Ops = append(w.Ops, Op{Kind: OpExclude, Rule: r.String()})
+			}
+		}
+	}
+
+	// A generalization forest over the classes, with occasional back
+	// edges: a two-way generalization is a synonym (§3.3), so PCycle
+	// exercises the synonym rule from the ≺ side.
+	for i := 1; i < len(classes); i++ {
+		if rng.Intn(3) > 0 {
+			parent := classes[rng.Intn(i)]
+			assert(classes[i], "isa", parent)
+			if rng.Float64() < cfg.PCycle {
+				assert(parent, "isa", classes[i])
+			}
+		}
+	}
+	// Class synonyms.
+	for i := range classes {
+		if rng.Float64() < cfg.PSyn {
+			assert(classes[i], "syn", classes[rng.Intn(len(classes))])
+		}
+	}
+	// Relationship hierarchy, synonyms, inversions (an inversion may
+	// name the relationship itself: symmetric relationships).
+	for i := 1; i < len(rels); i++ {
+		if rng.Intn(2) == 0 {
+			assert(rels[i], "isa", rels[rng.Intn(i)])
+		}
+	}
+	for i := range rels {
+		if rng.Float64() < cfg.PSyn {
+			assert(rels[i], "syn", rels[rng.Intn(len(rels))])
+		}
+		if rng.Float64() < cfg.PInv {
+			assert(rels[i], "inv", rels[rng.Intn(len(rels))])
+		}
+		if rng.Float64() < cfg.PClassRel {
+			assert(rels[i], "in", "@class")
+		}
+	}
+	// Memberships.
+	for _, inst := range insts {
+		if rng.Intn(4) > 0 {
+			assert(inst, "in", classes[rng.Intn(len(classes))])
+		}
+	}
+	// Data facts.
+	n := cfg.DataFacts/2 + rng.Intn(cfg.DataFacts/2+1)
+	for i := 0; i < n; i++ {
+		assert(pool[rng.Intn(len(pool))], rels[rng.Intn(len(rels))], pool[rng.Intn(len(pool))])
+	}
+
+	// Mutation workload: fresh asserts, retraction waves over earlier
+	// asserts (exercising the non-monotonic full-recompute path), and
+	// rule toggles (exercising config invalidation).
+	structural := []string{"isa", "in", "syn"}
+	for len(w.Ops) > 0 && cfg.Workload > 0 {
+		budget := cfg.Workload
+		for i := 0; i < budget; i++ {
+			switch r := rng.Float64(); {
+			case r < 0.55:
+				rel := rels[rng.Intn(len(rels))]
+				if rng.Float64() < 0.3 {
+					rel = structural[rng.Intn(len(structural))]
+				}
+				assert(pool[rng.Intn(len(pool))], rel, pool[rng.Intn(len(pool))])
+			case r < 0.85:
+				// A retraction wave: drop 1–3 previously asserted facts.
+				wave := 1 + rng.Intn(3)
+				for k := 0; k < wave && i < budget; k++ {
+					prev := w.Ops[rng.Intn(len(w.Ops))]
+					if prev.Kind != OpAssert {
+						continue
+					}
+					w.Ops = append(w.Ops, Op{Kind: OpRetract, S: prev.S, R: prev.R, T: prev.T})
+					i++
+				}
+			default:
+				if cfg.RuleToggles {
+					std := rules.StdRules()
+					rule := std[rng.Intn(len(std))].String()
+					kind := OpExclude
+					if rng.Intn(2) == 0 {
+						kind = OpInclude
+					}
+					w.Ops = append(w.Ops, Op{Kind: kind, Rule: rule})
+				} else {
+					assert(pool[rng.Intn(len(pool))], rels[rng.Intn(len(rels))], pool[rng.Intn(len(pool))])
+				}
+			}
+		}
+		break
+	}
+	return w
+}
+
+// Inserts returns a pure-assert workload of n ops over the Small
+// naming pools — monotone by construction, so it can run concurrently
+// with readers that rely on established inferences staying visible.
+func Inserts(seed int64, n int) []Op {
+	rng := rand.New(rand.NewSource(seed))
+	classes := names("C", 5)
+	rels := names("R", 3)
+	ops := make([]Op, 0, n)
+	for i := 0; i < n; i++ {
+		s := fmt.Sprintf("W%d", i)
+		switch rng.Intn(3) {
+		case 0:
+			ops = append(ops, Op{Kind: OpAssert, S: s, R: "in", T: classes[rng.Intn(len(classes))]})
+		case 1:
+			ops = append(ops, Op{Kind: OpAssert, S: s, R: rels[rng.Intn(len(rels))], T: classes[rng.Intn(len(classes))]})
+		default:
+			ops = append(ops, Op{Kind: OpAssert, S: s, R: "isa", T: classes[rng.Intn(len(classes))]})
+		}
+	}
+	return ops
+}
+
+// ApplyOp replays one op onto db. Asserts of present facts, retracts
+// of absent facts, and toggles of already-toggled rules are no-ops,
+// so any subsequence of a program is a valid program.
+func ApplyOp(db *lsdb.Database, op Op) {
+	switch op.Kind {
+	case OpAssert:
+		db.MustAssert(op.S, op.R, op.T)
+	case OpRetract:
+		db.Retract(op.S, op.R, op.T)
+	case OpExclude:
+		_ = db.ExcludeRule(op.Rule)
+	case OpInclude:
+		_ = db.IncludeRule(op.Rule)
+	}
+}
+
+// Apply replays the whole program onto db.
+func (w *World) Apply(db *lsdb.Database) {
+	for _, op := range w.Ops {
+		ApplyOp(db, op)
+	}
+}
+
+// Build replays the program onto a fresh database.
+func (w *World) Build() *lsdb.Database {
+	db := lsdb.New()
+	w.Apply(db)
+	return db
+}
+
+// Clone returns a deep copy of the world.
+func (w *World) Clone() *World {
+	c := *w
+	c.Ops = append([]Op(nil), w.Ops...)
+	return &c
+}
+
+// NumAsserts counts the assert ops — the "facts" size of a repro.
+func (w *World) NumAsserts() int {
+	n := 0
+	for _, op := range w.Ops {
+		if op.Kind == OpAssert {
+			n++
+		}
+	}
+	return n
+}
+
+// Program renders the world as a replayable op listing.
+func (w *World) Program() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# seed %d, %d ops (%d asserts)\n", w.Seed, len(w.Ops), w.NumAsserts())
+	for _, op := range w.Ops {
+		b.WriteString(op.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func names(prefix string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s%d", prefix, i)
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package gen
+
+import (
+	"testing"
+)
+
+// TestGenerateDeterministic: the same (seed, cfg) always yields the
+// same program, and different seeds yield different programs.
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(42, Small())
+	b := Generate(42, Small())
+	if a.Program() != b.Program() {
+		t.Fatal("same seed produced different programs")
+	}
+	c := Generate(43, Small())
+	if a.Program() == c.Program() {
+		t.Fatal("different seeds produced identical programs")
+	}
+	if len(a.Ops) == 0 {
+		t.Fatal("empty program")
+	}
+}
+
+// TestBuildReplayable: building the same world twice yields databases
+// with identical stored facts and closures.
+func TestBuildReplayable(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		w := Generate(seed, Small())
+		db1, db2 := w.Build(), w.Build()
+		if db1.Len() != db2.Len() {
+			t.Fatalf("seed %d: stored sizes differ: %d vs %d", seed, db1.Len(), db2.Len())
+		}
+		if db1.ClosureLen() != db2.ClosureLen() {
+			t.Fatalf("seed %d: closure sizes differ: %d vs %d", seed, db1.ClosureLen(), db2.ClosureLen())
+		}
+	}
+}
+
+// TestWorldsAreContradictionFree: the generator must only build
+// worlds whose closures are contradiction-free, otherwise the
+// oracles would be comparing poisoned closures.
+func TestWorldsAreContradictionFree(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		db := Generate(seed, Small()).Build()
+		if contras := db.Check(); len(contras) != 0 {
+			t.Fatalf("seed %d: generated world has contradictions: %v", seed, contras)
+		}
+	}
+}
+
+// TestWorkloadsExerciseRetractions: across a window of seeds, the
+// generator must emit retract ops and rule toggles — the whole point
+// of the workload phase is to drive the non-incremental rebuild path.
+func TestWorkloadsExerciseRetractions(t *testing.T) {
+	var retracts, toggles int
+	for seed := int64(0); seed < 30; seed++ {
+		w := Generate(seed, Small())
+		for _, op := range w.Ops {
+			switch op.Kind {
+			case OpRetract:
+				retracts++
+			case OpExclude, OpInclude:
+				toggles++
+			}
+		}
+	}
+	if retracts == 0 {
+		t.Error("no retract ops across 30 seeds")
+	}
+	if toggles == 0 {
+		t.Error("no rule toggles across 30 seeds")
+	}
+}
+
+// TestShrinkMinimizes: shrinking against a predicate that depends on
+// one specific op finds a 1-op program.
+func TestShrinkMinimizes(t *testing.T) {
+	w := Generate(7, Medium())
+	// Pick an op in the middle of the program as the "culprit".
+	culprit := w.Ops[len(w.Ops)/2]
+	fails := func(c *World) bool {
+		for _, op := range c.Ops {
+			if op == culprit {
+				return true
+			}
+		}
+		return false
+	}
+	if !fails(w) {
+		t.Fatal("predicate does not hold on original world")
+	}
+	min := Shrink(w, fails)
+	if !fails(min) {
+		t.Fatal("shrunk world no longer fails")
+	}
+	if len(min.Ops) != 1 {
+		t.Fatalf("expected 1-op repro, got %d ops:\n%s", len(min.Ops), min.Program())
+	}
+}
+
+// TestShrinkPreservesFailure: with a predicate over the built
+// database (closure contains a particular derived fact), the shrunk
+// program still triggers it and is no larger than the original.
+func TestShrinkPreservesFailure(t *testing.T) {
+	w := Generate(3, Small())
+	db := w.Build()
+	// Find any derived fact to anchor the predicate on.
+	var s, r, tt string
+	found := false
+	for _, op := range w.Ops {
+		if op.Kind == OpAssert && db.Has(op.S, op.R, op.T) {
+			s, r, tt = op.S, op.R, op.T
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Skip("no stored fact visible (all retracted)")
+	}
+	fails := func(c *World) bool { return c.Build().Has(s, r, tt) }
+	min := Shrink(w, fails)
+	if !fails(min) {
+		t.Fatal("shrunk world lost the anchor fact")
+	}
+	if len(min.Ops) > len(w.Ops) {
+		t.Fatal("shrinking grew the program")
+	}
+}
+
+// TestInsertsPureAsserts: the concurrency workload contains only
+// assert ops.
+func TestInsertsPureAsserts(t *testing.T) {
+	ops := Inserts(11, 50)
+	if len(ops) != 50 {
+		t.Fatalf("want 50 ops, got %d", len(ops))
+	}
+	for _, op := range ops {
+		if op.Kind != OpAssert {
+			t.Fatalf("non-assert op in Inserts workload: %v", op)
+		}
+	}
+}

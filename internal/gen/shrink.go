@@ -1,0 +1,36 @@
+package gen
+
+// Shrink greedily minimizes a failing world. fails must return true
+// for the input world (it reproduces the failure) and is re-invoked
+// on candidate sub-programs; the smallest program still failing is
+// returned. The strategy is ddmin-style: repeatedly try deleting
+// contiguous chunks of ops, halving the chunk size down to single
+// ops, and restart whenever a deletion sticks, until a full pass
+// removes nothing.
+//
+// Deleting ops is always sound because any subsequence of a program
+// is a valid program (see the package comment): asserts, retracts and
+// rule toggles are all idempotent no-ops when their precondition
+// already holds.
+func Shrink(w *World, fails func(*World) bool) *World {
+	cur := w.Clone()
+	for {
+		shrunk := false
+		for chunk := len(cur.Ops) / 2; chunk >= 1; chunk /= 2 {
+			for i := 0; i+chunk <= len(cur.Ops); {
+				cand := cur.Clone()
+				cand.Ops = append(cand.Ops[:i], cand.Ops[i+chunk:]...)
+				if fails(cand) {
+					cur = cand
+					shrunk = true
+					// Same index now holds the next chunk; retry there.
+					continue
+				}
+				i++
+			}
+		}
+		if !shrunk {
+			return cur
+		}
+	}
+}

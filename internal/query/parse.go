@@ -194,6 +194,11 @@ func lex(src string) ([]token, error) {
 	return toks, nil
 }
 
+// IsWordRune reports whether r may appear in a bare (unquoted) entity
+// name. Writers that emit the surface syntax (factfile.Dump) use it
+// to decide when a name needs quoting.
+func IsWordRune(r rune) bool { return isWordRune(r) }
+
 // isWordRune reports whether r may appear in a bare entity name.
 // Entity names in the paper include $25000, PC#9-WAM, ISBN-914894,
 // and the special symbols ≺ ∈ ≈ ⇌ ⊥ Δ ∇ = ≠ < > ≤ ≥.

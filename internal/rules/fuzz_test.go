@@ -1,0 +1,61 @@
+package rules
+
+import (
+	"testing"
+
+	"repro/internal/fact"
+	"repro/internal/store"
+	"repro/internal/virtual"
+)
+
+// FuzzParseRule checks that the rule parser never panics, that any
+// accepted rule renders (Format) and reparses stably, and that small
+// accepted rules can be registered and run through closure
+// materialization without crashing the engine.
+func FuzzParseRule(f *testing.F) {
+	seeds := []string{
+		"(?x, in, EMPLOYEE) => (?x, in, PERSON)",
+		"(?x, MANAGES, ?y) & (?y, MANAGES, ?z) => (?x, SENIOR-TO, ?z)",
+		"(?x, HAS-AGE, ?y) => (?y, >, 0)",
+		"(?x, in, A) => (?x, in, B) & (?x, in, C)",
+		"(?x, ?r, ?y) => (?y, ?r, ?x)",
+		"(A, B, C) => (D, E, F)",
+		"=> (A, B, C)",
+		"(A, B, C) =>",
+		"(?x, in, A) = > (?x, in, B)",
+		"(?x, ∈, '≺') => (?x, ≈, Δ)",
+		"(?x, in, A) & (?x, in, A) & (?x, in, A) & (?x, in, A) & (?x, in, A) => (?x, in, B)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		u := fact.NewUniverse()
+		r, err := ParseRule(u, "fuzzed", Inference, src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		rendered := r.Format(u)
+		if r2, err := ParseRule(u, "fuzzed", Inference, rendered); err == nil {
+			if got := r2.Format(u); got != rendered {
+				t.Fatalf("rule rendering unstable: %q -> %q", rendered, got)
+			}
+		}
+		// Registering and materializing must not crash. Keep the body
+		// small: fuzzed many-atom bodies make the backward join
+		// exponential, which is slowness, not a bug.
+		if len(r.Body) > 4 || len(r.Head) > 4 {
+			return
+		}
+		st := store.New(u)
+		st.Insert(u.NewFact("I0", "in", "C0"))
+		st.Insert(u.NewFact("C0", "isa", "C1"))
+		st.Insert(u.NewFact("I0", "R0", "I1"))
+		eng := New(st, virtual.New(u))
+		if err := eng.AddRule(r); err != nil {
+			return
+		}
+		eng.Closure()
+		eng.Check()
+	})
+}

@@ -1,0 +1,144 @@
+package rules
+
+import (
+	"testing"
+
+	"repro/internal/fact"
+	"repro/internal/sym"
+)
+
+// Depth-bound edge cases for the on-demand matcher: exact thresholds
+// (the depth at which an answer first appears), the depth-0
+// enumeration, and exact agreement with the materialized closure at
+// the first complete depth.
+
+// TestBoundedExactDepthThresholds pins the depth at which each
+// derived fact first becomes reachable. The membership chain is
+// forced linear — member-up is the only applicable rule — so the
+// thresholds are exact, not just bounds.
+func TestBoundedExactDepthThresholds(t *testing.T) {
+	u, s, e := newEngine()
+	ins(u, s,
+		[3]string{"I", "in", "A"},
+		[3]string{"A", "isa", "B"},
+		[3]string{"B", "isa", "C"})
+	cases := []struct {
+		f     [3]string
+		depth int // first depth at which the fact is derivable
+	}{
+		{[3]string{"I", "in", "A"}, 0},  // stored
+		{[3]string{"A", "isa", "B"}, 0}, // stored
+		{[3]string{"I", "in", "B"}, 1},  // one member-up
+		{[3]string{"A", "isa", "C"}, 1}, // one gen-transitive
+		{[3]string{"I", "in", "C"}, 2},  // member-up over a derived premise
+	}
+	for _, c := range cases {
+		g := u.NewFact(c.f[0], c.f[1], c.f[2])
+		if c.depth > 0 && e.HasBounded(g, c.depth-1) {
+			t.Errorf("%v reachable at depth %d, expected first at %d", c.f, c.depth-1, c.depth)
+		}
+		if !e.HasBounded(g, c.depth) {
+			t.Errorf("%v not reachable at its exact depth %d", c.f, c.depth)
+		}
+	}
+}
+
+// TestBoundedDepthZeroEnumeration: the wildcard enumeration at depth
+// 0 contains every stored fact and no derived ones — only the base,
+// virtual facts over it, and the engine's axioms.
+func TestBoundedDepthZeroEnumeration(t *testing.T) {
+	u, s, e := newEngine()
+	ins(u, s,
+		[3]string{"I", "in", "A"},
+		[3]string{"A", "isa", "B"})
+	seen := map[fact.Fact]bool{}
+	e.MatchBounded(sym.None, sym.None, sym.None, 0, func(f fact.Fact) bool {
+		seen[f] = true
+		return true
+	})
+	for _, f := range s.Facts() {
+		if !seen[f] {
+			t.Errorf("stored fact %s missing from depth-0 enumeration", u.FormatFact(f))
+		}
+	}
+	if seen[u.NewFact("I", "in", "B")] {
+		t.Error("derived fact (I, ∈, B) appeared at depth 0")
+	}
+	vp := e.Virtual()
+	for f := range seen {
+		if s.Has(f) || vp.Has(f) {
+			continue
+		}
+		// The remainder must be axioms, which the closure also carries.
+		if !e.Closure().Has(f) {
+			t.Errorf("depth-0 enumeration invented %s", u.FormatFact(f))
+		}
+	}
+}
+
+// TestBoundedNegativeDepthFindsStored: a negative depth behaves like
+// depth 0 (no rule applications), it must not underflow or panic.
+func TestBoundedNegativeDepthFindsStored(t *testing.T) {
+	u, s, e := newEngine()
+	ins(u, s, [3]string{"I", "in", "A"})
+	if !e.HasBounded(u.NewFact("I", "in", "A"), -1) {
+		t.Error("stored fact not found at negative depth")
+	}
+	if e.HasBounded(u.NewFact("I", "in", "B"), -1) {
+		t.Error("derived fact found at negative depth")
+	}
+}
+
+// TestBoundedFixpointEqualsClosure climbs the depth ladder until the
+// answer set stops growing, and requires exact agreement with the
+// materialized closure there: closure ⊆ fixpoint and fixpoint ⊆
+// closure ∪ virtual. This is the completeness half the package
+// comment promises ("with depth at least the derivation diameter the
+// result equals the full closure"), checked at the first complete
+// depth rather than an arbitrary large one.
+func TestBoundedFixpointEqualsClosure(t *testing.T) {
+	u, s, e := newEngine()
+	ins(u, s,
+		[3]string{"JOHN", "in", "EMPLOYEE"},
+		[3]string{"EMPLOYEE", "isa", "PERSON"},
+		[3]string{"PERSON", "isa", "AGENT"},
+		[3]string{"EMPLOYEE", "EARNS", "SALARY"},
+		[3]string{"EARNS", "inv", "EARNED-BY"},
+		[3]string{"JOHN", "syn", "JOHNNY"},
+		[3]string{"MANAGER", "isa", "EMPLOYEE"},
+		[3]string{"MARY", "in", "MANAGER"})
+	enumerate := func(d int) map[fact.Fact]bool {
+		set := map[fact.Fact]bool{}
+		e.MatchBounded(sym.None, sym.None, sym.None, d, func(f fact.Fact) bool {
+			set[f] = true
+			return true
+		})
+		return set
+	}
+	prev := enumerate(0)
+	fix := -1
+	for d := 1; d <= 16; d++ {
+		cur := enumerate(d)
+		if len(cur) == len(prev) {
+			fix = d
+			prev = cur
+			break
+		}
+		prev = cur
+	}
+	if fix < 0 {
+		t.Fatal("bounded search did not saturate within depth 16")
+	}
+	c := e.Closure()
+	for _, f := range c.Facts() {
+		if !prev[f] {
+			t.Errorf("closure fact %s unreachable at complete depth %d", u.FormatFact(f), fix)
+		}
+	}
+	vp := e.Virtual()
+	for f := range prev {
+		if !c.Has(f) && !vp.Has(f) {
+			t.Errorf("fixpoint fact %s not in closure", u.FormatFact(f))
+		}
+	}
+}

@@ -53,6 +53,11 @@ func readString(r *bufio.Reader) (string, error) {
 	if n > 1<<20 {
 		return "", fmt.Errorf("%w: entity name of %d bytes", ErrBadFormat, n)
 	}
+	// Writers never emit empty names (the universe rejects them), so a
+	// zero length prefix is corruption, not a torn tail.
+	if n == 0 {
+		return "", fmt.Errorf("%w: empty entity name", ErrBadFormat)
+	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return "", err
@@ -109,27 +114,45 @@ func (s *Store) SaveSnapshot(w io.Writer) error {
 
 // LoadSnapshot reads facts from r into the store (merging with any
 // facts already present). Loaded facts are not appended to a log.
+//
+// The whole snapshot is decoded and validated before the store is
+// touched: a malformed file — truncated records, a count that
+// overruns the data, or trailing garbage — returns ErrBadFormat and
+// leaves the store exactly as it was.
 func (s *Store) LoadSnapshot(r io.Reader) error {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(snapMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return err
+		return fmt.Errorf("%w: short snapshot header: %v", ErrBadFormat, err)
 	}
 	if string(magic) != snapMagic {
 		return fmt.Errorf("%w: bad snapshot magic", ErrBadFormat)
 	}
 	count, err := binary.ReadUvarint(br)
 	if err != nil {
-		return err
+		return fmt.Errorf("%w: bad fact count: %v", ErrBadFormat, err)
+	}
+	// Preallocate conservatively: the count is attacker-controlled and
+	// a huge value must not allocate before any record is verified.
+	capHint := count
+	if capHint > 65536 {
+		capHint = 65536
+	}
+	facts := make([]fact.Fact, 0, capHint)
+	for i := uint64(0); i < count; i++ {
+		f, err := readFact(br, s.u)
+		if err != nil {
+			return fmt.Errorf("%w: truncated snapshot at fact %d/%d: %v", ErrBadFormat, i, count, err)
+		}
+		facts = append(facts, f)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return fmt.Errorf("%w: trailing data after %d facts", ErrBadFormat, count)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.mustMutable()
-	for i := uint64(0); i < count; i++ {
-		f, err := readFact(br, s.u)
-		if err != nil {
-			return fmt.Errorf("%w: truncated snapshot: %v", ErrBadFormat, err)
-		}
+	for _, f := range facts {
 		if _, ok := s.facts[f]; !ok {
 			s.insertLocked(f)
 		}
@@ -194,10 +217,21 @@ func (s *Store) AttachLog(path string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	replayed, err := s.replayLocked(f)
+	replayed, valid, err := s.replayLocked(f)
 	if err != nil {
 		f.Close()
 		return 0, err
+	}
+	if st, serr := f.Stat(); serr == nil && valid < st.Size() {
+		// A torn final record (crash mid-append) survives replay, but
+		// the partial bytes must not stay: the next append would fuse
+		// with them into a record that parses as garbage on the
+		// following open. Cut the file back to the last complete
+		// record before appending anything.
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return 0, err
+		}
 	}
 	if replayed == 0 {
 		// Fresh file: write the header.
@@ -220,44 +254,62 @@ func (s *Store) AttachLog(path string) (int, error) {
 	return replayed, nil
 }
 
+// countingReader counts bytes consumed from the underlying reader so
+// replay can locate the end of the last complete record even through
+// a bufio layer (consumed minus still-buffered bytes).
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
 // replayLocked replays the log file into the store. The caller holds
-// the write lock. Returns the number of records applied.
-func (s *Store) replayLocked(f *os.File) (int, error) {
+// the write lock. Returns the number of records applied and the byte
+// offset just past the last complete record — a torn final record
+// (crash mid-append) is tolerated but excluded from valid, so the
+// caller can truncate it away before appending.
+func (s *Store) replayLocked(f *os.File) (n int, valid int64, err error) {
 	st, err := f.Stat()
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if st.Size() == 0 {
-		return 0, nil
+		return 0, 0, nil
 	}
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	br := bufio.NewReader(f)
+	cr := &countingReader{r: f}
+	br := bufio.NewReader(cr)
 	magic := make([]byte, len(logMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return 0, err
+		return 0, 0, fmt.Errorf("%w: short log header: %v", ErrBadFormat, err)
 	}
 	if string(magic) != logMagic {
-		return 0, fmt.Errorf("%w: bad log magic", ErrBadFormat)
+		return 0, 0, fmt.Errorf("%w: bad log magic", ErrBadFormat)
 	}
-	n := 0
+	valid = cr.n - int64(br.Buffered())
 	for {
 		op, err := br.ReadByte()
 		if err == io.EOF {
-			return n, nil
+			return n, valid, nil
 		}
 		if err != nil {
-			return n, err
+			return n, valid, err
 		}
 		rec, err := readFact(br, s.u)
 		if err != nil {
-			// A torn final record (crash mid-append) is tolerated;
-			// anything else is corruption.
+			// A torn final record is tolerated; anything else
+			// (oversized length prefix, unreadable file) is corruption.
 			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-				return n, nil
+				return n, valid, nil
 			}
-			return n, err
+			return n, valid, err
 		}
 		switch op {
 		case opInsert:
@@ -269,9 +321,10 @@ func (s *Store) replayLocked(f *os.File) (int, error) {
 				s.deleteLocked(rec)
 			}
 		default:
-			return n, fmt.Errorf("%w: unknown op %d", ErrBadFormat, op)
+			return n, valid, fmt.Errorf("%w: unknown op %d", ErrBadFormat, op)
 		}
 		n++
+		valid = cr.n - int64(br.Buffered())
 	}
 }
 

@@ -2,58 +2,45 @@ package lsdb_test
 
 import (
 	"fmt"
-	"math/rand"
 	"testing"
 	"testing/quick"
 
 	lsdb "repro"
 	"repro/internal/dataset"
+	"repro/internal/fact"
+	"repro/internal/gen"
 	"repro/internal/query"
 	"repro/internal/rules"
 )
 
-// Whole-system property tests over randomly generated databases.
+// Whole-system property tests over randomly generated databases. The
+// worlds come from internal/gen: generalization forests with cycles,
+// synonyms, inversions, memberships, data facts, retraction waves and
+// random standard-rule toggles.
 
-// randomDB builds a small random world with a generalization
-// hierarchy, memberships and data facts.
-func randomDB(seed int64) *lsdb.Database {
-	rng := rand.New(rand.NewSource(seed))
-	db := lsdb.New()
+// genDB builds the default random world for seed: full feature mix,
+// including rule toggles and retractions.
+func genDB(seed int64) *lsdb.Database {
+	return gen.Generate(seed, gen.Small()).Build()
+}
 
-	classes := []string{"C0", "C1", "C2", "C3", "C4"}
-	rels := []string{"R0", "R1", "R2"}
-	insts := []string{"I0", "I1", "I2", "I3"}
-
-	// A random forest of generalizations.
-	for i := 1; i < len(classes); i++ {
-		if rng.Intn(3) > 0 {
-			db.MustAssert(classes[i], "isa", classes[rng.Intn(i)])
-		}
-	}
-	// Random relationship generalizations.
-	if rng.Intn(2) == 0 {
-		db.MustAssert("R1", "isa", "R0")
-	}
-	// Random memberships.
-	for _, inst := range insts {
-		if rng.Intn(4) > 0 {
-			db.MustAssert(inst, "in", classes[rng.Intn(len(classes))])
-		}
-	}
-	// Random data facts.
-	n := 3 + rng.Intn(5)
-	for i := 0; i < n; i++ {
-		pool := append(append([]string{}, classes...), insts...)
-		db.MustAssert(pool[rng.Intn(len(pool))], rels[rng.Intn(len(rels))], pool[rng.Intn(len(pool))])
-	}
-	return db
+// fullRulesCfg generates worlds that keep every standard rule enabled
+// and declare no class relationships — the configuration under which
+// the paper's broadness and transitivity theorems are stated.
+func fullRulesCfg() gen.Config {
+	cfg := gen.Small()
+	cfg.RuleToggles = false
+	cfg.PClassRel = 0
+	return cfg
 }
 
 // TestQuickBroadnessMonotonicity verifies the paper's central probing
 // theorem (§5.1): if Q' is minimally broader than Q, then {Q} ⊆ {Q'}.
+// The theorem assumes the full standard rule set over individual
+// relationships, so these worlds toggle nothing off.
 func TestQuickBroadnessMonotonicity(t *testing.T) {
 	f := func(seed int64, relIdx, classIdx uint8) bool {
-		db := randomDB(seed)
+		db := gen.Generate(seed, fullRulesCfg()).Build()
 		u := db.Universe()
 		rel := fmt.Sprintf("R%d", relIdx%3)
 		class := fmt.Sprintf("C%d", classIdx%5)
@@ -73,8 +60,8 @@ func TestQuickBroadnessMonotonicity(t *testing.T) {
 		// Build every minimally broader query via the prober's own
 		// generalization machinery.
 		pr := db.Prober()
-		for _, gen := range pr.MinimalGens(u.Entity(class)) {
-			broader := fmt.Sprintf("(?x, %s, %s)", rel, u.Name(gen))
+		for _, g := range pr.MinimalGens(u.Entity(class)) {
+			broader := fmt.Sprintf("(?x, %s, %s)", rel, u.Name(g))
 			res, err := db.Query(broader)
 			if err != nil {
 				return false
@@ -90,8 +77,8 @@ func TestQuickBroadnessMonotonicity(t *testing.T) {
 				}
 			}
 		}
-		for _, gen := range pr.MinimalGens(u.Entity(rel)) {
-			broader := fmt.Sprintf("(?x, %s, %s)", u.Name(gen), class)
+		for _, g := range pr.MinimalGens(u.Entity(rel)) {
+			broader := fmt.Sprintf("(?x, %s, %s)", u.Name(g), class)
 			res, err := db.Query(broader)
 			if err != nil {
 				return false
@@ -115,10 +102,11 @@ func TestQuickBroadnessMonotonicity(t *testing.T) {
 }
 
 // TestQuickClosureMonotoneInFacts: adding a fact never removes
-// closure facts (the rules are monotonic).
+// closure facts (the rules are monotonic; the world's rule
+// configuration is frozen once it is built).
 func TestQuickClosureMonotoneInFacts(t *testing.T) {
 	f := func(seed int64) bool {
-		db := randomDB(seed)
+		db := genDB(seed)
 		before := db.Engine().Closure().Facts()
 		db.MustAssert("EXTRA", "R0", "C0")
 		after := db.Engine().Closure()
@@ -136,11 +124,48 @@ func TestQuickClosureMonotoneInFacts(t *testing.T) {
 	}
 }
 
+// TestQuickRetractionRestoresClosure: asserting fresh facts and then
+// retracting them in reverse leaves the closure exactly where it
+// started — the non-monotonic full-recompute path must not leak
+// derived facts or lose established ones.
+func TestQuickRetractionRestoresClosure(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		db := genDB(seed)
+		before := map[fact.Fact]bool{}
+		for _, g := range db.Engine().Closure().Facts() {
+			before[g] = true
+		}
+		k := 1 + int(n%5)
+		for i := 0; i < k; i++ {
+			db.MustAssert(fmt.Sprintf("WAVE%d", i), "isa", fmt.Sprintf("C%d", i%5))
+		}
+		for i := k - 1; i >= 0; i-- {
+			db.Retract(fmt.Sprintf("WAVE%d", i), "isa", fmt.Sprintf("C%d", i%5))
+		}
+		after := db.Engine().Closure().Facts()
+		if len(after) != len(before) {
+			t.Logf("seed %d: closure size %d -> %d", seed, len(before), len(after))
+			return false
+		}
+		for _, g := range after {
+			if !before[g] {
+				t.Logf("seed %d: leaked %s", seed, db.Universe().FormatFact(g))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
 // TestQuickGenClosureIsTransitive: the generalization facts of the
-// closure form a transitive relation over stored entities.
+// closure form a transitive relation over stored entities (requires
+// gen-transitive enabled, so these worlds toggle nothing off).
 func TestQuickGenClosureIsTransitive(t *testing.T) {
 	f := func(seed int64) bool {
-		db := randomDB(seed)
+		db := gen.Generate(seed, fullRulesCfg()).Build()
 		u := db.Universe()
 		c := db.Engine().Closure()
 		gens := c.MatchAll(0, u.Gen, 0)
@@ -203,11 +228,38 @@ func TestQuickSynonymsAreEquivalence(t *testing.T) {
 	}
 }
 
+// TestQuickInversionIsInvolutive: for every inversion declaration
+// (r, ⇌, r') in the closure, each closure fact over r has its mirror
+// over r' (requires the inversion rule, so no toggles here). This
+// covers self-inverse (symmetric) relationships too, which the
+// generator emits with probability PInv²/|R|.
+func TestQuickInversionIsInvolutive(t *testing.T) {
+	f := func(seed int64) bool {
+		db := gen.Generate(seed, fullRulesCfg()).Build()
+		u := db.Universe()
+		c := db.Engine().Closure()
+		for _, iv := range c.MatchAll(0, u.Inv, 0) {
+			for _, g := range c.MatchAll(0, iv.S, 0) {
+				mirror := fact.Fact{S: g.T, R: iv.T, T: g.S}
+				if !c.Has(mirror) {
+					t.Logf("seed %d: (%s,⇌,%s) but %s lacks mirror %s", seed,
+						u.Name(iv.S), u.Name(iv.T), u.FormatFact(g), u.FormatFact(mirror))
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
 // TestQuickProbeTerminates: probing always terminates and classifies
-// the outcome.
+// the outcome, on fully-featured worlds including rule toggles.
 func TestQuickProbeTerminates(t *testing.T) {
 	f := func(seed int64, relIdx, classIdx uint8) bool {
-		db := randomDB(seed)
+		db := genDB(seed)
 		src := fmt.Sprintf("(?x, R%d, C%d)", relIdx%3, classIdx%5)
 		out, err := db.Probe(src)
 		if err != nil {
@@ -233,7 +285,7 @@ func TestQuickProbeTerminates(t *testing.T) {
 // identical tuple lists.
 func TestQuickQueryDeterminism(t *testing.T) {
 	f := func(seed int64) bool {
-		db := randomDB(seed)
+		db := genDB(seed)
 		q := "(?x, ?r, ?y)"
 		r1, err1 := db.Query(q)
 		r2, err2 := db.Query(q)
@@ -323,7 +375,8 @@ func closuresAgree(t *testing.T, mk func() *lsdb.Database, excluded []rules.StdR
 
 // TestQuickParallelClosureEquivalence: the closure and the rule
 // recorded for every derived fact are independent of the worker
-// count, across random databases and random standard-rule toggles.
+// count, across generated worlds (whose own programs already toggle
+// rules) and additional random standard-rule exclusions.
 func TestQuickParallelClosureEquivalence(t *testing.T) {
 	all := rules.StdRules()
 	f := func(seed int64, toggles uint16) bool {
@@ -333,7 +386,7 @@ func TestQuickParallelClosureEquivalence(t *testing.T) {
 				excluded = append(excluded, r)
 			}
 		}
-		return closuresAgree(t, func() *lsdb.Database { return randomDB(seed) }, excluded)
+		return closuresAgree(t, func() *lsdb.Database { return genDB(seed) }, excluded)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
@@ -342,8 +395,8 @@ func TestQuickParallelClosureEquivalence(t *testing.T) {
 
 // TestParallelClosureEquivalenceAtScale repeats the equivalence check
 // on a dataset large enough that closure rounds actually cross the
-// parallel threshold and fan out across workers (random databases
-// above are too small to leave the sequential path).
+// parallel threshold and fan out across workers (small generated
+// worlds above stay on the sequential path).
 func TestParallelClosureEquivalenceAtScale(t *testing.T) {
 	mk := func() *lsdb.Database {
 		return dataset.University(dataset.UniversityConfig{
@@ -355,5 +408,12 @@ func TestParallelClosureEquivalenceAtScale(t *testing.T) {
 	}
 	if !closuresAgree(t, mk, []rules.StdRule{rules.GenSource, rules.MemberSource}) {
 		t.Error("parallel closure diverges from sequential with rules excluded")
+	}
+
+	// And on a medium generated world, which also crosses the
+	// threshold but carries synonyms, inversions and retractions.
+	w := gen.Generate(11, gen.Medium())
+	if !closuresAgree(t, w.Build, nil) {
+		t.Error("parallel closure diverges from sequential on a generated medium world")
 	}
 }

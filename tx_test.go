@@ -2,10 +2,13 @@ package lsdb_test
 
 import (
 	"errors"
+	"fmt"
+	"sort"
 	"strings"
 	"testing"
 
 	lsdb "repro"
+	"repro/internal/gen"
 	"repro/internal/rules"
 )
 
@@ -93,6 +96,64 @@ func TestBatchStrictIgnoresPreexistingViolations(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatalf("harmless batch blocked by pre-existing violation: %v", err)
+	}
+}
+
+// stateDigest renders the stored facts and the materialized closure
+// of db as one sorted string, suitable for exact before/after
+// comparison across a rolled-back transaction.
+func stateDigest(db *lsdb.Database) string {
+	u := db.Universe()
+	var lines []string
+	for _, f := range db.Store().Facts() {
+		lines = append(lines, fmt.Sprintf("S %s|%s|%s", u.Name(f.S), u.Name(f.R), u.Name(f.T)))
+	}
+	for _, f := range db.Engine().Closure().Facts() {
+		lines = append(lines, fmt.Sprintf("C %s|%s|%s", u.Name(f.S), u.Name(f.R), u.Name(f.T)))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// TestBatchRollbackRandomWorkload applies a generated mixed
+// assert/retract workload inside a transaction that aborts, and
+// requires the stored fact set and the materialized closure to come
+// back exactly as they were — not just the few facts the simple
+// rollback test watches.
+func TestBatchRollbackRandomWorkload(t *testing.T) {
+	sentinel := errors.New("abort")
+	for seed := int64(0); seed < 10; seed++ {
+		w := gen.Generate(seed, gen.Small())
+		db := w.Build()
+		before := stateDigest(db)
+
+		err := db.Batch(func(tx *lsdb.Tx) error {
+			// Retract half the world's own facts and assert fresh ones:
+			// both directions of mutation must unwind.
+			i := 0
+			for _, op := range w.Ops {
+				if op.Kind != gen.OpAssert {
+					continue
+				}
+				if i%2 == 0 {
+					tx.Retract(op.S, op.R, op.T)
+				} else {
+					tx.Assert(fmt.Sprintf("TX-%d-%d", seed, i), "in", op.T)
+				}
+				i++
+			}
+			tx.Assert("TX-SENTINEL", "isa", "NOWHERE")
+			return sentinel
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("seed %d: err = %v", seed, err)
+		}
+		if after := stateDigest(db); after != before {
+			t.Errorf("seed %d: state changed across rolled-back batch:\nbefore %d bytes, after %d bytes", seed, len(before), len(after))
+		}
+		if db.HasStored("TX-SENTINEL", "isa", "NOWHERE") {
+			t.Errorf("seed %d: aborted assert survived", seed)
+		}
 	}
 }
 
