@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench check fuzz soak
+.PHONY: all build vet test race bench bench-json check fuzz soak
 
 all: check
 
@@ -20,6 +20,11 @@ race:
 BENCH ?= .
 bench:
 	$(GO) test -bench '$(BENCH)' -benchmem -run xxx .
+
+# Machine-readable E7-family results (subgoal-cache acceptance numbers).
+BENCHJSON ?= BENCH_PR3.json
+bench-json:
+	$(GO) run ./cmd/lsdb-bench -json $(BENCHJSON)
 
 # Native Go fuzzing across every target. FUZZTIME=2m for a longer run;
 # go test accepts one fuzz target per invocation, hence the fan-out.

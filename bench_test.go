@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	lsdb "repro"
+	"repro/internal/bench"
 	"repro/internal/dataset"
 	"repro/internal/fact"
 	"repro/internal/relstore"
@@ -340,6 +341,11 @@ func BenchmarkE7_OnDemandBounded(b *testing.B) {
 		Branching: 2, Depth: 3, MembersPerLeaf: 2, FactsPerClass: 1, Seed: 23,
 	})
 	eng := db.Engine()
+	// Cold baseline by construction: with the subgoal cache on, every
+	// iteration after the first would be a warm replay (that case is
+	// BenchmarkE7_OnDemandRepeated/warm).
+	eng.SetSubgoalCache(false)
+	defer eng.SetSubgoalCache(true)
 	leaf := db.Entity("I-C0.0.0.0-0")
 	for _, depth := range []int{2, 4, 6} {
 		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
@@ -347,6 +353,51 @@ func BenchmarkE7_OnDemandBounded(b *testing.B) {
 				eng.MatchBounded(leaf, sym.None, sym.None, depth, func(fact.Fact) bool { return true })
 			}
 		})
+	}
+}
+
+// E7r: the cross-query subgoal cache over a repeated browsing session.
+// A "session" replays the E6 navigation trail through the on-demand
+// browser; cold pays full backward chaining per subgoal, warm reuses
+// the shared table across queries.
+
+func BenchmarkE7_OnDemandRepeated(b *testing.B) {
+	db, trail := bench.OnDemandWorld()
+	eng := db.Engine()
+	const depth = 2
+
+	b.Run("cold", func(b *testing.B) {
+		eng.SetSubgoalCache(false)
+		defer eng.SetSubgoalCache(true)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bench.ReplayNavigation(db, depth, trail)
+		}
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		bench.ReplayNavigation(db, depth, trail) // prime the table
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bench.ReplayNavigation(db, depth, trail)
+		}
+	})
+}
+
+// E7r (churn): a write lands between sessions, so every replay starts
+// from an invalidated table and repopulates it. Bounds the cost of the
+// version-based invalidation discipline under a mutating workload.
+
+func BenchmarkE7_OnDemandInvalidationChurn(b *testing.B) {
+	db, trail := bench.OnDemandWorld()
+	const depth = 2
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.MustAssert(fmt.Sprintf("CHURN-%d", i), "in", "K1")
+		bench.ReplayNavigation(db, depth, trail)
 	}
 }
 

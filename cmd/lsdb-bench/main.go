@@ -4,9 +4,10 @@
 //
 // Usage:
 //
-//	lsdb-bench            # run every experiment
-//	lsdb-bench E1 E5 E8   # run a subset
-//	lsdb-bench -quick     # smaller sweeps (used in CI)
+//	lsdb-bench                    # run every experiment
+//	lsdb-bench E1 E5 E8           # run a subset
+//	lsdb-bench -quick             # smaller sweeps (used in CI)
+//	lsdb-bench -json BENCH.json   # machine-readable E7 family results
 package main
 
 import (
@@ -20,7 +21,17 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "run smaller parameter sweeps")
+	jsonPath := flag.String("json", "", "write machine-readable E7-family results to this file and exit")
 	flag.Parse()
+
+	if *jsonPath != "" {
+		if err := bench.WriteJSON(*jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "lsdb-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+		return
+	}
 
 	sizes := []int{1000, 5000, 20000}
 	students := []int{200, 1000, 5000}
@@ -50,8 +61,9 @@ func main() {
 		"E10": func() *tabular.Rows { return bench.E10(logSizes) },
 		"E3p": func() *tabular.Rows { return bench.E3Parallel(students) },
 		"E7c": func() *tabular.Rows { return bench.E7Concurrent(students) },
+		"E7r": bench.E7Repeated,
 	}
-	order := []string{"E1", "E2", "E3", "E3p", "E4", "E5", "E6", "E7", "E7c", "E8", "E9", "E10"}
+	order := []string{"E1", "E2", "E3", "E3p", "E4", "E5", "E6", "E7", "E7c", "E7r", "E8", "E9", "E10"}
 
 	selected := flag.Args()
 	if len(selected) == 0 {

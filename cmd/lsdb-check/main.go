@@ -81,7 +81,12 @@ func soak(cfg config, out io.Writer) error {
 		return fmt.Errorf("unknown -size %q (want small, medium or large)", cfg.size)
 	}
 
-	opts := check.Options{Workers: cfg.workers}
+	var cacheAgg rules.CacheStats
+	opts := check.Options{Workers: cfg.workers, CacheStatsSink: func(st rules.CacheStats) {
+		cacheAgg.Hits += st.Hits
+		cacheAgg.Misses += st.Misses
+		cacheAgg.Invalidations += st.Invalidations
+	}}
 	if cfg.inject != "" {
 		r, ok := rules.StdRuleByName(cfg.inject)
 		if !ok {
@@ -138,6 +143,10 @@ func soak(cfg config, out io.Writer) error {
 
 	if cfg.inject != "" {
 		return fmt.Errorf("injected bug (%s) was NOT detected across %d seeds", cfg.inject, checked)
+	}
+	if cfg.verbose {
+		fmt.Fprintf(out, "subgoal cache (cached-vs-uncached oracle): %d hits, %d misses, %d invalidations\n",
+			cacheAgg.Hits, cacheAgg.Misses, cacheAgg.Invalidations)
 	}
 	fmt.Fprintf(out, "ok: %d seeds (%s worlds, start %d) in %.1fs\n",
 		checked, cfg.size, cfg.start, time.Since(started).Seconds())

@@ -294,8 +294,16 @@ func (s *server) check(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) stats(w http.ResponseWriter, r *http.Request) {
+	cs := s.db.Engine().CacheStats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"stored":  s.db.Len(),
 		"closure": s.db.ClosureLen(),
+		"subgoal_cache": map[string]any{
+			"enabled":       cs.Enabled,
+			"hits":          cs.Hits,
+			"misses":        cs.Misses,
+			"invalidations": cs.Invalidations,
+			"entries":       cs.Entries,
+		},
 	})
 }

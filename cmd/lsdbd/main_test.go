@@ -42,12 +42,25 @@ func getJSON(t *testing.T, url string, out any) int {
 
 func TestStatsEndpoint(t *testing.T) {
 	srv := testServer(t)
-	var got map[string]int
+	var got struct {
+		Stored  int `json:"stored"`
+		Closure int `json:"closure"`
+		Subgoal struct {
+			Enabled       bool   `json:"enabled"`
+			Hits          uint64 `json:"hits"`
+			Misses        uint64 `json:"misses"`
+			Invalidations uint64 `json:"invalidations"`
+			Entries       int    `json:"entries"`
+		} `json:"subgoal_cache"`
+	}
 	if code := getJSON(t, srv.URL+"/stats", &got); code != 200 {
 		t.Fatalf("status %d", code)
 	}
-	if got["stored"] == 0 || got["closure"] < got["stored"] {
-		t.Errorf("stats = %v", got)
+	if got.Stored == 0 || got.Closure < got.Stored {
+		t.Errorf("stats = %+v", got)
+	}
+	if !got.Subgoal.Enabled {
+		t.Errorf("subgoal cache not reported enabled: %+v", got.Subgoal)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	lsdb "repro"
+	"repro/internal/browse"
 	"repro/internal/dataset"
 	"repro/internal/fact"
 	"repro/internal/relstore"
@@ -276,12 +277,16 @@ func E6() *tabular.Rows {
 
 // E7 compares the materialized closure against bounded on-demand
 // matching for a single template query, including the one-off
-// materialization cost.
+// materialization cost. The subgoal cache is disabled so the
+// on-demand rows price the *strategy* per query; E7Repeated measures
+// what the cache recovers across a session.
 func E7() *tabular.Rows {
 	db := dataset.Taxonomy(dataset.TaxonomyConfig{
 		Branching: 2, Depth: 3, MembersPerLeaf: 2, FactsPerClass: 1, Seed: 23,
 	})
 	eng := db.Engine()
+	eng.SetSubgoalCache(false)
+	defer eng.SetSubgoalCache(true)
 	leafInstance := db.Entity("I-C0.0.0.0-0")
 
 	t := &tabular.Rows{
@@ -307,6 +312,89 @@ func E7() *tabular.Rows {
 			[]string{dur(dFirst)}, []string{dur(dSteady)},
 		)
 	}
+	return t
+}
+
+// OnDemandWorld returns the E6/E7r world: the 20k-fact Zipf graph
+// enriched with a structural overlay — a relationship hierarchy,
+// inversions, and a class taxonomy with memberships — so that bounded
+// on-demand matching has real inference to do per query, as a
+// browsing workload over a loosely structured database would. The
+// second result is the navigation trail: hub, mid and tail entities
+// by Zipf rank.
+func OnDemandWorld() (*lsdb.Database, []sym.ID) {
+	db, names := dataset.Graph(dataset.GraphConfig{
+		Entities: 2000, Facts: 20000, Relationships: 8, Seed: 17,
+	})
+	rel := func(i int) string { return fmt.Sprintf("REL-%02d", i) }
+	for i := 1; i < 8; i += 2 {
+		db.MustAssert(rel(i), "isa", rel(i-1))
+	}
+	for i := 0; i < 4; i++ {
+		db.MustAssert(rel(i), "inv", fmt.Sprintf("REL-INV-%02d", i))
+	}
+	for j := 1; j < 6; j++ {
+		db.MustAssert(fmt.Sprintf("K%d", j), "isa", fmt.Sprintf("K%d", j-1))
+	}
+	for i := 0; i < len(names); i += 10 {
+		db.MustAssert(names[i], "in", fmt.Sprintf("K%d", i%6))
+	}
+	trail := make([]sym.ID, 0, 5)
+	for _, name := range []string{names[0], names[2], names[20], names[200], names[1500]} {
+		trail = append(trail, db.Entity(name))
+	}
+	return db, trail
+}
+
+// ReplayNavigation replays one browsing session over the trail using
+// bounded on-demand inference at the given depth (internal/browse
+// navigation queries, never materializing the closure), returning the
+// total degree retrieved.
+func ReplayNavigation(db *lsdb.Database, depth int, trail []sym.ID) int {
+	b := browse.NewOnDemand(db.Engine(), nil, depth)
+	total := 0
+	for _, e := range trail {
+		total += b.Neighborhood(e).Degree()
+	}
+	return total
+}
+
+// E7Repeated quantifies the cross-query subgoal cache on a repeated
+// browsing session over the 20k-fact world: the same navigation trail
+// replayed cold (cache disabled — PR-baseline on-demand behaviour),
+// warm (cache on, steady state), and under churn (one assert between
+// replays, invalidating the whole table each time).
+func E7Repeated() *tabular.Rows {
+	db, trail := OnDemandWorld()
+	eng := db.Engine()
+	const depth = 2
+
+	eng.SetSubgoalCache(false)
+	cold := timeIt(3, func() { ReplayNavigation(db, depth, trail) })
+
+	eng.SetSubgoalCache(true)
+	ReplayNavigation(db, depth, trail) // prime
+	warm := timeIt(20, func() { ReplayNavigation(db, depth, trail) })
+
+	churnN := 0
+	churn := timeIt(5, func() {
+		db.MustAssert(fmt.Sprintf("CHURN-%d", churnN), "in", "K1")
+		churnN++
+		ReplayNavigation(db, depth, trail)
+	})
+
+	st := eng.CacheStats()
+	t := &tabular.Rows{
+		Title: fmt.Sprintf("E7r on-demand browsing session, cross-query subgoal cache (20k facts, depth %d; %d hits, %d misses, %d invalidations)",
+			depth, st.Hits, st.Misses, st.Invalidations),
+		Headers: []string{"mode", "session time", "speedup vs cold"},
+	}
+	speed := func(d time.Duration) string {
+		return fmt.Sprintf("%.1fx", float64(cold)/float64(d))
+	}
+	t.AddRow([]string{"cold (cache off)"}, []string{dur(cold)}, []string{"1.0x"})
+	t.AddRow([]string{"warm (cache on)"}, []string{dur(warm)}, []string{speed(warm)})
+	t.AddRow([]string{"churn (assert between sessions)"}, []string{dur(churn)}, []string{speed(churn)})
 	return t
 }
 

@@ -1,0 +1,121 @@
+package bench
+
+// Machine-readable benchmark results. lsdb-bench -json runs the
+// acceptance-critical workloads through testing.Benchmark and writes
+// one JSON report, so perf claims in EXPERIMENTS.md are reproducible
+// from a committed artifact rather than a pasted table.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/fact"
+	"repro/internal/sym"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Experiment  string         `json:"experiment"`
+	Params      map[string]any `json:"params,omitempty"`
+	NsPerOp     float64        `json:"ns_per_op"`
+	BytesPerOp  int64          `json:"bytes_per_op"`
+	AllocsPerOp int64          `json:"allocs_per_op"`
+}
+
+// Report is the full -json payload.
+type Report struct {
+	GoVersion  string   `json:"go_version"`
+	GoMaxProcs int      `json:"go_max_procs"`
+	Results    []Result `json:"results"`
+	// WarmSpeedup is E7r cold ns/op divided by warm ns/op — the
+	// headline number for the cross-query subgoal cache.
+	WarmSpeedup float64 `json:"warm_speedup_e7r"`
+}
+
+func measure(name string, params map[string]any, fn func(b *testing.B)) Result {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		fn(b)
+	})
+	return Result{
+		Experiment:  name,
+		Params:      params,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// RunJSON measures the E7 on-demand family and returns the report.
+func RunJSON() Report {
+	rep := Report{GoVersion: runtime.Version(), GoMaxProcs: runtime.GOMAXPROCS(0)}
+
+	// E7 cold baseline: bounded matching with the cache disabled, on
+	// the same taxonomy world as BenchmarkE7_OnDemandBounded.
+	tax := dataset.Taxonomy(dataset.TaxonomyConfig{
+		Branching: 2, Depth: 3, MembersPerLeaf: 2, FactsPerClass: 1, Seed: 23,
+	})
+	taxEng := tax.Engine()
+	taxEng.SetSubgoalCache(false)
+	leaf := tax.Entity("I-C0.0.0.0-0")
+	for _, depth := range []int{2, 4, 6} {
+		d := depth
+		rep.Results = append(rep.Results, measure(
+			"E7_OnDemandBounded/cold",
+			map[string]any{"depth": d, "world": "taxonomy(2,3,2,1)"},
+			func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					taxEng.MatchBounded(leaf, sym.None, sym.None, d, func(fact.Fact) bool { return true })
+				}
+			}))
+	}
+	taxEng.SetSubgoalCache(true)
+
+	// E7r: browsing-session replay on the 20k-fact graph world.
+	const depth = 2
+	db, trail := OnDemandWorld()
+	eng := db.Engine()
+	params := map[string]any{"depth": depth, "facts": 20000, "entities": 2000, "trail": len(trail)}
+
+	eng.SetSubgoalCache(false)
+	cold := measure("E7_OnDemandRepeated/cold", params, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ReplayNavigation(db, depth, trail)
+		}
+	})
+	eng.SetSubgoalCache(true)
+
+	ReplayNavigation(db, depth, trail) // prime
+	warm := measure("E7_OnDemandRepeated/warm", params, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ReplayNavigation(db, depth, trail)
+		}
+	})
+
+	churn := measure("E7_OnDemandInvalidationChurn", params, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			db.MustAssert(fmt.Sprintf("CHURN-J%d", i), "in", "K1")
+			ReplayNavigation(db, depth, trail)
+		}
+	})
+
+	rep.Results = append(rep.Results, cold, warm, churn)
+	if warm.NsPerOp > 0 {
+		rep.WarmSpeedup = cold.NsPerOp / warm.NsPerOp
+	}
+	return rep
+}
+
+// WriteJSON runs RunJSON and writes the report to path.
+func WriteJSON(path string) error {
+	rep := RunJSON()
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

@@ -25,15 +25,44 @@ import (
 )
 
 // Browser answers navigation queries against a database closure.
+// depth selects the retrieval strategy: 0 reads the materialized
+// closure snapshot; > 0 answers each template by depth-bounded
+// on-demand inference instead (never materializing), with repeated
+// subgoals served from the engine's cross-query subgoal cache — the
+// right trade for sparse browsing over a large, rarely-queried
+// database (DESIGN.md E7).
 type Browser struct {
-	eng  *rules.Engine
-	comp *compose.Composer
+	eng   *rules.Engine
+	comp  *compose.Composer
+	depth int
 }
 
-// New returns a browser over the engine. comp may be nil to browse
-// without composition.
+// New returns a browser over the engine's materialized closure. comp
+// may be nil to browse without composition.
 func New(eng *rules.Engine, comp *compose.Composer) *Browser {
 	return &Browser{eng: eng, comp: comp}
+}
+
+// NewOnDemand returns a browser that answers navigation templates by
+// bounded on-demand inference at the given derivation depth. All
+// sessions over the same engine share its subgoal cache, so a
+// browsing workload pays each subgoal's derivation once per database
+// version, not once per query.
+func NewOnDemand(eng *rules.Engine, comp *compose.Composer, depth int) *Browser {
+	if depth < 1 {
+		depth = 1
+	}
+	return &Browser{eng: eng, comp: comp, depth: depth}
+}
+
+// match dispatches one navigation template to the browser's retrieval
+// strategy.
+func (b *Browser) match(s, r, t sym.ID, fn func(fact.Fact) bool) {
+	if b.depth > 0 {
+		b.eng.MatchBounded(s, r, t, b.depth, fn)
+		return
+	}
+	b.eng.Match(s, r, t, fn)
 }
 
 // RelGroup groups the neighbors of an entity reached through one
@@ -79,7 +108,7 @@ func (b *Browser) Neighborhood(e sym.ID) *Neighborhood {
 	outGroups := make(map[sym.ID]map[sym.ID]struct{})
 	inGroups := make(map[sym.ID]map[sym.ID]struct{})
 
-	b.eng.Match(e, sym.None, sym.None, func(f fact.Fact) bool {
+	b.match(e, sym.None, sym.None, func(f fact.Fact) bool {
 		if b.noise(f) {
 			return true
 		}
@@ -97,7 +126,7 @@ func (b *Browser) Neighborhood(e sym.ID) *Neighborhood {
 		g[f.T] = struct{}{}
 		return true
 	})
-	b.eng.Match(sym.None, sym.None, e, func(f fact.Fact) bool {
+	b.match(sym.None, sym.None, e, func(f fact.Fact) bool {
 		if b.noise(f) || f.S == e {
 			return true
 		}
@@ -199,7 +228,7 @@ func (b *Browser) Between(src, tgt sym.ID) []Association {
 	u := b.eng.Universe()
 	var out []Association
 	seen := make(map[sym.ID]struct{})
-	b.eng.Match(src, sym.None, tgt, func(f fact.Fact) bool {
+	b.match(src, sym.None, tgt, func(f fact.Fact) bool {
 		if b.noise(f) {
 			return true
 		}

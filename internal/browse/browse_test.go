@@ -300,3 +300,59 @@ func TestAnswerTableThreeVars(t *testing.T) {
 		t.Errorf("three-var fallback:\n%s", out)
 	}
 }
+
+// The on-demand browser (bounded inference + subgoal cache) must see
+// the same neighborhoods and associations as the materialized one,
+// given enough depth, and repeated navigation must warm the engine's
+// subgoal cache.
+func TestOnDemandBrowserAgreesWithMaterialized(t *testing.T) {
+	facts := append(musicFacts(),
+		[3]string{"CONCERTO", "isa", "COMPOSITION"},
+		[3]string{"EMPLOYEE", "isa", "PERSON"},
+	)
+	u := fact.NewUniverse()
+	s := store.New(u)
+	for _, f := range facts {
+		s.Insert(u.NewFact(f[0], f[1], f[2]))
+	}
+	e := rules.New(s, virtual.New(u))
+	mat := New(e, nil)
+	ond := NewOnDemand(e, nil, 6)
+
+	sameGroups := func(a, b []RelGroup) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i].Rel != b[i].Rel || len(a[i].Entities) != len(b[i].Entities) {
+				return false
+			}
+			for j := range a[i].Entities {
+				if a[i].Entities[j] != b[i].Entities[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for _, name := range []string{"JOHN", "PC#9-WAM", "MOZART"} {
+		id := u.Entity(name)
+		nm, no := mat.Neighborhood(id), ond.Neighborhood(id)
+		if nm.Degree() != no.Degree() || !sameGroups(nm.Out, no.Out) || !sameGroups(nm.In, no.In) {
+			t.Errorf("%s: on-demand neighborhood differs from materialized (degree %d vs %d)",
+				name, no.Degree(), nm.Degree())
+		}
+	}
+	am := mat.Between(u.Entity("JOHN"), u.Entity("MOZART"))
+	ao := ond.Between(u.Entity("JOHN"), u.Entity("MOZART"))
+	if len(am) != len(ao) {
+		t.Errorf("Between: %d associations on-demand vs %d materialized", len(ao), len(am))
+	}
+
+	before := e.CacheStats()
+	ond.Neighborhood(u.Entity("JOHN"))
+	after := e.CacheStats()
+	if after.Hits <= before.Hits {
+		t.Error("repeat navigation did not hit the subgoal cache")
+	}
+}

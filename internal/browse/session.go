@@ -119,7 +119,7 @@ func (s *Session) Dot(u *fact.Universe) string {
 	}
 	edges := make(map[string]bool)
 	for _, id := range s.trail {
-		s.b.eng.Match(id, sym.None, sym.None, func(f fact.Fact) bool {
+		s.b.match(id, sym.None, sym.None, func(f fact.Fact) bool {
 			if s.b.noise(f) || !visited[f.T] {
 				return true
 			}

@@ -23,7 +23,9 @@ import (
 	lsdb "repro"
 	"repro/internal/fact"
 	"repro/internal/gen"
+	"repro/internal/rules"
 	"repro/internal/store"
+	"repro/internal/sym"
 )
 
 // Failure describes one oracle divergence.
@@ -57,6 +59,10 @@ type Options struct {
 	// (useful for tight shrinking loops that would otherwise thrash
 	// the filesystem).
 	SkipPersistence bool
+	// CacheStatsSink, when non-nil, receives the cached engine's
+	// subgoal-cache counters after the cached-vs-uncached oracle
+	// finishes (lsdb-check -v aggregates them across seeds).
+	CacheStatsSink func(rules.CacheStats)
 }
 
 func (o Options) withDefaults() Options {
@@ -80,6 +86,9 @@ func Run(w *gen.World, opts Options) *Failure {
 		return f
 	}
 	if f := ClosureVsBounded(w, opts); f != nil {
+		return f
+	}
+	if f := CachedVsUncached(w, opts); f != nil {
 		return f
 	}
 	if f := ParallelEquivalence(w, opts); f != nil {
@@ -277,6 +286,95 @@ func ClosureVsBounded(w *gen.World, opts Options) *Failure {
 	// is monotone, so it must saturate.
 	return fail("no fixpoint within depth %d (last size %d, closure %d)",
 		opts.MaxDepth, len(prev), closure.Len())
+}
+
+// CachedVsUncached replays the world op by op onto two live databases
+// — one with the cross-query subgoal cache enabled (the default), one
+// with it disabled — and at sampled steps compares MatchBounded
+// answer sets between them. Because asserts, retracts and rule
+// toggles are interleaved with the probes, this is the oracle that
+// turns stale-cache bugs (a missed invalidation on any mutation kind)
+// into small shrinkable repros: the uncached side recomputes from
+// scratch every time and is correct by construction of
+// ClosureVsBounded.
+func CachedVsUncached(w *gen.World, opts Options) *Failure {
+	opts = opts.withDefaults()
+	fail := func(format string, args ...any) *Failure {
+		return &Failure{Oracle: "cached-vs-uncached", Detail: fmt.Sprintf(format, args...)}
+	}
+
+	cached, uncached := lsdb.New(), lsdb.New()
+	uncached.Engine().SetSubgoalCache(false)
+	if !cached.Engine().SubgoalCacheEnabled() {
+		return fail("subgoal cache not enabled by default")
+	}
+
+	// Bounded answer set for a name pattern ("" = wildcard),
+	// canonicalized for cross-database comparison.
+	boundedSet := func(db *lsdb.Database, s, r, t string, depth int) map[[3]string]bool {
+		u := db.Universe()
+		id := func(name string) sym.ID {
+			if name == "" {
+				return sym.None
+			}
+			return u.Entity(name)
+		}
+		set := make(map[[3]string]bool)
+		db.Engine().MatchBounded(id(s), id(r), id(t), depth, func(f fact.Fact) bool {
+			set[triple(db, f)] = true
+			return true
+		})
+		return set
+	}
+
+	const depth = 3
+	// Sample ~24 probe points; probing after every op would make the
+	// uncached side quadratic in the program length.
+	step := len(w.Ops)/24 + 1
+	var lastFact gen.Op
+	for i, op := range w.Ops {
+		gen.ApplyOp(cached, op)
+		gen.ApplyOp(uncached, op)
+		if op.Kind == gen.OpAssert || op.Kind == gen.OpRetract {
+			lastFact = op
+		}
+		if i%step != 0 || lastFact.S == "" {
+			continue
+		}
+		// Probe patterns anchored on the most recently touched fact:
+		// the names a stale cache entry is most likely to involve.
+		probes := [][3]string{
+			{lastFact.S, "", ""},
+			{"", lastFact.R, ""},
+			{"", "", lastFact.T},
+			{lastFact.S, lastFact.R, lastFact.T},
+		}
+		for _, p := range probes {
+			got := boundedSet(cached, p[0], p[1], p[2], depth)
+			want := boundedSet(uncached, p[0], p[1], p[2], depth)
+			if tr, inCached, ok := diffSets(got, want); ok {
+				side := "uncached"
+				if inCached {
+					side = "cached"
+				}
+				return fail("after op %d (%s), pattern (%s,%s,%s) depth %d: fact %v only in %s answer (sizes %d vs %d)",
+					i, op, p[0], p[1], p[2], depth, tr, side, len(got), len(want))
+			}
+		}
+		// HasBounded goes through the same cache with early exit.
+		u := cached.Universe()
+		f := fact.Fact{S: u.Entity(lastFact.S), R: u.Entity(lastFact.R), T: u.Entity(lastFact.T)}
+		u2 := uncached.Universe()
+		f2 := fact.Fact{S: u2.Entity(lastFact.S), R: u2.Entity(lastFact.R), T: u2.Entity(lastFact.T)}
+		if got, want := cached.Engine().HasBounded(f, depth+1), uncached.Engine().HasBounded(f2, depth+1); got != want {
+			return fail("after op %d (%s): HasBounded(%s,%s,%s) = %v cached, %v uncached",
+				i, op, lastFact.S, lastFact.R, lastFact.T, got, want)
+		}
+	}
+	if sink := opts.CacheStatsSink; sink != nil {
+		sink(cached.Engine().CacheStats())
+	}
+	return nil
 }
 
 // ParallelEquivalence builds the world twice, materializes one

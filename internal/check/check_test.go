@@ -126,3 +126,28 @@ func TestBoundedOracleDirect(t *testing.T) {
 		}
 	}
 }
+
+// TestCachedVsUncachedOracle pins the new subgoal-cache oracle across
+// seeds with write and toggle churn, and checks the stats sink
+// reports real cache traffic (the back-to-back probes after each
+// sampled op must share subgoals).
+func TestCachedVsUncachedOracle(t *testing.T) {
+	var agg rules.CacheStats
+	opts := Options{CacheStatsSink: func(st rules.CacheStats) {
+		agg.Hits += st.Hits
+		agg.Misses += st.Misses
+		agg.Invalidations += st.Invalidations
+	}}
+	for seed := int64(0); seed < 30; seed++ {
+		w := gen.Generate(seed, gen.Small())
+		if f := CachedVsUncached(w, opts); f != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, f, w.Program())
+		}
+	}
+	if agg.Hits == 0 {
+		t.Error("oracle ran without a single shared-table hit")
+	}
+	if agg.Invalidations == 0 {
+		t.Error("interleaved writes caused no invalidations")
+	}
+}

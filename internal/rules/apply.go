@@ -359,8 +359,9 @@ func (e *Engine) deriveFrom(cfg *ruleset, f fact.Fact, derived *store.Store, out
 // head facts.
 func (e *Engine) applyUserRule(r *Rule, f fact.Fact, derived *store.Store, emit func(fact.Fact, []fact.Fact)) {
 	for i := range r.Body {
-		b := make(binding)
+		b := getBinding()
 		if !unifyTemplate(r.Body[i], f, b) {
+			putBinding(b)
 			continue
 		}
 		rest := make([]fact.Template, 0, len(r.Body)-1)
@@ -380,18 +381,23 @@ func (e *Engine) applyUserRule(r *Rule, f fact.Fact, derived *store.Store, emit 
 				}
 			}
 		})
+		putBinding(b)
 	}
 }
 
 // binding maps rule/query variables to entities.
 type binding map[fact.Var]sym.ID
 
-func (b binding) clone() binding {
-	c := make(binding, len(b)+1)
-	for k, v := range b {
-		c[k] = v
-	}
-	return c
+// bindingPool recycles root binding maps on the hot match paths: a
+// single closure round can start thousands of unification attempts,
+// and most die before binding anything.
+var bindingPool = sync.Pool{New: func() any { return make(binding, 8) }}
+
+func getBinding() binding { return bindingPool.Get().(binding) }
+
+func putBinding(b binding) {
+	clear(b)
+	bindingPool.Put(b)
 }
 
 // unifyTemplate extends b so that template tp matches fact f,
@@ -399,6 +405,30 @@ func (b binding) clone() binding {
 // unification fails; callers pass a scratch binding.
 func unifyTemplate(tp fact.Template, f fact.Fact, b binding) bool {
 	return unifyTerm(tp.S, f.S, b) && unifyTerm(tp.R, f.R, b) && unifyTerm(tp.T, f.T, b)
+}
+
+// unifyInto extends b so that tp matches f, recording each newly
+// bound variable in undo and returning how many were bound. The
+// caller unwinds by deleting undo[:n] from b — on failure too, since
+// a partial match may have bound a variable before mismatching. This
+// replaces clone-per-candidate-fact on the join paths: one shared map
+// is extended and unwound as the join backtracks.
+func unifyInto(tp fact.Template, f fact.Fact, b binding, undo *[3]fact.Var) (int, bool) {
+	n := 0
+	bind := func(t fact.Term, id sym.ID) bool {
+		if !t.IsVar() {
+			return t.Entity == id
+		}
+		if have, ok := b[t.Variable]; ok {
+			return have == id
+		}
+		b[t.Variable] = id
+		undo[n] = t.Variable
+		n++
+		return true
+	}
+	ok := bind(tp.S, f.S) && bind(tp.R, f.R) && bind(tp.T, f.T)
+	return n, ok
 }
 
 func unifyTerm(t fact.Term, id sym.ID, b binding) bool {
@@ -447,44 +477,85 @@ func instantiate(h fact.Template, b binding) (fact.Fact, bool) {
 }
 
 // joinAtoms enumerates every extension of b satisfying all atoms
-// against derived ∪ virtual facts, choosing at each step the most
-// bound atom first (a greedy join order).
+// against derived ∪ virtual facts, re-ranking the remaining atoms by
+// store selectivity at every step (pickAtom). atoms is permuted in
+// place; callers pass a scratch slice. b is extended in place and
+// unwound on backtrack, so found must not retain it.
 func (e *Engine) joinAtoms(atoms []fact.Template, b binding, derived *store.Store, found func(binding)) {
 	if len(atoms) == 0 {
 		found(b)
 		return
 	}
-	// Pick the atom with the most bound positions under b.
-	best, bestScore := 0, -1
-	for i, a := range atoms {
-		s, r, t := resolve(a, b)
-		score := 0
-		if s != sym.None {
-			score++
-		}
-		if r != sym.None {
-			score += 2 // a bound relationship is usually most selective
-		}
-		if t != sym.None {
-			score++
-		}
-		if score > bestScore {
-			best, bestScore = i, score
-		}
+	if len(atoms) > 1 {
+		best := pickAtom(atoms, b, derived)
+		atoms[0], atoms[best] = atoms[best], atoms[0]
 	}
-	atom := atoms[best]
-	rest := make([]fact.Template, 0, len(atoms)-1)
-	rest = append(rest, atoms[:best]...)
-	rest = append(rest, atoms[best+1:]...)
-
+	atom := atoms[0]
 	s, r, t := resolve(atom, b)
 	try := func(f fact.Fact) bool {
-		bb := b.clone()
-		if unifyTemplate(atom, f, bb) {
-			e.joinAtoms(rest, bb, derived, found)
+		var undo [3]fact.Var
+		n, ok := unifyInto(atom, f, b, &undo)
+		if ok {
+			e.joinAtoms(atoms[1:], b, derived, found)
+		}
+		for i := 0; i < n; i++ {
+			delete(b, undo[i])
 		}
 		return true
 	}
 	derived.Match(s, r, t, try)
 	e.vp.Match(s, r, t, derived, try)
+}
+
+// pickAtom returns the index of the atom to join next: the one whose
+// pattern under b has the smallest index-bucket estimate in st, so
+// joins enumerate the narrowest candidate set first and re-rank as
+// bindings accrue. All estimates are taken in one batch (a single
+// lock acquisition on an unsealed store). Mirroring the query
+// evaluator's cost model: an estimate of 0 with an unbound endpoint
+// usually marks a virtual pattern (comparators, ≠) acting as a guard
+// — schedule it last, after its variables are bound; bound positions
+// break ties. The choice never affects the set of join results, only
+// the order and cost of finding them.
+func pickAtom(atoms []fact.Template, b binding, st *store.Store) int {
+	var patBuf [8]store.Pattern
+	var cntBuf [8]int
+	pats := patBuf[:0]
+	if len(atoms) > len(patBuf) {
+		pats = make([]store.Pattern, 0, len(atoms))
+	}
+	for _, a := range atoms {
+		s, r, t := resolve(a, b)
+		pats = append(pats, store.Pattern{S: s, R: r, T: t})
+	}
+	cnts := cntBuf[:len(pats)]
+	if len(pats) > len(cntBuf) {
+		cnts = make([]int, len(pats))
+	}
+	st.EstimateCounts(pats, cnts)
+
+	const guard = -1 << 40 // below any real -8*count
+	best, bestScore := 0, guard-1
+	for i, p := range pats {
+		bound := 0
+		if p.S != sym.None {
+			bound++
+		}
+		if p.R != sym.None {
+			bound += 2
+		}
+		if p.T != sym.None {
+			bound++
+		}
+		var score int
+		if cnts[i] == 0 && (p.S == sym.None || p.T == sym.None) {
+			score = guard + bound
+		} else {
+			score = -8*cnts[i] + bound
+		}
+		if score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
 }

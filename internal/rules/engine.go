@@ -47,12 +47,21 @@ type Engine struct {
 	workers    int // closure build parallelism; 0 = GOMAXPROCS
 
 	snap atomic.Pointer[snapshot]
+
+	// sg is the cross-query subgoal cache for bounded on-demand
+	// matching (ondemand.go); invalidated by version labels, never by
+	// walking entries. See subgoal.go.
+	sg subgoalCache
 }
 
 // ruleset is an immutable snapshot of the rule configuration. Config
 // mutators replace the whole value (copy-on-write), so derivation
-// code can read it without holding the engine lock.
+// code can read it without holding the engine lock. ver is the
+// cfgVersion this snapshot corresponds to: readers that need a
+// (ruleset, version) pair — the subgoal cache keys entries by it —
+// take both from the same load instead of racing two atomics.
 type ruleset struct {
+	ver       uint64
 	std       [numStdRules]bool
 	userRules []*Rule
 }
@@ -111,10 +120,10 @@ func (e *Engine) Include(r StdRule) {
 	if cur.std[r] {
 		return
 	}
-	next := &ruleset{std: cur.std, userRules: cur.userRules}
+	next := &ruleset{ver: cur.ver + 1, std: cur.std, userRules: cur.userRules}
 	next.std[r] = true
 	e.rs.Store(next)
-	e.cfgVersion.Add(1)
+	e.cfgVersion.Store(next.ver)
 }
 
 // Exclude disables a standard rule (§6.1 exclude operator).
@@ -125,10 +134,10 @@ func (e *Engine) Exclude(r StdRule) {
 	if !cur.std[r] {
 		return
 	}
-	next := &ruleset{std: cur.std, userRules: cur.userRules}
+	next := &ruleset{ver: cur.ver + 1, std: cur.std, userRules: cur.userRules}
 	next.std[r] = false
 	e.rs.Store(next)
-	e.cfgVersion.Add(1)
+	e.cfgVersion.Store(next.ver)
 }
 
 // Included reports whether a standard rule is active.
@@ -145,7 +154,7 @@ func (e *Engine) AddRule(r Rule) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	cur := e.rs.Load()
-	next := &ruleset{std: cur.std, userRules: slices.Clone(cur.userRules)}
+	next := &ruleset{ver: cur.ver + 1, std: cur.std, userRules: slices.Clone(cur.userRules)}
 	replaced := false
 	for i, have := range next.userRules {
 		if have.Name == r.Name {
@@ -158,7 +167,7 @@ func (e *Engine) AddRule(r Rule) error {
 		next.userRules = append(next.userRules, &r)
 	}
 	e.rs.Store(next)
-	e.cfgVersion.Add(1)
+	e.cfgVersion.Store(next.ver)
 	return nil
 }
 
@@ -169,10 +178,10 @@ func (e *Engine) RemoveRule(name string) bool {
 	cur := e.rs.Load()
 	for i, have := range cur.userRules {
 		if have.Name == name {
-			next := &ruleset{std: cur.std, userRules: slices.Clone(cur.userRules)}
+			next := &ruleset{ver: cur.ver + 1, std: cur.std, userRules: slices.Clone(cur.userRules)}
 			next.userRules = append(next.userRules[:i], next.userRules[i+1:]...)
 			e.rs.Store(next)
-			e.cfgVersion.Add(1)
+			e.cfgVersion.Store(next.ver)
 			return true
 		}
 	}
@@ -329,11 +338,14 @@ func (e *Engine) applyIncremental(cfg *ruleset, old *snapshot, chs []store.Chang
 	return derived, prov
 }
 
-// Invalidate drops the cached closure. Mutations of the base store
-// are detected automatically; Invalidate is only needed after
-// out-of-band changes (e.g. a swapped virtual provider).
+// Invalidate drops the cached closure and bumps the subgoal cache
+// epoch. Mutations of the base store are detected automatically;
+// Invalidate is only needed after out-of-band changes (e.g. a swapped
+// virtual provider), which version labels cannot see — hence the
+// explicit epoch.
 func (e *Engine) Invalidate() {
 	e.snap.Store(nil)
+	e.sg.epoch.Add(1)
 }
 
 // Provenance records how a derived fact was first obtained: the rule

@@ -19,8 +19,13 @@ import (
 // it trades repeated work per query for not paying closure
 // materialization and storage up front, which is the right trade for
 // sparse browsing over a large, rarely-queried heap of facts.
+// Repeated work across *calls* is absorbed by the engine's
+// cross-query subgoal cache (subgoal.go): subgoal results survive
+// between queries until a write, rule toggle, or Invalidate moves one
+// of the version labels.
 
-// bkey memoizes one bounded sub-query.
+// bkey identifies one bounded sub-query: a pattern plus the remaining
+// derivation depth.
 type bkey struct {
 	s, r, t sym.ID
 	d       int
@@ -29,12 +34,20 @@ type bkey struct {
 // bounded is the per-call evaluation context. It carries its own
 // immutable ruleset snapshot, so a long backward enumeration is never
 // affected by (and never blocks) concurrent configuration changes.
+// shared is the cross-query subgoal table (nil when the cache is
+// off); memo overlays it per call and also holds results not eligible
+// for sharing (tainted, or table at capacity).
 type bounded struct {
-	e    *Engine
-	cfg  *ruleset
-	base *store.Store
-	memo map[bkey][]fact.Fact
-	open map[bkey]bool // cycle guard for in-progress keys
+	e      *Engine
+	cfg    *ruleset
+	base   *store.Store
+	shared *subgoalTable
+	memo   map[bkey][]fact.Fact
+	open   map[bkey]bool // cycle guard for in-progress keys
+
+	hits, misses uint64 // shared-table counters, flushed on return
+	openHits     int    // times a subgoal hit an open (in-progress) key
+	tainted      map[bkey]bool
 }
 
 // MatchBounded calls fn for every fact matching the pattern that is
@@ -57,14 +70,26 @@ func (e *Engine) MatchBounded(src, rel, tgt sym.ID, depth int, fn func(fact.Fact
 		qt = sym.None
 	}
 
+	// The ruleset snapshot and the base version are read before any
+	// base fact: a write racing past this point can leave entries
+	// computed from newer content under an older label, which the next
+	// acquire discards — never the other way around (see subgoal.go).
+	cfg := e.rs.Load()
 	b := &bounded{
-		e:    e,
-		cfg:  e.rs.Load(),
-		base: e.base,
-		memo: make(map[bkey][]fact.Fact),
-		open: make(map[bkey]bool),
+		e:      e,
+		cfg:    cfg,
+		base:   e.base,
+		shared: e.sg.acquire(e.base.Version(), cfg.ver),
+		memo:   make(map[bkey][]fact.Fact),
+		open:   make(map[bkey]bool),
 	}
 	results := b.enum(qs, qr, qt, depth)
+	if b.hits != 0 {
+		e.sg.hits.Add(b.hits)
+	}
+	if b.misses != 0 {
+		e.sg.misses.Add(b.misses)
+	}
 
 	anyWild := wildS || wildR || wildT
 	seen := make(map[fact.Fact]struct{}, len(results))
@@ -92,6 +117,32 @@ func (e *Engine) MatchBounded(src, rel, tgt sym.ID, depth int, fn func(fact.Fact
 	return true
 }
 
+// BoundedMatcher adapts depth-bounded on-demand matching to the query
+// evaluator's Matcher and Estimator interfaces, so whole queries can
+// be answered without materializing the closure. Repeated evaluations
+// share the engine's cross-query subgoal cache, and join planning
+// estimates come from the base store's indexes (the bounded closure
+// is never materialized, so its exact cardinalities don't exist; base
+// bucket sizes preserve the relative selectivity the planner needs).
+type BoundedMatcher struct {
+	e     *Engine
+	depth int
+}
+
+// Bounded returns a matcher view of the engine at the given
+// derivation depth.
+func (e *Engine) Bounded(depth int) BoundedMatcher { return BoundedMatcher{e: e, depth: depth} }
+
+// Match implements query.Matcher via MatchBounded.
+func (m BoundedMatcher) Match(src, rel, tgt sym.ID, fn func(fact.Fact) bool) bool {
+	return m.e.MatchBounded(src, rel, tgt, m.depth, fn)
+}
+
+// EstimateCount implements query.Estimator from the base store.
+func (m BoundedMatcher) EstimateCount(src, rel, tgt sym.ID) int {
+	return m.e.base.EstimateCount(src, rel, tgt)
+}
+
 // HasBounded reports whether f is derivable within depth rule applications.
 func (e *Engine) HasBounded(f fact.Fact, depth int) bool {
 	found := false
@@ -109,18 +160,34 @@ func match3(f fact.Fact, s, r, t sym.ID) bool {
 }
 
 // enum returns all facts matching (s,r,t) derivable within d steps.
+// The returned slice is shared (per-call memo and possibly the
+// cross-query table) and must not be mutated.
 func (b *bounded) enum(s, r, t sym.ID, d int) []fact.Fact {
 	key := bkey{s, r, t, d}
 	if res, ok := b.memo[key]; ok {
+		if b.tainted[key] {
+			// A tainted result embeds a cycle cut; let in-progress
+			// ancestors know so they stay out of the shared table too.
+			b.openHits++
+		}
 		return res
 	}
+	if b.shared != nil {
+		if res, ok := b.shared.load(key); ok {
+			b.memo[key] = res
+			b.hits++
+			return res
+		}
+		b.misses++
+	}
 	if b.open[key] {
+		b.openHits++
 		return nil
 	}
 	b.open[key] = true
-	defer func() { b.open[key] = false }()
+	openBefore := b.openHits
 
-	set := make(map[fact.Fact]struct{})
+	set := make(map[fact.Fact]struct{}, b.base.EstimateCount(s, r, t)+4)
 	add := func(f fact.Fact) {
 		if match3(f, s, r, t) {
 			set[f] = struct{}{}
@@ -137,11 +204,24 @@ func (b *bounded) enum(s, r, t sym.ID, d int) []fact.Fact {
 		b.backward(s, r, t, d, add)
 	}
 
+	delete(b.open, key)
 	out := make([]fact.Fact, 0, len(set))
 	for f := range set {
 		out = append(out, f)
 	}
 	b.memo[key] = out
+	if b.openHits != openBefore {
+		// Computed under an in-progress ancestor: the result depends
+		// on evaluation order, so it is valid for this call only.
+		// (Depth strictly decreases through backward, so this is
+		// insurance — the guard cannot fire on the current rules.)
+		if b.tainted == nil {
+			b.tainted = make(map[bkey]bool)
+		}
+		b.tainted[key] = true
+	} else if b.shared != nil {
+		b.shared.store(key, out)
+	}
 	return out
 }
 
@@ -284,15 +364,20 @@ func (b *bounded) backward(s, r, t sym.ID, d int, add func(fact.Fact)) {
 	// User rules, backwards: any head atom may match the pattern.
 	for _, rule := range b.cfg.userRules {
 		for _, h := range rule.Head {
-			bind := make(binding)
+			bind := getBinding()
 			if !unifyPattern(h, s, r, t, bind) {
+				putBinding(bind)
 				continue
 			}
-			b.joinBounded(rule.Body, bind, d-1, func(bb binding) {
+			// joinBounded permutes the atom slice in place; rules are
+			// shared across goroutines, so join a private copy.
+			body := append(make([]fact.Template, 0, len(rule.Body)), rule.Body...)
+			b.joinBounded(body, bind, d-1, func(bb binding) {
 				if f, ok := instantiate(h, bb); ok {
 					add(f)
 				}
 			})
+			putBinding(bind)
 		}
 	}
 }
@@ -317,39 +402,28 @@ func unifyPattern(h fact.Template, s, r, t sym.ID, b binding) bool {
 }
 
 // joinBounded enumerates bindings satisfying all atoms against the
-// depth-bounded closure.
+// depth-bounded closure, re-ranking the remaining atoms by base-store
+// selectivity at every step (see pickAtom). atoms is permuted in
+// place; callers pass a scratch slice. Bindings are extended in place
+// and unwound on backtrack, so found must not retain bind.
 func (b *bounded) joinBounded(atoms []fact.Template, bind binding, d int, found func(binding)) {
 	if len(atoms) == 0 {
 		found(bind)
 		return
 	}
-	best, bestScore := 0, -1
-	for i, a := range atoms {
-		s, r, t := resolve(a, bind)
-		score := 0
-		if s != sym.None {
-			score++
-		}
-		if r != sym.None {
-			score += 2
-		}
-		if t != sym.None {
-			score++
-		}
-		if score > bestScore {
-			best, bestScore = i, score
-		}
+	if len(atoms) > 1 {
+		best := pickAtom(atoms, bind, b.base)
+		atoms[0], atoms[best] = atoms[best], atoms[0]
 	}
-	atom := atoms[best]
-	rest := make([]fact.Template, 0, len(atoms)-1)
-	rest = append(rest, atoms[:best]...)
-	rest = append(rest, atoms[best+1:]...)
-
-	s, r, t := resolve(atom, bind)
+	s, r, t := resolve(atoms[0], bind)
 	for _, f := range b.enum(s, r, t, d) {
-		bb := bind.clone()
-		if unifyTemplate(atom, f, bb) {
-			b.joinBounded(rest, bb, d, found)
+		var undo [3]fact.Var
+		n, ok := unifyInto(atoms[0], f, bind, &undo)
+		if ok {
+			b.joinBounded(atoms[1:], bind, d, found)
+		}
+		for i := 0; i < n; i++ {
+			delete(bind, undo[i])
 		}
 	}
 }

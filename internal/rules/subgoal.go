@@ -1,0 +1,149 @@
+package rules
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fact"
+)
+
+// The cross-query subgoal cache (tabling for the on-demand matcher).
+//
+// Every MatchBounded/HasBounded call decomposes into subgoals —
+// (pattern, remaining depth) pairs — and a browsing session issues
+// many overlapping queries against a slowly changing database, so the
+// same subgoals recur across calls. The cache persists their result
+// slices between calls in a table published through an atomic
+// pointer, following the same snapshot discipline as the closure:
+//
+//   - A table is labeled with the (base version, ruleset version,
+//     engine epoch) triple it reflects. Readers acquire the current
+//     table with one atomic load plus three version comparisons — no
+//     locks — and a mismatch swaps in a fresh empty table via CAS.
+//     Invalidation is therefore O(1): writers only bump a version.
+//
+//   - No stale read is possible: the base version is read *before*
+//     any base facts are enumerated. If a write lands mid-derivation
+//     the result may be stale, but the store's version has then moved
+//     past the table's label, so the *next* acquire discards the
+//     table wholesale; a stale entry can only be served to readers
+//     that would have been racing the write anyway, which is the same
+//     guarantee Engine.Match provides through the closure snapshot.
+//     Ruleset changes are captured the same way via ruleset.ver
+//     (taken from the very ruleset snapshot used for derivation), and
+//     out-of-band changes (swapped virtual provider) via the epoch
+//     counter bumped by Invalidate.
+//
+//   - Entries are immutable once stored: enum builds a fresh slice,
+//     publishes it with LoadOrStore, and every reader — including the
+//     writer itself — treats the slice as read-only thereafter.
+
+// maxSubgoalEntries caps the shared table so a scan-heavy workload
+// cannot hold the whole derivable closure in memory per depth; past
+// the cap, new results stay per-call only until invalidation resets
+// the table.
+const maxSubgoalEntries = 1 << 18
+
+// subgoalTable is one published cache generation: entries valid for
+// exactly one (baseVer, cfgVer, epoch) label.
+type subgoalTable struct {
+	baseVer uint64
+	cfgVer  uint64
+	epoch   uint64
+	entries sync.Map // bkey -> []fact.Fact
+	size    atomic.Int64
+}
+
+func (t *subgoalTable) load(k bkey) ([]fact.Fact, bool) {
+	v, ok := t.entries.Load(k)
+	if !ok {
+		return nil, false
+	}
+	return v.([]fact.Fact), true
+}
+
+func (t *subgoalTable) store(k bkey, res []fact.Fact) {
+	if t.size.Load() >= maxSubgoalEntries {
+		return
+	}
+	if _, loaded := t.entries.LoadOrStore(k, res); !loaded {
+		t.size.Add(1)
+	}
+}
+
+// subgoalCache is the engine-level handle: the current table, the
+// out-of-band invalidation epoch, the kill switch, and effectiveness
+// counters.
+type subgoalCache struct {
+	table atomic.Pointer[subgoalTable]
+	epoch atomic.Uint64
+	off   atomic.Bool
+
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	invalidations atomic.Uint64
+}
+
+// acquire returns the shared table valid for (baseVer, cfgVer) at the
+// current epoch, publishing a fresh one if the labels moved. Returns
+// nil when the cache is disabled; callers then fall back to their
+// per-call memo alone.
+func (c *subgoalCache) acquire(baseVer, cfgVer uint64) *subgoalTable {
+	if c.off.Load() {
+		return nil
+	}
+	ep := c.epoch.Load()
+	for {
+		t := c.table.Load()
+		if t != nil && t.baseVer == baseVer && t.cfgVer == cfgVer && t.epoch == ep {
+			return t
+		}
+		fresh := &subgoalTable{baseVer: baseVer, cfgVer: cfgVer, epoch: ep}
+		if c.table.CompareAndSwap(t, fresh) {
+			if t != nil {
+				c.invalidations.Add(1)
+			}
+			return fresh
+		}
+	}
+}
+
+// CacheStats reports subgoal cache effectiveness: hits and misses are
+// shared-table lookups across all MatchBounded calls (per-call memo
+// hits are not counted), invalidations counts discarded tables.
+type CacheStats struct {
+	Enabled       bool
+	Hits          uint64
+	Misses        uint64
+	Invalidations uint64
+	Entries       int
+}
+
+// CacheStats returns the subgoal cache counters.
+func (e *Engine) CacheStats() CacheStats {
+	st := CacheStats{
+		Enabled:       !e.sg.off.Load(),
+		Hits:          e.sg.hits.Load(),
+		Misses:        e.sg.misses.Load(),
+		Invalidations: e.sg.invalidations.Load(),
+	}
+	if t := e.sg.table.Load(); t != nil {
+		st.Entries = int(t.size.Load())
+	}
+	return st
+}
+
+// SetSubgoalCache enables or disables the cross-query subgoal cache
+// (enabled by default). Disabling drops the current table; bounded
+// matching stays correct either way — the cache is purely a
+// performance layer, and the differential harness checks the two
+// modes against each other.
+func (e *Engine) SetSubgoalCache(on bool) {
+	e.sg.off.Store(!on)
+	if !on {
+		e.sg.table.Store(nil)
+	}
+}
+
+// SubgoalCacheEnabled reports whether the cross-query subgoal cache is on.
+func (e *Engine) SubgoalCacheEnabled() bool { return !e.sg.off.Load() }

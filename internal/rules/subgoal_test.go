@@ -1,0 +1,225 @@
+package rules
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/fact"
+	"repro/internal/sym"
+)
+
+// boundedSet collects MatchBounded results into a sorted, comparable form.
+func boundedSet(e *Engine, s, r, t sym.ID, depth int) []fact.Fact {
+	var out []fact.Fact
+	e.MatchBounded(s, r, t, depth, func(f fact.Fact) bool {
+		out = append(out, f)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.S != b.S {
+			return a.S < b.S
+		}
+		if a.R != b.R {
+			return a.R < b.R
+		}
+		return a.T < b.T
+	})
+	return out
+}
+
+func sameFacts(a, b []fact.Fact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Warm results must equal cold results, and the second identical
+// query must be answered from the shared table.
+func TestSubgoalCacheWarmEqualsCold(t *testing.T) {
+	u, s, e := newEngine()
+	ins(u, s,
+		[3]string{"A", "isa", "B"},
+		[3]string{"B", "isa", "C"},
+		[3]string{"C", "HAS", "X"},
+		[3]string{"JOHN", "in", "A"},
+		[3]string{"HAS", "inv", "OWNED-BY"})
+
+	cold := boundedSet(e, sym.None, sym.None, sym.None, 4)
+	st0 := e.CacheStats()
+	if st0.Misses == 0 || st0.Entries == 0 {
+		t.Fatalf("first query did not populate the cache: %+v", st0)
+	}
+	warm := boundedSet(e, sym.None, sym.None, sym.None, 4)
+	st1 := e.CacheStats()
+	if st1.Hits == 0 {
+		t.Fatalf("second identical query did not hit the cache: %+v", st1)
+	}
+	if !sameFacts(cold, warm) {
+		t.Fatalf("warm result differs from cold: %d vs %d facts", len(warm), len(cold))
+	}
+
+	e.SetSubgoalCache(false)
+	off := boundedSet(e, sym.None, sym.None, sym.None, 4)
+	if !sameFacts(cold, off) {
+		t.Fatalf("cache-disabled result differs: %d vs %d facts", len(off), len(cold))
+	}
+	if got := e.CacheStats(); got.Enabled {
+		t.Fatal("CacheStats.Enabled true after SetSubgoalCache(false)")
+	}
+	e.SetSubgoalCache(true)
+}
+
+// A base-store write between two queries must invalidate: the second
+// query sees the new fact and its inferences.
+func TestSubgoalCacheInvalidatesOnWrite(t *testing.T) {
+	u, s, e := newEngine()
+	ins(u, s,
+		[3]string{"MANAGER", "isa", "EMPLOYEE"},
+		[3]string{"EMPLOYEE", "EARNS", "SALARY"})
+	target := u.NewFact("BOSS", "EARNS", "SALARY")
+	if e.HasBounded(target, 2) {
+		t.Fatal("fact derivable before its premise exists")
+	}
+	ins(u, s, [3]string{"BOSS", "isa", "MANAGER"})
+	if !e.HasBounded(target, 2) {
+		t.Fatal("stale cache: inference missing after assert")
+	}
+	if st := e.CacheStats(); st.Invalidations == 0 {
+		t.Fatalf("write did not count an invalidation: %+v", st)
+	}
+
+	// Retraction invalidates the same way.
+	s.Delete(u.NewFact("BOSS", "isa", "MANAGER"))
+	if e.HasBounded(target, 2) {
+		t.Fatal("stale cache: inference survived retraction")
+	}
+}
+
+// Rule toggles and user-rule changes move the ruleset version.
+func TestSubgoalCacheInvalidatesOnRuleChange(t *testing.T) {
+	u, s, e := newEngine()
+	ins(u, s,
+		[3]string{"A", "isa", "B"},
+		[3]string{"B", "HAS", "X"})
+	target := u.NewFact("A", "HAS", "X")
+	if !e.HasBounded(target, 1) {
+		t.Fatal("gen-source inference missing")
+	}
+	e.Exclude(GenSource)
+	if e.HasBounded(target, 1) {
+		t.Fatal("stale cache: inference survived rule exclusion")
+	}
+	e.Include(GenSource)
+	if !e.HasBounded(target, 1) {
+		t.Fatal("stale cache: inference missing after rule re-inclusion")
+	}
+
+	rule, err := ParseRule(u, "owns", Inference, "(?x, HAS, ?y) => (?x, OWNS, ?y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddRule(rule); err != nil {
+		t.Fatal(err)
+	}
+	if !e.HasBounded(u.NewFact("A", "OWNS", "X"), 2) {
+		t.Fatal("stale cache: user-rule inference missing after AddRule")
+	}
+	e.RemoveRule("owns")
+	if e.HasBounded(u.NewFact("A", "OWNS", "X"), 2) {
+		t.Fatal("stale cache: user-rule inference survived RemoveRule")
+	}
+}
+
+// Invalidate covers out-of-band changes version labels cannot see.
+func TestSubgoalCacheInvalidateEpoch(t *testing.T) {
+	u, s, e := newEngine()
+	ins(u, s, [3]string{"A", "isa", "B"})
+	boundedSet(e, sym.None, sym.None, sym.None, 2)
+	before := e.CacheStats()
+	if before.Entries == 0 {
+		t.Fatal("no entries cached")
+	}
+	e.Invalidate()
+	boundedSet(e, sym.None, sym.None, sym.None, 2)
+	after := e.CacheStats()
+	if after.Invalidations <= before.Invalidations {
+		t.Fatalf("Invalidate did not discard the table: %+v -> %+v", before, after)
+	}
+}
+
+// Concurrent bounded queries interleaved with writes and toggles must
+// stay race-free (run under -race) and every completed query must be
+// internally consistent. Correctness against an uncached engine is
+// the differential oracle's job (internal/check).
+func TestSubgoalCacheConcurrentChurn(t *testing.T) {
+	u, s, e := newEngine()
+	ins(u, s,
+		[3]string{"A", "isa", "B"},
+		[3]string{"B", "isa", "C"},
+		[3]string{"C", "HAS", "X"},
+		[3]string{"HAS", "inv", "OWNED-BY"})
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				boundedSet(e, sym.None, sym.None, sym.None, 3)
+				_ = e.CacheStats()
+				if w == 0 {
+					ins(u, s, [3]string{fmt.Sprintf("N%d", i), "in", "B"})
+				}
+				if w == 1 && i%3 == 0 {
+					e.Exclude(GenTransitive)
+					e.Include(GenTransitive)
+				}
+				if i >= 25 {
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+}
+
+// The bounded matcher view answers query-evaluator calls through the
+// same cache.
+func TestBoundedMatcherSharesCache(t *testing.T) {
+	u, s, e := newEngine()
+	ins(u, s,
+		[3]string{"A", "isa", "B"},
+		[3]string{"B", "HAS", "X"})
+	m := e.Bounded(2)
+	a := u.Entity("A")
+	var got []fact.Fact
+	m.Match(a, sym.None, sym.None, func(f fact.Fact) bool {
+		got = append(got, f)
+		return true
+	})
+	if len(got) == 0 {
+		t.Fatal("bounded matcher found nothing")
+	}
+	if st := e.CacheStats(); st.Entries == 0 {
+		t.Fatal("bounded matcher bypassed the subgoal cache")
+	}
+	if n := m.EstimateCount(a, sym.None, sym.None); n != 1 {
+		t.Fatalf("EstimateCount = %d, want 1 (one stored fact about A)", n)
+	}
+}

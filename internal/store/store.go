@@ -307,6 +307,13 @@ func (s *Store) Count(src, rel, tgt sym.ID) int {
 	return n
 }
 
+// Pattern is one (src, rel, tgt) match template, with sym.None as the
+// wildcard. It exists so planners can batch-estimate many candidate
+// patterns in a single call (EstimateCounts).
+type Pattern struct {
+	S, R, T sym.ID
+}
+
 // EstimateCount returns the exact number of facts the pattern's index
 // bucket holds, in O(1): the size of the most selective index bucket
 // covering the pattern. For fully bound patterns it returns 0 or 1;
@@ -317,6 +324,28 @@ func (s *Store) EstimateCount(src, rel, tgt sym.ID) int {
 		s.mu.RLock()
 		defer s.mu.RUnlock()
 	}
+	return s.estimateLocked(src, rel, tgt)
+}
+
+// EstimateCounts writes the estimate for each pattern into the
+// corresponding slot of out (len(out) must be at least len(patterns)),
+// acquiring the read lock once for the whole batch. Join planners
+// re-rank the remaining atoms at every binding step; without batching,
+// that ranking costs O(atoms) lock round-trips per step on an unsealed
+// store.
+func (s *Store) EstimateCounts(patterns []Pattern, out []int) {
+	if !s.sealed {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+	}
+	for i, p := range patterns {
+		out[i] = s.estimateLocked(p.S, p.R, p.T)
+	}
+}
+
+// estimateLocked is EstimateCount's body; the caller holds the read
+// lock (or the store is sealed).
+func (s *Store) estimateLocked(src, rel, tgt sym.ID) int {
 	switch {
 	case src != sym.None && rel != sym.None && tgt != sym.None:
 		if _, ok := s.facts[fact.Fact{S: src, R: rel, T: tgt}]; ok {
@@ -340,14 +369,47 @@ func (s *Store) EstimateCount(src, rel, tgt sym.ID) int {
 	}
 }
 
-// MatchAll collects the facts matching the pattern into a new slice.
+// MatchAll collects the facts matching the pattern into a slice. On a
+// sealed store, patterns answered exactly by one index return that
+// index's bucket without copying (capacity-clipped, so an append by
+// the caller reallocates instead of clobbering the index); treat the
+// result as read-only.
 func (s *Store) MatchAll(src, rel, tgt sym.ID) []fact.Fact {
+	if s.sealed {
+		if bucket, ok := s.bucketFor(src, rel, tgt); ok {
+			return bucket[:len(bucket):len(bucket)]
+		}
+	}
 	var out []fact.Fact
 	s.Match(src, rel, tgt, func(f fact.Fact) bool {
 		out = append(out, f)
 		return true
 	})
 	return out
+}
+
+// bucketFor returns the index bucket that answers the pattern exactly,
+// when one exists. Fully bound and all-wildcard patterns have no
+// single bucket and report false.
+func (s *Store) bucketFor(src, rel, tgt sym.ID) ([]fact.Fact, bool) {
+	switch {
+	case src != sym.None && rel != sym.None && tgt != sym.None:
+		return nil, false
+	case src != sym.None && rel != sym.None:
+		return s.bySR[pair{src, rel}], true
+	case rel != sym.None && tgt != sym.None:
+		return s.byRT[pair{rel, tgt}], true
+	case src != sym.None && tgt != sym.None:
+		return s.byST[pair{src, tgt}], true
+	case src != sym.None:
+		return s.byS[src], true
+	case rel != sym.None:
+		return s.byR[rel], true
+	case tgt != sym.None:
+		return s.byT[tgt], true
+	default:
+		return nil, false
+	}
 }
 
 // Facts returns a copy of all stored facts in unspecified order.

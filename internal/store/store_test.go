@@ -316,6 +316,64 @@ func TestEstimateCountMatchesCount(t *testing.T) {
 	}
 }
 
+func TestEstimateCountsMatchesSingles(t *testing.T) {
+	u, s := mk(t)
+	for i := 0; i < 5; i++ {
+		s.Insert(u.NewFact("HUB", "R", fmt.Sprintf("t%d", i)))
+	}
+	s.Insert(u.NewFact("OTHER", "Q", "t0"))
+	pats := []Pattern{
+		{S: u.Entity("HUB")},
+		{R: u.Entity("R")},
+		{T: u.Entity("t0")},
+		{S: u.Entity("HUB"), R: u.Entity("R")},
+		{S: u.Entity("HUB"), R: u.Entity("R"), T: u.Entity("t0")},
+		{},
+		{S: u.Entity("NOPE")},
+	}
+	check := func() {
+		t.Helper()
+		out := make([]int, len(pats))
+		s.EstimateCounts(pats, out)
+		for i, p := range pats {
+			if want := s.EstimateCount(p.S, p.R, p.T); out[i] != want {
+				t.Errorf("pattern %d: batch estimate %d != single %d", i, out[i], want)
+			}
+		}
+	}
+	check() // unsealed: one lock acquisition for the batch
+	s.Seal()
+	check() // sealed: lock-free either way
+}
+
+func TestMatchAllSealedSharesBucket(t *testing.T) {
+	u, s := mk(t)
+	for i := 0; i < 3; i++ {
+		s.Insert(u.NewFact("HUB", "R", fmt.Sprintf("t%d", i)))
+	}
+	s.Seal()
+	got := s.MatchAll(u.Entity("HUB"), sym.None, sym.None)
+	if len(got) != 3 {
+		t.Fatalf("MatchAll returned %d facts, want 3", len(got))
+	}
+	// The zero-copy return is capacity-clipped: appending must
+	// reallocate rather than write into the index bucket.
+	if cap(got) != len(got) {
+		t.Fatalf("sealed MatchAll capacity %d > length %d: append would clobber the index", cap(got), len(got))
+	}
+	_ = append(got, fact.Fact{})
+	if again := s.MatchAll(u.Entity("HUB"), sym.None, sym.None); len(again) != 3 {
+		t.Fatalf("index bucket changed after caller append: %d facts", len(again))
+	}
+	// Patterns with no exact bucket still work sealed.
+	if one := s.MatchAll(u.Entity("HUB"), u.Entity("R"), u.Entity("t0")); len(one) != 1 {
+		t.Fatalf("fully bound sealed MatchAll returned %d facts, want 1", len(one))
+	}
+	if all := s.MatchAll(sym.None, sym.None, sym.None); len(all) != 3 {
+		t.Fatalf("all-wildcard sealed MatchAll returned %d facts, want 3", len(all))
+	}
+}
+
 func TestChangesSince(t *testing.T) {
 	u, s := mk(t)
 	v0 := s.Version()
