@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json check fuzz soak
+.PHONY: all build vet test race bench bench-json check crash fuzz soak
 
 all: check
 
@@ -21,10 +21,17 @@ BENCH ?= .
 bench:
 	$(GO) test -bench '$(BENCH)' -benchmem -run xxx .
 
-# Machine-readable E7-family results (subgoal-cache acceptance numbers).
-BENCHJSON ?= BENCH_PR3.json
+# Machine-readable acceptance numbers: the E7 subgoal-cache family
+# plus E8 commit throughput per sync policy.
+BENCHJSON ?= BENCH_PR4.json
 bench-json:
 	$(GO) run ./cmd/lsdb-bench -json $(BENCHJSON)
+
+# Durability crash fault injection: sweeps hundreds of byte-accurate
+# crash points through the WAL, checkpointing and compaction paths and
+# asserts recovery never loses an acknowledged-durable commit.
+crash:
+	$(GO) test -race -count=1 -run 'TestCrash' ./internal/check
 
 # Native Go fuzzing across every target. FUZZTIME=2m for a longer run;
 # go test accepts one fuzz target per invocation, hence the fan-out.
@@ -47,5 +54,6 @@ soak:
 # Tier-1 verification plus the race detector, a short soak, and a
 # brief pass over every fuzz target.
 check: build vet test race
+	$(MAKE) crash
 	$(MAKE) soak SEEDS=50
 	$(MAKE) fuzz FUZZTIME=5s

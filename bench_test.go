@@ -8,7 +8,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	lsdb "repro"
 	"repro/internal/bench"
@@ -553,5 +555,47 @@ func BenchmarkEngineHas(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng.Has(f)
+	}
+}
+
+// E8: commit throughput under the durability log's sync policies.
+// Eight-plus concurrent writers hammer Assert on a logged database;
+// under SyncAlways the group-commit leader amortizes fsyncs across
+// queued committers, reported as the fsyncs/op metric.
+func BenchmarkE8_CommitThroughput(b *testing.B) {
+	for _, pc := range []struct {
+		name   string
+		policy lsdb.SyncPolicy
+	}{
+		{"always", lsdb.SyncAlways},
+		{"interval2ms", lsdb.SyncInterval(2 * time.Millisecond)},
+		{"never", lsdb.SyncNever},
+	} {
+		b.Run(pc.name, func(b *testing.B) {
+			db, err := lsdb.Open(lsdb.Options{
+				LogPath:    filepath.Join(b.TempDir(), "e8.log"),
+				SyncPolicy: pc.policy,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			var ctr atomic.Uint64
+			b.SetParallelism(8) // at least 8 writer goroutines
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					n := ctr.Add(1)
+					if err := db.Assert(fmt.Sprintf("E8-%d", n), "in", "BENCH"); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			if st := db.LogStats(); st.Appends > 0 {
+				b.ReportMetric(float64(st.Fsyncs)/float64(st.Appends), "fsyncs/op")
+			}
+		})
 	}
 }

@@ -10,6 +10,7 @@
 //	lsdb-check -duration 60s           # check as many seeds as fit in 60s
 //	lsdb-check -size medium -seeds 50  # bigger worlds
 //	lsdb-check -inject member-source   # verify the harness catches a bug
+//	lsdb-check -crash 25               # sweep 25 durability crash points per seed
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/gen"
 	"repro/internal/rules"
+	"repro/internal/store"
 )
 
 type config struct {
@@ -32,6 +34,7 @@ type config struct {
 	size     string
 	workers  int
 	inject   string
+	crash    int
 	verbose  bool
 }
 
@@ -43,6 +46,7 @@ func main() {
 	flag.StringVar(&cfg.size, "size", "small", "world size: small, medium or large")
 	flag.IntVar(&cfg.workers, "workers", 8, "parallel worker count compared against sequential builds")
 	flag.StringVar(&cfg.inject, "inject", "", "deliberately exclude this standard rule on one side (harness self-test; expects a failure)")
+	flag.IntVar(&cfg.crash, "crash", 0, "also sweep this many crash points per seed through the durability-log fault injector")
 	flag.BoolVar(&cfg.verbose, "v", false, "log every seed")
 	flag.Parse()
 
@@ -104,7 +108,7 @@ func soak(cfg config, out io.Writer) error {
 	}
 
 	started := time.Now()
-	checked := 0
+	checked, crashPoints := 0, 0
 	for seed := cfg.start; ; seed++ {
 		if cfg.seeds > 0 && checked >= cfg.seeds {
 			break
@@ -135,6 +139,27 @@ func soak(cfg config, out io.Writer) error {
 			}
 			return fmt.Errorf("oracle %s failed at seed %d", f.Oracle, seed)
 		}
+		if cfg.crash > 0 {
+			// Rotate sync policies across seeds so the sweep covers
+			// fsync-per-commit, explicit-sync, and timed-flush recovery.
+			cc := check.CrashConfig{Seed: seed, Points: cfg.crash}
+			switch seed % 3 {
+			case 0:
+				cc.Policy, cc.CheckpointEvery = store.SyncAlways, 8
+			case 1:
+				cc.Policy, cc.SyncEvery = store.SyncNever, 5
+			default:
+				cc.Policy, cc.CheckpointEvery = store.SyncInterval(time.Millisecond), 8
+			}
+			n, f := check.CrashScan(cc)
+			crashPoints += n
+			if f != nil {
+				fmt.Fprintf(out, "seed %d failed crash sweep (policy %s) after %d clean seeds\n",
+					seed, cc.Policy, checked)
+				fmt.Fprintln(out, f.Detail)
+				return fmt.Errorf("oracle %s failed at seed %d", f.Oracle, seed)
+			}
+		}
 		checked++
 		if cfg.verbose {
 			fmt.Fprintf(out, "seed %d ok\n", seed)
@@ -147,6 +172,9 @@ func soak(cfg config, out io.Writer) error {
 	if cfg.verbose {
 		fmt.Fprintf(out, "subgoal cache (cached-vs-uncached oracle): %d hits, %d misses, %d invalidations\n",
 			cacheAgg.Hits, cacheAgg.Misses, cacheAgg.Invalidations)
+	}
+	if crashPoints > 0 {
+		fmt.Fprintf(out, "crash sweep: %d crash points recovered cleanly\n", crashPoints)
 	}
 	fmt.Fprintf(out, "ok: %d seeds (%s worlds, start %d) in %.1fs\n",
 		checked, cfg.size, cfg.start, time.Since(started).Seconds())

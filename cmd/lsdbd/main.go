@@ -11,34 +11,109 @@
 //	GET    /try?entity=MOZART                                try(e)
 //	GET    /derive?s=JOHN&r=EARNS&t=SALARY                   proof tree
 //	GET    /check                                            contradictions
-//	GET    /stats                                            sizes
+//	GET    /stats                                            sizes + durability counters
+//	GET    /healthz                                          liveness + log health
 //
-// Usage: lsdbd [-addr :8080] [-log db.log] [factfile ...]
+// Usage: lsdbd [-addr :8080] [-log db.log] [-sync always|never|250ms]
+// [-checkpoint N] [-snapshot path] [factfile ...]
+//
+// A mutation is acknowledged (HTTP 200) only once it has reached the
+// sync policy's durability point; with -sync always a crash after the
+// response can never lose the write. On SIGINT/SIGTERM the server
+// drains in-flight requests, then syncs and closes the log.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	lsdb "repro"
 	"repro/internal/browse"
 	"repro/internal/factfile"
 )
 
+// maxBodyBytes caps mutation request bodies; a single fact is tiny.
+const maxBodyBytes = 1 << 20
+
 type server struct {
 	db *lsdb.Database
+}
+
+// parseSyncPolicy maps the -sync flag to a policy: "always", "never",
+// or a Go duration for interval syncing.
+func parseSyncPolicy(s string) (lsdb.SyncPolicy, error) {
+	switch s {
+	case "", "always":
+		return lsdb.SyncAlways, nil
+	case "never":
+		return lsdb.SyncNever, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return lsdb.SyncPolicy{}, fmt.Errorf("-sync must be always, never or a duration: %v", err)
+	}
+	if d <= 0 {
+		return lsdb.SyncPolicy{}, fmt.Errorf("-sync interval must be positive, got %s", s)
+	}
+	return lsdb.SyncInterval(d), nil
+}
+
+// getOnly rejects every method but GET with 405 and an Allow header.
+func getOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+			return
+		}
+		h(w, r)
+	}
+}
+
+// newMux wires the route table; tests serve the same mux the daemon
+// runs.
+func newMux(s *server) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/facts", s.facts)
+	mux.HandleFunc("/query", getOnly(s.query))
+	mux.HandleFunc("/probe", getOnly(s.probe))
+	mux.HandleFunc("/navigate", getOnly(s.navigate))
+	mux.HandleFunc("/between", getOnly(s.between))
+	mux.HandleFunc("/try", getOnly(s.try))
+	mux.HandleFunc("/derive", getOnly(s.derive))
+	mux.HandleFunc("/check", getOnly(s.check))
+	mux.HandleFunc("/stats", getOnly(s.stats))
+	mux.HandleFunc("/healthz", getOnly(s.healthz))
+	return mux
 }
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	logPath := flag.String("log", "", "append-only durability log")
+	syncFlag := flag.String("sync", "always", "log sync policy: always, never, or a flush interval like 250ms")
+	checkpoint := flag.Int("checkpoint", 0, "compact the log automatically after this many appended records (0 disables)")
+	snapshot := flag.String("snapshot", "", "snapshot path written at each automatic checkpoint")
 	flag.Parse()
 
-	db, err := lsdb.Open(lsdb.Options{LogPath: *logPath})
+	policy, err := parseSyncPolicy(*syncFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := lsdb.Open(lsdb.Options{
+		LogPath:            *logPath,
+		SyncPolicy:         policy,
+		CheckpointEvery:    *checkpoint,
+		CheckpointSnapshot: *snapshot,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,21 +123,48 @@ func main() {
 		}
 	}
 
-	s := &server{db: db}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/facts", s.facts)
-	mux.HandleFunc("/query", s.query)
-	mux.HandleFunc("/probe", s.probe)
-	mux.HandleFunc("/navigate", s.navigate)
-	mux.HandleFunc("/between", s.between)
-	mux.HandleFunc("/try", s.try)
-	mux.HandleFunc("/derive", s.derive)
-	mux.HandleFunc("/check", s.check)
-	mux.HandleFunc("/stats", s.stats)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newMux(&server{db: db}),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 
-	log.Printf("lsdbd listening on %s (%d facts)", *addr, db.Len())
-	if err := http.ListenAndServe(*addr, mux); err != nil {
-		fmt.Fprintln(os.Stderr, err)
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	done := make(chan error, 1)
+	go func() {
+		log.Printf("lsdbd listening on %s (%d facts, sync=%s)", *addr, db.Len(), policy)
+		err := srv.ListenAndServe()
+		if err == http.ErrServerClosed {
+			err = nil
+		}
+		done <- err
+	}()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		stop()
+		log.Print("lsdbd shutting down: draining requests")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			log.Printf("lsdbd drain: %v", err)
+		}
+	}
+	if err := db.Sync(); err != nil {
+		log.Printf("lsdbd final sync: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		log.Printf("lsdbd close log: %v", err)
 		os.Exit(1)
 	}
 }
@@ -70,7 +172,10 @@ func main() {
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Too late to change the status line; at least leave a trace.
+		log.Printf("lsdbd: encode response: %v", err)
+	}
 }
 
 func writeErr(w http.ResponseWriter, status int, err error) {
@@ -87,7 +192,8 @@ func (s *server) facts(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodPost:
 		var f factJSON
-		if err := json.NewDecoder(r.Body).Decode(&f); err != nil {
+		body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+		if err := json.NewDecoder(body).Decode(&f); err != nil {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
@@ -96,7 +202,13 @@ func (s *server) facts(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if err := s.db.Assert(f.S, f.R, f.T); err != nil {
-			writeErr(w, http.StatusConflict, err)
+			// A durability failure means the write may not survive a
+			// crash: that is a server-side error, not a client conflict.
+			status := http.StatusConflict
+			if errors.Is(err, lsdb.ErrNotDurable) {
+				status = http.StatusInternalServerError
+			}
+			writeErr(w, status, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]int{"stored": s.db.Len()})
@@ -107,9 +219,15 @@ func (s *server) facts(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("s, r, t query params required"))
 			return
 		}
-		ok := s.db.Retract(fs, fr, ft)
+		u := s.db.Universe()
+		ok, err := s.db.RetractFact(u.NewFact(fs, fr, ft))
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
 		writeJSON(w, http.StatusOK, map[string]bool{"retracted": ok})
 	default:
+		w.Header().Set("Allow", "POST, DELETE")
 		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST or DELETE"))
 	}
 }
@@ -263,22 +381,51 @@ func (s *server) derive(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("s, r, t query params required"))
 		return
 	}
+	// source classifies how the fact holds: "stored" (asserted
+	// explicitly), "derived" (by a rule, with proof tree), "virtual"
+	// (built-in families like equality and arithmetic, which are in the
+	// closure but carry no derivation), or "absent".
 	d := s.db.Derive(fs, fr, ft)
-	if d == nil {
-		held := s.db.Has(fs, fr, ft)
+	switch {
+	case d != nil && d.Rule == "stored":
 		writeJSON(w, http.StatusOK, map[string]any{
-			"holds":   held,
-			"virtual": held,
+			"holds":   true,
+			"source":  "stored",
+			"virtual": false,
+			"tree":    d.Format(s.db.Universe()),
+		})
+	case d != nil:
+		writeJSON(w, http.StatusOK, map[string]any{
+			"holds":   true,
+			"source":  "derived",
+			"virtual": false,
+			"rule":    d.Rule,
+			"tree":    d.Format(s.db.Universe()),
+		})
+	case s.db.HasStored(fs, fr, ft):
+		// Stored but outside the materialized closure (e.g. excluded
+		// rules): still a plain stored fact, not a virtual one.
+		writeJSON(w, http.StatusOK, map[string]any{
+			"holds":   true,
+			"source":  "stored",
+			"virtual": false,
 			"tree":    "",
 		})
-		return
+	case s.db.Has(fs, fr, ft):
+		writeJSON(w, http.StatusOK, map[string]any{
+			"holds":   true,
+			"source":  "virtual",
+			"virtual": true,
+			"tree":    "",
+		})
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{
+			"holds":   false,
+			"source":  "absent",
+			"virtual": false,
+			"tree":    "",
+		})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"holds":   true,
-		"virtual": false,
-		"rule":    d.Rule,
-		"tree":    d.Format(s.db.Universe()),
-	})
 }
 
 func (s *server) check(w http.ResponseWriter, r *http.Request) {
@@ -293,11 +440,38 @@ func (s *server) check(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
+	st := s.db.LogStats()
+	if st.Attached && st.Err != "" {
+		writeJSON(w, http.StatusInternalServerError, map[string]any{
+			"ok": false, "log_error": st.Err,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
 func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 	cs := s.db.Engine().CacheStats()
+	st := s.db.LogStats()
+	durability := map[string]any{"log_attached": st.Attached}
+	if st.Attached {
+		durability["policy"] = st.Policy
+		durability["appends"] = st.Appends
+		durability["fsyncs"] = st.Fsyncs
+		durability["compactions"] = st.Compactions
+		durability["records"] = st.Records
+		if !st.LastSync.IsZero() {
+			durability["last_sync_age"] = time.Since(st.LastSync).String()
+		}
+		if st.Err != "" {
+			durability["error"] = st.Err
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"stored":  s.db.Len(),
-		"closure": s.db.ClosureLen(),
+		"stored":     s.db.Len(),
+		"closure":    s.db.ClosureLen(),
+		"durability": durability,
 		"subgoal_cache": map[string]any{
 			"enabled":       cs.Enabled,
 			"hits":          cs.Hits,

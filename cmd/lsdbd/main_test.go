@@ -4,25 +4,17 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"testing"
 
+	lsdb "repro"
 	"repro/internal/dataset"
 )
 
 func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	s := &server{db: dataset.Music()}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/facts", s.facts)
-	mux.HandleFunc("/query", s.query)
-	mux.HandleFunc("/probe", s.probe)
-	mux.HandleFunc("/navigate", s.navigate)
-	mux.HandleFunc("/between", s.between)
-	mux.HandleFunc("/try", s.try)
-	mux.HandleFunc("/check", s.check)
-	mux.HandleFunc("/stats", s.stats)
-	srv := httptest.NewServer(mux)
+	srv := httptest.NewServer(newMux(&server{db: dataset.Music()}))
 	t.Cleanup(srv.Close)
 	return srv
 }
@@ -229,6 +221,114 @@ func TestCheckEndpoint(t *testing.T) {
 	}
 }
 
+func TestReadEndpointsRejectPOST(t *testing.T) {
+	srv := testServer(t)
+	for _, ep := range []string{
+		"/query", "/probe", "/navigate", "/between", "/try", "/derive", "/check", "/stats", "/healthz",
+	} {
+		resp, err := http.Post(srv.URL+ep, "application/json", strings.NewReader(`{}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 405 {
+			t.Errorf("POST %s: status %d, want 405", ep, resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); allow != "GET" {
+			t.Errorf("POST %s: Allow = %q, want GET", ep, allow)
+		}
+	}
+}
+
+func TestHealthzEndpoint(t *testing.T) {
+	srv := testServer(t)
+	var got struct {
+		OK bool `json:"ok"`
+	}
+	if code := getJSON(t, srv.URL+"/healthz", &got); code != 200 || !got.OK {
+		t.Fatalf("healthz = %+v (status %d)", got, code)
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+		err  bool
+	}{
+		{"always", "always", false},
+		{"", "always", false},
+		{"never", "never", false},
+		{"250ms", "interval(250ms)", false},
+		{"-1s", "", true},
+		{"bogus", "", true},
+	}
+	for _, c := range cases {
+		p, err := parseSyncPolicy(c.in)
+		if c.err != (err != nil) {
+			t.Errorf("parseSyncPolicy(%q) error = %v", c.in, err)
+			continue
+		}
+		if err == nil && p.String() != c.want {
+			t.Errorf("parseSyncPolicy(%q) = %s, want %s", c.in, p, c.want)
+		}
+	}
+}
+
+// TestAcknowledgedWriteSurvivesCrash is the regression for the
+// original bug: lsdbd acknowledged POST /facts while the record sat in
+// a process-local buffer, so killing the daemon lost the write. Under
+// SyncAlways the 200 must imply the record is on disk, which we check
+// by reopening the log without ever flushing or closing the first
+// handle.
+func TestAcknowledgedWriteSurvivesCrash(t *testing.T) {
+	logPath := filepath.Join(t.TempDir(), "db.log")
+	db, err := lsdb.Open(lsdb.Options{LogPath: logPath, SyncPolicy: lsdb.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newMux(&server{db: db}))
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/facts", "application/json",
+		strings.NewReader(`{"s":"JOHN","r":"in","t":"EMPLOYEE"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("POST status %d", resp.StatusCode)
+	}
+
+	// The daemon "crashes" here: no Sync, no Close.
+	db2, err := lsdb.Open(lsdb.Options{LogPath: logPath})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer db2.Close()
+	if !db2.HasStored("JOHN", "in", "EMPLOYEE") {
+		t.Fatal("acknowledged write lost after simulated crash")
+	}
+
+	// The durability counters surface through /stats.
+	var st struct {
+		Durability struct {
+			LogAttached bool   `json:"log_attached"`
+			Policy      string `json:"policy"`
+			Appends     uint64 `json:"appends"`
+			Fsyncs      uint64 `json:"fsyncs"`
+			LastSyncAge string `json:"last_sync_age"`
+		} `json:"durability"`
+	}
+	if code := getJSON(t, srv.URL+"/stats", &st); code != 200 {
+		t.Fatalf("stats status %d", code)
+	}
+	d := st.Durability
+	if !d.LogAttached || d.Policy != "always" || d.Appends != 1 || d.Fsyncs == 0 || d.LastSyncAge == "" {
+		t.Errorf("durability stats = %+v", d)
+	}
+}
+
 func escape(s string) string {
 	r := strings.NewReplacer(
 		" ", "%20", "?", "%3F", "&", "%26", "(", "%28", ")", "%29", "#", "%23",
@@ -237,26 +337,36 @@ func escape(s string) string {
 }
 
 func TestDeriveEndpoint(t *testing.T) {
-	s := &server{db: dataset.Music()}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/derive", s.derive)
-	srv := httptest.NewServer(mux)
-	defer srv.Close()
+	srv := testServer(t)
 
 	var got struct {
-		Holds bool   `json:"holds"`
-		Rule  string `json:"rule"`
-		Tree  string `json:"tree"`
+		Holds   bool   `json:"holds"`
+		Source  string `json:"source"`
+		Virtual bool   `json:"virtual"`
+		Rule    string `json:"rule"`
+		Tree    string `json:"tree"`
 	}
+	// Derived by a rule: the inverse of a stored favorite.
 	code := getJSON(t, srv.URL+"/derive?s=PC%239-WAM&r=FAVORITE-OF&t=JOHN", &got)
-	if code != 200 || !got.Holds || got.Rule != "inversion" {
-		t.Fatalf("derive = %+v (status %d)", got, code)
+	if code != 200 || !got.Holds || got.Source != "derived" || got.Rule != "inversion" || got.Virtual {
+		t.Fatalf("derived = %+v (status %d)", got, code)
 	}
 	if !strings.Contains(got.Tree, "[stored]") {
 		t.Errorf("tree:\n%s", got.Tree)
 	}
+	// Stored explicitly: must be labelled stored, never virtual.
+	code = getJSON(t, srv.URL+"/derive?s=JOHN&r=FAVORITE-MUSIC&t=PC%239-WAM", &got)
+	if code != 200 || !got.Holds || got.Source != "stored" || got.Virtual {
+		t.Fatalf("stored = %+v (status %d)", got, code)
+	}
+	// Virtual: equality facts come from the built-in provider and have
+	// no derivation.
+	code = getJSON(t, srv.URL+"/derive?s=MOZART&r=%3D&t=MOZART", &got)
+	if code != 200 || !got.Holds || got.Source != "virtual" || !got.Virtual {
+		t.Fatalf("virtual = %+v (status %d)", got, code)
+	}
 	code = getJSON(t, srv.URL+"/derive?s=NO&r=SUCH&t=FACT", &got)
-	if code != 200 || got.Holds {
+	if code != 200 || got.Holds || got.Source != "absent" {
 		t.Errorf("absent fact: %+v", got)
 	}
 	if code := getJSON(t, srv.URL+"/derive?s=ONLY", &got); code != 400 {

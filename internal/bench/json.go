@@ -9,9 +9,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"sync/atomic"
 	"testing"
+	"time"
 
+	lsdb "repro"
 	"repro/internal/dataset"
 	"repro/internal/fact"
 	"repro/internal/sym"
@@ -19,11 +23,12 @@ import (
 
 // Result is one benchmark measurement.
 type Result struct {
-	Experiment  string         `json:"experiment"`
-	Params      map[string]any `json:"params,omitempty"`
-	NsPerOp     float64        `json:"ns_per_op"`
-	BytesPerOp  int64          `json:"bytes_per_op"`
-	AllocsPerOp int64          `json:"allocs_per_op"`
+	Experiment  string             `json:"experiment"`
+	Params      map[string]any     `json:"params,omitempty"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"` // custom b.ReportMetric values, e.g. fsyncs/op
 }
 
 // Report is the full -json payload.
@@ -41,13 +46,20 @@ func measure(name string, params map[string]any, fn func(b *testing.B)) Result {
 		b.ReportAllocs()
 		fn(b)
 	})
-	return Result{
+	out := Result{
 		Experiment:  name,
 		Params:      params,
 		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 		BytesPerOp:  r.AllocedBytesPerOp(),
 		AllocsPerOp: r.AllocsPerOp(),
 	}
+	if len(r.Extra) > 0 {
+		out.Extra = make(map[string]float64, len(r.Extra))
+		for k, v := range r.Extra {
+			out.Extra[k] = v
+		}
+	}
+	return out
 }
 
 // RunJSON measures the E7 on-demand family and returns the report.
@@ -106,6 +118,53 @@ func RunJSON() Report {
 	rep.Results = append(rep.Results, cold, warm, churn)
 	if warm.NsPerOp > 0 {
 		rep.WarmSpeedup = cold.NsPerOp / warm.NsPerOp
+	}
+
+	// E8 commit throughput: 8+ concurrent writers per sync policy,
+	// mirroring BenchmarkE8_CommitThroughput. fsyncs/op lands in Extra
+	// and shows group commit batching many commits per fsync.
+	for _, pc := range []struct {
+		name   string
+		policy lsdb.SyncPolicy
+	}{
+		{"always", lsdb.SyncAlways},
+		{"interval2ms", lsdb.SyncInterval(2 * time.Millisecond)},
+		{"never", lsdb.SyncNever},
+	} {
+		dir, err := os.MkdirTemp("", "lsdb-bench-e8")
+		if err != nil {
+			continue
+		}
+		db, err := lsdb.Open(lsdb.Options{
+			LogPath:    filepath.Join(dir, "e8.log"),
+			SyncPolicy: pc.policy,
+		})
+		if err != nil {
+			os.RemoveAll(dir)
+			continue
+		}
+		var ctr atomic.Uint64
+		rep.Results = append(rep.Results, measure(
+			"E8_CommitThroughput",
+			map[string]any{"policy": pc.name, "writers": 8},
+			func(b *testing.B) {
+				b.SetParallelism(8)
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						n := ctr.Add(1)
+						if err := db.Assert(fmt.Sprintf("E8-%d", n), "in", "BENCH"); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				})
+				b.StopTimer()
+				if st := db.LogStats(); st.Appends > 0 {
+					b.ReportMetric(float64(st.Fsyncs)/float64(st.Appends), "fsyncs/op")
+				}
+			}))
+		db.Close()
+		os.RemoveAll(dir)
 	}
 	return rep
 }

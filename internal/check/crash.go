@@ -1,0 +1,434 @@
+// Crash fault injection: a failpoint filesystem that kills the
+// durability log's writes after a byte budget, plus an oracle that
+// replays a mutation workload up to every crash point and asserts the
+// recovery contract:
+//
+//  1. reopening the log after a crash never reports ErrBadFormat —
+//     torn appends, torn headers and half-finished compactions are
+//     all recovered, not rejected;
+//  2. the recovered fact set is always an exact prefix of the applied
+//     mutation sequence (never a scramble of it); and
+//  3. the prefix is at least as long as the acknowledged-durable
+//     prefix — a commit acknowledged at the sync policy's durability
+//     point is never lost.
+package check
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/fact"
+	"repro/internal/gen"
+	"repro/internal/store"
+)
+
+// ErrCrashed is returned by every CrashFS operation once the byte
+// budget is exhausted: from the store's point of view the process is
+// dead and nothing else reaches the disk.
+var ErrCrashed = errors.New("check: simulated crash")
+
+// CrashFS implements store.FS over the real filesystem, but kills the
+// "process" after a byte budget: the write that crosses the budget
+// persists only its prefix up to the budget (a torn write), and every
+// operation after that fails with ErrCrashed. Metadata operations
+// (rename, remove, truncate) cost one byte each, so crash points land
+// between the steps of multi-file protocols like atomic compaction.
+type CrashFS struct {
+	mu      sync.Mutex
+	budget  int64
+	written int64
+	crashed bool
+}
+
+// NewCrashFS returns a CrashFS that crashes after budget bytes.
+func NewCrashFS(budget int64) *CrashFS {
+	return &CrashFS{budget: budget}
+}
+
+// Written returns the bytes consumed so far; with an effectively
+// unlimited budget this measures a workload's total write cost.
+func (c *CrashFS) Written() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.written
+}
+
+// Crashed reports whether the budget has been exhausted.
+func (c *CrashFS) Crashed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashed
+}
+
+// charge consumes n bytes of budget, returning how many of them are
+// allowed before the crash, and ErrCrashed if the budget ran out now
+// or earlier.
+func (c *CrashFS) charge(n int64) (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return 0, ErrCrashed
+	}
+	if c.written+n > c.budget {
+		allowed := c.budget - c.written
+		c.written = c.budget
+		c.crashed = true
+		return allowed, ErrCrashed
+	}
+	c.written += n
+	return n, nil
+}
+
+func (c *CrashFS) OpenFile(name string, flag int, perm os.FileMode) (store.File, error) {
+	if c.Crashed() {
+		return nil, ErrCrashed
+	}
+	f, err := store.OSFS{}.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &crashFile{File: f, fs: c}, nil
+}
+
+func (c *CrashFS) Rename(oldpath, newpath string) error {
+	if _, err := c.charge(1); err != nil {
+		return err
+	}
+	return store.OSFS{}.Rename(oldpath, newpath)
+}
+
+func (c *CrashFS) Remove(name string) error {
+	if _, err := c.charge(1); err != nil {
+		return err
+	}
+	return store.OSFS{}.Remove(name)
+}
+
+type crashFile struct {
+	store.File
+	fs *CrashFS
+}
+
+func (f *crashFile) Write(p []byte) (int, error) {
+	allowed, err := f.fs.charge(int64(len(p)))
+	if err != nil {
+		// The torn write: the prefix that fit in the budget reaches the
+		// disk, the rest never happened.
+		if allowed > 0 {
+			f.File.Write(p[:allowed])
+		}
+		return 0, err
+	}
+	return f.File.Write(p)
+}
+
+func (f *crashFile) Sync() error {
+	if f.fs.Crashed() {
+		return ErrCrashed
+	}
+	return f.File.Sync()
+}
+
+func (f *crashFile) Truncate(size int64) error {
+	if _, err := f.fs.charge(1); err != nil {
+		return err
+	}
+	return f.File.Truncate(size)
+}
+
+func (f *crashFile) Read(p []byte) (int, error) {
+	if f.fs.Crashed() {
+		return 0, ErrCrashed
+	}
+	return f.File.Read(p)
+}
+
+// CrashConfig parameterizes one crash-point sweep.
+type CrashConfig struct {
+	Seed            int64
+	Points          int              // crash budgets swept evenly across the clean run's byte cost
+	Policy          store.SyncPolicy // log sync policy under test
+	CheckpointEvery int              // explicit checkpoint cadence in ops, also the auto-checkpoint threshold (0 disables)
+	SyncEvery       int              // explicit SyncLog cadence in ops (0 disables; the durability floor for SyncNever)
+	Dir             string           // scratch directory for log and snapshot files
+}
+
+// tripleKey canonicalizes a fact for cross-universe comparison.
+func tripleKey(u *fact.Universe, f fact.Fact) [3]string {
+	return [3]string{u.Name(f.S), u.Name(f.R), u.Name(f.T)}
+}
+
+func storeSet(st *store.Store, u *fact.Universe) map[[3]string]bool {
+	out := make(map[[3]string]bool)
+	for _, f := range st.Facts() {
+		out[tripleKey(u, f)] = true
+	}
+	return out
+}
+
+func sameSet(a, b map[[3]string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func formatSet(s map[[3]string]bool) string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, fmt.Sprintf("(%s,%s,%s)", k[0], k[1], k[2]))
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, " ")
+}
+
+// crashRun replays ops against a fresh store whose filesystem crashes
+// after budget bytes. It returns the sequence of states the store
+// passed through (states[0] is empty; one entry per state-changing
+// op) and the index of the last state known durable when the crash
+// hit — the recovery oracle's floor.
+func crashRun(ops []gen.Op, cfg CrashConfig, budget int64, path, snap string) (states []map[[3]string]bool, floor int) {
+	u := fact.NewUniverse()
+	st := store.New(u)
+	cfs := NewCrashFS(budget)
+	st.SetFS(cfs)
+
+	states = []map[[3]string]bool{{}}
+	cur := map[[3]string]bool{}
+	if _, err := st.AttachLogPolicy(path, cfg.Policy); err != nil {
+		return states, 0 // crashed creating the log: nothing is durable
+	}
+	defer st.CloseLog() // best effort; after a crash this fails
+	if cfg.CheckpointEvery > 0 {
+		st.SetAutoCheckpoint(cfg.CheckpointEvery, snap)
+	}
+
+	always := cfg.Policy == store.SyncAlways
+	for i, op := range ops {
+		f := u.NewFact(op.S, op.R, op.T)
+		var changed bool
+		var err error
+		switch op.Kind {
+		case gen.OpAssert:
+			changed, err = st.InsertLogged(f)
+		case gen.OpRetract:
+			changed, err = st.DeleteLogged(f)
+		default:
+			continue
+		}
+		if changed {
+			k := tripleKey(u, f)
+			if op.Kind == gen.OpAssert {
+				cur[k] = true
+			} else {
+				delete(cur, k)
+			}
+			snapState := make(map[[3]string]bool, len(cur))
+			for k := range cur {
+				snapState[k] = true
+			}
+			states = append(states, snapState)
+		}
+		if err != nil {
+			return states, floor // crashed: no later op was acknowledged
+		}
+		// The op was acknowledged. Under SyncAlways that acknowledgement
+		// IS the durability point; buffered policies promise nothing
+		// until an explicit sync.
+		if always {
+			floor = len(states) - 1
+		}
+		if cfg.SyncEvery > 0 && (i+1)%cfg.SyncEvery == 0 {
+			if st.SyncLog() == nil {
+				floor = len(states) - 1
+			} else {
+				return states, floor
+			}
+		}
+		// Drive the checkpoint protocol deterministically so the sweep
+		// lands crash points inside snapshot writes, compaction tmp
+		// writes and the rename windows, not just plain appends. A
+		// successful checkpoint fsyncs the compacted log, so it is a
+		// durability point under every policy.
+		if cfg.CheckpointEvery > 0 && (i+1)%cfg.CheckpointEvery == 0 {
+			if st.Checkpoint() == nil {
+				floor = len(states) - 1
+			} else {
+				return states, floor
+			}
+		}
+	}
+	return states, floor
+}
+
+// recoverAndCheck reopens the crashed log with the real filesystem
+// and asserts the recovery contract against the recorded states.
+func recoverAndCheck(states []map[[3]string]bool, floor int, cfg CrashConfig, budget int64, path, snap string) *Failure {
+	fail := func(format string, args ...any) *Failure {
+		return &Failure{
+			Oracle: "crash-recovery",
+			Detail: fmt.Sprintf("seed %d budget %d: %s", cfg.Seed, budget, fmt.Sprintf(format, args...)),
+		}
+	}
+	u := fact.NewUniverse()
+	st := store.New(u)
+	replayed, err := st.AttachLog(path)
+	if err != nil {
+		if errors.Is(err, store.ErrBadFormat) {
+			return fail("recovery rejected the log as corrupt: %v", err)
+		}
+		return fail("recovery failed to reopen the log: %v", err)
+	}
+	defer st.CloseLog()
+	recovered := storeSet(st, u)
+
+	match := -1
+	for k := len(states) - 1; k >= 0; k-- {
+		if sameSet(recovered, states[k]) {
+			match = k
+			break
+		}
+	}
+	if match < 0 {
+		return fail("recovered state is not a prefix of the applied ops (replayed %d records): %s",
+			replayed, formatSet(recovered))
+	}
+	if match < floor {
+		return fail("lost an acknowledged-durable commit: recovered prefix %d < durable floor %d", match, floor)
+	}
+
+	// A checkpoint snapshot, when present, is atomic: it either loads
+	// cleanly as some applied prefix or it does not exist.
+	if cfg.CheckpointEvery > 0 {
+		if _, serr := os.Stat(snap); serr == nil {
+			su := fact.NewUniverse()
+			ss := store.New(su)
+			if err := ss.LoadSnapshotFile(snap); err != nil {
+				return fail("checkpoint snapshot exists but does not load: %v", err)
+			}
+			got := storeSet(ss, su)
+			ok := false
+			for k := range states {
+				if sameSet(got, states[k]) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return fail("checkpoint snapshot is not a prefix state: %s", formatSet(got))
+			}
+		}
+	}
+
+	// The recovered log must remain writable: append a marker fact
+	// durably, reopen once more, and find the recovered state plus the
+	// marker.
+	marker := u.NewFact("CRASH-PROBE", "in", "RECOVERED")
+	if ok, err := st.InsertLogged(marker); !ok || err != nil {
+		return fail("post-recovery append = (%v, %v)", ok, err)
+	}
+	u2 := fact.NewUniverse()
+	st2 := store.New(u2)
+	if _, err := st2.AttachLog(path); err != nil {
+		return fail("reopen after post-recovery append: %v", err)
+	}
+	defer st2.CloseLog()
+	want := make(map[[3]string]bool, len(recovered)+1)
+	for k := range recovered {
+		want[k] = true
+	}
+	want[tripleKey(u, marker)] = true
+	if got := storeSet(st2, u2); !sameSet(got, want) {
+		return fail("post-recovery append not preserved: %s", formatSet(got))
+	}
+	return nil
+}
+
+// CrashScan measures the workload's clean byte cost, then sweeps
+// cfg.Points crash budgets evenly across it, checking the recovery
+// contract at each. It returns the number of crash points checked and
+// the first failure, if any.
+func CrashScan(cfg CrashConfig) (int, *Failure) {
+	if cfg.Points <= 0 {
+		cfg.Points = 25
+	}
+	ops := gen.LogWorkload(cfg.Seed, gen.Small())
+	dir := cfg.Dir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "lsdb-crash")
+		if err != nil {
+			return 0, &Failure{Oracle: "crash-recovery", Detail: err.Error()}
+		}
+		defer os.RemoveAll(dir)
+	}
+
+	// Clean run: unlimited budget measures the total byte cost, and
+	// its recovery check doubles as the no-crash baseline.
+	cleanPath := filepath.Join(dir, fmt.Sprintf("clean-%d.log", cfg.Seed))
+	cleanSnap := cleanPath + ".snap"
+	u := fact.NewUniverse()
+	st := store.New(u)
+	cfs := NewCrashFS(1 << 62)
+	st.SetFS(cfs)
+	if _, err := st.AttachLogPolicy(cleanPath, cfg.Policy); err != nil {
+		return 0, &Failure{Oracle: "crash-recovery", Detail: fmt.Sprintf("clean attach: %v", err)}
+	}
+	if cfg.CheckpointEvery > 0 {
+		st.SetAutoCheckpoint(cfg.CheckpointEvery, cleanSnap)
+	}
+	for i, op := range ops {
+		f := u.NewFact(op.S, op.R, op.T)
+		switch op.Kind {
+		case gen.OpAssert:
+			if _, err := st.InsertLogged(f); err != nil {
+				return 0, &Failure{Oracle: "crash-recovery", Detail: fmt.Sprintf("clean run: %v", err)}
+			}
+		case gen.OpRetract:
+			if _, err := st.DeleteLogged(f); err != nil {
+				return 0, &Failure{Oracle: "crash-recovery", Detail: fmt.Sprintf("clean run: %v", err)}
+			}
+		}
+		// Mirror crashRun's explicit sync/checkpoint cadence so budgets
+		// measured here sweep the same byte sequence the crash runs see.
+		if cfg.SyncEvery > 0 && (i+1)%cfg.SyncEvery == 0 {
+			if err := st.SyncLog(); err != nil {
+				return 0, &Failure{Oracle: "crash-recovery", Detail: fmt.Sprintf("clean sync: %v", err)}
+			}
+		}
+		if cfg.CheckpointEvery > 0 && (i+1)%cfg.CheckpointEvery == 0 {
+			if err := st.Checkpoint(); err != nil {
+				return 0, &Failure{Oracle: "crash-recovery", Detail: fmt.Sprintf("clean checkpoint: %v", err)}
+			}
+		}
+	}
+	if err := st.CloseLog(); err != nil {
+		return 0, &Failure{Oracle: "crash-recovery", Detail: fmt.Sprintf("clean close: %v", err)}
+	}
+	total := cfs.Written()
+
+	checked := 0
+	for i := 0; i < cfg.Points; i++ {
+		budget := total * int64(i) / int64(cfg.Points)
+		path := filepath.Join(dir, fmt.Sprintf("crash-%d-%d.log", cfg.Seed, i))
+		snap := path + ".snap"
+		states, floor := crashRun(ops, cfg, budget, path, snap)
+		if f := recoverAndCheck(states, floor, cfg, budget, path, snap); f != nil {
+			return checked, f
+		}
+		checked++
+		os.Remove(path)
+		os.Remove(snap)
+	}
+	return checked, nil
+}

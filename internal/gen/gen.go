@@ -254,6 +254,21 @@ func Inserts(seed int64, n int) []Op {
 	return ops
 }
 
+// LogWorkload is the mutation-only projection of Generate's program:
+// the asserts and retracts, with rule toggles dropped. This is the
+// workload shape the durability log records, so the crash
+// fault-injection harness replays it directly against a store.
+func LogWorkload(seed int64, cfg Config) []Op {
+	full := Generate(seed, cfg).Ops
+	ops := make([]Op, 0, len(full))
+	for _, op := range full {
+		if op.Kind == OpAssert || op.Kind == OpRetract {
+			ops = append(ops, op)
+		}
+	}
+	return ops
+}
+
 // ApplyOp replays one op onto db. Asserts of present facts, retracts
 // of absent facts, and toggles of already-toggled rules are no-ops,
 // so any subsequence of a program is a valid program.

@@ -7,6 +7,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/fact"
 )
@@ -160,29 +163,31 @@ func (s *Store) LoadSnapshot(r io.Reader) error {
 	return nil
 }
 
-// SaveSnapshotFile writes a snapshot to path atomically (via a
-// temporary file renamed into place).
+// SaveSnapshotFile writes a snapshot to path atomically: the content
+// is built in path.tmp, fsynced, and renamed into place, so path
+// always holds either the previous complete snapshot or the new one.
 func (s *Store) SaveSnapshotFile(path string) error {
+	fsys := s.fs()
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := fsys.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
 	if err := s.SaveSnapshot(f); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	return fsys.Rename(tmp, path)
 }
 
 // LoadSnapshotFile loads a snapshot from path into the store.
@@ -195,25 +200,62 @@ func (s *Store) LoadSnapshotFile(path string) error {
 	return s.LoadSnapshot(f)
 }
 
-// Log is an append-only operation log backing a Store.
+// Log is an append-only operation log backing a Store, with a
+// configurable sync policy deciding when commits are acknowledged.
 type Log struct {
-	f *os.File
-	w *bufio.Writer
-	n int // records appended since open or last compaction
+	fs     FS
+	path   string
+	policy SyncPolicy
+
+	// mu guards the file handle, the buffered writer, the record
+	// counters and the sticky error. It nests inside the store lock
+	// (appends) and inside syncMu (flushes), and never acquires
+	// either, so the order store.mu → syncMu → mu is acyclic.
+	mu  sync.Mutex
+	f   File
+	w   *bufio.Writer
+	n   int    // records since open or last compaction
+	lsn uint64 // sequence number of the last appended record
+	err error  // sticky: the first append/flush/fsync failure
+
+	// syncMu serializes flush+fsync pairs so concurrent SyncAlways
+	// committers form groups: the holder is the group leader and
+	// everyone queued behind it finds its record already durable.
+	syncMu  sync.Mutex
+	durable atomic.Uint64 // highest lsn covered by a successful fsync
+
+	appends     atomic.Uint64
+	fsyncs      atomic.Uint64
+	compactions atomic.Uint64
+	lastSync    atomic.Int64 // unix nanos of the last successful fsync
+
+	flusherStop chan struct{}
+	flusherDone chan struct{}
 }
 
-// AttachLog opens (creating if absent) the operation log at path,
-// replays any existing records into the store, and arranges for all
-// future mutations to be appended. It returns the number of records
-// replayed. A store may have at most one attached log.
+// AttachLog opens (creating if absent) the operation log at path with
+// the SyncAlways policy, replays any existing records into the store,
+// and arranges for all future mutations to be appended. It returns
+// the number of records replayed. A store may have at most one
+// attached log.
 func (s *Store) AttachLog(path string) (int, error) {
+	return s.AttachLogPolicy(path, SyncAlways)
+}
+
+// AttachLogPolicy is AttachLog with an explicit sync policy.
+func (s *Store) AttachLogPolicy(path string, policy SyncPolicy) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.mustMutable()
 	if s.log != nil {
 		return 0, errors.New("store: log already attached")
 	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	fsys := s.fs()
+	// A crash during a previous compaction or checkpoint can leave a
+	// stale replacement file behind; it was never renamed into place,
+	// so it is dead weight, not state.
+	fsys.Remove(path + ".tmp")
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return 0, err
 	}
@@ -240,7 +282,7 @@ func (s *Store) AttachLog(path string) (int, error) {
 			return 0, err
 		}
 		if st, _ := f.Stat(); st != nil && st.Size() == 0 {
-			if _, err := f.WriteString(logMagic); err != nil {
+			if _, err := io.WriteString(f, logMagic); err != nil {
 				f.Close()
 				return 0, err
 			}
@@ -250,7 +292,13 @@ func (s *Store) AttachLog(path string) (int, error) {
 		f.Close()
 		return 0, err
 	}
-	s.log = &Log{f: f, w: bufio.NewWriter(f)}
+	l := &Log{fs: fsys, path: path, policy: policy, f: f, w: bufio.NewWriter(f), n: replayed}
+	l.lsn = uint64(replayed)
+	l.durable.Store(uint64(replayed)) // replayed records are on disk already
+	if policy.mode == syncTimed {
+		l.startFlusher()
+	}
+	s.log = l
 	return replayed, nil
 }
 
@@ -273,7 +321,7 @@ func (c *countingReader) Read(p []byte) (int, error) {
 // offset just past the last complete record — a torn final record
 // (crash mid-append) is tolerated but excluded from valid, so the
 // caller can truncate it away before appending.
-func (s *Store) replayLocked(f *os.File) (n int, valid int64, err error) {
+func (s *Store) replayLocked(f File) (n int, valid int64, err error) {
 	st, err := f.Stat()
 	if err != nil {
 		return 0, 0, err
@@ -287,7 +335,14 @@ func (s *Store) replayLocked(f *os.File) (n int, valid int64, err error) {
 	cr := &countingReader{r: f}
 	br := bufio.NewReader(cr)
 	magic := make([]byte, len(logMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
+	if nr, err := io.ReadFull(br, magic); err != nil {
+		if (errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)) && string(magic[:nr]) == logMagic[:nr] {
+			// Torn header: a crash while the log was being created left
+			// a strict prefix of the magic. Nothing was ever appended,
+			// so this is a fresh log; valid=0 makes the caller truncate
+			// the partial header away before writing a complete one.
+			return 0, 0, nil
+		}
 		return 0, 0, fmt.Errorf("%w: short log header: %v", ErrBadFormat, err)
 	}
 	if string(magic) != logMagic {
@@ -328,69 +383,163 @@ func (s *Store) replayLocked(f *os.File) (n int, valid int64, err error) {
 	}
 }
 
-// append writes one record. Called with the store write lock held.
-func (l *Log) append(op byte, u *fact.Universe, f fact.Fact) {
-	// Errors here are sticky on the bufio.Writer and surface at Sync.
-	l.w.WriteByte(op)
-	writeFact(l.w, u, f)
+// append buffers one record and returns its sequence number plus the
+// record count since the last compaction (for checkpoint triggering).
+// Called with the store write lock held. Errors are sticky: after the
+// first failure nothing more is written and every durability point
+// (commit, SyncLog, CloseLog) reports the failure.
+func (l *Log) append(op byte, u *fact.Universe, f fact.Fact) (lsn uint64, n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err == nil {
+		if err := l.w.WriteByte(op); err != nil {
+			l.err = err
+		} else if err := writeFact(l.w, u, f); err != nil {
+			l.err = err
+		}
+	}
 	l.n++
+	l.lsn++
+	l.appends.Add(1)
+	return l.lsn, l.n
 }
 
-// SyncLog flushes buffered log records and fsyncs the file.
+// SyncLog flushes buffered log records and fsyncs the file. It
+// surfaces the log's sticky error even when there is nothing new to
+// flush, so a failed append cannot be mistaken for durable.
 func (s *Store) SyncLog() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.log == nil {
+	s.mu.RLock()
+	l := s.log
+	s.mu.RUnlock()
+	if l == nil {
 		return nil
 	}
-	if err := s.log.w.Flush(); err != nil {
-		return err
-	}
-	return s.log.f.Sync()
+	return l.syncTo(l.appendedLSN())
 }
 
-// CloseLog flushes and detaches the log.
+// CloseLog syncs, closes and detaches the log. It is the final
+// durability point: after a clean CloseLog every acknowledged
+// mutation is on disk regardless of sync policy.
 func (s *Store) CloseLog() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.log == nil {
+	l := s.log
+	s.log = nil
+	s.mu.Unlock()
+	if l == nil {
 		return nil
 	}
-	err := s.log.w.Flush()
-	if cerr := s.log.f.Close(); err == nil {
+	l.stopFlusher()
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	err := l.err
+	if ferr := l.w.Flush(); err == nil {
+		err = ferr
+	}
+	if err == nil {
+		err = l.f.Sync()
+	}
+	if cerr := l.f.Close(); err == nil {
 		err = cerr
 	}
-	s.log = nil
 	return err
 }
 
-// CompactLog rewrites the attached log to contain exactly the current
-// fact set (one insert per stored fact), truncating deleted history.
+// CompactLog atomically rewrites the attached log to contain exactly
+// the current fact set (one insert per stored fact), truncating
+// deleted history. The replacement is built in path.tmp, fsynced and
+// renamed over the live log, which stays intact and authoritative
+// until the rename commits — a crash at any point leaves a log that
+// recovers either the old history or the compacted state, never
+// neither.
 func (s *Store) CompactLog() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.log == nil {
 		return errors.New("store: no log attached")
 	}
-	if err := s.log.w.Flush(); err != nil {
+	return s.log.compact(s.u, s.facts)
+}
+
+// compact is CompactLog's body. The caller holds the store write
+// lock, so the fact set is stable and no appends race the rewrite.
+func (l *Log) compact(u *fact.Universe, facts map[fact.Fact]struct{}) error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	// Flush acknowledged-but-buffered records first, so the old log is
+	// complete if the rewrite fails partway and stays in place.
+	if err := l.w.Flush(); err != nil {
+		l.err = err
 		return err
 	}
-	if err := s.log.f.Truncate(0); err != nil {
+
+	tmp := l.path + ".tmp"
+	tf, err := l.fs.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return err
 	}
-	if _, err := s.log.f.Seek(0, io.SeekStart); err != nil {
-		return err
-	}
-	s.log.w.Reset(s.log.f)
-	if _, err := s.log.w.WriteString(logMagic); err != nil {
-		return err
-	}
-	for f := range s.facts {
-		s.log.w.WriteByte(opInsert)
-		if err := writeFact(s.log.w, s.u, f); err != nil {
+	werr := func() error {
+		bw := bufio.NewWriter(tf)
+		if _, err := bw.WriteString(logMagic); err != nil {
 			return err
 		}
+		for f := range facts {
+			if err := bw.WriteByte(opInsert); err != nil {
+				return err
+			}
+			if err := writeFact(bw, u, f); err != nil {
+				return err
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		return tf.Sync()
+	}()
+	if werr == nil {
+		l.fsyncs.Add(1)
+		werr = tf.Close()
+	} else {
+		tf.Close()
 	}
-	s.log.n = len(s.facts)
-	return s.log.w.Flush()
+	if werr != nil {
+		l.fs.Remove(tmp)
+		return werr
+	}
+	if err := l.fs.Rename(tmp, l.path); err != nil {
+		l.fs.Remove(tmp)
+		return err
+	}
+	// The rename committed: the old handle now refers to the orphaned
+	// inode. Reopen the new log for appending.
+	nf, err := l.fs.OpenFile(l.path, os.O_RDWR, 0o644)
+	if err == nil {
+		_, err = nf.Seek(0, io.SeekEnd)
+		if err != nil {
+			nf.Close()
+		}
+	}
+	if err != nil {
+		// The compacted log is on disk but cannot accept appends;
+		// poison the log rather than silently dropping future writes.
+		l.err = fmt.Errorf("store: reopen compacted log: %w", err)
+		return l.err
+	}
+	old := l.f
+	l.f = nf
+	l.w = bufio.NewWriter(nf)
+	l.n = len(facts)
+	l.compactions.Add(1)
+	// Everything the new log contains was fsynced before the rename,
+	// so every record appended so far is now durable.
+	advanceLSN(&l.durable, l.lsn)
+	l.lastSync.Store(time.Now().UnixNano())
+	old.Close()
+	return nil
 }

@@ -57,7 +57,16 @@ type Store struct {
 	recent     []Change
 	recentBase uint64
 
-	log *Log // optional durability log; nil when in-memory only
+	log  *Log // optional durability log; nil when in-memory only
+	fsys FS   // filesystem for durability files; nil means OSFS
+
+	// Auto-checkpoint configuration (SetAutoCheckpoint): compact the
+	// log once it holds more than checkpointEvery records, optionally
+	// writing a snapshot to checkpointSnap first. checkpointing
+	// coalesces concurrent checkpoint triggers.
+	checkpointEvery int
+	checkpointSnap  string
+	checkpointing   atomic.Bool
 }
 
 // Change records one mutation for ChangesSince.
@@ -126,19 +135,84 @@ func (s *Store) Has(f fact.Fact) bool {
 	return ok
 }
 
-// Insert adds f. It returns false if f was already present.
+// Insert adds f. It returns false if f was already present. When a
+// log is attached, Insert blocks until the sync policy's durability
+// point; durability failures are sticky on the log and surface
+// through InsertLogged, SyncLog and LogStats.
 func (s *Store) Insert(f fact.Fact) bool {
+	ok, _ := s.InsertLogged(f)
+	return ok
+}
+
+// InsertLogged is Insert with the durability outcome: ok reports
+// whether f was newly added, err any log commit failure (always nil
+// without an attached log). A non-nil err means the fact is present
+// in memory but not guaranteed on disk; once the log has failed, no
+// subsequent commit reports success.
+func (s *Store) InsertLogged(f fact.Fact) (bool, error) {
+	l, lsn, due, changed := s.applyLocked(f, opInsert)
+	if !changed || l == nil {
+		return changed, nil
+	}
+	err := l.commit(lsn)
+	if due && err == nil {
+		err = s.Checkpoint()
+	}
+	return true, err
+}
+
+// Delete removes f. It returns false if f was not present. Durability
+// semantics match Insert.
+func (s *Store) Delete(f fact.Fact) bool {
+	ok, _ := s.DeleteLogged(f)
+	return ok
+}
+
+// DeleteLogged is Delete with the durability outcome (see InsertLogged).
+func (s *Store) DeleteLogged(f fact.Fact) (bool, error) {
+	l, lsn, due, changed := s.applyLocked(f, opDelete)
+	if !changed || l == nil {
+		return changed, nil
+	}
+	err := l.commit(lsn)
+	if due && err == nil {
+		err = s.Checkpoint()
+	}
+	return true, err
+}
+
+// applyLocked performs the in-memory mutation and the log append
+// under the store lock, returning everything the caller needs to
+// finish the commit after releasing it: the log (nil when detached),
+// the record's sequence number, and whether a checkpoint is due.
+func (s *Store) applyLocked(f fact.Fact, op byte) (l *Log, lsn uint64, due, changed bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.mustMutable()
-	if _, ok := s.facts[f]; ok {
-		return false
+	_, present := s.facts[f]
+	if op == opInsert {
+		if present {
+			return nil, 0, false, false
+		}
+		s.insertLocked(f)
+	} else {
+		if !present {
+			return nil, 0, false, false
+		}
+		s.deleteLocked(f)
 	}
-	s.insertLocked(f)
-	if s.log != nil {
-		s.log.append(opInsert, s.u, f)
+	if s.log == nil {
+		return nil, 0, false, true
 	}
-	return true
+	var n int
+	lsn, n = s.log.append(op, s.u, f)
+	// A checkpoint is due when the log is past the threshold AND a
+	// compaction would at least halve it; a compacted log holds
+	// exactly the live facts, so without the second condition a store
+	// whose live set alone exceeds the threshold would rewrite the
+	// whole log on every commit.
+	due = s.checkpointEvery > 0 && n > s.checkpointEvery && n >= 2*len(s.facts)
+	return s.log, lsn, due, true
 }
 
 func (s *Store) mustMutable() {
@@ -203,21 +277,6 @@ func (s *Store) ChangesSince(v uint64) ([]Change, bool) {
 	out := make([]Change, len(s.recent)-int(idx))
 	copy(out, s.recent[idx:])
 	return out, true
-}
-
-// Delete removes f. It returns false if f was not present.
-func (s *Store) Delete(f fact.Fact) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.mustMutable()
-	if _, ok := s.facts[f]; !ok {
-		return false
-	}
-	s.deleteLocked(f)
-	if s.log != nil {
-		s.log.append(opDelete, s.u, f)
-	}
-	return true
 }
 
 func removeFact(m map[sym.ID][]fact.Fact, k sym.ID, f fact.Fact) {

@@ -28,9 +28,11 @@
 package lsdb
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/browse"
 	"repro/internal/compose"
@@ -62,7 +64,44 @@ type Options struct {
 	// at that path: existing records are replayed on open and every
 	// mutation is appended.
 	LogPath string
+	// SyncPolicy selects the durability point of logged mutations.
+	// The zero value is SyncAlways: Assert/Retract return only after
+	// the record is fsynced (concurrent writers are group-committed).
+	// SyncInterval(d) bounds the crash-loss window to d; SyncNever is
+	// for bulk loads. Ignored without LogPath.
+	SyncPolicy SyncPolicy
+	// CheckpointEvery, when positive, checkpoints automatically: once
+	// the log holds more than this many records, it is compacted
+	// atomically to the live fact set (after writing a snapshot to
+	// CheckpointSnapshot, if set). Ignored without LogPath.
+	CheckpointEvery int
+	// CheckpointSnapshot, when non-empty, is a path that receives an
+	// atomic full snapshot at every automatic checkpoint.
+	CheckpointSnapshot string
 }
+
+// SyncPolicy re-exports the store's durability policy type.
+type SyncPolicy = store.SyncPolicy
+
+// Durability policies for Options.SyncPolicy.
+var (
+	// SyncAlways acknowledges a write only after it is fsynced.
+	SyncAlways = store.SyncAlways
+	// SyncNever syncs only on explicit Sync, Compact or Close.
+	SyncNever = store.SyncNever
+)
+
+// SyncInterval returns a policy that syncs in the background every d,
+// bounding the crash-loss window to at most d of acknowledged writes.
+func SyncInterval(d time.Duration) SyncPolicy { return store.SyncInterval(d) }
+
+// LogStats re-exports the store's durability counters.
+type LogStats = store.LogStats
+
+// ErrNotDurable wraps log failures surfaced by Assert and RetractFact:
+// the mutation is applied in memory but its durability point was not
+// reached, and no later write will be acknowledged durable either.
+var ErrNotDurable = errors.New("lsdb: write applied in memory but not durable")
 
 // Unlimited is the composition limit value meaning "no bound" (§6.1 n=∞).
 const Unlimited = compose.Unlimited
@@ -106,8 +145,11 @@ func Open(opts Options) (*Database, error) {
 	u := fact.NewUniverse()
 	st := store.New(u)
 	if opts.LogPath != "" {
-		if _, err := st.AttachLog(opts.LogPath); err != nil {
+		if _, err := st.AttachLogPolicy(opts.LogPath, opts.SyncPolicy); err != nil {
 			return nil, fmt.Errorf("lsdb: attach log: %w", err)
+		}
+		if opts.CheckpointEvery > 0 {
+			st.SetAutoCheckpoint(opts.CheckpointEvery, opts.CheckpointSnapshot)
 		}
 	}
 	vp := virtual.New(u)
@@ -172,7 +214,10 @@ func (db *Database) Assert(s, r, t string) error {
 	return db.AssertFact(db.u.NewFact(s, r, t))
 }
 
-// AssertFact inserts f, enforcing integrity when the database is strict.
+// AssertFact inserts f, enforcing integrity when the database is
+// strict. With a durability log attached, it returns only after the
+// sync policy's durability point; a failure there is reported as an
+// error wrapping ErrNotDurable.
 func (db *Database) AssertFact(f fact.Fact) error {
 	if db.strict {
 		if v := db.eng.WouldViolate(f); len(v) > 0 {
@@ -183,7 +228,9 @@ func (db *Database) AssertFact(f fact.Fact) error {
 			return fmt.Errorf("lsdb: integrity violation: %s", strings.Join(msgs, "; "))
 		}
 	}
-	db.st.Insert(f)
+	if _, err := db.st.InsertLogged(f); err != nil {
+		return fmt.Errorf("%w: %v", ErrNotDurable, err)
+	}
 	return nil
 }
 
@@ -197,7 +244,19 @@ func (db *Database) MustAssert(s, r, t string) {
 // Retract deletes the stored fact (s, r, t), reporting whether it was
 // present. Derived facts disappear with their premises.
 func (db *Database) Retract(s, r, t string) bool {
-	return db.st.Delete(db.u.NewFact(s, r, t))
+	ok, _ := db.RetractFact(db.u.NewFact(s, r, t))
+	return ok
+}
+
+// RetractFact deletes the stored fact f, reporting whether it was
+// present and any durability failure (an error wrapping
+// ErrNotDurable, see AssertFact).
+func (db *Database) RetractFact(f fact.Fact) (bool, error) {
+	ok, err := db.st.DeleteLogged(f)
+	if err != nil {
+		err = fmt.Errorf("%w: %v", ErrNotDurable, err)
+	}
+	return ok, err
 }
 
 // Has reports whether (s, r, t) is in the database closure —
@@ -504,8 +563,16 @@ func (db *Database) SaveSnapshot(path string) error { return db.st.SaveSnapshotF
 // LoadSnapshot merges the facts from a snapshot file at path.
 func (db *Database) LoadSnapshot(path string) error { return db.st.LoadSnapshotFile(path) }
 
-// Sync flushes the durability log to disk.
+// Sync flushes the durability log to disk and fsyncs it.
 func (db *Database) Sync() error { return db.st.SyncLog() }
+
+// Compact atomically rewrites the durability log to exactly the
+// current fact set, truncating deleted history.
+func (db *Database) Compact() error { return db.st.CompactLog() }
+
+// LogStats reports the durability log's counters (appends, fsyncs,
+// compactions, last-sync time); the zero value means no log attached.
+func (db *Database) LogStats() LogStats { return db.st.LogStats() }
 
 // Merge inserts every stored fact of other into db. This is the §1
 // motivation of unified access across databases: two loosely
