@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json check crash fuzz soak
+.PHONY: all build vet test race bench bench-json check check-obs crash fuzz soak
 
 all: check
 
@@ -22,10 +22,20 @@ bench:
 	$(GO) test -bench '$(BENCH)' -benchmem -run xxx .
 
 # Machine-readable acceptance numbers: the E7 subgoal-cache family
-# plus E8 commit throughput per sync policy.
-BENCHJSON ?= BENCH_PR4.json
+# plus E8 commit throughput per sync policy, with the observability
+# registry snapshot of the E7r workload attached.
+BENCHJSON ?= BENCH_PR5.json
 bench-json:
 	$(GO) run ./cmd/lsdb-bench -json $(BENCHJSON)
+
+# Observability suite: the metrics registry and trace recorder unit
+# tests, the metric-contract workload pins, and the daemon's
+# /metrics, /stats and ?trace=1 endpoint tests — all under -race,
+# plus go vet over the new package.
+check-obs:
+	$(GO) vet ./internal/obs
+	$(GO) test -race ./internal/obs ./cmd/lsdbd
+	$(GO) test -race -run 'TestMetricContract|TestCacheStatsRace|TestMetricsRegistered|TestRebuildCounters|TestMatchBoundedTrace|TestTrace' . ./internal/rules
 
 # Durability crash fault injection: sweeps hundreds of byte-accurate
 # crash points through the WAL, checkpointing and compaction paths and
@@ -54,6 +64,7 @@ soak:
 # Tier-1 verification plus the race detector, a short soak, and a
 # brief pass over every fuzz target.
 check: build vet test race
+	$(MAKE) check-obs
 	$(MAKE) crash
 	$(MAKE) soak SEEDS=50
 	$(MAKE) fuzz FUZZTIME=5s

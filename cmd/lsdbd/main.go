@@ -12,10 +12,21 @@
 //	GET    /derive?s=JOHN&r=EARNS&t=SALARY                   proof tree
 //	GET    /check                                            contradictions
 //	GET    /stats                                            sizes + durability counters
+//	GET    /metrics                                          Prometheus text exposition
 //	GET    /healthz                                          liveness + log health
 //
+// /derive and /query accept ?trace=1, which attaches a structured
+// per-query trace to the response: one span per evaluation step with
+// phase, pattern, depth, duration, and the subgoal cache disposition
+// (hit, miss, memo, cycle, or computed). /derive additionally accepts
+// ?depth=N to bound the traced on-demand derivation.
+//
 // Usage: lsdbd [-addr :8080] [-log db.log] [-sync always|never|250ms]
-// [-checkpoint N] [-snapshot path] [factfile ...]
+// [-checkpoint N] [-snapshot path] [-pprof] [factfile ...]
+//
+// -pprof mounts net/http/pprof under /debug/pprof/ for CPU and heap
+// profiling; it is off by default because the profile endpoints are
+// not rate-limited and expose process internals.
 //
 // A mutation is acknowledged (HTTP 200) only once it has reached the
 // sync policy's durability point; with -sync always a crash after the
@@ -31,21 +42,71 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
 	lsdb "repro"
 	"repro/internal/browse"
 	"repro/internal/factfile"
+	"repro/internal/obs"
 )
 
 // maxBodyBytes caps mutation request bodies; a single fact is tiny.
 const maxBodyBytes = 1 << 20
 
+// defaultTraceDepth bounds the on-demand derivation behind
+// /derive?trace=1 when the client does not pass ?depth=N. Depth 4
+// covers every rule chain in the paper's examples.
+const defaultTraceDepth = 4
+
 type server struct {
-	db *lsdb.Database
+	db    *lsdb.Database
+	pprof bool // mount /debug/pprof/ (set by the -pprof flag)
+
+	// HTTP-level metrics, shared across endpoints. Per-endpoint series
+	// are created at wiring time in instrument.
+	inflight *obs.Gauge
+	bytesIn  *obs.Counter
+	bytesOut *obs.Counter
+}
+
+// countingWriter counts response bytes for lsdb_http_bytes_out_total.
+type countingWriter struct {
+	http.ResponseWriter
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.ResponseWriter.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// instrument wraps a handler with the daemon's HTTP metrics: a
+// per-endpoint request counter and latency histogram, the shared
+// in-flight gauge, and byte counters in both directions. The
+// per-endpoint series are resolved once here, not per request.
+func (s *server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	reg := s.db.Metrics()
+	requests := reg.Counter("lsdb_http_requests_total", "endpoint", endpoint)
+	latency := reg.Histogram("lsdb_http_request_ns", "endpoint", endpoint)
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		if r.ContentLength > 0 {
+			s.bytesIn.Add(uint64(r.ContentLength))
+		}
+		cw := &countingWriter{ResponseWriter: w}
+		start := time.Now()
+		h(cw, r)
+		latency.Observe(time.Since(start).Nanoseconds())
+		requests.Inc()
+		s.bytesOut.Add(uint64(cw.n))
+	}
 }
 
 // parseSyncPolicy maps the -sync flag to a policy: "always", "never",
@@ -80,19 +141,39 @@ func getOnly(h http.HandlerFunc) http.HandlerFunc {
 }
 
 // newMux wires the route table; tests serve the same mux the daemon
-// runs.
+// runs. Every route is instrumented with per-endpoint latency and
+// request counters; /metrics observes its own scrapes too.
 func newMux(s *server) *http.ServeMux {
+	reg := s.db.Metrics()
+	s.inflight = reg.Gauge("lsdb_http_inflight")
+	s.bytesIn = reg.Counter("lsdb_http_bytes_in_total")
+	s.bytesOut = reg.Counter("lsdb_http_bytes_out_total")
+
 	mux := http.NewServeMux()
-	mux.HandleFunc("/facts", s.facts)
-	mux.HandleFunc("/query", getOnly(s.query))
-	mux.HandleFunc("/probe", getOnly(s.probe))
-	mux.HandleFunc("/navigate", getOnly(s.navigate))
-	mux.HandleFunc("/between", getOnly(s.between))
-	mux.HandleFunc("/try", getOnly(s.try))
-	mux.HandleFunc("/derive", getOnly(s.derive))
-	mux.HandleFunc("/check", getOnly(s.check))
-	mux.HandleFunc("/stats", getOnly(s.stats))
-	mux.HandleFunc("/healthz", getOnly(s.healthz))
+	route := func(path, endpoint string, h http.HandlerFunc) {
+		mux.HandleFunc(path, s.instrument(endpoint, h))
+	}
+	route("/facts", "facts", s.facts)
+	route("/query", "query", getOnly(s.query))
+	route("/probe", "probe", getOnly(s.probe))
+	route("/navigate", "navigate", getOnly(s.navigate))
+	route("/between", "between", getOnly(s.between))
+	route("/try", "try", getOnly(s.try))
+	route("/derive", "derive", getOnly(s.derive))
+	route("/check", "check", getOnly(s.check))
+	route("/stats", "stats", getOnly(s.stats))
+	route("/metrics", "metrics", getOnly(s.metrics))
+	route("/healthz", "healthz", getOnly(s.healthz))
+	if s.pprof {
+		// net/http/pprof self-registers on DefaultServeMux at import;
+		// the daemon never serves that mux, so the profile endpoints
+		// exist only when mounted here explicitly.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -102,6 +183,7 @@ func main() {
 	syncFlag := flag.String("sync", "always", "log sync policy: always, never, or a flush interval like 250ms")
 	checkpoint := flag.Int("checkpoint", 0, "compact the log automatically after this many appended records (0 disables)")
 	snapshot := flag.String("snapshot", "", "snapshot path written at each automatic checkpoint")
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	policy, err := parseSyncPolicy(*syncFlag)
@@ -125,7 +207,7 @@ func main() {
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newMux(&server{db: db}),
+		Handler:           newMux(&server{db: db, pprof: *pprofFlag}),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,
@@ -232,22 +314,51 @@ func (s *server) facts(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// wantTrace reports whether the request asked for a structured
+// evaluation trace via ?trace=1.
+func wantTrace(r *http.Request) bool {
+	switch r.URL.Query().Get("trace") {
+	case "", "0", "false":
+		return false
+	}
+	return true
+}
+
+// attachTrace closes the trace and adds its spans to the response.
+// When the span cap was hit, trace_dropped reports how many events
+// are missing so clients never mistake a truncated trace for a
+// complete one.
+func attachTrace(resp map[string]any, tr *obs.Trace) {
+	resp["trace"] = tr.Done()
+	if n := tr.Dropped(); n > 0 {
+		resp["trace_dropped"] = n
+	}
+}
+
 func (s *server) query(w http.ResponseWriter, r *http.Request) {
 	src := r.URL.Query().Get("q")
 	if src == "" {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("q parameter required"))
 		return
 	}
-	rows, err := s.db.Query(src)
+	var tr *obs.Trace
+	if wantTrace(r) {
+		tr = obs.NewTrace()
+	}
+	rows, err := s.db.QueryTraced(src, tr)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"vars":   rows.Vars,
 		"tuples": rows.Tuples,
 		"true":   rows.True,
-	})
+	}
+	if tr != nil {
+		attachTrace(resp, tr)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *server) probe(w http.ResponseWriter, r *http.Request) {
@@ -386,46 +497,66 @@ func (s *server) derive(w http.ResponseWriter, r *http.Request) {
 	// (built-in families like equality and arithmetic, which are in the
 	// closure but carry no derivation), or "absent".
 	d := s.db.Derive(fs, fr, ft)
+	var resp map[string]any
 	switch {
 	case d != nil && d.Rule == "stored":
-		writeJSON(w, http.StatusOK, map[string]any{
+		resp = map[string]any{
 			"holds":   true,
 			"source":  "stored",
 			"virtual": false,
 			"tree":    d.Format(s.db.Universe()),
-		})
+		}
 	case d != nil:
-		writeJSON(w, http.StatusOK, map[string]any{
+		resp = map[string]any{
 			"holds":   true,
 			"source":  "derived",
 			"virtual": false,
 			"rule":    d.Rule,
 			"tree":    d.Format(s.db.Universe()),
-		})
+		}
 	case s.db.HasStored(fs, fr, ft):
 		// Stored but outside the materialized closure (e.g. excluded
 		// rules): still a plain stored fact, not a virtual one.
-		writeJSON(w, http.StatusOK, map[string]any{
+		resp = map[string]any{
 			"holds":   true,
 			"source":  "stored",
 			"virtual": false,
 			"tree":    "",
-		})
+		}
 	case s.db.Has(fs, fr, ft):
-		writeJSON(w, http.StatusOK, map[string]any{
+		resp = map[string]any{
 			"holds":   true,
 			"source":  "virtual",
 			"virtual": true,
 			"tree":    "",
-		})
+		}
 	default:
-		writeJSON(w, http.StatusOK, map[string]any{
+		resp = map[string]any{
 			"holds":   false,
 			"source":  "absent",
 			"virtual": false,
 			"tree":    "",
-		})
+		}
 	}
+	if wantTrace(r) {
+		// The trace replays the derivation through the bounded
+		// on-demand path, recording one span per subgoal with its
+		// cache disposition. The classification above stays
+		// authoritative; the trace explains the work.
+		depth := defaultTraceDepth
+		if ds := q.Get("depth"); ds != "" {
+			n, err := strconv.Atoi(ds)
+			if err != nil || n < 1 {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("depth must be a positive integer"))
+				return
+			}
+			depth = n
+		}
+		tr := obs.NewTrace()
+		s.db.HasBoundedTrace(fs, fr, ft, depth, tr)
+		attachTrace(resp, tr)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *server) check(w http.ResponseWriter, r *http.Request) {
@@ -451,16 +582,35 @@ func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
 }
 
+// metrics serves the whole registry in Prometheus text exposition
+// format. Scraping is read-only: every gauge behind the registry
+// reads published state (the closure gauge never triggers a build).
+func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.db.Metrics().WritePrometheus(w); err != nil {
+		log.Printf("lsdbd: write metrics: %v", err)
+	}
+}
+
+// stats reads the same registry /metrics exposes — the counters have
+// exactly one home. Only the non-numeric fields (policy, error,
+// sync age, the enabled flag) still come from their structured
+// sources; every number is a registry read. Unlike /metrics, /stats
+// reports the closure size even when no snapshot is published yet,
+// which forces a materialization on a cold database.
 func (s *server) stats(w http.ResponseWriter, r *http.Request) {
-	cs := s.db.Engine().CacheStats()
+	reg := s.db.Metrics()
+	v := func(name string, labels ...string) uint64 {
+		return uint64(reg.Value(name, labels...))
+	}
 	st := s.db.LogStats()
 	durability := map[string]any{"log_attached": st.Attached}
 	if st.Attached {
 		durability["policy"] = st.Policy
-		durability["appends"] = st.Appends
-		durability["fsyncs"] = st.Fsyncs
-		durability["compactions"] = st.Compactions
-		durability["records"] = st.Records
+		durability["appends"] = v("lsdb_wal_appends_total")
+		durability["fsyncs"] = v("lsdb_wal_fsyncs_total")
+		durability["compactions"] = v("lsdb_wal_compactions_total")
+		durability["records"] = v("lsdb_wal_records")
 		if !st.LastSync.IsZero() {
 			durability["last_sync_age"] = time.Since(st.LastSync).String()
 		}
@@ -469,15 +619,15 @@ func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"stored":     s.db.Len(),
+		"stored":     v("lsdb_store_facts"),
 		"closure":    s.db.ClosureLen(),
 		"durability": durability,
 		"subgoal_cache": map[string]any{
-			"enabled":       cs.Enabled,
-			"hits":          cs.Hits,
-			"misses":        cs.Misses,
-			"invalidations": cs.Invalidations,
-			"entries":       cs.Entries,
+			"enabled":       s.db.Engine().CacheStats().Enabled,
+			"hits":          v("lsdb_subgoal_hits_total"),
+			"misses":        v("lsdb_subgoal_misses_total"),
+			"invalidations": v("lsdb_subgoal_invalidations_total"),
+			"entries":       v("lsdb_subgoal_entries"),
 		},
 	})
 }

@@ -39,6 +39,11 @@ type Report struct {
 	// WarmSpeedup is E7r cold ns/op divided by warm ns/op — the
 	// headline number for the cross-query subgoal cache.
 	WarmSpeedup float64 `json:"warm_speedup_e7r"`
+	// Metrics is the observability-registry snapshot of the E7r
+	// database after the replay workloads, keyed by series (name plus
+	// rendered labels). It ties the perf numbers to the counters that
+	// produced them: cache hits, facts scanned, rebuilds, and so on.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 func measure(name string, params map[string]any, fn func(b *testing.B)) Result {
@@ -118,6 +123,13 @@ func RunJSON() Report {
 	rep.Results = append(rep.Results, cold, warm, churn)
 	if warm.NsPerOp > 0 {
 		rep.WarmSpeedup = cold.NsPerOp / warm.NsPerOp
+	}
+
+	// Snapshot the E7r database's registry: the workload's own
+	// counters, from the same single source /metrics would serve.
+	rep.Metrics = make(map[string]float64)
+	for _, s := range db.Metrics().Snapshot() {
+		rep.Metrics[s.Key] = s.Value
 	}
 
 	// E8 commit throughput: 8+ concurrent writers per sync policy,

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/compose"
 	"repro/internal/fact"
+	"repro/internal/obs"
 	"repro/internal/rules"
 	"repro/internal/sym"
 	"repro/internal/tabular"
@@ -35,6 +36,20 @@ type Browser struct {
 	eng   *rules.Engine
 	comp  *compose.Composer
 	depth int
+
+	// Navigation counters (SetMetrics); nil-safe no-ops when unwired.
+	neighborhoods *obs.Counter
+	betweens      *obs.Counter
+}
+
+// SetMetrics registers the browser's navigation counters in r. Call
+// before sharing the browser across goroutines.
+func (b *Browser) SetMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	b.neighborhoods = r.Counter("lsdb_browse_steps_total", "kind", "neighborhood")
+	b.betweens = r.Counter("lsdb_browse_steps_total", "kind", "between")
 }
 
 // New returns a browser over the engine's materialized closure. comp
@@ -101,6 +116,7 @@ func (n *Neighborhood) Degree() int {
 // (reflexive generalizations, Δ/∇ endpoints, = and ≠ facts) is
 // suppressed: the paper's tables show none of it.
 func (b *Browser) Neighborhood(e sym.ID) *Neighborhood {
+	b.neighborhoods.Inc()
 	u := b.eng.Universe()
 	n := &Neighborhood{Entity: e}
 
@@ -225,6 +241,7 @@ type Association struct {
 // direct relationship and, when composition is enabled, every
 // composition chain from src to tgt within the current limit.
 func (b *Browser) Between(src, tgt sym.ID) []Association {
+	b.betweens.Inc()
 	u := b.eng.Universe()
 	var out []Association
 	seen := make(map[sym.ID]struct{})

@@ -23,6 +23,7 @@ import (
 	lsdb "repro"
 	"repro/internal/fact"
 	"repro/internal/gen"
+	"repro/internal/obs"
 	"repro/internal/rules"
 	"repro/internal/store"
 	"repro/internal/sym"
@@ -361,6 +362,13 @@ func CachedVsUncached(w *gen.World, opts Options) *Failure {
 					i, op, p[0], p[1], p[2], depth, tr, side, len(got), len(want))
 			}
 		}
+		// Trace reconciliation: the last probe is replayed with a trace
+		// recorder on both sides; the spans must explain exactly the
+		// counter movement they caused.
+		p := probes[len(probes)-1]
+		if f := traceReconcile(cached, uncached, p[0], p[1], p[2], depth); f != nil {
+			return f
+		}
 		// HasBounded goes through the same cache with early exit.
 		u := cached.Universe()
 		f := fact.Fact{S: u.Entity(lastFact.S), R: u.Entity(lastFact.R), T: u.Entity(lastFact.T)}
@@ -373,6 +381,79 @@ func CachedVsUncached(w *gen.World, opts Options) *Failure {
 	}
 	if sink := opts.CacheStatsSink; sink != nil {
 		sink(cached.Engine().CacheStats())
+	}
+	return nil
+}
+
+// countDispositions tallies span dispositions over a whole trace tree.
+func countDispositions(evs []*obs.TraceEvent) map[string]int {
+	out := make(map[string]int)
+	var walk func([]*obs.TraceEvent)
+	walk = func(list []*obs.TraceEvent) {
+		for _, ev := range list {
+			out[ev.Disposition]++
+			walk(ev.Children)
+		}
+	}
+	walk(evs)
+	return out
+}
+
+// traceReconcile runs one traced MatchBounded probe on the cached and
+// uncached databases and checks that the recorded dispositions mirror
+// the subgoal-cache counters exactly: on the cached side the hit and
+// miss span counts equal the CacheStats deltas the call produced and
+// no span claims "computed"; on the uncached side every computation is
+// a "computed" span and the (frozen) counters do not move. It also
+// re-checks that tracing never changes the answer set.
+func traceReconcile(cached, uncached *lsdb.Database, s, r, t string, depth int) *Failure {
+	fail := func(format string, args ...any) *Failure {
+		return &Failure{Oracle: "trace-vs-counters", Detail: fmt.Sprintf(format, args...)}
+	}
+	run := func(db *lsdb.Database) (map[[3]string]bool, map[string]int, rules.CacheStats, rules.CacheStats) {
+		u := db.Universe()
+		id := func(name string) sym.ID {
+			if name == "" {
+				return sym.None
+			}
+			return u.Entity(name)
+		}
+		before := db.Engine().CacheStats()
+		tr := obs.NewTrace()
+		set := make(map[[3]string]bool)
+		db.Engine().MatchBoundedTrace(id(s), id(r), id(t), depth, tr, func(f fact.Fact) bool {
+			set[triple(db, f)] = true
+			return true
+		})
+		return set, countDispositions(tr.Done()), before, db.Engine().CacheStats()
+	}
+
+	cSet, cDisp, cBefore, cAfter := run(cached)
+	if got, want := cDisp[obs.DispHit], int(cAfter.Hits-cBefore.Hits); got != want {
+		return fail("pattern (%s,%s,%s): %d hit spans but hits counter moved by %d", s, r, t, got, want)
+	}
+	if got, want := cDisp[obs.DispMiss], int(cAfter.Misses-cBefore.Misses); got != want {
+		return fail("pattern (%s,%s,%s): %d miss spans but misses counter moved by %d", s, r, t, got, want)
+	}
+	if n := cDisp[obs.DispComputed]; n != 0 {
+		return fail("pattern (%s,%s,%s): %d computed spans with the cache enabled", s, r, t, n)
+	}
+
+	uSet, uDisp, uBefore, uAfter := run(uncached)
+	if n := uDisp[obs.DispHit] + uDisp[obs.DispMiss]; n != 0 {
+		return fail("pattern (%s,%s,%s): %d hit/miss spans with the cache disabled", s, r, t, n)
+	}
+	if uAfter.Hits != uBefore.Hits || uAfter.Misses != uBefore.Misses {
+		return fail("pattern (%s,%s,%s): disabled cache counters moved (%+v -> %+v)", s, r, t, uBefore, uAfter)
+	}
+
+	// Tracing is an observer: both traced answer sets must still agree.
+	if tr3, inCached, ok := diffSets(cSet, uSet); ok {
+		side := "uncached"
+		if inCached {
+			side = "cached"
+		}
+		return fail("traced pattern (%s,%s,%s) depth %d: fact %v only in %s answer", s, r, t, depth, tr3, side)
 	}
 	return nil
 }

@@ -1,0 +1,287 @@
+package obs
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestBucketBoundaries pins the fixed log-scale bucket layout: value v
+// lands in the smallest bucket whose upper bound 4^i satisfies v <= 4^i.
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0},
+		{2, 1}, {3, 1}, {4, 1},
+		{5, 2}, {16, 2},
+		{17, 3}, {64, 3},
+		{65, 4},
+		{1 << 46, 23},               // 4^23, last finite bucket
+		{1<<46 + 1, HistBuckets},    // overflow
+		{math.MaxInt64, HistBuckets},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Exhaustive boundary check: every finite bucket bound lands in its
+	// own bucket, and bound+1 lands in the next.
+	for i := 0; i < HistBuckets; i++ {
+		b := int64(BucketBound(i))
+		if got := bucketIndex(b); got != i {
+			t.Errorf("bucketIndex(4^%d=%d) = %d, want %d", i, b, got, i)
+		}
+		if got := bucketIndex(b + 1); got != i+1 {
+			t.Errorf("bucketIndex(4^%d+1=%d) = %d, want %d", i, b+1, got, i+1)
+		}
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int64{1, 3, 3, 100, 1 << 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+	want := int64(1 + 3 + 3 + 100 + 1<<50)
+	if h.Sum() != want {
+		t.Fatalf("Sum = %d, want %d", h.Sum(), want)
+	}
+	b := h.Buckets()
+	if b[0] != 1 || b[1] != 2 || b[4] != 1 || b[HistBuckets] != 1 {
+		t.Fatalf("buckets = %v", b)
+	}
+}
+
+// TestConcurrentCounter hammers one counter and one histogram from
+// many goroutines; run under -race this doubles as the data-race
+// check, and the final totals pin that no increment is lost.
+func TestConcurrentCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("lsdb_test_total")
+	h := r.Histogram("lsdb_test_ns")
+	g := r.Gauge("lsdb_test_inflight")
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(int64(i))
+				g.Add(1)
+				g.Add(-1)
+				g.Max(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("histogram count = %d, want %d", got, workers*per)
+	}
+	if got := g.Value(); got != per-1 {
+		t.Fatalf("gauge high-water = %d, want %d", got, per-1)
+	}
+}
+
+// TestNilHandles pins that nil handles and a nil registry are no-ops:
+// instrumented code must never need to check for wiring.
+func TestNilHandles(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var r *Registry
+	c.Inc()
+	c.Add(7)
+	g.Set(3)
+	g.Add(1)
+	g.Max(9)
+	h.Observe(42)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil handles must read zero")
+	}
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x") != nil {
+		t.Fatal("nil registry must return nil handles")
+	}
+	r.CounterFunc("x", func() float64 { return 1 })
+	r.GaugeFunc("x", func() float64 { return 1 })
+	if r.Snapshot() != nil || r.Value("x") != 0 {
+		t.Fatal("nil registry must snapshot empty")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	var tr *Trace
+	tr.Begin("p", "q", 1)
+	tr.End("hit", 0)
+	if tr.Events() != nil || tr.Done() != nil || tr.Dropped() != 0 {
+		t.Fatal("nil trace must be a no-op")
+	}
+}
+
+// TestSameHandle pins get-or-create semantics: same (name, labels) —
+// in any label order — yields the same handle.
+func TestSameHandle(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("lsdb_x_total", "op", "insert", "kind", "fact")
+	b := r.Counter("lsdb_x_total", "kind", "fact", "op", "insert")
+	if a != b {
+		t.Fatal("label order must not create a new series")
+	}
+	a.Add(3)
+	if got := r.Value("lsdb_x_total", "kind", "fact", "op", "insert"); got != 3 {
+		t.Fatalf("Value = %g, want 3", got)
+	}
+}
+
+// TestSnapshotDeterminism: two snapshots of the same registry state
+// are identical, including order, regardless of registration order.
+func TestSnapshotDeterminism(t *testing.T) {
+	build := func(order []string) *Registry {
+		r := NewRegistry()
+		for _, name := range order {
+			r.Counter(name).Add(uint64(len(name)))
+		}
+		r.Gauge("lsdb_g", "shard", "b").Set(2)
+		r.Gauge("lsdb_g", "shard", "a").Set(1)
+		r.Histogram("lsdb_h").Observe(5)
+		return r
+	}
+	r1 := build([]string{"lsdb_z_total", "lsdb_a_total", "lsdb_m_total"})
+	r2 := build([]string{"lsdb_m_total", "lsdb_z_total", "lsdb_a_total"})
+	s1, s2 := r1.Snapshot(), r2.Snapshot()
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("snapshots differ:\n%v\n%v", s1, s2)
+	}
+	if !reflect.DeepEqual(s1, r1.Snapshot()) {
+		t.Fatal("repeated snapshot differs")
+	}
+	for i := 1; i < len(s1); i++ {
+		if s1[i-1].Key >= s1[i].Key {
+			t.Fatalf("snapshot not sorted: %q >= %q", s1[i-1].Key, s1[i].Key)
+		}
+	}
+}
+
+// TestPrometheusGolden pins the exact text exposition for a small
+// registry: TYPE lines, label rendering, cumulative histogram
+// buckets, func-backed metrics, and escaping.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("lsdb_commits_total").Add(3)
+	r.Counter("lsdb_http_requests_total", "endpoint", "/query").Add(2)
+	r.Counter("lsdb_http_requests_total", "endpoint", "/derive").Add(1)
+	r.Gauge("lsdb_inflight").Set(1)
+	r.GaugeFunc("lsdb_facts", func() float64 { return 42 })
+	h := r.Histogram("lsdb_dur_ns")
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(20)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	want := strings.Join([]string{
+		"# TYPE lsdb_commits_total counter",
+		"lsdb_commits_total 3",
+		"# TYPE lsdb_dur_ns histogram",
+		`lsdb_dur_ns_bucket{le="1"} 1`,
+		`lsdb_dur_ns_bucket{le="4"} 2`,
+		`lsdb_dur_ns_bucket{le="16"} 2`,
+		`lsdb_dur_ns_bucket{le="64"} 3`,
+	}, "\n")
+	if !strings.HasPrefix(got, want+"\n") {
+		t.Fatalf("prometheus text prefix mismatch:\ngot:\n%s\nwant prefix:\n%s", got, want)
+	}
+	for _, line := range []string{
+		`lsdb_dur_ns_bucket{le="+Inf"} 3`,
+		"lsdb_dur_ns_sum 24",
+		"lsdb_dur_ns_count 3",
+		"# TYPE lsdb_facts gauge",
+		"lsdb_facts 42",
+		"# TYPE lsdb_http_requests_total counter",
+		`lsdb_http_requests_total{endpoint="/derive"} 1`,
+		`lsdb_http_requests_total{endpoint="/query"} 2`,
+		"# TYPE lsdb_inflight gauge",
+		"lsdb_inflight 1",
+	} {
+		if !strings.Contains(got, line+"\n") {
+			t.Errorf("missing line %q in:\n%s", line, got)
+		}
+	}
+	// Every finite bucket plus +Inf appears for the histogram (format
+	// requires empty buckets too), and TYPE lines appear exactly once
+	// per family.
+	if n := strings.Count(got, "lsdb_dur_ns_bucket{"); n != HistBuckets+1 {
+		t.Errorf("histogram rendered %d buckets, want %d", n, HistBuckets+1)
+	}
+	if n := strings.Count(got, "# TYPE lsdb_http_requests_total "); n != 1 {
+		t.Errorf("TYPE line for family appears %d times, want 1", n)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("lsdb_weird_total", "q", "a\"b\\c\nd").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `lsdb_weird_total{q="a\"b\\c\nd"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("escaping mismatch: got\n%s\nwant line %q", b.String(), want)
+	}
+}
+
+func TestRegisterCounter(t *testing.T) {
+	r := NewRegistry()
+	c := NewCounter()
+	c.Add(5) // usable before registration
+	r.RegisterCounter("lsdb_pre_total", c)
+	if got := r.Value("lsdb_pre_total"); got != 5 {
+		t.Fatalf("Value = %g, want 5", got)
+	}
+	c.Inc()
+	if got := r.Value("lsdb_pre_total"); got != 6 {
+		t.Fatalf("Value after Inc = %g, want 6", got)
+	}
+}
+
+func TestCounterFuncSingleSource(t *testing.T) {
+	r := NewRegistry()
+	var backing uint64
+	r.CounterFunc("lsdb_fsyncs_total", func() float64 { return float64(backing) })
+	backing = 9
+	if got := r.Value("lsdb_fsyncs_total"); got != 9 {
+		t.Fatalf("func counter = %g, want 9", got)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].Key != "lsdb_fsyncs_total" || snap[0].Value != 9 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("lsdb_dual")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	r.Gauge("lsdb_dual")
+}

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestTraceNesting pins the span tree structure: Begin/End pairs nest
+// by call order, siblings attach in order, and completed spans carry
+// their disposition and fact counts.
+func TestTraceNesting(t *testing.T) {
+	tr := NewTrace()
+	tr.Begin("subgoal", "(?x parent ?y)", 3)
+	tr.Begin("subgoal", "(?x child ?y)", 2)
+	tr.End(DispHit, 4)
+	tr.Begin("subgoal", "(?x sibling ?y)", 2)
+	tr.End(DispCycle, 0)
+	tr.End(DispMiss, 7)
+	tr.Begin("subgoal", "(?x other ?y)", 3)
+	tr.End(DispMemo, 1)
+
+	roots := tr.Done()
+	if len(roots) != 2 {
+		t.Fatalf("roots = %d, want 2", len(roots))
+	}
+	r0 := roots[0]
+	if r0.Pattern != "(?x parent ?y)" || r0.Disposition != DispMiss || r0.Facts != 7 || r0.Depth != 3 {
+		t.Fatalf("root 0 = %+v", r0)
+	}
+	if len(r0.Children) != 2 {
+		t.Fatalf("root 0 children = %d, want 2", len(r0.Children))
+	}
+	if r0.Children[0].Disposition != DispHit || r0.Children[1].Disposition != DispCycle {
+		t.Fatalf("children dispositions = %q, %q", r0.Children[0].Disposition, r0.Children[1].Disposition)
+	}
+	if roots[1].Disposition != DispMemo || len(roots[1].Children) != 0 {
+		t.Fatalf("root 1 = %+v", roots[1])
+	}
+}
+
+// TestTraceDurationsMonotone: a parent span's duration covers its
+// children, and start offsets never decrease along a depth-first walk.
+func TestTraceDurationsMonotone(t *testing.T) {
+	tr := NewTrace()
+	tr.Begin("outer", "", 2)
+	for i := 0; i < 3; i++ {
+		tr.Begin("inner", "", 1)
+		tr.End(DispMiss, 0)
+	}
+	tr.End(DispMiss, 0)
+	roots := tr.Done()
+	if len(roots) != 1 {
+		t.Fatalf("roots = %d", len(roots))
+	}
+	outer := roots[0]
+	var childSum int64
+	prevStart := outer.StartNs
+	for _, c := range outer.Children {
+		if c.StartNs < prevStart {
+			t.Fatalf("child start %d before previous %d", c.StartNs, prevStart)
+		}
+		prevStart = c.StartNs
+		if c.DurationNs < 0 {
+			t.Fatalf("negative duration %d", c.DurationNs)
+		}
+		if c.StartNs+c.DurationNs > outer.StartNs+outer.DurationNs {
+			t.Fatalf("child [%d,%d] escapes parent [%d,%d]",
+				c.StartNs, c.StartNs+c.DurationNs, outer.StartNs, outer.StartNs+outer.DurationNs)
+		}
+		childSum += c.DurationNs
+	}
+	if outer.DurationNs < childSum {
+		t.Fatalf("parent duration %d < children sum %d", outer.DurationNs, childSum)
+	}
+}
+
+// TestTraceCap: spans beyond the cap are dropped (and counted), never
+// allocated, and the recorder stays consistent.
+func TestTraceCap(t *testing.T) {
+	tr := NewTrace()
+	recorded := 0
+	for i := 0; i < maxTraceEvents+100; i++ {
+		if tr.Begin("s", "", 0) {
+			recorded++
+			tr.End(DispMiss, 0)
+		}
+	}
+	if recorded != maxTraceEvents {
+		t.Fatalf("recorded = %d, want %d", recorded, maxTraceEvents)
+	}
+	if tr.Dropped() != 100 {
+		t.Fatalf("dropped = %d, want 100", tr.Dropped())
+	}
+	if len(tr.Events()) != maxTraceEvents {
+		t.Fatalf("events = %d", len(tr.Events()))
+	}
+}
+
+// TestTraceDoneClosesOpenSpans: Done force-closes a stack left open.
+func TestTraceDoneClosesOpenSpans(t *testing.T) {
+	tr := NewTrace()
+	tr.Begin("a", "", 1)
+	tr.Begin("b", "", 0)
+	roots := tr.Done()
+	if len(roots) != 1 || len(roots[0].Children) != 1 {
+		t.Fatalf("roots = %+v", roots)
+	}
+}
+
+// TestTraceJSON pins the wire shape served by ?trace=1.
+func TestTraceJSON(t *testing.T) {
+	tr := NewTrace()
+	tr.Begin("subgoal", "(a r b)", 1)
+	tr.End(DispHit, 2)
+	data, err := json.Marshal(tr.Done())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{`"phase":"subgoal"`, `"pattern":"(a r b)"`, `"depth":1`, `"disposition":"hit"`, `"facts":2`, `"start_ns"`, `"duration_ns"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("JSON missing %s in %s", want, s)
+		}
+	}
+	if strings.Contains(s, `"children"`) {
+		t.Errorf("empty children must be omitted: %s", s)
+	}
+}

@@ -57,6 +57,8 @@ func (e *Engine) computeClosure(cfg *ruleset) (*store.Store, map[fact.Fact]Prove
 	next = nil
 
 	for len(frontier) > 0 {
+		e.m.rounds.Inc()
+		e.m.frontier.Observe(int64(len(frontier)))
 		for _, d := range e.deriveRound(cfg, frontier, derived) {
 			push(d)
 		}
@@ -76,6 +78,7 @@ const parallelThreshold = 64
 // frontier order, regardless of how many workers ran.
 func (e *Engine) deriveRound(cfg *ruleset, frontier []fact.Fact, derived *store.Store) []derivation {
 	workers := e.buildWorkers(len(frontier) / parallelThreshold)
+	e.m.buildWorkers.Max(int64(workers))
 	if workers <= 1 {
 		var out []derivation
 		for _, f := range frontier {

@@ -9,8 +9,10 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/fact"
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/sym"
 	"repro/internal/virtual"
@@ -52,6 +54,10 @@ type Engine struct {
 	// matching (ondemand.go); invalidated by version labels, never by
 	// walking entries. See subgoal.go.
 	sg subgoalCache
+
+	// m holds observability handles (SetMetrics, metrics.go). The zero
+	// value is all nil-safe no-ops.
+	m engineMetrics
 }
 
 // ruleset is an immutable snapshot of the rule configuration. Config
@@ -88,6 +94,12 @@ func New(base *store.Store, vp *virtual.Provider) *Engine {
 		rs.std[i] = true
 	}
 	e.rs.Store(rs)
+	// The cache counters are real handles from day one (not lazily on
+	// SetMetrics): CacheStats must work on unregistered engines, and
+	// SetMetrics later exports these same counters by reference.
+	e.sg.hits = obs.NewCounter()
+	e.sg.misses = obs.NewCounter()
+	e.sg.invalidations = obs.NewCounter()
 	return e
 }
 
@@ -277,15 +289,29 @@ func (e *Engine) rebuild() *snapshot {
 	// of the old snapshot are never disturbed). Deletions
 	// (non-monotonic), rule changes, and a stale history force a full
 	// recomputation.
+	var t0 time.Time
+	if e.m.rebuildNs != nil {
+		t0 = time.Now()
+	}
 	old := e.snap.Load()
 	if old != nil && old.cfgVer == cv && bv > old.baseVer {
 		if chs, ok := e.base.ChangesSince(old.baseVer); ok && insertsOnly(chs) {
 			c, prov := e.applyIncremental(cfg, old, chs)
-			return e.publish(c, prov, bv, cv)
+			s := e.publish(c, prov, bv, cv)
+			e.m.rebuildsIncr.Inc()
+			if e.m.rebuildNs != nil {
+				e.m.rebuildNs.Observe(time.Since(t0).Nanoseconds())
+			}
+			return s
 		}
 	}
 	c, prov := e.computeClosure(cfg)
-	return e.publish(c, prov, bv, cv)
+	s := e.publish(c, prov, bv, cv)
+	e.m.rebuildsFull.Inc()
+	if e.m.rebuildNs != nil {
+		e.m.rebuildNs.Observe(time.Since(t0).Nanoseconds())
+	}
+	return s
 }
 
 func (e *Engine) publish(c *store.Store, prov map[fact.Fact]Provenance, bv, cv uint64) *snapshot {

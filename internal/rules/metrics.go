@@ -1,0 +1,77 @@
+package rules
+
+import (
+	"repro/internal/obs"
+)
+
+// engineMetrics holds the engine's registry handles. The zero value
+// (all nil) is a set of no-ops, so engines without SetMetrics — unit
+// tests, differential-harness replicas — run uninstrumented for free.
+type engineMetrics struct {
+	rebuildsFull *obs.Counter
+	rebuildsIncr *obs.Counter
+	rebuildNs    *obs.Histogram
+	frontier     *obs.Histogram // frontier size per derivation round
+	rounds       *obs.Counter
+	buildWorkers *obs.Gauge // high-water mark of goroutines in one round
+
+	factsScanned *obs.Counter // candidate facts enumerated by bounded matching
+	premReorder  *obs.Counter // join premises moved by selectivity re-ranking
+	maxDepth     *obs.Gauge   // deepest MatchBounded depth requested
+}
+
+// SetMetrics registers the engine's metrics in r. Must be called
+// before the engine is shared across goroutines (lsdb.Open wires it
+// right after construction). The subgoal-cache counters are the
+// engine's own handles registered by reference — CacheStats and the
+// registry read the very same atomics, one source of truth.
+func (e *Engine) SetMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	e.m = engineMetrics{
+		rebuildsFull: r.Counter("lsdb_rules_rebuilds_total", "kind", "full"),
+		rebuildsIncr: r.Counter("lsdb_rules_rebuilds_total", "kind", "incremental"),
+		rebuildNs:    r.Histogram("lsdb_rules_rebuild_ns"),
+		frontier:     r.Histogram("lsdb_rules_frontier_facts"),
+		rounds:       r.Counter("lsdb_rules_rounds_total"),
+		buildWorkers: r.Gauge("lsdb_rules_build_workers"),
+		factsScanned: r.Counter("lsdb_ondemand_facts_scanned_total"),
+		premReorder:  r.Counter("lsdb_ondemand_premises_reordered_total"),
+		maxDepth:     r.Gauge("lsdb_ondemand_max_depth"),
+	}
+	r.RegisterCounter("lsdb_subgoal_hits_total", e.sg.hits)
+	r.RegisterCounter("lsdb_subgoal_misses_total", e.sg.misses)
+	r.RegisterCounter("lsdb_subgoal_invalidations_total", e.sg.invalidations)
+	r.GaugeFunc("lsdb_subgoal_entries", func() float64 {
+		if t := e.sg.table.Load(); t != nil {
+			return float64(t.size.Load())
+		}
+		return 0
+	})
+	// Closure gauges read the *published* snapshot only: a scrape must
+	// never trigger a closure build.
+	r.GaugeFunc("lsdb_closure_facts", func() float64 { return float64(e.MaterializedSize()) })
+	r.GaugeFunc("lsdb_closure_warm", func() float64 {
+		if e.Warm() {
+			return 1
+		}
+		return 0
+	})
+}
+
+// MaterializedSize returns the fact count of the currently published
+// closure snapshot, or 0 when none is published. Unlike ClosureSize
+// it never builds: it is safe to call from metric scrapes at any
+// rate without perturbing the system being observed.
+func (e *Engine) MaterializedSize() int {
+	if s := e.snap.Load(); s != nil {
+		return s.closure.Len()
+	}
+	return 0
+}
+
+// Warm reports whether the published closure snapshot is current for
+// the present base store and rule configuration (i.e. the next warm
+// read will not rebuild).
+func (e *Engine) Warm() bool { return e.validSnapshot() != nil }

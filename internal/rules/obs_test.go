@@ -1,0 +1,257 @@
+package rules
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/fact"
+	"repro/internal/obs"
+	"repro/internal/store"
+	"repro/internal/sym"
+	"repro/internal/virtual"
+)
+
+func obsTestEngine(t *testing.T) (*Engine, *fact.Universe) {
+	t.Helper()
+	u := fact.NewUniverse()
+	st := store.New(u)
+	e := New(st, virtual.New(u))
+	for _, f := range [][3]string{
+		{"tweety", "isa", "canary"},
+		{"canary", "gen", "bird"},
+		{"bird", "gen", "animal"},
+		{"bird", "travels-by", "flight"},
+	} {
+		rel := f[1]
+		switch rel {
+		case "isa":
+			st.Insert(fact.Fact{S: u.Entity(f[0]), R: u.Member, T: u.Entity(f[2])})
+		case "gen":
+			st.Insert(fact.Fact{S: u.Entity(f[0]), R: u.Gen, T: u.Entity(f[2])})
+		default:
+			st.Insert(u.NewFact(f[0], rel, f[2]))
+		}
+	}
+	return e, u
+}
+
+// TestCacheStatsRace covers the historical hazard this PR's metric
+// unification closes out: per-call counters are accumulated as plain
+// fields inside a MatchBounded evaluation and flushed into shared
+// counters at return, while other goroutines read CacheStats
+// concurrently. With the counters unified on obs.Counter handles,
+// every cross-goroutine access is an atomic; -race verifies there is
+// no remaining plain-field read of shared state.
+func TestCacheStatsRace(t *testing.T) {
+	e, u := obsTestEngine(t)
+	tweety := u.Entity("tweety")
+	var matchers sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		matchers.Add(1)
+		go func() {
+			defer matchers.Done()
+			for j := 0; j < 200; j++ {
+				e.MatchBounded(tweety, sym.None, sym.None, 3, func(fact.Fact) bool { return true })
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	var reader sync.WaitGroup
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				st := e.CacheStats()
+				if st.Hits > 0 && st.Misses == 0 {
+					t.Error("hits without misses: counters out of sync")
+					return
+				}
+			}
+		}
+	}()
+	matchers.Wait()
+	close(stop)
+	reader.Wait()
+
+	st := e.CacheStats()
+	if st.Misses == 0 {
+		t.Fatal("expected shared-table misses after concurrent matching")
+	}
+}
+
+// TestMetricsRegistered pins that SetMetrics exports the cache
+// counters by reference: CacheStats and the registry read the same
+// memory.
+func TestMetricsRegistered(t *testing.T) {
+	e, u := obsTestEngine(t)
+	r := obs.NewRegistry()
+	e.SetMetrics(r)
+	tweety := u.Entity("tweety")
+	e.MatchBounded(tweety, sym.None, sym.None, 3, func(fact.Fact) bool { return true })
+	e.MatchBounded(tweety, sym.None, sym.None, 3, func(fact.Fact) bool { return true })
+
+	st := e.CacheStats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("warm repeat should hit: %+v", st)
+	}
+	if got := r.Value("lsdb_subgoal_hits_total"); got != float64(st.Hits) {
+		t.Fatalf("registry hits %g != CacheStats hits %d", got, st.Hits)
+	}
+	if got := r.Value("lsdb_subgoal_misses_total"); got != float64(st.Misses) {
+		t.Fatalf("registry misses %g != CacheStats misses %d", got, st.Misses)
+	}
+	if got := r.Value("lsdb_ondemand_facts_scanned_total"); got == 0 {
+		t.Fatal("facts-scanned counter not recording")
+	}
+	if got := r.Value("lsdb_ondemand_max_depth"); got != 3 {
+		t.Fatalf("max depth gauge = %g, want 3", got)
+	}
+	// Closure gauges must read the published snapshot without building.
+	if got := r.Value("lsdb_closure_facts"); got != 0 {
+		t.Fatalf("closure gauge = %g before any build, want 0", got)
+	}
+	if e.Warm() {
+		t.Fatal("engine reports warm before any closure build")
+	}
+	n := e.ClosureSize()
+	if got := r.Value("lsdb_closure_facts"); got != float64(n) {
+		t.Fatalf("closure gauge = %g after build, want %d", got, n)
+	}
+	if !e.Warm() {
+		t.Fatal("engine not warm after closure build")
+	}
+}
+
+// TestRebuildCounters pins the full-vs-incremental rebuild taxonomy:
+// the first build is full, a pure insertion triggers an incremental
+// extension, a deletion forces a second full build.
+func TestRebuildCounters(t *testing.T) {
+	e, u := obsTestEngine(t)
+	r := obs.NewRegistry()
+	e.SetMetrics(r)
+
+	e.ClosureSize() // cold: full build
+	if got := r.Value("lsdb_rules_rebuilds_total", "kind", "full"); got != 1 {
+		t.Fatalf("full rebuilds = %g, want 1", got)
+	}
+	f := u.NewFact("polly", "likes", "seed")
+	e.Base().Insert(f)
+	e.ClosureSize() // pure insert: incremental
+	if got := r.Value("lsdb_rules_rebuilds_total", "kind", "incremental"); got != 1 {
+		t.Fatalf("incremental rebuilds = %g, want 1", got)
+	}
+	e.Base().Delete(f)
+	e.ClosureSize() // deletion: full again
+	if got := r.Value("lsdb_rules_rebuilds_total", "kind", "full"); got != 2 {
+		t.Fatalf("full rebuilds after delete = %g, want 2", got)
+	}
+	if got := r.Value("lsdb_rules_rebuild_ns"); got != 3 {
+		t.Fatalf("rebuild histogram count = %g, want 3", got)
+	}
+	if got := r.Value("lsdb_rules_rounds_total"); got == 0 {
+		t.Fatal("round counter not recording")
+	}
+}
+
+// TestMatchBoundedTraceDispositions drives the same pattern cold then
+// warm and checks the recorded dispositions against the cache
+// counters they must mirror: cold evaluation records only
+// miss/memo/cycle spans, the warm repeat's root is a hit, and the
+// per-trace miss-span count equals the misses delta in CacheStats.
+func TestMatchBoundedTraceDispositions(t *testing.T) {
+	e, u := obsTestEngine(t)
+	tweety := u.Entity("tweety")
+
+	count := func(evs []*obs.TraceEvent, disp string) int {
+		n := 0
+		var walk func([]*obs.TraceEvent)
+		walk = func(list []*obs.TraceEvent) {
+			for _, ev := range list {
+				if ev.Disposition == disp {
+					n++
+				}
+				walk(ev.Children)
+			}
+		}
+		walk(evs)
+		return n
+	}
+
+	before := e.CacheStats()
+	cold := obs.NewTrace()
+	e.MatchBoundedTrace(tweety, sym.None, sym.None, 3, cold, func(fact.Fact) bool { return true })
+	coldEvs := cold.Done()
+	mid := e.CacheStats()
+
+	if len(coldEvs) != 1 {
+		t.Fatalf("cold trace roots = %d, want 1", len(coldEvs))
+	}
+	if coldEvs[0].Disposition != obs.DispMiss {
+		t.Fatalf("cold root disposition = %q, want miss", coldEvs[0].Disposition)
+	}
+	if got, want := count(coldEvs, obs.DispMiss), int(mid.Misses-before.Misses); got != want {
+		t.Fatalf("cold miss spans = %d, misses delta = %d", got, want)
+	}
+	if got, want := count(coldEvs, obs.DispHit), int(mid.Hits-before.Hits); got != want {
+		t.Fatalf("cold hit spans = %d, hits delta = %d", got, want)
+	}
+
+	warm := obs.NewTrace()
+	e.MatchBoundedTrace(tweety, sym.None, sym.None, 3, warm, func(fact.Fact) bool { return true })
+	warmEvs := warm.Done()
+	after := e.CacheStats()
+
+	if len(warmEvs) != 1 || warmEvs[0].Disposition != obs.DispHit {
+		t.Fatalf("warm root = %+v, want a single hit span", warmEvs)
+	}
+	if got, want := count(warmEvs, obs.DispHit), int(after.Hits-mid.Hits); got != want {
+		t.Fatalf("warm hit spans = %d, hits delta = %d", got, want)
+	}
+	if n := count(warmEvs, obs.DispMiss); n != 0 {
+		t.Fatalf("warm trace has %d miss spans, want 0", n)
+	}
+
+	// With the cache disabled, spans are computed — and counters frozen.
+	e.SetSubgoalCache(false)
+	frozen := e.CacheStats()
+	off := obs.NewTrace()
+	e.MatchBoundedTrace(tweety, sym.None, sym.None, 3, off, func(fact.Fact) bool { return true })
+	offEvs := off.Done()
+	if n := count(offEvs, obs.DispComputed); n == 0 {
+		t.Fatal("cache-off trace has no computed spans")
+	}
+	if n := count(offEvs, obs.DispMiss) + count(offEvs, obs.DispHit); n != 0 {
+		t.Fatalf("cache-off trace has %d hit/miss spans, want 0", n)
+	}
+	if got := e.CacheStats(); got.Hits != frozen.Hits || got.Misses != frozen.Misses {
+		t.Fatal("cache-off evaluation moved the cache counters")
+	}
+}
+
+// TestTraceAgreesWithUntraced: tracing must never change the result.
+func TestTraceAgreesWithUntraced(t *testing.T) {
+	e, u := obsTestEngine(t)
+	tweety := u.Entity("tweety")
+	collect := func(tr *obs.Trace) map[fact.Fact]bool {
+		out := map[fact.Fact]bool{}
+		e.MatchBoundedTrace(tweety, sym.None, sym.None, 3, tr, func(f fact.Fact) bool {
+			out[f] = true
+			return true
+		})
+		return out
+	}
+	plain := collect(nil)
+	traced := collect(obs.NewTrace())
+	if len(plain) == 0 || len(plain) != len(traced) {
+		t.Fatalf("traced result differs: %d vs %d facts", len(traced), len(plain))
+	}
+	for f := range plain {
+		if !traced[f] {
+			t.Fatalf("fact %v missing from traced result", f)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package rules
 
 import (
 	"repro/internal/fact"
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/sym"
 )
@@ -48,6 +49,14 @@ type bounded struct {
 	hits, misses uint64 // shared-table counters, flushed on return
 	openHits     int    // times a subgoal hit an open (in-progress) key
 	tainted      map[bkey]bool
+
+	// Observability. tr records a span per subgoal when non-nil
+	// (MatchBoundedTrace); scanned and reordered are flushed to the
+	// engine's registry counters on return — per-call accumulation
+	// keeps the hot recursion free of atomic traffic.
+	tr        *obs.Trace
+	scanned   uint64 // candidate facts enumerated from base + virtual
+	reordered uint64 // join atoms moved to front by selectivity ranking
 }
 
 // MatchBounded calls fn for every fact matching the pattern that is
@@ -55,7 +64,21 @@ type bounded struct {
 // are wildcards; Δ and ∇ act as wildcards as in Match. Iteration
 // stops when fn returns false; MatchBounded reports completion.
 func (e *Engine) MatchBounded(src, rel, tgt sym.ID, depth int, fn func(fact.Fact) bool) bool {
+	return e.MatchBoundedTrace(src, rel, tgt, depth, nil, fn)
+}
+
+// MatchBoundedTrace is MatchBounded with a trace recorder: when tr is
+// non-nil, every subgoal evaluation is recorded as a span carrying
+// its pattern, remaining depth, duration, fact count and cache
+// disposition (obs.DispHit/Miss/Memo/Cycle/Computed). The
+// dispositions map exactly onto the subgoal-cache counters — hit and
+// miss spans are the shared-table lookups CacheStats counts, memo and
+// cycle spans are per-call events it does not — which is what lets
+// the differential oracle reconcile a trace against the counter
+// deltas it caused. A nil tr makes this identical to MatchBounded.
+func (e *Engine) MatchBoundedTrace(src, rel, tgt sym.ID, depth int, tr *obs.Trace, fn func(fact.Fact) bool) bool {
 	u := e.u
+	e.m.maxDepth.Max(int64(depth))
 	wildS := src == u.Top || src == u.Bottom
 	wildR := rel == u.Top || rel == u.Bottom
 	wildT := tgt == u.Top || tgt == u.Bottom
@@ -82,6 +105,7 @@ func (e *Engine) MatchBounded(src, rel, tgt sym.ID, depth int, fn func(fact.Fact
 		shared: e.sg.acquire(e.base.Version(), cfg.ver),
 		memo:   make(map[bkey][]fact.Fact),
 		open:   make(map[bkey]bool),
+		tr:     tr,
 	}
 	results := b.enum(qs, qr, qt, depth)
 	if b.hits != 0 {
@@ -90,6 +114,8 @@ func (e *Engine) MatchBounded(src, rel, tgt sym.ID, depth int, fn func(fact.Fact
 	if b.misses != 0 {
 		e.sg.misses.Add(b.misses)
 	}
+	e.m.factsScanned.Add(b.scanned)
+	e.m.premReorder.Add(b.reordered)
 
 	anyWild := wildS || wildR || wildT
 	seen := make(map[fact.Fact]struct{}, len(results))
@@ -162,6 +188,13 @@ func match3(f fact.Fact, s, r, t sym.ID) bool {
 // enum returns all facts matching (s,r,t) derivable within d steps.
 // The returned slice is shared (per-call memo and possibly the
 // cross-query table) and must not be mutated.
+//
+// The cycle guard runs before the shared-table lookup so that every
+// miss counted corresponds to a subgoal that is then computed (an
+// open key can never be in the table — results are stored only after
+// the key closes). That keeps the disposition↔counter mapping exact:
+// hit and miss spans are counted lookups, cycle and memo spans are
+// not.
 func (b *bounded) enum(s, r, t sym.ID, d int) []fact.Fact {
 	key := bkey{s, r, t, d}
 	if res, ok := b.memo[key]; ok {
@@ -170,19 +203,26 @@ func (b *bounded) enum(s, r, t sym.ID, d int) []fact.Fact {
 			// ancestors know so they stay out of the shared table too.
 			b.openHits++
 		}
+		b.traceLeaf(s, r, t, d, obs.DispMemo, len(res))
 		return res
+	}
+	if b.open[key] {
+		b.openHits++
+		b.traceLeaf(s, r, t, d, obs.DispCycle, 0)
+		return nil
 	}
 	if b.shared != nil {
 		if res, ok := b.shared.load(key); ok {
 			b.memo[key] = res
 			b.hits++
+			b.traceLeaf(s, r, t, d, obs.DispHit, len(res))
 			return res
 		}
 		b.misses++
 	}
-	if b.open[key] {
-		b.openHits++
-		return nil
+	span := false
+	if b.tr != nil {
+		span = b.tr.Begin("subgoal", b.pattern(s, r, t), d)
 	}
 	b.open[key] = true
 	openBefore := b.openHits
@@ -194,8 +234,8 @@ func (b *bounded) enum(s, r, t sym.ID, d int) []fact.Fact {
 		}
 	}
 
-	b.base.Match(s, r, t, func(f fact.Fact) bool { add(f); return true })
-	b.e.vp.Match(s, r, t, b.base, func(f fact.Fact) bool { add(f); return true })
+	b.base.Match(s, r, t, func(f fact.Fact) bool { b.scanned++; add(f); return true })
+	b.e.vp.Match(s, r, t, b.base, func(f fact.Fact) bool { b.scanned++; add(f); return true })
 	for _, ax := range b.e.axiomFacts() {
 		add(ax.f)
 	}
@@ -222,7 +262,38 @@ func (b *bounded) enum(s, r, t sym.ID, d int) []fact.Fact {
 	} else if b.shared != nil {
 		b.shared.store(key, out)
 	}
+	if span {
+		disp := obs.DispMiss
+		if b.shared == nil {
+			disp = obs.DispComputed // no table: nothing was counted
+		}
+		b.tr.End(disp, len(out))
+	}
 	return out
+}
+
+// traceLeaf records a zero-duration span for a subgoal answered
+// without computation (memo, shared hit, or cycle cut).
+func (b *bounded) traceLeaf(s, r, t sym.ID, d int, disp string, facts int) {
+	if b.tr == nil {
+		return
+	}
+	if b.tr.Begin("subgoal", b.pattern(s, r, t), d) {
+		b.tr.End(disp, facts)
+	}
+}
+
+// pattern renders a subgoal pattern for trace events; wildcards
+// (sym.None) print as "?".
+func (b *bounded) pattern(s, r, t sym.ID) string {
+	u := b.e.u
+	n := func(id sym.ID) string {
+		if id == sym.None {
+			return "?"
+		}
+		return u.Name(id)
+	}
+	return "(" + n(s) + ", " + n(r) + ", " + n(t) + ")"
 }
 
 // backward applies each enabled rule in reverse: it enumerates
@@ -413,7 +484,10 @@ func (b *bounded) joinBounded(atoms []fact.Template, bind binding, d int, found 
 	}
 	if len(atoms) > 1 {
 		best := pickAtom(atoms, bind, b.base)
-		atoms[0], atoms[best] = atoms[best], atoms[0]
+		if best != 0 {
+			b.reordered++
+			atoms[0], atoms[best] = atoms[best], atoms[0]
+		}
 	}
 	s, r, t := resolve(atoms[0], bind)
 	for _, f := range b.enum(s, r, t, d) {

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/fact"
+	"repro/internal/obs"
 )
 
 // The cross-query subgoal cache (tabling for the on-demand matcher).
@@ -74,14 +75,21 @@ func (t *subgoalTable) store(k bkey, res []fact.Fact) {
 // subgoalCache is the engine-level handle: the current table, the
 // out-of-band invalidation epoch, the kill switch, and effectiveness
 // counters.
+//
+// The counters are obs.Counter handles (created in New, registered by
+// reference in Engine.SetMetrics) rather than raw atomics, so
+// CacheStats, /stats and /metrics all read the same memory — there is
+// no second tally to drift out of sync, and every read path is an
+// atomic load. TestCacheStatsRace pins the concurrent
+// read-while-flushing pattern under -race.
 type subgoalCache struct {
 	table atomic.Pointer[subgoalTable]
 	epoch atomic.Uint64
 	off   atomic.Bool
 
-	hits          atomic.Uint64
-	misses        atomic.Uint64
-	invalidations atomic.Uint64
+	hits          *obs.Counter
+	misses        *obs.Counter
+	invalidations *obs.Counter
 }
 
 // acquire returns the shared table valid for (baseVer, cfgVer) at the
@@ -101,7 +109,7 @@ func (c *subgoalCache) acquire(baseVer, cfgVer uint64) *subgoalTable {
 		fresh := &subgoalTable{baseVer: baseVer, cfgVer: cfgVer, epoch: ep}
 		if c.table.CompareAndSwap(t, fresh) {
 			if t != nil {
-				c.invalidations.Add(1)
+				c.invalidations.Inc()
 			}
 			return fresh
 		}
@@ -123,9 +131,9 @@ type CacheStats struct {
 func (e *Engine) CacheStats() CacheStats {
 	st := CacheStats{
 		Enabled:       !e.sg.off.Load(),
-		Hits:          e.sg.hits.Load(),
-		Misses:        e.sg.misses.Load(),
-		Invalidations: e.sg.invalidations.Load(),
+		Hits:          e.sg.hits.Value(),
+		Misses:        e.sg.misses.Value(),
+		Invalidations: e.sg.invalidations.Value(),
 	}
 	if t := e.sg.table.Load(); t != nil {
 		st.Entries = int(t.size.Load())

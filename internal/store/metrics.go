@@ -1,0 +1,68 @@
+package store
+
+import (
+	"repro/internal/obs"
+)
+
+// storeMetrics holds the store's registry handles. The zero value
+// (all nil handles) is fully functional: every handle is a nil-safe
+// no-op, so an unwired store — closure clones, scratch stores in
+// tests — pays one predicted branch per mutation and nothing else.
+type storeMetrics struct {
+	commits     *obs.Counter // user-visible mutations (insert + delete), not replay
+	inserts     *obs.Counter
+	deletes     *obs.Counter
+	commitNs    *obs.Histogram // durability wait per logged commit
+	checkpoints *obs.Counter
+	snapLoads   *obs.Counter
+}
+
+// SetMetrics registers the store's metrics in r and keeps the handles
+// for the hot paths. It must be called before the store is shared
+// across goroutines (lsdb.Open wires it immediately after
+// construction). The WAL counters (appends, fsyncs, compactions,
+// records) are func-backed reads of the log's own atomics, so the log
+// remains the single source of truth and nothing is counted twice.
+func (s *Store) SetMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	s.m = storeMetrics{
+		commits:     r.Counter("lsdb_store_commits_total"),
+		inserts:     r.Counter("lsdb_store_mutations_total", "op", "insert"),
+		deletes:     r.Counter("lsdb_store_mutations_total", "op", "delete"),
+		commitNs:    r.Histogram("lsdb_store_commit_ns"),
+		checkpoints: r.Counter("lsdb_store_checkpoints_total"),
+		snapLoads:   r.Counter("lsdb_store_snapshot_loads_total"),
+	}
+	r.GaugeFunc("lsdb_store_facts", func() float64 { return float64(s.Len()) })
+	r.GaugeFunc("lsdb_store_version", func() float64 { return float64(s.Version()) })
+	r.CounterFunc("lsdb_wal_appends_total", func() float64 {
+		return s.walStat(func(l *Log) float64 { return float64(l.appends.Load()) })
+	})
+	r.CounterFunc("lsdb_wal_fsyncs_total", func() float64 {
+		return s.walStat(func(l *Log) float64 { return float64(l.fsyncs.Load()) })
+	})
+	r.CounterFunc("lsdb_wal_compactions_total", func() float64 {
+		return s.walStat(func(l *Log) float64 { return float64(l.compactions.Load()) })
+	})
+	r.GaugeFunc("lsdb_wal_records", func() float64 {
+		return s.walStat(func(l *Log) float64 {
+			l.mu.Lock()
+			defer l.mu.Unlock()
+			return float64(l.n)
+		})
+	})
+}
+
+// walStat evaluates f against the attached log, or 0 when detached.
+// Used by the func-backed WAL metrics at snapshot/scrape time.
+func (s *Store) walStat(f func(*Log) float64) float64 {
+	s.mu.RLock()
+	l := s.log
+	s.mu.RUnlock()
+	if l == nil {
+		return 0
+	}
+	return f(l)
+}

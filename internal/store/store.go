@@ -23,6 +23,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/fact"
 	"repro/internal/sym"
@@ -67,6 +68,11 @@ type Store struct {
 	checkpointEvery int
 	checkpointSnap  string
 	checkpointing   atomic.Bool
+
+	// m holds observability handles (SetMetrics). The zero value is
+	// all nil-safe no-ops; SetMetrics must run before the store is
+	// shared across goroutines.
+	m storeMetrics
 }
 
 // Change records one mutation for ChangesSince.
@@ -151,14 +157,31 @@ func (s *Store) Insert(f fact.Fact) bool {
 // subsequent commit reports success.
 func (s *Store) InsertLogged(f fact.Fact) (bool, error) {
 	l, lsn, due, changed := s.applyLocked(f, opInsert)
+	if changed {
+		s.m.commits.Inc()
+		s.m.inserts.Inc()
+	}
 	if !changed || l == nil {
 		return changed, nil
 	}
-	err := l.commit(lsn)
+	err := s.finishCommit(l, lsn)
 	if due && err == nil {
 		err = s.Checkpoint()
 	}
 	return true, err
+}
+
+// finishCommit waits for the record's durability point, timing the
+// wait when a commit-latency histogram is wired. time.Now is gated on
+// the handle so pure in-memory stores never pay for the clock reads.
+func (s *Store) finishCommit(l *Log, lsn uint64) error {
+	if s.m.commitNs == nil {
+		return l.commit(lsn)
+	}
+	t0 := time.Now()
+	err := l.commit(lsn)
+	s.m.commitNs.Observe(time.Since(t0).Nanoseconds())
+	return err
 }
 
 // Delete removes f. It returns false if f was not present. Durability
@@ -171,10 +194,14 @@ func (s *Store) Delete(f fact.Fact) bool {
 // DeleteLogged is Delete with the durability outcome (see InsertLogged).
 func (s *Store) DeleteLogged(f fact.Fact) (bool, error) {
 	l, lsn, due, changed := s.applyLocked(f, opDelete)
+	if changed {
+		s.m.commits.Inc()
+		s.m.deletes.Inc()
+	}
 	if !changed || l == nil {
 		return changed, nil
 	}
-	err := l.commit(lsn)
+	err := s.finishCommit(l, lsn)
 	if due && err == nil {
 		err = s.Checkpoint()
 	}

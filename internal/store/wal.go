@@ -241,5 +241,9 @@ func (s *Store) Checkpoint() error {
 			return err
 		}
 	}
-	return s.CompactLog()
+	if err := s.CompactLog(); err != nil {
+		return err
+	}
+	s.m.checkpoints.Inc()
+	return nil
 }

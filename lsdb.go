@@ -37,6 +37,7 @@ import (
 	"repro/internal/browse"
 	"repro/internal/compose"
 	"repro/internal/fact"
+	"repro/internal/obs"
 	"repro/internal/ops"
 	"repro/internal/probe"
 	"repro/internal/query"
@@ -127,6 +128,7 @@ type Database struct {
 	br   *browse.Browser
 	pr   *probe.Prober
 	vw   *views.Registry
+	reg  *obs.Registry
 
 	strict bool
 }
@@ -167,11 +169,23 @@ func Open(opts Options) (*Database, error) {
 		comp:   comp,
 		br:     browse.New(eng, comp),
 		vw:     views.NewRegistry(),
+		reg:    obs.NewRegistry(),
 		strict: opts.Strict,
 	}
 	db.pr = probe.New(eng, db.evaluator())
+	// Wire observability before the database is shared: the components
+	// capture registry handles once and record lock-free thereafter.
+	st.SetMetrics(db.reg)
+	eng.SetMetrics(db.reg)
+	db.br.SetMetrics(db.reg)
 	return db, nil
 }
+
+// Metrics returns the database's metrics registry. Every subsystem —
+// store, WAL, rules engine, subgoal cache, browser, and (when served
+// by lsdbd) the HTTP layer — records into this one registry, which
+// backs /metrics, /stats and the benchmark snapshots alike.
+func (db *Database) Metrics() *obs.Registry { return db.reg }
 
 // Close flushes and detaches the durability log, if any.
 func (db *Database) Close() error { return db.st.CloseLog() }
@@ -300,6 +314,77 @@ func (db *Database) evaluator() *query.Evaluator {
 		// shared, so ∀-heavy queries don't rescan the closure.
 		Domain: func() []sym.ID { return db.eng.ClosureEntities() },
 	}
+}
+
+// tracedMatcher wraps matcher so every template evaluation during a
+// traced query becomes one span: phase "match", the resolved pattern,
+// and the number of facts enumerated. Dispositions are left to the
+// bounded path — closure matches have no cache to be disposed by.
+type tracedMatcher struct {
+	inner matcher
+	u     *fact.Universe
+	tr    *obs.Trace
+}
+
+func (m tracedMatcher) Match(s, r, t sym.ID, fn func(fact.Fact) bool) bool {
+	started := m.tr.Begin("match", m.pattern(s, r, t), 0)
+	n := 0
+	ok := m.inner.Match(s, r, t, func(f fact.Fact) bool {
+		n++
+		return fn(f)
+	})
+	if started {
+		m.tr.End("", n)
+	}
+	return ok
+}
+
+func (m tracedMatcher) EstimateCount(s, r, t sym.ID) int {
+	return m.inner.EstimateCount(s, r, t)
+}
+
+func (m tracedMatcher) pattern(s, r, t sym.ID) string {
+	n := func(id sym.ID) string {
+		if id == sym.None {
+			return "?"
+		}
+		return m.u.Name(id)
+	}
+	return "(" + n(s) + ", " + n(r) + ", " + n(t) + ")"
+}
+
+// QueryTraced is Query with a trace recorder: every template match
+// the evaluator performs is recorded into tr as a span with its
+// pattern and result count. Pass a fresh obs.NewTrace() and read
+// tr.Done() afterwards; a nil tr degrades to Query.
+func (db *Database) QueryTraced(src string, tr *obs.Trace) (*Rows, error) {
+	q, err := db.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	ev := &query.Evaluator{
+		M:      tracedMatcher{inner: matcher{eng: db.eng, comp: db.comp}, u: db.u, tr: tr},
+		Domain: func() []sym.ID { return db.eng.ClosureEntities() },
+	}
+	res, err := ev.Eval(q)
+	if err != nil {
+		return nil, err
+	}
+	return db.resolveResult(res), nil
+}
+
+// HasBoundedTrace reports whether (s, r, t) is derivable within depth
+// rule applications, recording every subgoal evaluation into tr with
+// its cache disposition (see rules.MatchBoundedTrace). It is the
+// traced derivation behind lsdbd's /derive?trace=1.
+func (db *Database) HasBoundedTrace(s, r, t string, depth int, tr *obs.Trace) bool {
+	f := db.u.NewFact(s, r, t)
+	found := false
+	db.eng.MatchBoundedTrace(f.S, f.R, f.T, depth, tr, func(fact.Fact) bool {
+		found = true
+		return false
+	})
+	return found
 }
 
 // Rows is a query answer with entity names resolved.

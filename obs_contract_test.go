@@ -1,0 +1,158 @@
+package lsdb_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	lsdb "repro"
+)
+
+// TestMetricContract drives a known workload — N asserts, one closure
+// rebuild, one checkpoint, M warm repeat queries — and pins every
+// observability counter to an exact or tightly bounded value. This is
+// the end-to-end guarantee behind /metrics and /stats: the numbers a
+// scrape reports are the numbers the workload caused, not
+// approximations.
+func TestMetricContract(t *testing.T) {
+	db, err := lsdb.Open(lsdb.Options{
+		LogPath:    filepath.Join(t.TempDir(), "db.log"),
+		SyncPolicy: lsdb.SyncAlways,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	reg := db.Metrics()
+	v := func(name string, labels ...string) float64 { return reg.Value(name, labels...) }
+
+	// N asserts. Every accepted assert is exactly one commit, one
+	// insert mutation, and one WAL append; under SyncAlways each
+	// sequential commit blocks on its own fsync, so at least N syncs.
+	facts := [][3]string{
+		{"TWEETY", "in", "CANARY"},
+		{"CANARY", "isa", "BIRD"},
+		{"BIRD", "isa", "ANIMAL"},
+		{"BIRD", "TRAVELS-BY", "FLIGHT"},
+		{"POLLY", "in", "PARROT"},
+		{"PARROT", "isa", "BIRD"},
+	}
+	for _, f := range facts {
+		db.MustAssert(f[0], f[1], f[2])
+	}
+	n := float64(len(facts))
+	if got := v("lsdb_store_commits_total"); got != n {
+		t.Errorf("commits = %g, want %g", got, n)
+	}
+	if got := v("lsdb_store_mutations_total", "op", "insert"); got != n {
+		t.Errorf("insert mutations = %g, want %g", got, n)
+	}
+	if got := v("lsdb_store_mutations_total", "op", "delete"); got != 0 {
+		t.Errorf("delete mutations = %g, want 0", got)
+	}
+	if got := v("lsdb_wal_appends_total"); got != n {
+		t.Errorf("wal appends = %g, want %g", got, n)
+	}
+	if got := v("lsdb_wal_fsyncs_total"); got < n {
+		t.Errorf("wal fsyncs = %g, want >= %g under SyncAlways", got, n)
+	}
+	if got := v("lsdb_store_facts"); got != n {
+		t.Errorf("stored facts gauge = %g, want %g", got, n)
+	}
+
+	// One closure rebuild: the first materialization is a full build;
+	// a repeat read at the same version rebuilds nothing.
+	if got := v("lsdb_rules_rebuilds_total", "kind", "full"); got != 0 {
+		t.Fatalf("rebuilds before any closure read = %g, want 0", got)
+	}
+	size := db.ClosureLen()
+	_ = db.ClosureLen()
+	if got := v("lsdb_rules_rebuilds_total", "kind", "full"); got != 1 {
+		t.Errorf("full rebuilds = %g, want exactly 1", got)
+	}
+	if got := v("lsdb_closure_facts"); got != float64(size) {
+		t.Errorf("closure gauge = %g, want %d", got, size)
+	}
+
+	// One checkpoint compacts the log: the record count collapses to
+	// the live fact count and the checkpoint counter moves once.
+	if err := db.Store().Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := v("lsdb_store_checkpoints_total"); got != 1 {
+		t.Errorf("checkpoints = %g, want 1", got)
+	}
+	if got := v("lsdb_wal_records"); got != n {
+		t.Errorf("wal records after checkpoint = %g, want %g", got, n)
+	}
+
+	// M warm repeat queries. The cold bounded derivation populates the
+	// subgoal cache (misses > 0); every warm repeat resolves its root
+	// subgoal from the shared table — exactly one hit per repeat and
+	// not a single new miss, a hit ratio of 1 over the warm window.
+	derive := func() {
+		if !db.HasBoundedTrace("TWEETY", "in", "ANIMAL", 3, nil) {
+			t.Fatal("TWEETY in ANIMAL not derivable at depth 3")
+		}
+	}
+	derive()
+	coldMisses := v("lsdb_subgoal_misses_total")
+	if coldMisses == 0 {
+		t.Fatal("cold derivation recorded no cache misses")
+	}
+	warmStart := v("lsdb_subgoal_hits_total")
+	const m = 25
+	for i := 0; i < m; i++ {
+		derive()
+	}
+	if got := v("lsdb_subgoal_misses_total"); got != coldMisses {
+		t.Errorf("warm repeats added misses: %g -> %g", coldMisses, got)
+	}
+	if got := v("lsdb_subgoal_hits_total") - warmStart; got != m {
+		t.Errorf("warm hits = %g, want exactly %d (one root hit per repeat)", got, m)
+	}
+	if got := v("lsdb_ondemand_facts_scanned_total"); got == 0 {
+		t.Error("facts-scanned counter never moved")
+	}
+	if got := v("lsdb_ondemand_max_depth"); got != 3 {
+		t.Errorf("max depth gauge = %g, want 3", got)
+	}
+
+	// The registry and the structured stats views must agree exactly —
+	// they read the same memory.
+	cs := db.Engine().CacheStats()
+	if float64(cs.Hits) != v("lsdb_subgoal_hits_total") || float64(cs.Misses) != v("lsdb_subgoal_misses_total") {
+		t.Errorf("CacheStats %+v disagrees with registry (hits=%g misses=%g)",
+			cs, v("lsdb_subgoal_hits_total"), v("lsdb_subgoal_misses_total"))
+	}
+	ls := db.LogStats()
+	if float64(ls.Appends) != v("lsdb_wal_appends_total") || float64(ls.Fsyncs) != v("lsdb_wal_fsyncs_total") {
+		t.Errorf("LogStats %+v disagrees with registry (appends=%g fsyncs=%g)",
+			ls, v("lsdb_wal_appends_total"), v("lsdb_wal_fsyncs_total"))
+	}
+}
+
+// TestMetricContractDeletes pins the delete side: a retraction is one
+// commit and one delete mutation; re-retracting a missing fact commits
+// nothing.
+func TestMetricContractDeletes(t *testing.T) {
+	db, err := lsdb.Open(lsdb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	v := func(name string, labels ...string) float64 { return db.Metrics().Value(name, labels...) }
+
+	db.MustAssert("JOHN", "in", "EMPLOYEE")
+	f := db.Universe().NewFact("JOHN", "in", "EMPLOYEE")
+	for i := 0; i < 2; i++ { // second retraction is a no-op
+		if _, err := db.RetractFact(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := v("lsdb_store_commits_total"); got != 2 {
+		t.Errorf("commits = %g, want 2 (assert + first retract only)", got)
+	}
+	if got := v("lsdb_store_mutations_total", "op", "delete"); got != 1 {
+		t.Errorf("delete mutations = %g, want 1", got)
+	}
+}
