@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json check check-obs crash fuzz soak
+.PHONY: all build vet test race bench bench-json bench-scale check check-obs check-scale crash fuzz soak
 
 all: check
 
@@ -24,9 +24,15 @@ bench:
 # Machine-readable acceptance numbers: the E7 subgoal-cache family
 # plus E8 commit throughput per sync policy, with the observability
 # registry snapshot of the E7r workload attached.
-BENCHJSON ?= BENCH_PR5.json
+BENCHJSON ?= BENCH_PR6.json
 bench-json:
 	$(GO) run ./cmd/lsdb-bench -json $(BENCHJSON)
+
+# E9s memory-scale smoke: the sealed posting-list index at 10⁵ facts
+# (CI-sized; raise with SCALEMAX=10000000 for the 10⁷ sweep).
+SCALEMAX ?= 100000
+bench-scale:
+	$(GO) run ./cmd/lsdb-bench -scalemax $(SCALEMAX) E9s
 
 # Observability suite: the metrics registry and trace recorder unit
 # tests, the metric-contract workload pins, and the daemon's
@@ -61,10 +67,20 @@ SOAKFLAGS ?=
 soak:
 	$(GO) run ./cmd/lsdb-check -seeds $(SEEDS) $(SOAKFLAGS)
 
+# Sealed-vs-mutable differential on a Zipf scale world, with the
+# concurrent probe goroutines under the race detector. SCALEFACTS=1000000
+# for a million-fact run.
+SCALEFACTS ?= 200000
+check-scale:
+	LSDB_SCALE_FACTS=$(SCALEFACTS) $(GO) test -race -count=1 -run TestSealedVsMutableScale ./internal/check
+	$(GO) run ./cmd/lsdb-check -seeds 10 -scale $(SCALEFACTS)
+
 # Tier-1 verification plus the race detector, a short soak, and a
 # brief pass over every fuzz target.
 check: build vet test race
 	$(MAKE) check-obs
 	$(MAKE) crash
 	$(MAKE) soak SEEDS=50
+	$(MAKE) check-scale SCALEFACTS=100000
+	$(MAKE) bench-scale
 	$(MAKE) fuzz FUZZTIME=5s

@@ -22,6 +22,7 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "run smaller parameter sweeps")
 	jsonPath := flag.String("json", "", "write machine-readable E7-family results to this file and exit")
+	scaleMax := flag.Int("scalemax", 1_000_000, "largest E9s world size (facts)")
 	flag.Parse()
 
 	if *jsonPath != "" {
@@ -33,6 +34,7 @@ func main() {
 		return
 	}
 
+	scaleSizes := []int{100_000, 1_000_000, 10_000_000}
 	sizes := []int{1000, 5000, 20000}
 	students := []int{200, 1000, 5000}
 	depths := []int{2, 3, 4, 5}
@@ -46,6 +48,16 @@ func main() {
 		limits = []int{1, 2, 3}
 		constraints = []int{0, 2}
 		logSizes = []int{1000, 5000}
+		scaleSizes = []int{100_000}
+	}
+	{
+		kept := scaleSizes[:0]
+		for _, n := range scaleSizes {
+			if n <= *scaleMax {
+				kept = append(kept, n)
+			}
+		}
+		scaleSizes = kept
 	}
 
 	experiments := map[string]func() *tabular.Rows{
@@ -62,8 +74,9 @@ func main() {
 		"E3p": func() *tabular.Rows { return bench.E3Parallel(students) },
 		"E7c": func() *tabular.Rows { return bench.E7Concurrent(students) },
 		"E7r": bench.E7Repeated,
+		"E9s": func() *tabular.Rows { return bench.E9Scale(scaleSizes) },
 	}
-	order := []string{"E1", "E2", "E3", "E3p", "E4", "E5", "E6", "E7", "E7c", "E7r", "E8", "E9", "E10"}
+	order := []string{"E1", "E2", "E3", "E3p", "E4", "E5", "E6", "E7", "E7c", "E7r", "E8", "E9", "E9s", "E10"}
 
 	selected := flag.Args()
 	if len(selected) == 0 {

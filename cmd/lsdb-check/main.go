@@ -11,6 +11,7 @@
 //	lsdb-check -size medium -seeds 50  # bigger worlds
 //	lsdb-check -inject member-source   # verify the harness catches a bug
 //	lsdb-check -crash 25               # sweep 25 durability crash points per seed
+//	lsdb-check -scale 200000           # sealed-vs-mutable differential on a Zipf scale world
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"time"
 
 	lsdb "repro"
@@ -35,6 +37,7 @@ type config struct {
 	workers  int
 	inject   string
 	crash    int
+	scale    int
 	verbose  bool
 }
 
@@ -47,6 +50,7 @@ func main() {
 	flag.IntVar(&cfg.workers, "workers", 8, "parallel worker count compared against sequential builds")
 	flag.StringVar(&cfg.inject, "inject", "", "deliberately exclude this standard rule on one side (harness self-test; expects a failure)")
 	flag.IntVar(&cfg.crash, "crash", 0, "also sweep this many crash points per seed through the durability-log fault injector")
+	flag.IntVar(&cfg.scale, "scale", 0, "also run the sealed-vs-mutable differential on a Zipf world with this many facts (LSDB_SCALE_FACTS overrides)")
 	flag.BoolVar(&cfg.verbose, "v", false, "log every seed")
 	flag.Parse()
 
@@ -97,6 +101,27 @@ func soak(cfg config, out io.Writer) error {
 			return fmt.Errorf("unknown rule %q for -inject", cfg.inject)
 		}
 		opts.Perturb = func(db *lsdb.Database) { db.Engine().Exclude(r) }
+	}
+
+	if cfg.scale > 0 {
+		// One memory-scale differential up front: the Zipf bulk-sealed
+		// posting index versus the mutable insert path, probed
+		// concurrently. Not per-seed — a scale world costs seconds.
+		facts := cfg.scale
+		if env := os.Getenv("LSDB_SCALE_FACTS"); env != "" {
+			n, err := strconv.Atoi(env)
+			if err != nil {
+				return fmt.Errorf("bad LSDB_SCALE_FACTS %q: %v", env, err)
+			}
+			facts = n
+		}
+		t0 := time.Now()
+		if f := check.SealedVsMutableScale(gen.ScaleConfig{Facts: facts, Seed: cfg.start + 1}); f != nil {
+			fmt.Fprintf(out, "scale differential failed: %s\n", f.Detail)
+			return fmt.Errorf("oracle %s failed at scale %d", f.Oracle, facts)
+		}
+		fmt.Fprintf(out, "scale differential ok: %d-fact zipf world in %.1fs\n",
+			facts, time.Since(t0).Seconds())
 	}
 
 	deadline := time.Time{}

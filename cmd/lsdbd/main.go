@@ -629,5 +629,11 @@ func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 			"invalidations": v("lsdb_subgoal_invalidations_total"),
 			"entries":       v("lsdb_subgoal_entries"),
 		},
+		"index": map[string]any{
+			"posting_bytes": v("lsdb_index_posting_bytes"),
+			"buckets":       v("lsdb_index_buckets"),
+			"seal_builds":   v("lsdb_index_seal_builds_total"),
+			"batch_joins":   v("lsdb_join_batches_total"),
+		},
 	})
 }

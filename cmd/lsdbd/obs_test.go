@@ -89,6 +89,10 @@ func TestMetricsEndpoint(t *testing.T) {
 		`lsdb_subgoal_hits_total`,
 		`lsdb_subgoal_misses_total`,
 		`lsdb_closure_facts`,
+		`lsdb_index_posting_bytes`,
+		`lsdb_index_buckets`,
+		`lsdb_index_seal_ns_count`,
+		`lsdb_join_batches_total`,
 		`lsdb_browse_steps_total{kind="neighborhood"}`,
 		`lsdb_http_inflight`,
 		`lsdb_http_bytes_out_total`,
@@ -146,9 +150,19 @@ func TestStatsReadsRegistry(t *testing.T) {
 			Hits   float64 `json:"hits"`
 			Misses float64 `json:"misses"`
 		} `json:"subgoal_cache"`
+		Index struct {
+			PostingBytes float64 `json:"posting_bytes"`
+			Buckets      float64 `json:"buckets"`
+			SealBuilds   float64 `json:"seal_builds"`
+		} `json:"index"`
 	}
-	if code := getJSON(t, srv.URL+"/stats", &st); code != 200 {
-		t.Fatalf("stats status %d", code)
+	// Twice: the first call publishes the closure (the stats handler's
+	// closure field materializes on a cold database), the second reads
+	// the sealed posting index's gauges steady-state.
+	for i := 0; i < 2; i++ {
+		if code := getJSON(t, srv.URL+"/stats", &st); code != 200 {
+			t.Fatalf("stats status %d", code)
+		}
 	}
 	samples := scrape(t, srv.URL)
 	if st.Stored != samples["lsdb_store_facts"] {
@@ -162,6 +176,22 @@ func TestStatsReadsRegistry(t *testing.T) {
 	}
 	if st.Subgoal.Hits == 0 || st.Subgoal.Misses == 0 {
 		t.Errorf("warm derive left hits=%g misses=%g", st.Subgoal.Hits, st.Subgoal.Misses)
+	}
+	// The index block reflects the published closure's sealed posting
+	// index and matches /metrics exactly.
+	if st.Index.PostingBytes == 0 || st.Index.Buckets == 0 || st.Index.SealBuilds == 0 {
+		t.Errorf("index block empty after closure publish: %+v", st.Index)
+	}
+	if st.Index.PostingBytes != samples["lsdb_index_posting_bytes"] {
+		t.Errorf("stats posting bytes %g != metrics %g",
+			st.Index.PostingBytes, samples["lsdb_index_posting_bytes"])
+	}
+	if st.Index.Buckets != samples["lsdb_index_buckets"] {
+		t.Errorf("stats buckets %g != metrics %g", st.Index.Buckets, samples["lsdb_index_buckets"])
+	}
+	if st.Index.SealBuilds != samples["lsdb_index_seal_builds_total"] {
+		t.Errorf("stats seal builds %g != metrics %g",
+			st.Index.SealBuilds, samples["lsdb_index_seal_builds_total"])
 	}
 }
 

@@ -178,6 +178,13 @@ func RunJSON() Report {
 		db.Close()
 		os.RemoveAll(dir)
 	}
+
+	// E9s memory-scale worlds: sealed posting-list index cost per fact
+	// at 10⁵ and 10⁶ facts (10⁷ is available interactively via
+	// `lsdb-bench -scalemax 10000000 E9s` but is too slow for the
+	// committed artifact).
+	rep.Results = append(rep.Results, ScaleResults([]int{100_000, 1_000_000})...)
+
 	return rep
 }
 

@@ -101,6 +101,9 @@ func Run(w *gen.World, opts Options) *Failure {
 	if f := SealedCloneVsOriginal(w); f != nil {
 		return f
 	}
+	if f := SealedVsMutable(w); f != nil {
+		return f
+	}
 	if f := TxRollback(w); f != nil {
 		return f
 	}

@@ -1,0 +1,215 @@
+package check
+
+// Sealed-vs-mutable differential oracles. Sealing a store swaps its
+// six hash indexes for the compressed posting-list index
+// (store/postings.go) behind the same read interface; these oracles
+// demand that the swap is invisible: every template class, every
+// count, every estimate, and every whole-store view must answer
+// identically from both representations.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/fact"
+	"repro/internal/gen"
+	"repro/internal/store"
+	"repro/internal/sym"
+)
+
+// sealedProbeCap bounds the anchor sample per world so the oracle
+// stays linear in store size (the full probe grid is cubic).
+const sealedProbeCap = 100
+
+// compareStores runs the full read-interface comparison between a
+// mutable store and its sealed counterpart over every template class.
+// Both stores must share one universe. name labels failures.
+func compareStores(u *fact.Universe, mut, sealed *store.Store, name string) *Failure {
+	fail := func(format string, args ...any) *Failure {
+		return &Failure{Oracle: "sealed-vs-mutable", Detail: name + ": " + fmt.Sprintf(format, args...)}
+	}
+	if mut.Len() != sealed.Len() {
+		return fail("Len %d != %d", mut.Len(), sealed.Len())
+	}
+
+	// Anchors: a deterministic sample of stored entities and all
+	// relations, plus entities that exist only in the universe (absent
+	// from the store) and the wildcard.
+	ents := mut.Entities()
+	step := 1
+	if len(ents) > sealedProbeCap {
+		step = len(ents) / sealedProbeCap
+	}
+	anchors := []sym.ID{sym.None, u.Intern("SEALED-ORACLE-ABSENT")}
+	for i := 0; i < len(ents); i += step {
+		anchors = append(anchors, ents[i])
+	}
+	rels := []sym.ID{sym.None, u.Intern("SEALED-ORACLE-NOREL")}
+	for _, rs := range mut.Relationships() {
+		rels = append(rels, rs.Rel)
+	}
+
+	// Every template class: (S|·, R|·, T|·) over the anchor grid.
+	for _, s := range anchors {
+		for _, r := range rels {
+			for _, t := range anchors {
+				wantAll := mut.MatchAll(s, r, t)
+				gotAll := sealed.MatchAll(s, r, t)
+				if len(wantAll) != len(gotAll) {
+					return fail("MatchAll(%s,%s,%s): %d facts mutable, %d sealed",
+						u.Name(s), u.Name(r), u.Name(t), len(wantAll), len(gotAll))
+				}
+				seen := make(map[fact.Fact]bool, len(wantAll))
+				for _, f := range wantAll {
+					seen[f] = true
+				}
+				for _, f := range gotAll {
+					if !seen[f] {
+						return fail("MatchAll(%s,%s,%s): sealed has extra %v",
+							u.Name(s), u.Name(r), u.Name(t), f)
+					}
+				}
+				if mc, sc := mut.Count(s, r, t), sealed.Count(s, r, t); mc != sc {
+					return fail("Count(%s,%s,%s): %d != %d", u.Name(s), u.Name(r), u.Name(t), mc, sc)
+				}
+				if me, se := mut.EstimateCount(s, r, t), sealed.EstimateCount(s, r, t); me != se {
+					return fail("EstimateCount(%s,%s,%s): %d != %d", u.Name(s), u.Name(r), u.Name(t), me, se)
+				}
+			}
+		}
+	}
+
+	// Membership agreement for every stored fact plus perturbations.
+	for i, f := range mut.Facts() {
+		if !sealed.Has(f) {
+			return fail("sealed missing stored fact %v", f)
+		}
+		if i%7 == 0 {
+			g := fact.Fact{S: f.T, R: f.R, T: f.S} // often absent
+			if mut.Has(g) != sealed.Has(g) {
+				return fail("Has(%v) disagrees", g)
+			}
+		}
+	}
+
+	// Whole-store views.
+	me, se := mut.Entities(), sealed.Entities()
+	if len(me) != len(se) {
+		return fail("Entities %d != %d", len(me), len(se))
+	}
+	for i := range me {
+		if me[i] != se[i] {
+			return fail("Entities[%d]: %s != %s", i, u.Name(me[i]), u.Name(se[i]))
+		}
+	}
+	mr, sr := mut.Relationships(), sealed.Relationships()
+	if fmt.Sprint(mr) != fmt.Sprint(sr) {
+		return fail("Relationships %v != %v", mr, sr)
+	}
+	for _, id := range anchors {
+		if id == sym.None {
+			continue
+		}
+		if mut.Degree(id) != sealed.Degree(id) {
+			return fail("Degree(%s): %d != %d", u.Name(id), mut.Degree(id), sealed.Degree(id))
+		}
+		if mut.HasEntity(id) != sealed.HasEntity(id) {
+			return fail("HasEntity(%s) disagrees", u.Name(id))
+		}
+	}
+	if st := sealed.IndexStats(); st.Facts != sealed.Len() {
+		return fail("IndexStats.Facts %d != Len %d", st.Facts, sealed.Len())
+	}
+	return nil
+}
+
+// SealedVsMutable checks that sealing is invisible to readers on both
+// stores a world carries: the base store (mutable vs sealed clone) and
+// the closure store (sealed vs mutable clone).
+func SealedVsMutable(w *gen.World) *Failure {
+	db := w.Build()
+	u := db.Universe()
+
+	base := db.Store()
+	sealedBase := base.Clone()
+	sealedBase.Seal()
+	if f := compareStores(u, base, sealedBase, "base"); f != nil {
+		return f
+	}
+
+	closure := db.Engine().Closure() // published sealed
+	mutClosure := closure.Clone()    // clone of sealed is mutable
+	if mutClosure.Sealed() {
+		return &Failure{Oracle: "sealed-vs-mutable", Detail: "closure clone is sealed"}
+	}
+	return compareStores(u, mutClosure, closure, "closure")
+}
+
+// SealedVsMutableScale is the memory-scale variant: a Zipf world bulk
+// loaded through store.SealedFromFacts versus the same facts replayed
+// through the mutable insert path, probed by concurrent readers (run
+// under -race this also exercises the sealed index's lock-free read
+// claim). cfg.Facts defaults per gen.ScaleConfig; a million-entity
+// run is LSDB_SCALE_FACTS=1000000 away (see make check-scale).
+func SealedVsMutableScale(cfg gen.ScaleConfig) *Failure {
+	cfg = cfg.Normalized()
+	u := fact.NewUniverse()
+	sealed := gen.BuildScaleStore(u, cfg)
+	mut := gen.BuildScaleMutable(u, cfg)
+
+	if f := compareStores(u, mut, sealed, fmt.Sprintf("scale(%d)", cfg.Facts)); f != nil {
+		return f
+	}
+
+	// Concurrent probe goroutines over disjoint fact ranges: readers
+	// must agree with the mutable reference while sharing the sealed
+	// index without locks.
+	workers := min(4, runtime.GOMAXPROCS(0))
+	if workers < 2 {
+		workers = 2
+	}
+	facts := sealed.Facts()
+	var wg sync.WaitGroup
+	fails := make([]*Failure, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			fail := func(format string, args ...any) {
+				if fails[g] == nil {
+					fails[g] = &Failure{
+						Oracle: "sealed-vs-mutable",
+						Detail: fmt.Sprintf("scale concurrent reader %d: ", g) + fmt.Sprintf(format, args...),
+					}
+				}
+			}
+			for i := g; i < len(facts); i += workers * 97 {
+				f := facts[i]
+				if !sealed.Has(f) {
+					fail("sealed lost %v", f)
+					return
+				}
+				if mut.Count(sym.None, f.R, f.T) != sealed.Count(sym.None, f.R, f.T) {
+					fail("Count(·,%s,%s) disagrees", u.Name(f.R), u.Name(f.T))
+					return
+				}
+				if mut.EstimateCount(f.S, f.R, sym.None) != sealed.EstimateCount(f.S, f.R, sym.None) {
+					fail("EstimateCount(%s,%s,·) disagrees", u.Name(f.S), u.Name(f.R))
+					return
+				}
+				if len(mut.MatchAll(f.S, sym.None, f.T)) != len(sealed.MatchAll(f.S, sym.None, f.T)) {
+					fail("MatchAll(%s,·,%s) disagrees", u.Name(f.S), u.Name(f.T))
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, f := range fails {
+		if f != nil {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+package check
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// TestSealedVsMutableOracle runs the sealed-vs-mutable oracle directly
+// across generated worlds (it is also part of Run; this pins the
+// satellite requirement on its own).
+func TestSealedVsMutableOracle(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		w := gen.Generate(seed, gen.Small())
+		if f := SealedVsMutable(w); f != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, f, w.Program())
+		}
+	}
+}
+
+// TestSealedVsMutableScale runs the memory-scale differential on a
+// Zipf world. Sized so `go test -race ./internal/check` stays
+// CI-feasible; LSDB_SCALE_FACTS scales it up interactively (make
+// check-scale uses 200000).
+func TestSealedVsMutableScale(t *testing.T) {
+	facts := 30_000
+	if testing.Short() {
+		facts = 5_000
+	}
+	if env := os.Getenv("LSDB_SCALE_FACTS"); env != "" {
+		n, err := strconv.Atoi(env)
+		if err != nil {
+			t.Fatalf("bad LSDB_SCALE_FACTS %q: %v", env, err)
+		}
+		facts = n
+	}
+	for _, seed := range []int64{1, 42} {
+		if f := SealedVsMutableScale(gen.ScaleConfig{Facts: facts, Seed: seed}); f != nil {
+			t.Fatalf("seed %d: %v", seed, f)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/fact"
+	"repro/internal/store"
+	"repro/internal/sym"
+)
+
+// Memory-scale worlds: Zipf-distributed fact sets big enough to
+// exercise the sealed posting-list index (10⁵–10⁷ facts), generated
+// directly as interned fact slices rather than replayable string
+// programs — at a million facts per world, the Op-list representation
+// of World would dominate the measurement being taken.
+//
+// The shape mimics a large loosely structured database: entity
+// popularity follows a Zipf law (a few hubs appear in a large share of
+// facts, most entities in a handful), relation choice is uniform over
+// a small vocabulary, and a sprinkle of ≺/∈ facts gives the inference
+// rules something to chew on at scale.
+
+// ScaleConfig parameterizes one scale world. The zero value of any
+// field selects a sensible default (see normalize).
+type ScaleConfig struct {
+	Facts    int     // total facts generated before dedup (default 100_000)
+	Entities int     // entity-pool size (default Facts/10, min 100)
+	Rels     int     // relation vocabulary size (default 16)
+	Skew     float64 // Zipf s parameter, > 1 (default 1.2)
+	Seed     int64   // RNG seed (default 1)
+	// TaxonomyFrac is the fraction of facts emitted as structure: half
+	// ∈ (entity into class), half ≺ (class chain). Default 0.05; set
+	// negative for none.
+	TaxonomyFrac float64
+}
+
+// Normalized returns c with every zero field replaced by its default.
+func (c ScaleConfig) Normalized() ScaleConfig {
+	if c.Facts <= 0 {
+		c.Facts = 100_000
+	}
+	if c.Entities <= 0 {
+		c.Entities = max(c.Facts/10, 100)
+	}
+	if c.Rels <= 0 {
+		c.Rels = 16
+	}
+	if c.Skew <= 1 {
+		c.Skew = 1.2
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.TaxonomyFrac == 0 {
+		c.TaxonomyFrac = 0.05
+	}
+	if c.TaxonomyFrac < 0 {
+		c.TaxonomyFrac = 0
+	}
+	return c
+}
+
+// ScaleFacts generates the world's facts. The slice may contain
+// duplicates (the store collapses them); entity IDs are interned
+// lazily, so only entities actually drawn are added to the universe.
+func ScaleFacts(u *fact.Universe, c ScaleConfig) []fact.Fact {
+	c = c.Normalized()
+	rng := rand.New(rand.NewSource(c.Seed))
+	// Zipf ranks 0..Entities-1; rank 0 is the most popular entity.
+	zipf := rand.NewZipf(rng, c.Skew, 1, uint64(c.Entities-1))
+
+	ents := make([]sym.ID, c.Entities)
+	entity := func(rank uint64) sym.ID {
+		if ents[rank] == sym.None {
+			ents[rank] = u.Intern(fmt.Sprintf("N%d", rank))
+		}
+		return ents[rank]
+	}
+	rels := make([]sym.ID, c.Rels)
+	for i := range rels {
+		rels[i] = u.Intern(fmt.Sprintf("rel%d", i))
+	}
+	// A shallow class forest for the taxonomy fraction.
+	nClasses := max(c.Entities/1000, 8)
+	classes := make([]sym.ID, nClasses)
+	for i := range classes {
+		classes[i] = u.Intern(fmt.Sprintf("CLASS%d", i))
+	}
+
+	taxEvery := 0
+	if c.TaxonomyFrac > 0 {
+		taxEvery = int(1 / c.TaxonomyFrac)
+	}
+	fs := make([]fact.Fact, 0, c.Facts)
+	for i := 0; i < c.Facts; i++ {
+		if taxEvery > 0 && i%taxEvery == 0 {
+			ci := rng.Intn(nClasses)
+			if i%(2*taxEvery) == 0 && ci > 0 {
+				// Class chain: CLASSn ≺ CLASS(n/2) forms a forest.
+				fs = append(fs, fact.Fact{S: classes[ci], R: u.Gen, T: classes[ci/2]})
+			} else {
+				fs = append(fs, fact.Fact{S: entity(zipf.Uint64()), R: u.Member, T: classes[ci]})
+			}
+			continue
+		}
+		fs = append(fs, fact.Fact{
+			S: entity(zipf.Uint64()),
+			R: rels[rng.Intn(c.Rels)],
+			T: entity(zipf.Uint64()),
+		})
+	}
+	return fs
+}
+
+// BuildScaleStore generates the world and bulk-loads it into a sealed
+// posting-list store (store.SealedFromFacts), the representation the
+// E9 scale benches and the scale oracle measure.
+func BuildScaleStore(u *fact.Universe, c ScaleConfig) *store.Store {
+	return store.SealedFromFacts(u, ScaleFacts(u, c))
+}
+
+// BuildScaleMutable replays the same facts through the mutable insert
+// path — the reference representation the differential oracle compares
+// the sealed store against.
+func BuildScaleMutable(u *fact.Universe, c ScaleConfig) *store.Store {
+	s := store.New(u)
+	for _, f := range ScaleFacts(u, c) {
+		s.Insert(f)
+	}
+	return s
+}

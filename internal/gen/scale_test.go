@@ -1,0 +1,74 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/fact"
+)
+
+// TestScaleFactsDeterministic: the same config must produce the same
+// facts in the same order, independent of universe pre-state.
+func TestScaleFactsDeterministic(t *testing.T) {
+	cfg := ScaleConfig{Facts: 5000, Seed: 9}
+	u1, u2 := fact.NewUniverse(), fact.NewUniverse()
+	u2.Intern("PERTURB") // shifted IDs must not change the *names* drawn
+	a := ScaleFacts(u1, cfg)
+	b := ScaleFacts(u2, cfg)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if u1.Name(a[i].S) != u2.Name(b[i].S) ||
+			u1.Name(a[i].R) != u2.Name(b[i].R) ||
+			u1.Name(a[i].T) != u2.Name(b[i].T) {
+			t.Fatalf("fact %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestBuildScaleStore: the bulk-sealed store and the mutable replay
+// must agree on size and membership, and the sealed store must report
+// index stats.
+func TestBuildScaleStore(t *testing.T) {
+	cfg := ScaleConfig{Facts: 8000, Seed: 4}
+	us, um := fact.NewUniverse(), fact.NewUniverse()
+	sealed := BuildScaleStore(us, cfg)
+	mut := BuildScaleMutable(um, cfg)
+	if sealed.Len() != mut.Len() {
+		t.Fatalf("Len: sealed %d, mutable %d", sealed.Len(), mut.Len())
+	}
+	if !sealed.Sealed() || mut.Sealed() {
+		t.Fatal("sealed/mutable state wrong")
+	}
+	for _, f := range mut.Facts() {
+		g := fact.Fact{
+			S: us.Intern(um.Name(f.S)),
+			R: us.Intern(um.Name(f.R)),
+			T: us.Intern(um.Name(f.T)),
+		}
+		if !sealed.Has(g) {
+			t.Fatalf("sealed store missing %v", g)
+		}
+	}
+	st := sealed.IndexStats()
+	if st.Facts != sealed.Len() || st.PostingBytes == 0 || st.Buckets() == 0 {
+		t.Fatalf("implausible IndexStats %+v", st)
+	}
+	// The Zipf world must actually contain structure facts.
+	u := us
+	if sealed.Count(0, u.Gen, 0) == 0 || sealed.Count(0, u.Member, 0) == 0 {
+		t.Fatal("no taxonomy facts generated")
+	}
+}
+
+// TestScaleConfigDefaults: zero fields normalize to documented values.
+func TestScaleConfigDefaults(t *testing.T) {
+	c := ScaleConfig{}.Normalized()
+	if c.Facts != 100_000 || c.Entities != 10_000 || c.Rels != 16 ||
+		c.Skew != 1.2 || c.Seed != 1 || c.TaxonomyFrac != 0.05 {
+		t.Fatalf("unexpected defaults %+v", c)
+	}
+	if n := (ScaleConfig{Facts: 100, TaxonomyFrac: -1}).Normalized(); n.TaxonomyFrac != 0 || n.Entities != 100 {
+		t.Fatalf("unexpected normalized %+v", n)
+	}
+}

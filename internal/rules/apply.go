@@ -146,10 +146,26 @@ func sortPremises(ps []fact.Fact) {
 // axiomFacts returns the built-in facts the paper postulates:
 // ⇌ is its own inverse (§3.4), ⊥ is its own inverse so contradiction
 // facts come in symmetric pairs (§3.5), and the mathematical
-// comparators contradict each other pairwise (§3.5–3.6).
+// comparators contradict each other pairwise (§3.5–3.6). The set
+// depends only on the universe, so it is built once per engine —
+// bounded evaluation iterates it once per subgoal, and rebuilding it
+// there dominated the small-allocation profile. Callers must not
+// mutate the shared slices.
 func (e *Engine) axiomFacts() []derivation {
+	e.axiomOnce.Do(e.buildAxioms)
+	return e.axioms
+}
+
+// axiomFactList is axiomFacts without the derivation wrappers, for
+// paths that only need the facts.
+func (e *Engine) axiomFactList() []fact.Fact {
+	e.axiomOnce.Do(e.buildAxioms)
+	return e.axiomFs
+}
+
+func (e *Engine) buildAxioms() {
 	u := e.u
-	ax := []fact.Fact{
+	e.axiomFs = []fact.Fact{
 		{S: u.Inv, R: u.Inv, T: u.Inv},
 		{S: u.Contra, R: u.Inv, T: u.Contra},
 		{S: u.Lt, R: u.Contra, T: u.Gt},
@@ -165,11 +181,10 @@ func (e *Engine) axiomFacts() []derivation {
 		{S: u.Gt, R: u.Contra, T: u.Le},
 		{S: u.Le, R: u.Contra, T: u.Gt},
 	}
-	out := make([]derivation, len(ax))
-	for i, f := range ax {
-		out[i] = derivation{f: f, why: "axiom"}
+	e.axioms = make([]derivation, len(e.axiomFs))
+	for i, f := range e.axiomFs {
+		e.axioms[i] = derivation{f: f, why: "axiom"}
 	}
-	return out
 }
 
 // deriveFrom appends to out every fact derivable in one step by
@@ -480,34 +495,19 @@ func instantiate(h fact.Template, b binding) (fact.Fact, bool) {
 }
 
 // joinAtoms enumerates every extension of b satisfying all atoms
-// against derived ∪ virtual facts, re-ranking the remaining atoms by
-// store selectivity at every step (pickAtom). atoms is permuted in
-// place; callers pass a scratch slice. b is extended in place and
-// unwound on backtrack, so found must not retain it.
+// against derived ∪ virtual facts via the batch join kernel
+// (batchjoin.go): premises are re-ranked by store selectivity and,
+// where eligible, answered for whole binding batches at once. atoms is
+// permuted in place; callers pass a scratch slice. found must not
+// retain its argument.
 func (e *Engine) joinAtoms(atoms []fact.Template, b binding, derived *store.Store, found func(binding)) {
-	if len(atoms) == 0 {
-		found(b)
-		return
+	var js joinStats
+	seed := [1]binding{b}
+	joinBatch(storeEval{e: e, derived: derived}, atoms, seed[:], &js, found)
+	if js.batches != 0 {
+		e.m.batchJoins.Add(js.batches)
+		e.m.batchBindings.Add(js.batchBindings)
 	}
-	if len(atoms) > 1 {
-		best := pickAtom(atoms, b, derived)
-		atoms[0], atoms[best] = atoms[best], atoms[0]
-	}
-	atom := atoms[0]
-	s, r, t := resolve(atom, b)
-	try := func(f fact.Fact) bool {
-		var undo [3]fact.Var
-		n, ok := unifyInto(atom, f, b, &undo)
-		if ok {
-			e.joinAtoms(atoms[1:], b, derived, found)
-		}
-		for i := 0; i < n; i++ {
-			delete(b, undo[i])
-		}
-		return true
-	}
-	derived.Match(s, r, t, try)
-	e.vp.Match(s, r, t, derived, try)
 }
 
 // pickAtom returns the index of the atom to join next: the one whose

@@ -58,6 +58,12 @@ type Engine struct {
 	// m holds observability handles (SetMetrics, metrics.go). The zero
 	// value is all nil-safe no-ops.
 	m engineMetrics
+
+	// Axiom facts (apply.go) depend only on the universe; built once
+	// and shared by every closure build and bounded subgoal.
+	axiomOnce sync.Once
+	axioms    []derivation
+	axiomFs   []fact.Fact
 }
 
 // ruleset is an immutable snapshot of the rule configuration. Config
@@ -315,7 +321,18 @@ func (e *Engine) rebuild() *snapshot {
 }
 
 func (e *Engine) publish(c *store.Store, prov map[fact.Fact]Provenance, bv, cv uint64) *snapshot {
+	// Sealing swaps the closure's hash indexes for the compressed
+	// posting-list form (store/postings.go); it is the index build of
+	// every published snapshot, so its cost is tracked explicitly.
+	var t0 time.Time
+	if e.m.sealNs != nil {
+		t0 = time.Now()
+	}
 	c.Seal()
+	if e.m.sealNs != nil {
+		e.m.sealNs.Observe(time.Since(t0).Nanoseconds())
+	}
+	e.m.sealBuilds.Inc()
 	s := &snapshot{closure: c, prov: prov, baseVer: bv, cfgVer: cv}
 	e.snap.Store(s)
 	return s

@@ -18,6 +18,12 @@ type engineMetrics struct {
 	factsScanned *obs.Counter // candidate facts enumerated by bounded matching
 	premReorder  *obs.Counter // join premises moved by selectivity re-ranking
 	maxDepth     *obs.Gauge   // deepest MatchBounded depth requested
+
+	batchJoins    *obs.Counter // premise×batch evaluations answered generically
+	batchBindings *obs.Counter // bindings covered by those batch evaluations
+
+	sealNs     *obs.Histogram // posting-index build time per published closure
+	sealBuilds *obs.Counter   // closures sealed (posting indexes built)
 }
 
 // SetMetrics registers the engine's metrics in r. Must be called
@@ -39,6 +45,12 @@ func (e *Engine) SetMetrics(r *obs.Registry) {
 		factsScanned: r.Counter("lsdb_ondemand_facts_scanned_total"),
 		premReorder:  r.Counter("lsdb_ondemand_premises_reordered_total"),
 		maxDepth:     r.Gauge("lsdb_ondemand_max_depth"),
+
+		batchJoins:    r.Counter("lsdb_join_batches_total"),
+		batchBindings: r.Counter("lsdb_join_batched_bindings_total"),
+
+		sealNs:     r.Histogram("lsdb_index_seal_ns"),
+		sealBuilds: r.Counter("lsdb_index_seal_builds_total"),
 	}
 	r.RegisterCounter("lsdb_subgoal_hits_total", e.sg.hits)
 	r.RegisterCounter("lsdb_subgoal_misses_total", e.sg.misses)
@@ -52,6 +64,20 @@ func (e *Engine) SetMetrics(r *obs.Registry) {
 	// Closure gauges read the *published* snapshot only: a scrape must
 	// never trigger a closure build.
 	r.GaugeFunc("lsdb_closure_facts", func() float64 { return float64(e.MaterializedSize()) })
+	// Posting-index gauges describe the published closure's sealed
+	// index (zero when no snapshot is published yet).
+	r.GaugeFunc("lsdb_index_posting_bytes", func() float64 {
+		if s := e.snap.Load(); s != nil {
+			return float64(s.closure.IndexStats().PostingBytes)
+		}
+		return 0
+	})
+	r.GaugeFunc("lsdb_index_buckets", func() float64 {
+		if s := e.snap.Load(); s != nil {
+			return float64(s.closure.IndexStats().Buckets())
+		}
+		return 0
+	})
 	r.GaugeFunc("lsdb_closure_warm", func() float64 {
 		if e.Warm() {
 			return 1

@@ -1,6 +1,8 @@
 package rules
 
 import (
+	"slices"
+
 	"repro/internal/fact"
 	"repro/internal/obs"
 	"repro/internal/store"
@@ -37,7 +39,9 @@ type bkey struct {
 // affected by (and never blocks) concurrent configuration changes.
 // shared is the cross-query subgoal table (nil when the cache is
 // off); memo overlays it per call and also holds results not eligible
-// for sharing (tainted, or table at capacity).
+// for sharing (tainted, or table at capacity). Contexts are pooled
+// (getBounded/putBounded in scratch.go): the maps and the arena
+// survive between calls, so a warm query allocates almost nothing.
 type bounded struct {
 	e      *Engine
 	cfg    *ruleset
@@ -45,18 +49,19 @@ type bounded struct {
 	shared *subgoalTable
 	memo   map[bkey][]fact.Fact
 	open   map[bkey]bool // cycle guard for in-progress keys
+	arena  factArena     // backing for call-local memo results
 
 	hits, misses uint64 // shared-table counters, flushed on return
 	openHits     int    // times a subgoal hit an open (in-progress) key
 	tainted      map[bkey]bool
 
 	// Observability. tr records a span per subgoal when non-nil
-	// (MatchBoundedTrace); scanned and reordered are flushed to the
-	// engine's registry counters on return — per-call accumulation
+	// (MatchBoundedTrace); scanned and the join stats are flushed to
+	// the engine's registry counters on return — per-call accumulation
 	// keeps the hot recursion free of atomic traffic.
-	tr        *obs.Trace
-	scanned   uint64 // candidate facts enumerated from base + virtual
-	reordered uint64 // join atoms moved to front by selectivity ranking
+	tr      *obs.Trace
+	scanned uint64    // candidate facts enumerated from base + virtual
+	js      joinStats // premise reorders and batch-join counters
 }
 
 // MatchBounded calls fn for every fact matching the pattern that is
@@ -98,15 +103,7 @@ func (e *Engine) MatchBoundedTrace(src, rel, tgt sym.ID, depth int, tr *obs.Trac
 	// computed from newer content under an older label, which the next
 	// acquire discards — never the other way around (see subgoal.go).
 	cfg := e.rs.Load()
-	b := &bounded{
-		e:      e,
-		cfg:    cfg,
-		base:   e.base,
-		shared: e.sg.acquire(e.base.Version(), cfg.ver),
-		memo:   make(map[bkey][]fact.Fact),
-		open:   make(map[bkey]bool),
-		tr:     tr,
-	}
+	b := getBounded(e, cfg, tr)
 	results := b.enum(qs, qr, qt, depth)
 	if b.hits != 0 {
 		e.sg.hits.Add(b.hits)
@@ -115,32 +112,53 @@ func (e *Engine) MatchBoundedTrace(src, rel, tgt sym.ID, depth int, tr *obs.Trac
 		e.sg.misses.Add(b.misses)
 	}
 	e.m.factsScanned.Add(b.scanned)
-	e.m.premReorder.Add(b.reordered)
-
-	anyWild := wildS || wildR || wildT
-	seen := make(map[fact.Fact]struct{}, len(results))
-	for _, f := range results {
-		if anyWild && !e.wildcardRel(f.R) {
-			continue
-		}
-		if wildS {
-			f.S = src
-		}
-		if wildR {
-			f.R = rel
-		}
-		if wildT {
-			f.T = tgt
-		}
-		if _, dup := seen[f]; dup {
-			continue
-		}
-		seen[f] = struct{}{}
-		if !fn(f) {
-			return false
-		}
+	e.m.premReorder.Add(b.js.reordered)
+	if b.js.batches != 0 {
+		e.m.batchJoins.Add(b.js.batches)
+		e.m.batchBindings.Add(b.js.batchBindings)
 	}
-	return true
+
+	complete := true
+	if anyWild := wildS || wildR || wildT; !anyWild {
+		// No wildcard rewriting: enum results are already unique.
+		for _, f := range results {
+			if !fn(f) {
+				complete = false
+				break
+			}
+		}
+	} else {
+		// Rewriting positions back to Δ/∇ can collapse distinct facts,
+		// so dedup through a pooled set.
+		seen := getSeen()
+		for _, f := range results {
+			if !e.wildcardRel(f.R) {
+				continue
+			}
+			if wildS {
+				f.S = src
+			}
+			if wildR {
+				f.R = rel
+			}
+			if wildT {
+				f.T = tgt
+			}
+			if _, dup := seen[f]; dup {
+				continue
+			}
+			seen[f] = struct{}{}
+			if !fn(f) {
+				complete = false
+				break
+			}
+		}
+		putSeen(seen)
+	}
+	// results may be arena-backed; release the context only after the
+	// iteration above is done with them.
+	putBounded(b)
+	return complete
 }
 
 // BoundedMatcher adapts depth-bounded on-demand matching to the query
@@ -185,9 +203,11 @@ func match3(f fact.Fact, s, r, t sym.ID) bool {
 		(t == sym.None || f.T == t)
 }
 
-// enum returns all facts matching (s,r,t) derivable within d steps.
-// The returned slice is shared (per-call memo and possibly the
-// cross-query table) and must not be mutated.
+// enum returns all facts matching (s,r,t) derivable within d steps,
+// sorted in (S,R,T) order. The returned slice is shared (per-call memo
+// and possibly the cross-query table) and must not be mutated; when
+// the result is call-local it is carved from the context's arena and
+// dies at putBounded.
 //
 // The cycle guard runs before the shared-table lookup so that every
 // miss counted corresponds to a subgoal that is then computed (an
@@ -227,34 +247,50 @@ func (b *bounded) enum(s, r, t sym.ID, d int) []fact.Fact {
 	b.open[key] = true
 	openBefore := b.openHits
 
-	set := make(map[fact.Fact]struct{}, b.base.EstimateCount(s, r, t)+4)
-	add := func(f fact.Fact) {
-		if match3(f, s, r, t) {
-			set[f] = struct{}{}
-		}
-	}
-
-	b.base.Match(s, r, t, func(f fact.Fact) bool { b.scanned++; add(f); return true })
-	b.e.vp.Match(s, r, t, b.base, func(f fact.Fact) bool { b.scanned++; add(f); return true })
-	for _, ax := range b.e.axiomFacts() {
-		add(ax.f)
+	// Candidates accumulate in a pooled collector and are deduped by
+	// sort + adjacent-compare — no per-subgoal set map or closure. The
+	// sort also fixes the result order, making bounded evaluation
+	// deterministic.
+	col := getCollector(s, r, t)
+	b.base.Match(s, r, t, col.scan)
+	b.e.vp.Match(s, r, t, b.base, col.scan)
+	for _, ax := range b.e.axiomFactList() {
+		col.add(ax)
 	}
 
 	if d > 0 {
-		b.backward(s, r, t, d, add)
+		b.backward(s, r, t, d, col)
 	}
+	b.scanned += col.scanned
 
 	delete(b.open, key)
-	out := make([]fact.Fact, 0, len(set))
-	for f := range set {
-		out = append(out, f)
+	buf := col.buf
+	slices.SortFunc(buf, cmpFact)
+	buf = dedupSortedFacts(buf)
+
+	// Computed under an in-progress ancestor: the result depends on
+	// evaluation order, so it is valid for this call only. (Depth
+	// strictly decreases through backward, so this is insurance — the
+	// guard cannot fire on the current rules.)
+	taint := b.openHits != openBefore
+
+	// The memoized result must outlive the pooled buffer. Entries
+	// bound for the shared table outlive the call too and get exact
+	// heap copies; call-local results are carved from the arena.
+	var out []fact.Fact
+	if n := len(buf); n > 0 {
+		if b.shared != nil && !taint {
+			out = make([]fact.Fact, n)
+		} else {
+			out = b.arena.alloc(n)
+		}
+		copy(out, buf)
 	}
+	col.buf = buf
+	putCollector(col)
+
 	b.memo[key] = out
-	if b.openHits != openBefore {
-		// Computed under an in-progress ancestor: the result depends
-		// on evaluation order, so it is valid for this call only.
-		// (Depth strictly decreases through backward, so this is
-		// insurance — the guard cannot fire on the current rules.)
+	if taint {
 		if b.tainted == nil {
 			b.tainted = make(map[bkey]bool)
 		}
@@ -298,8 +334,8 @@ func (b *bounded) pattern(s, r, t sym.ID) string {
 
 // backward applies each enabled rule in reverse: it enumerates
 // derivations whose final step produces a fact matching (s,r,t),
-// recursing at depth d-1 for the premises.
-func (b *bounded) backward(s, r, t sym.ID, d int, add func(fact.Fact)) {
+// recursing at depth d-1 for the premises. Results land in col.
+func (b *bounded) backward(s, r, t sym.ID, d int, col *collector) {
 	e := b.e
 	u := e.u
 
@@ -311,7 +347,7 @@ func (b *bounded) backward(s, r, t sym.ID, d int, add func(fact.Fact)) {
 			}
 			for _, f := range b.enum(g.T, r, t, d-1) {
 				if e.Individual(f.R) {
-					add(fact.Fact{S: g.S, R: f.R, T: f.T})
+					col.add(fact.Fact{S: g.S, R: f.R, T: f.T})
 				}
 			}
 		}
@@ -321,7 +357,7 @@ func (b *bounded) backward(s, r, t sym.ID, d int, add func(fact.Fact)) {
 		for _, g := range b.enum(s, u.Member, sym.None, d-1) {
 			for _, f := range b.enum(g.T, r, t, d-1) {
 				if e.Individual(f.R) {
-					add(fact.Fact{S: g.S, R: f.R, T: f.T})
+					col.add(fact.Fact{S: g.S, R: f.R, T: f.T})
 				}
 			}
 		}
@@ -334,7 +370,7 @@ func (b *bounded) backward(s, r, t sym.ID, d int, add func(fact.Fact)) {
 			}
 			for _, f := range b.enum(s, r, g.S, d-1) {
 				if e.Individual(f.R) {
-					add(fact.Fact{S: f.S, R: f.R, T: g.T})
+					col.add(fact.Fact{S: f.S, R: f.R, T: g.T})
 				}
 			}
 		}
@@ -344,7 +380,7 @@ func (b *bounded) backward(s, r, t sym.ID, d int, add func(fact.Fact)) {
 		for _, g := range b.enum(sym.None, u.Member, t, d-1) {
 			for _, f := range b.enum(s, r, g.S, d-1) {
 				if e.Individual(f.R) {
-					add(fact.Fact{S: f.S, R: f.R, T: g.T})
+					col.add(fact.Fact{S: f.S, R: f.R, T: g.T})
 				}
 			}
 		}
@@ -357,7 +393,7 @@ func (b *bounded) backward(s, r, t sym.ID, d int, add func(fact.Fact)) {
 			}
 			for _, f := range b.enum(s, g.S, t, d-1) {
 				if f.R == g.S && e.Individual(f.R) {
-					add(fact.Fact{S: f.S, R: g.T, T: f.T})
+					col.add(fact.Fact{S: f.S, R: g.T, T: f.T})
 				}
 			}
 		}
@@ -367,7 +403,7 @@ func (b *bounded) backward(s, r, t sym.ID, d int, add func(fact.Fact)) {
 		for _, g := range b.enum(sym.None, u.Inv, r, d-1) {
 			for _, f := range b.enum(t, g.S, s, d-1) {
 				if f.R == g.S {
-					add(fact.Fact{S: f.T, R: g.T, T: f.S})
+					col.add(fact.Fact{S: f.T, R: g.T, T: f.S})
 				}
 			}
 		}
@@ -383,7 +419,7 @@ func (b *bounded) backward(s, r, t sym.ID, d int, add func(fact.Fact)) {
 			}
 			for _, h := range b.enum(g.T, u.Gen, t, d-1) {
 				if h.S != h.T && g.S != h.T && h.T != u.Top {
-					add(fact.Fact{S: g.S, R: u.Gen, T: h.T})
+					col.add(fact.Fact{S: g.S, R: u.Gen, T: h.T})
 				}
 			}
 		}
@@ -393,7 +429,7 @@ func (b *bounded) backward(s, r, t sym.ID, d int, add func(fact.Fact)) {
 		for _, g := range b.enum(s, u.Member, sym.None, d-1) {
 			for _, h := range b.enum(g.T, u.Gen, t, d-1) {
 				if h.S != h.T && h.T != u.Top && h.S != u.Bottom {
-					add(fact.Fact{S: g.S, R: u.Member, T: h.T})
+					col.add(fact.Fact{S: g.S, R: u.Member, T: h.T})
 				}
 			}
 		}
@@ -402,16 +438,16 @@ func (b *bounded) backward(s, r, t sym.ID, d int, add func(fact.Fact)) {
 	if b.cfg.std[Synonym] {
 		if relIs(u.Gen) {
 			for _, g := range b.enum(s, u.Syn, t, d-1) {
-				add(fact.Fact{S: g.S, R: u.Gen, T: g.T})
+				col.add(fact.Fact{S: g.S, R: u.Gen, T: g.T})
 			}
 			for _, g := range b.enum(t, u.Syn, s, d-1) {
-				add(fact.Fact{S: g.T, R: u.Gen, T: g.S})
+				col.add(fact.Fact{S: g.T, R: u.Gen, T: g.S})
 			}
 		}
 		if relIs(u.Syn) {
 			// Symmetry: (t,≈,s) ⇒ (s,≈,t).
 			for _, g := range b.enum(t, u.Syn, s, d-1) {
-				add(fact.Fact{S: g.T, R: u.Syn, T: g.S})
+				col.add(fact.Fact{S: g.T, R: u.Syn, T: g.S})
 			}
 			// Two-way generalization is a synonym.
 			for _, g := range b.enum(s, u.Gen, t, d-1) {
@@ -420,7 +456,7 @@ func (b *bounded) backward(s, r, t sym.ID, d int, add func(fact.Fact)) {
 				}
 				for _, h := range b.enum(g.T, u.Gen, g.S, d-1) {
 					if h.S == g.T && h.T == g.S {
-						add(fact.Fact{S: g.S, R: u.Syn, T: g.T})
+						col.add(fact.Fact{S: g.S, R: u.Syn, T: g.T})
 					}
 				}
 			}
@@ -445,7 +481,7 @@ func (b *bounded) backward(s, r, t sym.ID, d int, add func(fact.Fact)) {
 			body := append(make([]fact.Template, 0, len(rule.Body)), rule.Body...)
 			b.joinBounded(body, bind, d-1, func(bb binding) {
 				if f, ok := instantiate(h, bb); ok {
-					add(f)
+					col.add(f)
 				}
 			})
 			putBinding(bind)
@@ -473,31 +509,12 @@ func unifyPattern(h fact.Template, s, r, t sym.ID, b binding) bool {
 }
 
 // joinBounded enumerates bindings satisfying all atoms against the
-// depth-bounded closure, re-ranking the remaining atoms by base-store
-// selectivity at every step (see pickAtom). atoms is permuted in
-// place; callers pass a scratch slice. Bindings are extended in place
-// and unwound on backtrack, so found must not retain bind.
+// depth-bounded closure via the batch join kernel (batchjoin.go):
+// premises are re-ranked by base-store selectivity and, where
+// eligible, answered for whole binding batches at once. atoms is
+// permuted in place; callers pass a scratch slice. found must not
+// retain its argument.
 func (b *bounded) joinBounded(atoms []fact.Template, bind binding, d int, found func(binding)) {
-	if len(atoms) == 0 {
-		found(bind)
-		return
-	}
-	if len(atoms) > 1 {
-		best := pickAtom(atoms, bind, b.base)
-		if best != 0 {
-			b.reordered++
-			atoms[0], atoms[best] = atoms[best], atoms[0]
-		}
-	}
-	s, r, t := resolve(atoms[0], bind)
-	for _, f := range b.enum(s, r, t, d) {
-		var undo [3]fact.Var
-		n, ok := unifyInto(atoms[0], f, bind, &undo)
-		if ok {
-			b.joinBounded(atoms[1:], bind, d, found)
-		}
-		for i := 0; i < n; i++ {
-			delete(bind, undo[i])
-		}
-	}
+	seed := [1]binding{bind}
+	joinBatch(boundedEval{b: b, d: d}, atoms, seed[:], &b.js, found)
 }

@@ -1,0 +1,69 @@
+package store
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// decodeSets turns raw fuzz bytes into two strictly ascending uint32
+// sets: the first byte splits the input, the halves become delta
+// streams. Deltas are biased small so the linear-merge and galloping
+// branches both get exercised (the split point controls the size
+// skew).
+func decodeSets(data []byte) (a, b []uint32) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	split := int(data[0]) % (len(data) + 1)
+	rest := data[1:]
+	if split > len(rest) {
+		split = len(rest)
+	}
+	build := func(bs []byte) []uint32 {
+		var out []uint32
+		cur := uint32(0)
+		for len(bs) > 0 {
+			var d uint32
+			if bs[0]&0x80 != 0 && len(bs) >= 4 {
+				d = binary.LittleEndian.Uint32(bs[:4]) % (1 << 20)
+				bs = bs[4:]
+			} else {
+				d = uint32(bs[0])
+				bs = bs[1:]
+			}
+			cur += d + 1 // strictly ascending
+			out = append(out, cur)
+		}
+		return out
+	}
+	return build(rest[:split]), build(rest[split:])
+}
+
+// FuzzIntersect cross-checks the galloping/merging kernels against
+// naive hash-set references on arbitrary ascending inputs.
+func FuzzIntersect(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 1, 2, 3, 1, 2, 3})
+	f.Add([]byte{1, 0, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5})
+	f.Add([]byte{10, 0x80, 1, 2, 3, 0, 0, 0x80, 1, 2, 3, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, b := decodeSets(data)
+		got := Intersect(nil, a, b)
+		want := naiveIntersect(a, b)
+		if !equalU32(got, want) {
+			t.Fatalf("Intersect(%v, %v) = %v, want %v", a, b, got, want)
+		}
+		gotU := Union(nil, a, b)
+		wantU := naiveUnion(a, b)
+		if !equalU32(gotU, wantU) {
+			t.Fatalf("Union(%v, %v) = %v, want %v", a, b, gotU, wantU)
+		}
+		// Gallop cursors must agree with binary search everywhere.
+		for _, v := range got {
+			i := GallopGE(b, v, 0)
+			if i >= len(b) || b[i] != v {
+				t.Fatalf("GallopGE missed %d in %v (i=%d)", v, b, i)
+			}
+		}
+	})
+}

@@ -94,15 +94,31 @@ func readFact(r *bufio.Reader, u *fact.Universe) (fact.Fact, error) {
 	return fact.Fact{S: u.Intern(s), R: u.Intern(rel), T: u.Intern(t)}, nil
 }
 
-// SaveSnapshot writes all stored facts to w.
+// SaveSnapshot writes all stored facts to w. A sealed store snapshots
+// from its compressed fact array (the hash fact set no longer exists
+// after Seal); the on-disk format is identical either way.
 func (s *Store) SaveSnapshot(w io.Writer) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	if !s.sealed {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(snapMagic); err != nil {
 		return err
 	}
 	var buf [binary.MaxVarintLen64]byte
+	if s.sealed {
+		n := binary.PutUvarint(buf[:], uint64(len(s.idx.facts)))
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		for _, f := range s.idx.facts {
+			if err := writeFact(bw, s.u, f); err != nil {
+				return err
+			}
+		}
+		return bw.Flush()
+	}
 	n := binary.PutUvarint(buf[:], uint64(len(s.facts)))
 	if _, err := bw.Write(buf[:n]); err != nil {
 		return err

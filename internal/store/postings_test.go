@@ -1,0 +1,296 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/fact"
+	"repro/internal/sym"
+)
+
+// sortedTriples canonicalizes a result set for comparison.
+func sortedTriples(fs []fact.Fact) []fact.Fact {
+	out := append([]fact.Fact(nil), fs...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.S != b.S {
+			return a.S < b.S
+		}
+		if a.R != b.R {
+			return a.R < b.R
+		}
+		return a.T < b.T
+	})
+	return out
+}
+
+func sameFactSet(a, b []fact.Fact) bool {
+	sa, sb := sortedTriples(a), sortedTriples(b)
+	if len(sa) != len(sb) {
+		return false
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// randomWorld inserts n random facts over small domains (guaranteeing
+// bucket collisions in every index) and returns the store.
+func randomWorld(u *fact.Universe, rng *rand.Rand, n int) *Store {
+	s := New(u)
+	for i := 0; i < n; i++ {
+		s.Insert(fact.Fact{
+			S: u.Intern(fmt.Sprintf("E%d", rng.Intn(40))),
+			R: u.Intern(fmt.Sprintf("R%d", rng.Intn(6))),
+			T: u.Intern(fmt.Sprintf("E%d", rng.Intn(40))),
+		})
+	}
+	return s
+}
+
+// TestSealedPostingsEquivalence compares every template class between
+// a mutable store and its sealed (posting-list) clone on random
+// worlds: Match, MatchAll, Count, EstimateCount, Has, plus the
+// whole-store views (Len, Entities, Relationships, Degree).
+func TestSealedPostingsEquivalence(t *testing.T) {
+	u := fact.NewUniverse()
+	rng := rand.New(rand.NewSource(42))
+	mut := randomWorld(u, rng, 600)
+	sealed := mut.Clone()
+	sealed.Seal()
+
+	if mut.Len() != sealed.Len() {
+		t.Fatalf("Len: mutable %d, sealed %d", mut.Len(), sealed.Len())
+	}
+	probes := []sym.ID{sym.None}
+	for i := 0; i < 12; i++ {
+		probes = append(probes, u.Intern(fmt.Sprintf("E%d", rng.Intn(45)))) // some absent
+	}
+	rels := []sym.ID{sym.None, u.Intern("R0"), u.Intern("R3"), u.Intern("RMISSING")}
+	for _, s := range probes {
+		for _, r := range rels {
+			for _, tt := range probes {
+				wantAll := mut.MatchAll(s, r, tt)
+				gotAll := sealed.MatchAll(s, r, tt)
+				if !sameFactSet(wantAll, gotAll) {
+					t.Fatalf("MatchAll(%d,%d,%d): mutable %d facts, sealed %d", s, r, tt, len(wantAll), len(gotAll))
+				}
+				if mc, sc := mut.Count(s, r, tt), sealed.Count(s, r, tt); mc != sc {
+					t.Fatalf("Count(%d,%d,%d): mutable %d, sealed %d", s, r, tt, mc, sc)
+				}
+				if me, se := mut.EstimateCount(s, r, tt), sealed.EstimateCount(s, r, tt); me != se {
+					t.Fatalf("EstimateCount(%d,%d,%d): mutable %d, sealed %d", s, r, tt, me, se)
+				}
+			}
+		}
+	}
+	for _, f := range mut.Facts() {
+		if !sealed.Has(f) {
+			t.Fatalf("sealed store missing %v", f)
+		}
+	}
+	if !sealed.Has(u.NewFact("E0", "R0", "E1")) == mut.Has(u.NewFact("E0", "R0", "E1")) {
+		t.Fatal("Has disagreement on probe fact")
+	}
+	me, se := mut.Entities(), sealed.Entities()
+	if len(me) != len(se) {
+		t.Fatalf("Entities: mutable %d, sealed %d", len(me), len(se))
+	}
+	for i := range me {
+		if me[i] != se[i] {
+			t.Fatalf("Entities[%d]: %d vs %d", i, me[i], se[i])
+		}
+	}
+	mr, sr := mut.Relationships(), sealed.Relationships()
+	if fmt.Sprint(mr) != fmt.Sprint(sr) {
+		t.Fatalf("Relationships: %v vs %v", mr, sr)
+	}
+	for _, id := range probes[1:] {
+		if mut.Degree(id) != sealed.Degree(id) {
+			t.Fatalf("Degree(%d): mutable %d, sealed %d", id, mut.Degree(id), sealed.Degree(id))
+		}
+		if mut.HasEntity(id) != sealed.HasEntity(id) {
+			t.Fatalf("HasEntity(%d) disagrees", id)
+		}
+	}
+}
+
+// TestMatchAllSealedPostingBucket mirrors TestMatchAllSealedSharesBucket
+// for the posting-backed patterns (RT, ST, R, T): the materialized
+// result must be exact-size (len == cap) so a caller append reallocates
+// instead of clobbering anything, and a second query must see the
+// original facts.
+func TestMatchAllSealedPostingBucket(t *testing.T) {
+	u, s := mk(t)
+	for i := 0; i < 4; i++ {
+		s.Insert(u.NewFact(fmt.Sprintf("s%d", i), "R", "HUB"))
+	}
+	s.Seal()
+	shapes := []struct {
+		name    string
+		s, r, t sym.ID
+	}{
+		{"RT", sym.None, u.Entity("R"), u.Entity("HUB")},
+		{"T", sym.None, sym.None, u.Entity("HUB")},
+		{"R", sym.None, u.Entity("R"), sym.None},
+		{"ST", u.Entity("s1"), sym.None, u.Entity("HUB")},
+	}
+	for _, sh := range shapes {
+		got := s.MatchAll(sh.s, sh.r, sh.t)
+		if len(got) == 0 {
+			t.Fatalf("%s: empty result", sh.name)
+		}
+		if cap(got) != len(got) {
+			t.Fatalf("%s: capacity %d > length %d: append would clobber shared memory", sh.name, cap(got), len(got))
+		}
+		before := append([]fact.Fact(nil), got...)
+		_ = append(got, fact.Fact{S: 999, R: 999, T: 999})
+		again := s.MatchAll(sh.s, sh.r, sh.t)
+		if !sameFactSet(before, again) {
+			t.Fatalf("%s: result changed after caller append: %v vs %v", sh.name, before, again)
+		}
+	}
+	// The all-wildcard zero-copy view gets the same clip treatment.
+	all := s.MatchAll(sym.None, sym.None, sym.None)
+	if cap(all) != len(all) {
+		t.Fatalf("all-wildcard: capacity %d > length %d", cap(all), len(all))
+	}
+	_ = append(all, fact.Fact{S: 999, R: 999, T: 999})
+	if s.Len() != 4 {
+		t.Fatalf("store length changed to %d after append to all-wildcard view", s.Len())
+	}
+}
+
+// TestSealedConcurrentReaders hammers one sealed index from many
+// goroutines mixing every read entry point; run under -race this
+// proves the frozen postings are safely shareable without locks.
+func TestSealedConcurrentReaders(t *testing.T) {
+	u := fact.NewUniverse()
+	rng := rand.New(rand.NewSource(7))
+	s := randomWorld(u, rng, 2000)
+	want := s.Len()
+	s.Seal()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 400; i++ {
+				e := u.Intern(fmt.Sprintf("E%d", r.Intn(40)))
+				rel := u.Intern(fmt.Sprintf("R%d", r.Intn(6)))
+				switch i % 6 {
+				case 0:
+					s.Match(e, sym.None, sym.None, func(fact.Fact) bool { return true })
+				case 1:
+					if got := s.MatchAll(sym.None, rel, e); len(got) != s.Count(sym.None, rel, e) {
+						t.Errorf("MatchAll/Count mismatch")
+						return
+					}
+				case 2:
+					s.Has(fact.Fact{S: e, R: rel, T: e})
+				case 3:
+					s.EstimateCount(sym.None, rel, sym.None)
+				case 4:
+					s.Degree(e)
+				case 5:
+					if s.Len() != want {
+						t.Errorf("Len changed under readers")
+						return
+					}
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+}
+
+// TestSealedFromFacts checks the bulk-load constructor against the
+// insert-then-Seal path, including duplicate collapsing.
+func TestSealedFromFacts(t *testing.T) {
+	u := fact.NewUniverse()
+	rng := rand.New(rand.NewSource(11))
+	mut := randomWorld(u, rng, 300)
+	fs := mut.Facts()
+	fs = append(fs, fs[0], fs[10], fs[20]) // duplicates must collapse
+	bulk := SealedFromFacts(u, fs)
+	mut.Seal()
+
+	if bulk.Len() != mut.Len() {
+		t.Fatalf("Len: bulk %d, sealed %d", bulk.Len(), mut.Len())
+	}
+	if !bulk.Sealed() {
+		t.Fatal("SealedFromFacts store not sealed")
+	}
+	if !sameFactSet(bulk.Facts(), mut.Facts()) {
+		t.Fatal("fact sets differ")
+	}
+	is, ms := bulk.IndexStats(), mut.IndexStats()
+	if is != ms {
+		t.Fatalf("IndexStats differ: bulk %+v, sealed %+v", is, ms)
+	}
+	if is.Facts != bulk.Len() || is.Buckets() == 0 || is.PostingBytes == 0 {
+		t.Fatalf("implausible IndexStats %+v", is)
+	}
+	if v := bulk.Version(); v != uint64(bulk.Len()) {
+		t.Fatalf("bulk version %d, want %d", v, bulk.Len())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("mutation of SealedFromFacts store did not panic")
+			}
+		}()
+		bulk.Insert(u.NewFact("X", "Y", "Z"))
+	}()
+}
+
+// TestSealIdempotent: sealing twice must not rebuild or corrupt.
+func TestSealIdempotent(t *testing.T) {
+	u, s := mk(t)
+	s.Insert(u.NewFact("A", "R", "B"))
+	s.Seal()
+	st := s.IndexStats()
+	s.Seal()
+	if s.IndexStats() != st {
+		t.Fatal("second Seal changed the index")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+// TestSealedCloneRoundTrip: sealing, cloning back to mutable, mutating
+// the clone, and re-sealing must behave like a fresh store.
+func TestSealedCloneRoundTrip(t *testing.T) {
+	u := fact.NewUniverse()
+	rng := rand.New(rand.NewSource(3))
+	s := randomWorld(u, rng, 200)
+	want := s.Facts()
+	s.Seal()
+	c := s.Clone()
+	if c.Sealed() {
+		t.Fatal("clone of sealed store is sealed")
+	}
+	if !sameFactSet(c.Facts(), want) {
+		t.Fatal("clone lost facts")
+	}
+	extra := u.NewFact("NEW", "REL", "TGT")
+	if !c.Insert(extra) {
+		t.Fatal("clone refused insert")
+	}
+	c.Seal()
+	if !c.Has(extra) || c.Len() != len(want)+1 {
+		t.Fatal("re-sealed clone wrong")
+	}
+	if s.Has(extra) {
+		t.Fatal("original sealed store changed")
+	}
+}

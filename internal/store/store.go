@@ -12,9 +12,12 @@
 // A Store is safe for concurrent use: reads take a shared lock,
 // mutations an exclusive one. A store can additionally be Sealed,
 // which freezes its fact set permanently: sealed reads skip lock
-// acquisition entirely and mutations panic. The rules engine seals
-// every closure store before publishing it, so the warm browsing path
-// reads materialized facts with zero synchronization.
+// acquisition entirely and mutations panic. Sealing also swaps the
+// hash indexes for a compressed posting-list index (postings.go) —
+// one sorted fact array plus span/varint-run buckets — so a sealed
+// store holds each fact once instead of seven times. The rules engine
+// seals every closure store before publishing it, so the warm browsing
+// path reads materialized facts with zero synchronization.
 package store
 
 import (
@@ -41,6 +44,11 @@ type Store struct {
 	// goroutines (the engine publishes sealed closures through an
 	// atomic pointer, which provides that edge).
 	sealed bool
+
+	// idx is the compressed posting-list index, built by Seal (or
+	// SealedFromFacts). While it is set, the hash maps below are nil:
+	// sealed reads are answered from idx alone.
+	idx *postings
 
 	facts map[fact.Fact]struct{}
 	byS   map[sym.ID][]fact.Fact
@@ -103,13 +111,26 @@ func New(u *fact.Universe) *Store {
 func (s *Store) Universe() *fact.Universe { return s.u }
 
 // Seal permanently freezes the store. After Seal, all read methods
-// skip lock acquisition and any mutation panics. The mutation history
-// is dropped: a sealed store will never change again, so ChangesSince
+// skip lock acquisition and any mutation panics. Sealing rebuilds the
+// read path as a compressed posting-list index and drops the fact set
+// map and all six hash indexes — the frozen form holds each fact once
+// plus a few posting bytes per bucket. The mutation history is
+// dropped: a sealed store will never change again, so ChangesSince
 // answers only for the current version. Seal must be called before
 // the store is shared across goroutines.
 func (s *Store) Seal() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.sealed {
+		return
+	}
+	fs := make([]fact.Fact, 0, len(s.facts))
+	for f := range s.facts {
+		fs = append(fs, f)
+	}
+	s.idx = buildPostings(fs)
+	s.facts, s.byS, s.byR, s.byT = nil, nil, nil, nil
+	s.bySR, s.byRT, s.byST = nil, nil, nil
 	s.sealed = true
 	s.recent = nil
 	s.recentBase = s.version.Load()
@@ -120,10 +141,11 @@ func (s *Store) Sealed() bool { return s.sealed }
 
 // Len returns the number of stored facts.
 func (s *Store) Len() int {
-	if !s.sealed {
-		s.mu.RLock()
-		defer s.mu.RUnlock()
+	if s.sealed {
+		return len(s.idx.facts)
 	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return len(s.facts)
 }
 
@@ -133,10 +155,11 @@ func (s *Store) Version() uint64 { return s.version.Load() }
 
 // Has reports whether f is stored (explicitly; inference is layered above).
 func (s *Store) Has(f fact.Fact) bool {
-	if !s.sealed {
-		s.mu.RLock()
-		defer s.mu.RUnlock()
+	if s.sealed {
+		return s.idx.has(f)
 	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	_, ok := s.facts[f]
 	return ok
 }
@@ -249,6 +272,15 @@ func (s *Store) mustMutable() {
 }
 
 func (s *Store) insertLocked(f fact.Fact) {
+	s.addLocked(f)
+	s.version.Add(1)
+	s.record(Change{Fact: f})
+}
+
+// addLocked fills the fact set and all six hash indexes without
+// touching the version or the mutation history. It is the shared body
+// of insertLocked and the bulk rebuild paths (Clone of a sealed store).
+func (s *Store) addLocked(f fact.Fact) {
 	s.facts[f] = struct{}{}
 	s.byS[f.S] = append(s.byS[f.S], f)
 	s.byR[f.R] = append(s.byR[f.R], f)
@@ -256,8 +288,6 @@ func (s *Store) insertLocked(f fact.Fact) {
 	s.bySR[pair{f.S, f.R}] = append(s.bySR[pair{f.S, f.R}], f)
 	s.byRT[pair{f.R, f.T}] = append(s.byRT[pair{f.R, f.T}], f)
 	s.byST[pair{f.S, f.T}] = append(s.byST[pair{f.S, f.T}], f)
-	s.version.Add(1)
-	s.record(Change{Fact: f})
 }
 
 func (s *Store) deleteLocked(f fact.Fact) {
@@ -343,10 +373,11 @@ func removePair(m map[pair][]fact.Fact, k pair, f fact.Fact) {
 // false; Match reports whether iteration ran to completion. fn must
 // not mutate the store.
 func (s *Store) Match(src, rel, tgt sym.ID, fn func(fact.Fact) bool) bool {
-	if !s.sealed {
-		s.mu.RLock()
-		defer s.mu.RUnlock()
+	if s.sealed {
+		return s.idx.match(src, rel, tgt, fn)
 	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	switch {
 	case src != sym.None && rel != sym.None && tgt != sym.None:
 		f := fact.Fact{S: src, R: rel, T: tgt}
@@ -430,8 +461,12 @@ func (s *Store) EstimateCounts(patterns []Pattern, out []int) {
 }
 
 // estimateLocked is EstimateCount's body; the caller holds the read
-// lock (or the store is sealed).
+// lock (or the store is sealed, in which case the compressed index
+// answers without locking).
 func (s *Store) estimateLocked(src, rel, tgt sym.ID) int {
+	if s.sealed {
+		return s.idx.estimate(src, rel, tgt)
+	}
 	switch {
 	case src != sym.None && rel != sym.None && tgt != sym.None:
 		if _, ok := s.facts[fact.Fact{S: src, R: rel, T: tgt}]; ok {
@@ -456,15 +491,14 @@ func (s *Store) estimateLocked(src, rel, tgt sym.ID) int {
 }
 
 // MatchAll collects the facts matching the pattern into a slice. On a
-// sealed store, patterns answered exactly by one index return that
-// index's bucket without copying (capacity-clipped, so an append by
-// the caller reallocates instead of clobbering the index); treat the
-// result as read-only.
+// sealed store, span-backed patterns (S, SR, all-wildcard) return a
+// capacity-clipped subslice of the sorted fact array without copying,
+// and posting-backed patterns materialize an exact-size slice; either
+// way an append by the caller reallocates instead of clobbering the
+// index. Treat sealed results as read-only.
 func (s *Store) MatchAll(src, rel, tgt sym.ID) []fact.Fact {
 	if s.sealed {
-		if bucket, ok := s.bucketFor(src, rel, tgt); ok {
-			return bucket[:len(bucket):len(bucket)]
-		}
+		return s.idx.matchAll(src, rel, tgt)
 	}
 	var out []fact.Fact
 	s.Match(src, rel, tgt, func(f fact.Fact) bool {
@@ -474,36 +508,15 @@ func (s *Store) MatchAll(src, rel, tgt sym.ID) []fact.Fact {
 	return out
 }
 
-// bucketFor returns the index bucket that answers the pattern exactly,
-// when one exists. Fully bound and all-wildcard patterns have no
-// single bucket and report false.
-func (s *Store) bucketFor(src, rel, tgt sym.ID) ([]fact.Fact, bool) {
-	switch {
-	case src != sym.None && rel != sym.None && tgt != sym.None:
-		return nil, false
-	case src != sym.None && rel != sym.None:
-		return s.bySR[pair{src, rel}], true
-	case rel != sym.None && tgt != sym.None:
-		return s.byRT[pair{rel, tgt}], true
-	case src != sym.None && tgt != sym.None:
-		return s.byST[pair{src, tgt}], true
-	case src != sym.None:
-		return s.byS[src], true
-	case rel != sym.None:
-		return s.byR[rel], true
-	case tgt != sym.None:
-		return s.byT[tgt], true
-	default:
-		return nil, false
-	}
-}
-
 // Facts returns a copy of all stored facts in unspecified order.
 func (s *Store) Facts() []fact.Fact {
-	if !s.sealed {
-		s.mu.RLock()
-		defer s.mu.RUnlock()
+	if s.sealed {
+		out := make([]fact.Fact, len(s.idx.facts))
+		copy(out, s.idx.facts)
+		return out
 	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]fact.Fact, 0, len(s.facts))
 	for f := range s.facts {
 		out = append(out, f)
@@ -515,16 +528,27 @@ func (s *Store) Facts() []fact.Fact {
 // stored fact, in any position. This is the active domain used for
 // ∀-quantifier evaluation (§2.7) and retraction (§5).
 func (s *Store) Entities() []sym.ID {
-	if !s.sealed {
-		s.mu.RLock()
-		defer s.mu.RUnlock()
+	if s.sealed {
+		seen := make(map[sym.ID]struct{}, len(s.idx.byS)+len(s.idx.byT))
+		for _, f := range s.idx.facts {
+			seen[f.S] = struct{}{}
+			seen[f.R] = struct{}{}
+			seen[f.T] = struct{}{}
+		}
+		return sortedIDs(seen)
 	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	seen := make(map[sym.ID]struct{}, len(s.byS)+len(s.byT))
 	for f := range s.facts {
 		seen[f.S] = struct{}{}
 		seen[f.R] = struct{}{}
 		seen[f.T] = struct{}{}
 	}
+	return sortedIDs(seen)
+}
+
+func sortedIDs(seen map[sym.ID]struct{}) []sym.ID {
 	out := make([]sym.ID, 0, len(seen))
 	for id := range seen {
 		out = append(out, id)
@@ -535,10 +559,11 @@ func (s *Store) Entities() []sym.ID {
 
 // HasEntity reports whether id occurs in any stored fact.
 func (s *Store) HasEntity(id sym.ID) bool {
-	if !s.sealed {
-		s.mu.RLock()
-		defer s.mu.RUnlock()
+	if s.sealed {
+		return s.idx.hasEntity(id)
 	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if _, ok := s.byS[id]; ok {
 		return true
 	}
@@ -552,10 +577,11 @@ func (s *Store) HasEntity(id sym.ID) bool {
 // Relationships returns the distinct relationship entities in use,
 // with the number of facts carrying each, sorted by descending count.
 func (s *Store) Relationships() []RelStat {
-	if !s.sealed {
-		s.mu.RLock()
-		defer s.mu.RUnlock()
+	if s.sealed {
+		return s.idx.relationships()
 	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]RelStat, 0, len(s.byR))
 	for r, bucket := range s.byR {
 		out = append(out, RelStat{Rel: r, Count: len(bucket)})
@@ -578,25 +604,36 @@ type RelStat struct {
 // Degree returns the number of facts in which id occurs as source or
 // target (its neighborhood size; used by navigation benchmarks).
 func (s *Store) Degree(id sym.ID) int {
-	if !s.sealed {
-		s.mu.RLock()
-		defer s.mu.RUnlock()
+	if s.sealed {
+		return s.idx.degree(id)
 	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return len(s.byS[id]) + len(s.byT[id])
 }
 
 // Clone returns a deep copy of the store sharing the same Universe.
-// The copy duplicates the fact set and all six index maps directly
-// (bucket slices are cloned so later appends cannot alias). The clone
-// is unsealed and mutable even when the receiver is sealed, carries
-// no durability log, and starts with an *empty* mutation history: its
-// version equals the fact count (as if each fact had been inserted
-// fresh) and ChangesSince answers only from that point forward.
+// The clone is unsealed and mutable even when the receiver is sealed,
+// carries no durability log, and starts with an *empty* mutation
+// history: its version equals the fact count (as if each fact had been
+// inserted fresh) and ChangesSince answers only from that point
+// forward. Cloning a mutable store duplicates the fact set and all six
+// index maps directly (bucket slices are cloned so later appends
+// cannot alias); cloning a sealed store rebuilds the hash indexes from
+// the compressed fact array, since the frozen form has no mutable
+// buckets to copy.
 func (s *Store) Clone() *Store {
-	if !s.sealed {
-		s.mu.RLock()
-		defer s.mu.RUnlock()
+	if s.sealed {
+		c := New(s.u)
+		for _, f := range s.idx.facts {
+			c.addLocked(f)
+		}
+		c.version.Store(uint64(len(c.facts)))
+		c.recentBase = uint64(len(c.facts))
+		return c
 	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	c := &Store{
 		u:     s.u,
 		facts: maps.Clone(s.facts),

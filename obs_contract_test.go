@@ -1,6 +1,7 @@
 package lsdb_test
 
 import (
+	"fmt"
 	"path/filepath"
 	"testing"
 
@@ -115,6 +116,65 @@ func TestMetricContract(t *testing.T) {
 	}
 	if got := v("lsdb_ondemand_max_depth"); got != 3 {
 		t.Errorf("max depth gauge = %g, want 3", got)
+	}
+
+	// Posting-index instrumentation: the single closure publish above
+	// built exactly one sealed posting index, and the index gauges must
+	// agree with the published closure's own stats.
+	if got := v("lsdb_index_seal_builds_total"); got != 1 {
+		t.Errorf("seal builds = %g, want exactly 1 (one closure publish)", got)
+	}
+	if got := v("lsdb_index_seal_ns"); got != 1 {
+		t.Errorf("seal histogram count = %g, want 1", got)
+	}
+	ist := db.Engine().Closure().IndexStats()
+	if ist.PostingBytes == 0 || ist.Buckets() == 0 {
+		t.Fatalf("implausible closure IndexStats %+v", ist)
+	}
+	if got := v("lsdb_index_posting_bytes"); got != float64(ist.PostingBytes) {
+		t.Errorf("posting bytes gauge = %g, want %d", got, ist.PostingBytes)
+	}
+	if got := v("lsdb_index_buckets"); got != float64(ist.Buckets()) {
+		t.Errorf("bucket gauge = %g, want %d", got, ist.Buckets())
+	}
+
+	// Batch-join counters. The taxonomy rules join only special
+	// relations (in/isa), which the batch kernel refuses, so nothing has
+	// batched yet. A two-atom user rule over a plain relation with
+	// fan-out 6 then evaluates its second premise as exactly one batch
+	// of 6 bindings.
+	if got := v("lsdb_join_batches_total"); got != 0 {
+		t.Errorf("batch joins before user rule = %g, want 0", got)
+	}
+	if err := db.AddRule("chain", "(?x, KNOWS, ?y) & (?y, KNOWS, ?z) => (?x, AWARE-OF, ?z)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		q := fmt.Sprintf("Q%d", i)
+		db.MustAssert("P0", "KNOWS", q)
+		db.MustAssert(q, "KNOWS", "P9")
+	}
+	if !db.HasBoundedTrace("P0", "AWARE-OF", "P9", 2, nil) {
+		t.Fatal("P0 AWARE-OF P9 not derivable at depth 2")
+	}
+	if got := v("lsdb_join_batches_total"); got != 1 {
+		t.Errorf("batch joins = %g, want exactly 1", got)
+	}
+	if got := v("lsdb_join_batched_bindings_total"); got != 6 {
+		t.Errorf("batched bindings = %g, want exactly 6", got)
+	}
+
+	// Re-publishing after the rule and assert churn seals one more
+	// posting index, and the gauges track the new closure.
+	db.ClosureLen()
+	if got := v("lsdb_index_seal_builds_total"); got != 2 {
+		t.Errorf("seal builds after republish = %g, want exactly 2", got)
+	}
+	if got := v("lsdb_index_seal_ns"); got != 2 {
+		t.Errorf("seal histogram count after republish = %g, want 2", got)
+	}
+	if got := v("lsdb_index_posting_bytes"); got != float64(db.Engine().Closure().IndexStats().PostingBytes) {
+		t.Errorf("posting bytes gauge stale after republish: %g", got)
 	}
 
 	// The registry and the structured stats views must agree exactly —
