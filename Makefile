@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-scale check check-obs check-scale crash fuzz soak
+.PHONY: all build vet test race bench bench-json bench-scale check check-obs check-scale crash fuzz load-smoke load-json soak
 
 all: check
 
@@ -35,13 +35,25 @@ bench-scale:
 	$(GO) run ./cmd/lsdb-bench -scalemax $(SCALEMAX) E9s
 
 # Observability suite: the metrics registry and trace recorder unit
-# tests, the metric-contract workload pins, and the daemon's
-# /metrics, /stats and ?trace=1 endpoint tests — all under -race,
-# plus go vet over the new package.
+# tests, the metric-contract and admission-control workload pins, and
+# the serving layer's /metrics, /stats, /batch and ?trace=1 endpoint
+# tests — all under -race, plus go vet over the new packages.
 check-obs:
-	$(GO) vet ./internal/obs
-	$(GO) test -race ./internal/obs ./cmd/lsdbd
-	$(GO) test -race -run 'TestMetricContract|TestCacheStatsRace|TestMetricsRegistered|TestRebuildCounters|TestMatchBoundedTrace|TestTrace' . ./internal/rules
+	$(GO) vet ./internal/obs ./internal/serve
+	$(GO) test -race ./internal/obs ./internal/serve ./cmd/lsdbd
+	$(GO) test -race -run 'TestMetricContract|TestAdmissionControlContract|TestCacheStatsRace|TestMetricsRegistered|TestRebuildCounters|TestMatchBoundedTrace|TestTrace' . ./internal/rules
+
+# Multi-tenant load smoke: a short lsdb-load run against an
+# in-process lsdbd (generated tenant worlds, seeded browse sessions)
+# must achieve nonzero throughput with zero non-429 errors.
+load-smoke:
+	$(GO) run ./cmd/lsdb-load -smoke -tenants 2 -workers 2 -duration 2s
+	$(GO) run ./cmd/lsdb-load -smoke -tenants 1 -workers 8 -duration 1s -max-inflight 2
+
+# Full load report with the committed-artifact parameters.
+LOADJSON ?= BENCH_PR7.json
+load-json:
+	$(GO) run ./cmd/lsdb-load -tenants 3 -workers 4 -duration 5s -seed 7 -json $(LOADJSON)
 
 # Durability crash fault injection: sweeps hundreds of byte-accurate
 # crash points through the WAL, checkpointing and compaction paths and
@@ -79,6 +91,7 @@ check-scale:
 # brief pass over every fuzz target.
 check: build vet test race
 	$(MAKE) check-obs
+	$(MAKE) load-smoke
 	$(MAKE) crash
 	$(MAKE) soak SEEDS=50
 	$(MAKE) check-scale SCALEFACTS=100000

@@ -1,0 +1,105 @@
+// Command lsdb-load is the multi-tenant SLO harness for lsdbd: it
+// builds per-tenant worlds, replays seeded browse sessions (queries,
+// navigations, derivations, associations, batches) at a target QPS
+// across tenants, and reports per-endpoint p50/p95/p99 latency from
+// the daemon's own /metrics histograms plus throughput, error and 429
+// rates.
+//
+// Usage:
+//
+//	lsdb-load [-tenants 3] [-workers 4] [-duration 2s] [-qps 0]
+//	          [-seed 7] [-batch 8] [-max-inflight 0] [-url http://host:8080]
+//	          [-json report.json] [-smoke]
+//
+// With no -url the harness starts an in-process daemon seeded with
+// generated worlds (tenants t0..tN-1), so a load run needs no setup.
+// With -url it drives an already-running lsdbd, discovering its
+// databases via /tenants.
+//
+// -max-inflight applies an admission quota to the in-process tenants,
+// so the run exercises 429 + Retry-After under pressure; 429s are
+// reported separately from errors because rejection under overload is
+// the specified behavior.
+//
+// -smoke exits nonzero unless the run achieved nonzero throughput
+// with zero non-429 errors — the CI gate wired into `make load-smoke`.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	tenants := flag.Int("tenants", 3, "number of tenant databases to drive")
+	workers := flag.Int("workers", 4, "concurrent client workers per tenant")
+	duration := flag.Duration("duration", 2*time.Second, "load duration")
+	qps := flag.Float64("qps", 0, "target aggregate requests/sec (0 = unthrottled)")
+	seed := flag.Int64("seed", 7, "seed for tenant worlds and session mixes")
+	batch := flag.Int("batch", 8, "ops per POST /batch request in the session mix")
+	maxInflight := flag.Int("max-inflight", 0, "per-tenant admission quota for the in-process daemon (0 = unlimited)")
+	baseURL := flag.String("url", "", "drive an external lsdbd at this base URL instead of in-process")
+	jsonPath := flag.String("json", "", "write the report as JSON to this path")
+	smoke := flag.Bool("smoke", false, "exit nonzero unless throughput > 0 and non-429 errors == 0")
+	flag.Parse()
+
+	cfg := bench.LoadConfig{
+		Tenants:     *tenants,
+		Workers:     *workers,
+		Duration:    *duration,
+		QPS:         *qps,
+		Seed:        *seed,
+		BatchSize:   *batch,
+		MaxInflight: *maxInflight,
+		BaseURL:     *baseURL,
+	}
+
+	var rep *bench.LoadReport
+	var err error
+	if *jsonPath != "" {
+		rep, err = bench.WriteLoadJSON(*jsonPath, cfg)
+	} else {
+		rep, err = bench.RunLoad(cfg)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("lsdb-load: %d tenants x %d workers, %.1fs, seed %d\n",
+		rep.Tenants, rep.Workers, rep.DurationSec, rep.Seed)
+	fmt.Printf("  sent %d, throughput %.0f qps, 429s %d, errors %d\n",
+		rep.Sent, rep.Throughput, rep.Rejected429, rep.Errors)
+	eps := make([]string, 0, len(rep.Endpoints))
+	for ep := range rep.Endpoints {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+	for _, ep := range eps {
+		e := rep.Endpoints[ep]
+		if e.Requests == 0 && e.Rejected == 0 {
+			continue
+		}
+		fmt.Printf("  %-10s %7d req %6d rej  p50 %8.3fms  p95 %8.3fms  p99 %8.3fms\n",
+			ep, e.Requests, e.Rejected, e.P50Ms, e.P95Ms, e.P99Ms)
+	}
+	if *jsonPath != "" {
+		fmt.Printf("  report written to %s\n", *jsonPath)
+	}
+
+	if *smoke {
+		if rep.Throughput <= 0 || rep.Errors > 0 {
+			buf, _ := json.Marshal(rep)
+			fmt.Fprintf(os.Stderr, "load smoke FAILED: throughput=%.1f errors=%d\n%s\n",
+				rep.Throughput, rep.Errors, buf)
+			os.Exit(1)
+		}
+		fmt.Println("  load smoke OK")
+	}
+}

@@ -1,6 +1,8 @@
-// Command lsdbd serves a loosely structured database over HTTP with a
+// Command lsdbd serves loosely structured databases over HTTP with a
 // JSON API, so the browsing styles of the paper are usable from any
-// client.
+// client. One process hosts any number of isolated databases
+// ("tenants"); a request selects its database with the ?db= query
+// parameter and falls back to the tenant named "default".
 //
 //	POST   /facts      {"s":"JOHN","r":"in","t":"EMPLOYEE"}  assert
 //	DELETE /facts?s=&r=&t=                                   retract
@@ -11,103 +13,53 @@
 //	GET    /try?entity=MOZART                                try(e)
 //	GET    /derive?s=JOHN&r=EARNS&t=SALARY                   proof tree
 //	GET    /check                                            contradictions
+//	POST   /batch      {"ops":[...]}                         batched reads, one snapshot
 //	GET    /stats                                            sizes + durability counters
 //	GET    /metrics                                          Prometheus text exposition
 //	GET    /healthz                                          liveness + log health
+//	GET    /tenants                                          hosted databases + quotas
 //
 // /derive and /query accept ?trace=1, which attaches a structured
-// per-query trace to the response: one span per evaluation step with
-// phase, pattern, depth, duration, and the subgoal cache disposition
-// (hit, miss, memo, cycle, or computed). /derive additionally accepts
-// ?depth=N to bound the traced on-demand derivation.
+// per-query trace to the response. /derive additionally accepts
+// ?depth=N to bound the traced on-demand derivation; a tenant's
+// -max-depth quota caps N.
 //
-// Usage: lsdbd [-addr :8080] [-log db.log] [-sync always|never|250ms]
-// [-checkpoint N] [-snapshot path] [-pprof] [factfile ...]
+// Usage: lsdbd [-addr :8080] [-tenants default] [-data dir]
+// [-log db.log] [-sync always|never|250ms] [-checkpoint N]
+// [-snapshot path] [-max-inflight N] [-max-depth N]
+// [-cache-entries N] [-pprof] [factfile ...]
 //
-// -pprof mounts net/http/pprof under /debug/pprof/ for CPU and heap
-// profiling; it is off by default because the profile endpoints are
-// not rate-limited and expose process internals.
+// -tenants names the hosted databases (comma-separated). With -data,
+// each tenant keeps its durability log at <dir>/<name>.log and its
+// checkpoint snapshot at <dir>/<name>.snapshot; -log/-snapshot name
+// the files directly and therefore require a single tenant. The
+// -max-inflight, -max-depth and -cache-entries quotas apply uniformly
+// to every tenant (0 = unlimited). Positional fact files are loaded
+// into every tenant.
 //
 // A mutation is acknowledged (HTTP 200) only once it has reached the
 // sync policy's durability point; with -sync always a crash after the
 // response can never lose the write. On SIGINT/SIGTERM the server
-// drains in-flight requests, then syncs and closes the log.
+// drains in-flight requests, then syncs and closes every tenant's log.
 package main
 
 import (
 	"context"
-	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
-	"strconv"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	lsdb "repro"
-	"repro/internal/browse"
 	"repro/internal/factfile"
-	"repro/internal/obs"
+	"repro/internal/serve"
 )
-
-// maxBodyBytes caps mutation request bodies; a single fact is tiny.
-const maxBodyBytes = 1 << 20
-
-// defaultTraceDepth bounds the on-demand derivation behind
-// /derive?trace=1 when the client does not pass ?depth=N. Depth 4
-// covers every rule chain in the paper's examples.
-const defaultTraceDepth = 4
-
-type server struct {
-	db    *lsdb.Database
-	pprof bool // mount /debug/pprof/ (set by the -pprof flag)
-
-	// HTTP-level metrics, shared across endpoints. Per-endpoint series
-	// are created at wiring time in instrument.
-	inflight *obs.Gauge
-	bytesIn  *obs.Counter
-	bytesOut *obs.Counter
-}
-
-// countingWriter counts response bytes for lsdb_http_bytes_out_total.
-type countingWriter struct {
-	http.ResponseWriter
-	n int64
-}
-
-func (cw *countingWriter) Write(p []byte) (int, error) {
-	n, err := cw.ResponseWriter.Write(p)
-	cw.n += int64(n)
-	return n, err
-}
-
-// instrument wraps a handler with the daemon's HTTP metrics: a
-// per-endpoint request counter and latency histogram, the shared
-// in-flight gauge, and byte counters in both directions. The
-// per-endpoint series are resolved once here, not per request.
-func (s *server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
-	reg := s.db.Metrics()
-	requests := reg.Counter("lsdb_http_requests_total", "endpoint", endpoint)
-	latency := reg.Histogram("lsdb_http_request_ns", "endpoint", endpoint)
-	return func(w http.ResponseWriter, r *http.Request) {
-		s.inflight.Add(1)
-		defer s.inflight.Add(-1)
-		if r.ContentLength > 0 {
-			s.bytesIn.Add(uint64(r.ContentLength))
-		}
-		cw := &countingWriter{ResponseWriter: w}
-		start := time.Now()
-		h(cw, r)
-		latency.Observe(time.Since(start).Nanoseconds())
-		requests.Inc()
-		s.bytesOut.Add(uint64(cw.n))
-	}
-}
 
 // parseSyncPolicy maps the -sync flag to a policy: "always", "never",
 // or a Go duration for interval syncing.
@@ -128,61 +80,39 @@ func parseSyncPolicy(s string) (lsdb.SyncPolicy, error) {
 	return lsdb.SyncInterval(d), nil
 }
 
-// getOnly rejects every method but GET with 405 and an Allow header.
-func getOnly(h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet {
-			w.Header().Set("Allow", http.MethodGet)
-			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
-			return
+// parseTenants splits the -tenants flag into trimmed, non-empty,
+// unique names.
+func parseTenants(s string) ([]string, error) {
+	var names []string
+	seen := make(map[string]bool)
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
 		}
-		h(w, r)
+		if seen[name] {
+			return nil, fmt.Errorf("-tenants lists %q twice", name)
+		}
+		seen[name] = true
+		names = append(names, name)
 	}
-}
-
-// newMux wires the route table; tests serve the same mux the daemon
-// runs. Every route is instrumented with per-endpoint latency and
-// request counters; /metrics observes its own scrapes too.
-func newMux(s *server) *http.ServeMux {
-	reg := s.db.Metrics()
-	s.inflight = reg.Gauge("lsdb_http_inflight")
-	s.bytesIn = reg.Counter("lsdb_http_bytes_in_total")
-	s.bytesOut = reg.Counter("lsdb_http_bytes_out_total")
-
-	mux := http.NewServeMux()
-	route := func(path, endpoint string, h http.HandlerFunc) {
-		mux.HandleFunc(path, s.instrument(endpoint, h))
+	if len(names) == 0 {
+		return nil, fmt.Errorf("-tenants must name at least one database")
 	}
-	route("/facts", "facts", s.facts)
-	route("/query", "query", getOnly(s.query))
-	route("/probe", "probe", getOnly(s.probe))
-	route("/navigate", "navigate", getOnly(s.navigate))
-	route("/between", "between", getOnly(s.between))
-	route("/try", "try", getOnly(s.try))
-	route("/derive", "derive", getOnly(s.derive))
-	route("/check", "check", getOnly(s.check))
-	route("/stats", "stats", getOnly(s.stats))
-	route("/metrics", "metrics", getOnly(s.metrics))
-	route("/healthz", "healthz", getOnly(s.healthz))
-	if s.pprof {
-		// net/http/pprof self-registers on DefaultServeMux at import;
-		// the daemon never serves that mux, so the profile endpoints
-		// exist only when mounted here explicitly.
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	}
-	return mux
+	return names, nil
 }
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	logPath := flag.String("log", "", "append-only durability log")
+	tenants := flag.String("tenants", serve.DefaultTenant, "comma-separated database names to host")
+	dataDir := flag.String("data", "", "directory for per-tenant durability logs (<dir>/<name>.log)")
+	logPath := flag.String("log", "", "append-only durability log (single tenant only)")
 	syncFlag := flag.String("sync", "always", "log sync policy: always, never, or a flush interval like 250ms")
-	checkpoint := flag.Int("checkpoint", 0, "compact the log automatically after this many appended records (0 disables)")
-	snapshot := flag.String("snapshot", "", "snapshot path written at each automatic checkpoint")
+	checkpoint := flag.Int("checkpoint", 0, "compact each log automatically after this many appended records (0 disables)")
+	snapshot := flag.String("snapshot", "", "snapshot path written at each automatic checkpoint (single tenant only)")
+	maxInflight := flag.Int("max-inflight", 0, "per-tenant cap on concurrent in-flight requests (0 = unlimited)")
+	maxDepth := flag.Int("max-depth", 0, "per-tenant cap on requested inference depth (0 = unlimited)")
+	cacheEntries := flag.Int("cache-entries", 0, "per-tenant subgoal cache entry limit (0 = engine default)")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
@@ -190,24 +120,58 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	db, err := lsdb.Open(lsdb.Options{
-		LogPath:            *logPath,
-		SyncPolicy:         policy,
-		CheckpointEvery:    *checkpoint,
-		CheckpointSnapshot: *snapshot,
-	})
+	names, err := parseTenants(*tenants)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, path := range flag.Args() {
-		if _, err := factfile.LoadFile(db, path); err != nil {
-			log.Fatalf("%s: %v", path, err)
-		}
+	if (*logPath != "" || *snapshot != "") && len(names) > 1 {
+		log.Fatal("-log and -snapshot name a single file; use -data with multiple tenants")
+	}
+	if *logPath != "" && *dataDir != "" {
+		log.Fatal("-log and -data are mutually exclusive")
 	}
 
-	srv := &http.Server{
+	quotas := serve.Quotas{
+		MaxInflight:  *maxInflight,
+		MaxDepth:     *maxDepth,
+		CacheEntries: *cacheEntries,
+	}
+	srv := serve.New()
+	srv.SetPprof(*pprofFlag)
+	var stored int
+	for _, name := range names {
+		opts := lsdb.Options{
+			SyncPolicy:      policy,
+			CheckpointEvery: *checkpoint,
+		}
+		switch {
+		case *dataDir != "":
+			opts.LogPath = filepath.Join(*dataDir, name+".log")
+			if *checkpoint > 0 {
+				opts.CheckpointSnapshot = filepath.Join(*dataDir, name+".snapshot")
+			}
+		case *logPath != "":
+			opts.LogPath = *logPath
+			opts.CheckpointSnapshot = *snapshot
+		}
+		db, err := lsdb.Open(opts)
+		if err != nil {
+			log.Fatalf("tenant %s: %v", name, err)
+		}
+		for _, path := range flag.Args() {
+			if _, err := factfile.LoadFile(db, path); err != nil {
+				log.Fatalf("tenant %s: %s: %v", name, path, err)
+			}
+		}
+		if _, err := srv.AddTenant(name, db, quotas); err != nil {
+			log.Fatal(err)
+		}
+		stored += db.Len()
+	}
+
+	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           newMux(&server{db: db, pprof: *pprofFlag}),
+		Handler:           srv.Mux(),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,
@@ -219,8 +183,9 @@ func main() {
 
 	done := make(chan error, 1)
 	go func() {
-		log.Printf("lsdbd listening on %s (%d facts, sync=%s)", *addr, db.Len(), policy)
-		err := srv.ListenAndServe()
+		log.Printf("lsdbd listening on %s (%d tenants, %d facts, sync=%s)",
+			*addr, len(names), stored, policy)
+		err := httpSrv.ListenAndServe()
 		if err == http.ErrServerClosed {
 			err = nil
 		}
@@ -238,402 +203,15 @@ func main() {
 		log.Print("lsdbd shutting down: draining requests")
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		if err := srv.Shutdown(shutCtx); err != nil {
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
 			log.Printf("lsdbd drain: %v", err)
 		}
 	}
-	if err := db.Sync(); err != nil {
+	if err := srv.Sync(); err != nil {
 		log.Printf("lsdbd final sync: %v", err)
 	}
-	if err := db.Close(); err != nil {
-		log.Printf("lsdbd close log: %v", err)
+	if err := srv.Close(); err != nil {
+		log.Printf("lsdbd close logs: %v", err)
 		os.Exit(1)
 	}
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		// Too late to change the status line; at least leave a trace.
-		log.Printf("lsdbd: encode response: %v", err)
-	}
-}
-
-func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
-}
-
-type factJSON struct {
-	S string `json:"s"`
-	R string `json:"r"`
-	T string `json:"t"`
-}
-
-func (s *server) facts(w http.ResponseWriter, r *http.Request) {
-	switch r.Method {
-	case http.MethodPost:
-		var f factJSON
-		body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
-		if err := json.NewDecoder(body).Decode(&f); err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-		if f.S == "" || f.R == "" || f.T == "" {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("s, r, t are all required"))
-			return
-		}
-		if err := s.db.Assert(f.S, f.R, f.T); err != nil {
-			// A durability failure means the write may not survive a
-			// crash: that is a server-side error, not a client conflict.
-			status := http.StatusConflict
-			if errors.Is(err, lsdb.ErrNotDurable) {
-				status = http.StatusInternalServerError
-			}
-			writeErr(w, status, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]int{"stored": s.db.Len()})
-	case http.MethodDelete:
-		q := r.URL.Query()
-		fs, fr, ft := q.Get("s"), q.Get("r"), q.Get("t")
-		if fs == "" || fr == "" || ft == "" {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("s, r, t query params required"))
-			return
-		}
-		u := s.db.Universe()
-		ok, err := s.db.RetractFact(u.NewFact(fs, fr, ft))
-		if err != nil {
-			writeErr(w, http.StatusInternalServerError, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]bool{"retracted": ok})
-	default:
-		w.Header().Set("Allow", "POST, DELETE")
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST or DELETE"))
-	}
-}
-
-// wantTrace reports whether the request asked for a structured
-// evaluation trace via ?trace=1.
-func wantTrace(r *http.Request) bool {
-	switch r.URL.Query().Get("trace") {
-	case "", "0", "false":
-		return false
-	}
-	return true
-}
-
-// attachTrace closes the trace and adds its spans to the response.
-// When the span cap was hit, trace_dropped reports how many events
-// are missing so clients never mistake a truncated trace for a
-// complete one.
-func attachTrace(resp map[string]any, tr *obs.Trace) {
-	resp["trace"] = tr.Done()
-	if n := tr.Dropped(); n > 0 {
-		resp["trace_dropped"] = n
-	}
-}
-
-func (s *server) query(w http.ResponseWriter, r *http.Request) {
-	src := r.URL.Query().Get("q")
-	if src == "" {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("q parameter required"))
-		return
-	}
-	var tr *obs.Trace
-	if wantTrace(r) {
-		tr = obs.NewTrace()
-	}
-	rows, err := s.db.QueryTraced(src, tr)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	resp := map[string]any{
-		"vars":   rows.Vars,
-		"tuples": rows.Tuples,
-		"true":   rows.True,
-	}
-	if tr != nil {
-		attachTrace(resp, tr)
-	}
-	writeJSON(w, http.StatusOK, resp)
-}
-
-func (s *server) probe(w http.ResponseWriter, r *http.Request) {
-	src := r.URL.Query().Get("q")
-	if src == "" {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("q parameter required"))
-		return
-	}
-	out, err := s.db.Probe(src)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	u := s.db.Universe()
-	type successJSON struct {
-		Query   string     `json:"query"`
-		Changes []string   `json:"changes"`
-		Tuples  [][]string `json:"tuples"`
-	}
-	var successes []successJSON
-	for _, wave := range out.Waves {
-		for _, e := range wave.Successes() {
-			var changes []string
-			for _, c := range e.Changes {
-				changes = append(changes, c.Describe(u))
-			}
-			var tuples [][]string
-			for _, tp := range e.Result.Tuples {
-				row := make([]string, len(tp))
-				for i, id := range tp {
-					row[i] = u.Name(id)
-				}
-				tuples = append(tuples, row)
-			}
-			successes = append(successes, successJSON{
-				Query: e.Q.String(), Changes: changes, Tuples: tuples,
-			})
-		}
-	}
-	var unknown []string
-	for _, id := range out.Unknown {
-		unknown = append(unknown, u.Name(id))
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"succeeded": out.Succeeded(),
-		"menu":      out.Menu(u),
-		"waves":     len(out.Waves),
-		"critical":  out.Critical,
-		"exhausted": out.Exhausted,
-		"unknown":   unknown,
-		"successes": successes,
-	})
-}
-
-func (s *server) navigate(w http.ResponseWriter, r *http.Request) {
-	entity := r.URL.Query().Get("entity")
-	if entity == "" {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("entity parameter required"))
-		return
-	}
-	u := s.db.Universe()
-	n := s.db.Navigate(entity)
-	type relGroup struct {
-		Rel      string   `json:"rel"`
-		Entities []string `json:"entities"`
-	}
-	conv := func(src []browse.RelGroup) []relGroup {
-		out := make([]relGroup, len(src))
-		for i, g := range src {
-			names := make([]string, len(g.Entities))
-			for j, id := range g.Entities {
-				names[j] = u.Name(id)
-			}
-			out[i] = relGroup{Rel: u.Name(g.Rel), Entities: names}
-		}
-		return out
-	}
-	var classes []string
-	for _, id := range n.Classes {
-		classes = append(classes, u.Name(id))
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"entity":  entity,
-		"classes": classes,
-		"out":     conv(n.Out),
-		"in":      conv(n.In),
-		"table":   n.Table(u).Render(),
-	})
-}
-
-func (s *server) between(w http.ResponseWriter, r *http.Request) {
-	src, tgt := r.URL.Query().Get("src"), r.URL.Query().Get("tgt")
-	if src == "" || tgt == "" {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("src and tgt parameters required"))
-		return
-	}
-	u := s.db.Universe()
-	var assocs []map[string]any
-	for _, a := range s.db.Between(src, tgt) {
-		entry := map[string]any{"rel": u.Name(a.Rel), "composed": a.Path != nil}
-		if a.Path != nil {
-			var steps []string
-			for _, f := range a.Path.Steps {
-				steps = append(steps, u.FormatFact(f))
-			}
-			entry["steps"] = steps
-		}
-		assocs = append(assocs, entry)
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"associations": assocs})
-}
-
-func (s *server) try(w http.ResponseWriter, r *http.Request) {
-	entity := r.URL.Query().Get("entity")
-	if entity == "" {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("entity parameter required"))
-		return
-	}
-	u := s.db.Universe()
-	var facts []factJSON
-	for _, f := range s.db.Try(entity) {
-		facts = append(facts, factJSON{S: u.Name(f.S), R: u.Name(f.R), T: u.Name(f.T)})
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"facts": facts})
-}
-
-func (s *server) derive(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
-	fs, fr, ft := q.Get("s"), q.Get("r"), q.Get("t")
-	if fs == "" || fr == "" || ft == "" {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("s, r, t query params required"))
-		return
-	}
-	// source classifies how the fact holds: "stored" (asserted
-	// explicitly), "derived" (by a rule, with proof tree), "virtual"
-	// (built-in families like equality and arithmetic, which are in the
-	// closure but carry no derivation), or "absent".
-	d := s.db.Derive(fs, fr, ft)
-	var resp map[string]any
-	switch {
-	case d != nil && d.Rule == "stored":
-		resp = map[string]any{
-			"holds":   true,
-			"source":  "stored",
-			"virtual": false,
-			"tree":    d.Format(s.db.Universe()),
-		}
-	case d != nil:
-		resp = map[string]any{
-			"holds":   true,
-			"source":  "derived",
-			"virtual": false,
-			"rule":    d.Rule,
-			"tree":    d.Format(s.db.Universe()),
-		}
-	case s.db.HasStored(fs, fr, ft):
-		// Stored but outside the materialized closure (e.g. excluded
-		// rules): still a plain stored fact, not a virtual one.
-		resp = map[string]any{
-			"holds":   true,
-			"source":  "stored",
-			"virtual": false,
-			"tree":    "",
-		}
-	case s.db.Has(fs, fr, ft):
-		resp = map[string]any{
-			"holds":   true,
-			"source":  "virtual",
-			"virtual": true,
-			"tree":    "",
-		}
-	default:
-		resp = map[string]any{
-			"holds":   false,
-			"source":  "absent",
-			"virtual": false,
-			"tree":    "",
-		}
-	}
-	if wantTrace(r) {
-		// The trace replays the derivation through the bounded
-		// on-demand path, recording one span per subgoal with its
-		// cache disposition. The classification above stays
-		// authoritative; the trace explains the work.
-		depth := defaultTraceDepth
-		if ds := q.Get("depth"); ds != "" {
-			n, err := strconv.Atoi(ds)
-			if err != nil || n < 1 {
-				writeErr(w, http.StatusBadRequest, fmt.Errorf("depth must be a positive integer"))
-				return
-			}
-			depth = n
-		}
-		tr := obs.NewTrace()
-		s.db.HasBoundedTrace(fs, fr, ft, depth, tr)
-		attachTrace(resp, tr)
-	}
-	writeJSON(w, http.StatusOK, resp)
-}
-
-func (s *server) check(w http.ResponseWriter, r *http.Request) {
-	u := s.db.Universe()
-	var violations []string
-	for _, v := range s.db.Check() {
-		violations = append(violations, v.Format(u))
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"consistent": len(violations) == 0,
-		"violations": violations,
-	})
-}
-
-func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
-	st := s.db.LogStats()
-	if st.Attached && st.Err != "" {
-		writeJSON(w, http.StatusInternalServerError, map[string]any{
-			"ok": false, "log_error": st.Err,
-		})
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
-}
-
-// metrics serves the whole registry in Prometheus text exposition
-// format. Scraping is read-only: every gauge behind the registry
-// reads published state (the closure gauge never triggers a build).
-func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	if err := s.db.Metrics().WritePrometheus(w); err != nil {
-		log.Printf("lsdbd: write metrics: %v", err)
-	}
-}
-
-// stats reads the same registry /metrics exposes — the counters have
-// exactly one home. Only the non-numeric fields (policy, error,
-// sync age, the enabled flag) still come from their structured
-// sources; every number is a registry read. Unlike /metrics, /stats
-// reports the closure size even when no snapshot is published yet,
-// which forces a materialization on a cold database.
-func (s *server) stats(w http.ResponseWriter, r *http.Request) {
-	reg := s.db.Metrics()
-	v := func(name string, labels ...string) uint64 {
-		return uint64(reg.Value(name, labels...))
-	}
-	st := s.db.LogStats()
-	durability := map[string]any{"log_attached": st.Attached}
-	if st.Attached {
-		durability["policy"] = st.Policy
-		durability["appends"] = v("lsdb_wal_appends_total")
-		durability["fsyncs"] = v("lsdb_wal_fsyncs_total")
-		durability["compactions"] = v("lsdb_wal_compactions_total")
-		durability["records"] = v("lsdb_wal_records")
-		if !st.LastSync.IsZero() {
-			durability["last_sync_age"] = time.Since(st.LastSync).String()
-		}
-		if st.Err != "" {
-			durability["error"] = st.Err
-		}
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"stored":     v("lsdb_store_facts"),
-		"closure":    s.db.ClosureLen(),
-		"durability": durability,
-		"subgoal_cache": map[string]any{
-			"enabled":       s.db.Engine().CacheStats().Enabled,
-			"hits":          v("lsdb_subgoal_hits_total"),
-			"misses":        v("lsdb_subgoal_misses_total"),
-			"invalidations": v("lsdb_subgoal_invalidations_total"),
-			"entries":       v("lsdb_subgoal_entries"),
-		},
-		"index": map[string]any{
-			"posting_bytes": v("lsdb_index_posting_bytes"),
-			"buckets":       v("lsdb_index_buckets"),
-			"seal_builds":   v("lsdb_index_seal_builds_total"),
-			"batch_joins":   v("lsdb_join_batches_total"),
-		},
-	})
 }

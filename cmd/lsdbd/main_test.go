@@ -1,254 +1,12 @@
 package main
 
 import (
-	"encoding/json"
-	"net/http"
-	"net/http/httptest"
-	"path/filepath"
-	"strings"
+	"reflect"
 	"testing"
-
-	lsdb "repro"
-	"repro/internal/dataset"
 )
 
-func testServer(t *testing.T) *httptest.Server {
-	t.Helper()
-	srv := httptest.NewServer(newMux(&server{db: dataset.Music()}))
-	t.Cleanup(srv.Close)
-	return srv
-}
-
-func getJSON(t *testing.T, url string, out any) int {
-	t.Helper()
-	resp, err := http.Get(url)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		t.Fatal(err)
-	}
-	return resp.StatusCode
-}
-
-func TestStatsEndpoint(t *testing.T) {
-	srv := testServer(t)
-	var got struct {
-		Stored  int `json:"stored"`
-		Closure int `json:"closure"`
-		Subgoal struct {
-			Enabled       bool   `json:"enabled"`
-			Hits          uint64 `json:"hits"`
-			Misses        uint64 `json:"misses"`
-			Invalidations uint64 `json:"invalidations"`
-			Entries       int    `json:"entries"`
-		} `json:"subgoal_cache"`
-	}
-	if code := getJSON(t, srv.URL+"/stats", &got); code != 200 {
-		t.Fatalf("status %d", code)
-	}
-	if got.Stored == 0 || got.Closure < got.Stored {
-		t.Errorf("stats = %+v", got)
-	}
-	if !got.Subgoal.Enabled {
-		t.Errorf("subgoal cache not reported enabled: %+v", got.Subgoal)
-	}
-}
-
-func TestQueryEndpoint(t *testing.T) {
-	srv := testServer(t)
-	var got struct {
-		Vars   []string   `json:"vars"`
-		Tuples [][]string `json:"tuples"`
-		True   bool       `json:"true"`
-	}
-	code := getJSON(t, srv.URL+"/query?q="+escape("(JOHN, FAVORITE-MUSIC, ?p)"), &got)
-	if code != 200 || !got.True {
-		t.Fatalf("status %d, got %+v", code, got)
-	}
-	if len(got.Tuples) < 3 {
-		t.Errorf("tuples = %v", got.Tuples)
-	}
-}
-
-func TestQueryEndpointErrors(t *testing.T) {
-	srv := testServer(t)
-	var got map[string]any
-	if code := getJSON(t, srv.URL+"/query", &got); code != 400 {
-		t.Errorf("missing q: status %d", code)
-	}
-	if code := getJSON(t, srv.URL+"/query?q="+escape("((("), &got); code != 400 {
-		t.Errorf("parse error: status %d", code)
-	}
-}
-
-func TestFactsEndpoint(t *testing.T) {
-	srv := testServer(t)
-	resp, err := http.Post(srv.URL+"/facts", "application/json",
-		strings.NewReader(`{"s":"NEW","r":"LIKES","t":"JAZZ"}`))
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != 200 {
-		t.Fatalf("POST status %d", resp.StatusCode)
-	}
-	var q struct{ True bool }
-	getJSON(t, srv.URL+"/query?q="+escape("(NEW, LIKES, JAZZ)"), &q)
-	if !q.True {
-		t.Error("posted fact not queryable")
-	}
-
-	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/facts?s=NEW&r=LIKES&t=JAZZ", nil)
-	resp2, err := http.DefaultClient.Do(req)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var del map[string]bool
-	json.NewDecoder(resp2.Body).Decode(&del)
-	resp2.Body.Close()
-	if !del["retracted"] {
-		t.Error("DELETE did not retract")
-	}
-}
-
-func TestFactsEndpointValidation(t *testing.T) {
-	srv := testServer(t)
-	resp, _ := http.Post(srv.URL+"/facts", "application/json", strings.NewReader(`{"s":"ONLY"}`))
-	resp.Body.Close()
-	if resp.StatusCode != 400 {
-		t.Errorf("incomplete fact: status %d", resp.StatusCode)
-	}
-	resp, _ = http.Post(srv.URL+"/facts", "application/json", strings.NewReader(`not json`))
-	resp.Body.Close()
-	if resp.StatusCode != 400 {
-		t.Errorf("bad json: status %d", resp.StatusCode)
-	}
-	req, _ := http.NewRequest(http.MethodPut, srv.URL+"/facts", nil)
-	resp, _ = http.DefaultClient.Do(req)
-	resp.Body.Close()
-	if resp.StatusCode != 405 {
-		t.Errorf("PUT: status %d", resp.StatusCode)
-	}
-}
-
-func TestNavigateEndpoint(t *testing.T) {
-	srv := testServer(t)
-	var got struct {
-		Classes []string `json:"classes"`
-		Table   string   `json:"table"`
-		Out     []struct {
-			Rel      string   `json:"rel"`
-			Entities []string `json:"entities"`
-		} `json:"out"`
-	}
-	code := getJSON(t, srv.URL+"/navigate?entity=JOHN", &got)
-	if code != 200 {
-		t.Fatalf("status %d", code)
-	}
-	if len(got.Classes) != 4 {
-		t.Errorf("classes = %v", got.Classes)
-	}
-	if !strings.Contains(got.Table, "JOHN**") {
-		t.Errorf("table:\n%s", got.Table)
-	}
-}
-
-func TestBetweenEndpoint(t *testing.T) {
-	srv := testServer(t)
-	var got struct {
-		Associations []struct {
-			Rel      string   `json:"rel"`
-			Composed bool     `json:"composed"`
-			Steps    []string `json:"steps"`
-		} `json:"associations"`
-	}
-	code := getJSON(t, srv.URL+"/between?src=LEOPOLD&tgt=MOZART", &got)
-	if code != 200 {
-		t.Fatalf("status %d", code)
-	}
-	var composed, direct bool
-	for _, a := range got.Associations {
-		if a.Composed {
-			composed = true
-			if len(a.Steps) < 2 {
-				t.Errorf("composed association with %d steps", len(a.Steps))
-			}
-		} else {
-			direct = true
-		}
-	}
-	if !composed || !direct {
-		t.Errorf("associations = %+v", got.Associations)
-	}
-}
-
-func TestProbeEndpoint(t *testing.T) {
-	srv := testServer(t)
-	var got struct {
-		Succeeded bool   `json:"succeeded"`
-		Menu      string `json:"menu"`
-		Unknown   []string
-	}
-	code := getJSON(t, srv.URL+"/probe?q="+escape("(JOHN, LOWES, ?z)"), &got)
-	if code != 200 || got.Succeeded {
-		t.Fatalf("status %d, %+v", code, got)
-	}
-	if !strings.Contains(got.Menu, "no such database entities") {
-		t.Errorf("menu: %s", got.Menu)
-	}
-}
-
-func TestTryEndpoint(t *testing.T) {
-	srv := testServer(t)
-	var got struct {
-		Facts []struct{ S, R, T string } `json:"facts"`
-	}
-	code := getJSON(t, srv.URL+"/try?entity=MOZART", &got)
-	if code != 200 || len(got.Facts) == 0 {
-		t.Fatalf("status %d, %d facts", code, len(got.Facts))
-	}
-}
-
-func TestCheckEndpoint(t *testing.T) {
-	srv := testServer(t)
-	var got struct {
-		Consistent bool `json:"consistent"`
-	}
-	if code := getJSON(t, srv.URL+"/check", &got); code != 200 || !got.Consistent {
-		t.Fatalf("check = %+v", got)
-	}
-}
-
-func TestReadEndpointsRejectPOST(t *testing.T) {
-	srv := testServer(t)
-	for _, ep := range []string{
-		"/query", "/probe", "/navigate", "/between", "/try", "/derive", "/check", "/stats", "/healthz",
-	} {
-		resp, err := http.Post(srv.URL+ep, "application/json", strings.NewReader(`{}`))
-		if err != nil {
-			t.Fatal(err)
-		}
-		resp.Body.Close()
-		if resp.StatusCode != 405 {
-			t.Errorf("POST %s: status %d, want 405", ep, resp.StatusCode)
-		}
-		if allow := resp.Header.Get("Allow"); allow != "GET" {
-			t.Errorf("POST %s: Allow = %q, want GET", ep, allow)
-		}
-	}
-}
-
-func TestHealthzEndpoint(t *testing.T) {
-	srv := testServer(t)
-	var got struct {
-		OK bool `json:"ok"`
-	}
-	if code := getJSON(t, srv.URL+"/healthz", &got); code != 200 || !got.OK {
-		t.Fatalf("healthz = %+v (status %d)", got, code)
-	}
-}
+// The HTTP endpoint tests live with the serving layer in
+// internal/serve; this file covers only the daemon's flag parsing.
 
 func TestParseSyncPolicy(t *testing.T) {
 	cases := []struct {
@@ -275,101 +33,28 @@ func TestParseSyncPolicy(t *testing.T) {
 	}
 }
 
-// TestAcknowledgedWriteSurvivesCrash is the regression for the
-// original bug: lsdbd acknowledged POST /facts while the record sat in
-// a process-local buffer, so killing the daemon lost the write. Under
-// SyncAlways the 200 must imply the record is on disk, which we check
-// by reopening the log without ever flushing or closing the first
-// handle.
-func TestAcknowledgedWriteSurvivesCrash(t *testing.T) {
-	logPath := filepath.Join(t.TempDir(), "db.log")
-	db, err := lsdb.Open(lsdb.Options{LogPath: logPath, SyncPolicy: lsdb.SyncAlways})
-	if err != nil {
-		t.Fatal(err)
+func TestParseTenants(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+		err  bool
+	}{
+		{"default", []string{"default"}, false},
+		{"a,b,c", []string{"a", "b", "c"}, false},
+		{" a , b ", []string{"a", "b"}, false},
+		{"a,,b", []string{"a", "b"}, false},
+		{"a,a", nil, true},
+		{"", nil, true},
+		{",,", nil, true},
 	}
-	srv := httptest.NewServer(newMux(&server{db: db}))
-	defer srv.Close()
-
-	resp, err := http.Post(srv.URL+"/facts", "application/json",
-		strings.NewReader(`{"s":"JOHN","r":"in","t":"EMPLOYEE"}`))
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != 200 {
-		t.Fatalf("POST status %d", resp.StatusCode)
-	}
-
-	// The daemon "crashes" here: no Sync, no Close.
-	db2, err := lsdb.Open(lsdb.Options{LogPath: logPath})
-	if err != nil {
-		t.Fatalf("recovery: %v", err)
-	}
-	defer db2.Close()
-	if !db2.HasStored("JOHN", "in", "EMPLOYEE") {
-		t.Fatal("acknowledged write lost after simulated crash")
-	}
-
-	// The durability counters surface through /stats.
-	var st struct {
-		Durability struct {
-			LogAttached bool   `json:"log_attached"`
-			Policy      string `json:"policy"`
-			Appends     uint64 `json:"appends"`
-			Fsyncs      uint64 `json:"fsyncs"`
-			LastSyncAge string `json:"last_sync_age"`
-		} `json:"durability"`
-	}
-	if code := getJSON(t, srv.URL+"/stats", &st); code != 200 {
-		t.Fatalf("stats status %d", code)
-	}
-	d := st.Durability
-	if !d.LogAttached || d.Policy != "always" || d.Appends != 1 || d.Fsyncs == 0 || d.LastSyncAge == "" {
-		t.Errorf("durability stats = %+v", d)
-	}
-}
-
-func escape(s string) string {
-	r := strings.NewReplacer(
-		" ", "%20", "?", "%3F", "&", "%26", "(", "%28", ")", "%29", "#", "%23",
-	)
-	return r.Replace(s)
-}
-
-func TestDeriveEndpoint(t *testing.T) {
-	srv := testServer(t)
-
-	var got struct {
-		Holds   bool   `json:"holds"`
-		Source  string `json:"source"`
-		Virtual bool   `json:"virtual"`
-		Rule    string `json:"rule"`
-		Tree    string `json:"tree"`
-	}
-	// Derived by a rule: the inverse of a stored favorite.
-	code := getJSON(t, srv.URL+"/derive?s=PC%239-WAM&r=FAVORITE-OF&t=JOHN", &got)
-	if code != 200 || !got.Holds || got.Source != "derived" || got.Rule != "inversion" || got.Virtual {
-		t.Fatalf("derived = %+v (status %d)", got, code)
-	}
-	if !strings.Contains(got.Tree, "[stored]") {
-		t.Errorf("tree:\n%s", got.Tree)
-	}
-	// Stored explicitly: must be labelled stored, never virtual.
-	code = getJSON(t, srv.URL+"/derive?s=JOHN&r=FAVORITE-MUSIC&t=PC%239-WAM", &got)
-	if code != 200 || !got.Holds || got.Source != "stored" || got.Virtual {
-		t.Fatalf("stored = %+v (status %d)", got, code)
-	}
-	// Virtual: equality facts come from the built-in provider and have
-	// no derivation.
-	code = getJSON(t, srv.URL+"/derive?s=MOZART&r=%3D&t=MOZART", &got)
-	if code != 200 || !got.Holds || got.Source != "virtual" || !got.Virtual {
-		t.Fatalf("virtual = %+v (status %d)", got, code)
-	}
-	code = getJSON(t, srv.URL+"/derive?s=NO&r=SUCH&t=FACT", &got)
-	if code != 200 || got.Holds || got.Source != "absent" {
-		t.Errorf("absent fact: %+v", got)
-	}
-	if code := getJSON(t, srv.URL+"/derive?s=ONLY", &got); code != 400 {
-		t.Errorf("missing params: %d", code)
+	for _, c := range cases {
+		got, err := parseTenants(c.in)
+		if c.err != (err != nil) {
+			t.Errorf("parseTenants(%q) error = %v", c.in, err)
+			continue
+		}
+		if err == nil && !reflect.DeepEqual(got, c.want) {
+			t.Errorf("parseTenants(%q) = %v, want %v", c.in, got, c.want)
+		}
 	}
 }

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLoadSmoke is the in-process version of `make load-smoke`: a
+// short multi-tenant run must achieve nonzero throughput with zero
+// non-429 errors, report server-side request counts for the session
+// mix's endpoints, and produce sane latency quantiles (p50 <= p95 <=
+// p99, all positive where traffic flowed).
+func TestLoadSmoke(t *testing.T) {
+	rep, err := RunLoad(LoadConfig{
+		Tenants:  2,
+		Workers:  2,
+		Duration: 500 * time.Millisecond,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Throughput <= 0 {
+		t.Fatalf("throughput = %g, want > 0", rep.Throughput)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors = %d, want 0 (report %+v)", rep.Errors, rep)
+	}
+	if rep.Sent == 0 {
+		t.Fatal("no requests sent")
+	}
+	// Without a quota nothing should be rejected.
+	if rep.Rejected429 != 0 {
+		t.Errorf("429s without a quota: %d", rep.Rejected429)
+	}
+	// Each tenant served traffic.
+	if len(rep.PerTenant) != 2 {
+		t.Fatalf("per-tenant map = %+v", rep.PerTenant)
+	}
+	for tenant, n := range rep.PerTenant {
+		if n == 0 {
+			t.Errorf("tenant %s served no requests", tenant)
+		}
+	}
+	// Quantiles come from the scraped histograms and must be ordered.
+	var sawLatency bool
+	for ep, e := range rep.Endpoints {
+		if e.Requests == 0 {
+			continue
+		}
+		if e.P50Ms < 0 || e.P50Ms > e.P95Ms || e.P95Ms > e.P99Ms {
+			t.Errorf("%s: quantiles out of order: p50=%g p95=%g p99=%g", ep, e.P50Ms, e.P95Ms, e.P99Ms)
+		}
+		if e.P99Ms > 0 {
+			sawLatency = true
+		}
+	}
+	if !sawLatency {
+		t.Error("no endpoint reported a positive p99")
+	}
+}
+
+// TestLoadAdmissionPressure: with a tiny in-flight quota and an
+// unthrottled worker pool, admission control must reject some
+// requests as 429s — and those must not count as errors.
+func TestLoadAdmissionPressure(t *testing.T) {
+	rep, err := RunLoad(LoadConfig{
+		Tenants:     1,
+		Workers:     8,
+		Duration:    500 * time.Millisecond,
+		Seed:        11,
+		MaxInflight: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors = %d, want 0", rep.Errors)
+	}
+	if rep.Rejected429 == 0 {
+		t.Error("8 workers against quota 1 produced no 429s")
+	}
+	if rep.Throughput <= 0 {
+		t.Error("no successful requests under pressure")
+	}
+	// The client-observed 429s must agree with the server-side
+	// rejected counters.
+	var serverRejected uint64
+	for _, e := range rep.Endpoints {
+		serverRejected += e.Rejected
+	}
+	if serverRejected != rep.Rejected429 {
+		t.Errorf("server rejected %d, client saw %d", serverRejected, rep.Rejected429)
+	}
+}

@@ -107,6 +107,9 @@ func Run(w *gen.World, opts Options) *Failure {
 	if f := TxRollback(w); f != nil {
 		return f
 	}
+	if f := BatchVsSingle(w, opts); f != nil {
+		return f
+	}
 	if !opts.SkipPersistence {
 		if f := PersistenceRoundTrip(w, opts); f != nil {
 			return f

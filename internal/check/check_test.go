@@ -151,3 +151,15 @@ func TestCachedVsUncachedOracle(t *testing.T) {
 		t.Error("interleaved writes caused no invalidations")
 	}
 }
+
+// TestBatchVsSingleOracle runs the serving-layer differential oracle
+// directly across seeds: POST /batch must answer exactly what the
+// single endpoints answer.
+func TestBatchVsSingleOracle(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		w := gen.Generate(seed, gen.Small())
+		if f := BatchVsSingle(w, Options{}); f != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, f, w.Program())
+		}
+	}
+}

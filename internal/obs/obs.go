@@ -191,6 +191,82 @@ func (h *Histogram) Buckets() [HistBuckets + 1]uint64 {
 	return out
 }
 
+// Quantile estimates the q-quantile (0 < q <= 1) of the observed
+// values from the histogram's buckets, interpolating linearly within
+// the bucket that holds the target rank. Returns 0 on an empty
+// histogram. Because the buckets are log-scale (base 4), the estimate
+// is exact only at bucket boundaries; the load harness uses it for
+// p50/p95/p99, where a within-bucket error is bounded by the 4x
+// bucket width.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	counts := h.Buckets()
+	bounds := make([]float64, HistBuckets)
+	cum := make([]uint64, HistBuckets+1)
+	total := uint64(0)
+	for i, c := range counts {
+		total += c
+		cum[i] = total
+		if i < HistBuckets {
+			bounds[i] = float64(BucketBound(i))
+		}
+	}
+	return QuantileCumulative(q, bounds, cum)
+}
+
+// QuantileCumulative estimates the q-quantile from a cumulative
+// bucket series: bounds[i] is the inclusive upper bound of bucket i,
+// cum[i] the count of observations <= bounds[i]; cum may carry one
+// extra trailing element for the +Inf overflow bucket. This is the
+// shape of a Prometheus histogram exposition, which is where the load
+// harness reads latency distributions from. Interpolation is linear
+// within the winning bucket; overflow observations report the last
+// finite bound. Returns 0 when the series is empty.
+func QuantileCumulative(q float64, bounds []float64, cum []uint64) float64 {
+	if len(cum) == 0 || len(bounds) == 0 {
+		return 0
+	}
+	total := cum[len(cum)-1]
+	if total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	for i, c := range cum {
+		if c < rank {
+			continue
+		}
+		if i >= len(bounds) {
+			// Overflow bucket: the best available estimate is the last
+			// finite bound (the true value is beyond it).
+			return bounds[len(bounds)-1]
+		}
+		lo := 0.0
+		prev := uint64(0)
+		if i > 0 {
+			lo = bounds[i-1]
+			prev = cum[i-1]
+		}
+		in := c - prev
+		if in == 0 {
+			return bounds[i]
+		}
+		frac := float64(rank-prev) / float64(in)
+		return lo + (bounds[i]-lo)*frac
+	}
+	return bounds[len(bounds)-1]
+}
+
 // metricKind discriminates the series types a Registry holds.
 type metricKind uint8
 

@@ -20,8 +20,8 @@ func TestBucketBoundaries(t *testing.T) {
 		{5, 2}, {16, 2},
 		{17, 3}, {64, 3},
 		{65, 4},
-		{1 << 46, 23},               // 4^23, last finite bucket
-		{1<<46 + 1, HistBuckets},    // overflow
+		{1 << 46, 23},            // 4^23, last finite bucket
+		{1<<46 + 1, HistBuckets}, // overflow
 		{math.MaxInt64, HistBuckets},
 	}
 	for _, c := range cases {
@@ -284,4 +284,70 @@ func TestKindMismatchPanics(t *testing.T) {
 		}
 	}()
 	r.Gauge("lsdb_dual")
+}
+
+func TestQuantileCumulative(t *testing.T) {
+	// Buckets with bounds 1, 4, 16 and a +Inf overflow slot:
+	// 10 observations <= 1, 10 more in (1,4], none in (4,16],
+	// 5 in overflow.
+	bounds := []float64{1, 4, 16}
+	cum := []uint64{10, 20, 20, 25}
+
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0.0, 0.1}, // clamped to rank 1: interpolates inside bucket 0
+		{0.2, 0.5}, // rank 5 of 10 in [0,1]
+		{0.4, 1.0}, // rank 10: exactly the first bound
+		{0.6, 2.5}, // rank 15: halfway through (1,4]
+		{0.8, 4.0}, // rank 20: exactly the second bound
+		{0.9, 16},  // rank 23: overflow reports the last finite bound
+		{1.0, 16},  // rank 25: overflow
+		{1.5, 16},  // clamped above 1
+	}
+	for _, c := range cases {
+		if got := QuantileCumulative(c.q, bounds, cum); got != c.want {
+			t.Errorf("QuantileCumulative(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+
+	if got := QuantileCumulative(0.5, nil, nil); got != 0 {
+		t.Errorf("empty series: %g, want 0", got)
+	}
+	if got := QuantileCumulative(0.5, []float64{1}, []uint64{0}); got != 0 {
+		t.Errorf("zero-total series: %g, want 0", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lsdb_q_ns")
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %g, want 0", got)
+	}
+	// 100 observations of exactly bound 4^3 = 64 land in bucket 3
+	// (bounds are inclusive), so every quantile is <= 64 and the p99
+	// sits inside bucket 3's range (16, 64].
+	for i := 0; i < 100; i++ {
+		h.Observe(64)
+	}
+	p50, p99 := h.Quantile(0.50), h.Quantile(0.99)
+	if p50 <= 16 || p50 > 64 {
+		t.Errorf("p50 = %g, want in (16, 64]", p50)
+	}
+	if p99 <= p50-1e-9 || p99 > 64 {
+		t.Errorf("p99 = %g, want in [p50, 64]", p99)
+	}
+	// Overflow-heavy histogram reports the last finite bound.
+	over := r.Histogram("lsdb_over_ns")
+	over.Observe(1 << 62)
+	if got, want := over.Quantile(0.5), float64(BucketBound(HistBuckets-1)); got != want {
+		t.Errorf("overflow quantile = %g, want %g", got, want)
+	}
+	// A nil histogram is safe.
+	var nilH *Histogram
+	if got := nilH.Quantile(0.9); got != 0 {
+		t.Errorf("nil histogram quantile = %g", got)
+	}
 }

@@ -39,18 +39,22 @@ import (
 //     publishes it with LoadOrStore, and every reader — including the
 //     writer itself — treats the slice as read-only thereafter.
 
-// maxSubgoalEntries caps the shared table so a scan-heavy workload
-// cannot hold the whole derivable closure in memory per depth; past
-// the cap, new results stay per-call only until invalidation resets
-// the table.
+// maxSubgoalEntries is the default cap on the shared table, so a
+// scan-heavy workload cannot hold the whole derivable closure in
+// memory per depth; past the cap, new results stay per-call only
+// until invalidation resets the table. SetSubgoalCacheLimit lowers it
+// per engine — the multi-tenant daemon's per-tenant memory quota.
 const maxSubgoalEntries = 1 << 18
 
 // subgoalTable is one published cache generation: entries valid for
-// exactly one (baseVer, cfgVer, epoch) label.
+// exactly one (baseVer, cfgVer, epoch) label. limit is the entry cap
+// the table was created under; a limit change takes effect at the
+// next invalidation (tables are immutable once published).
 type subgoalTable struct {
 	baseVer uint64
 	cfgVer  uint64
 	epoch   uint64
+	limit   int64
 	entries sync.Map // bkey -> []fact.Fact
 	size    atomic.Int64
 }
@@ -64,7 +68,7 @@ func (t *subgoalTable) load(k bkey) ([]fact.Fact, bool) {
 }
 
 func (t *subgoalTable) store(k bkey, res []fact.Fact) {
-	if t.size.Load() >= maxSubgoalEntries {
+	if t.size.Load() >= t.limit {
 		return
 	}
 	if _, loaded := t.entries.LoadOrStore(k, res); !loaded {
@@ -86,6 +90,7 @@ type subgoalCache struct {
 	table atomic.Pointer[subgoalTable]
 	epoch atomic.Uint64
 	off   atomic.Bool
+	limit atomic.Int64 // entry cap for fresh tables; 0 means default
 
 	hits          *obs.Counter
 	misses        *obs.Counter
@@ -106,7 +111,11 @@ func (c *subgoalCache) acquire(baseVer, cfgVer uint64) *subgoalTable {
 		if t != nil && t.baseVer == baseVer && t.cfgVer == cfgVer && t.epoch == ep {
 			return t
 		}
-		fresh := &subgoalTable{baseVer: baseVer, cfgVer: cfgVer, epoch: ep}
+		lim := c.limit.Load()
+		if lim <= 0 {
+			lim = maxSubgoalEntries
+		}
+		fresh := &subgoalTable{baseVer: baseVer, cfgVer: cfgVer, epoch: ep, limit: lim}
 		if c.table.CompareAndSwap(t, fresh) {
 			if t != nil {
 				c.invalidations.Inc()
@@ -155,3 +164,25 @@ func (e *Engine) SetSubgoalCache(on bool) {
 
 // SubgoalCacheEnabled reports whether the cross-query subgoal cache is on.
 func (e *Engine) SubgoalCacheEnabled() bool { return !e.sg.off.Load() }
+
+// SetSubgoalCacheLimit caps the shared subgoal table at n entries
+// (n <= 0 restores the default). The cap applies to tables published
+// after the call; the current table is dropped so the new bound takes
+// effect immediately. This is the per-tenant memory quota the
+// multi-tenant daemon sets per database.
+func (e *Engine) SetSubgoalCacheLimit(n int) {
+	if n <= 0 {
+		n = 0
+	}
+	e.sg.limit.Store(int64(n))
+	e.sg.table.Store(nil)
+}
+
+// SubgoalCacheLimit returns the current entry cap of the shared
+// subgoal table.
+func (e *Engine) SubgoalCacheLimit() int {
+	if lim := e.sg.limit.Load(); lim > 0 {
+		return int(lim)
+	}
+	return maxSubgoalEntries
+}

@@ -1,4 +1,4 @@
-package main
+package serve_test
 
 import (
 	"encoding/json"
@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/obs"
+	"repro/internal/serve"
 )
 
 // scrape fetches /metrics and returns the sample lines (comments
@@ -109,7 +110,8 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Errorf("neighborhood counter = %g, want 1", got)
 	}
 	// The scrape observes itself: exactly one request (the scrape) is
-	// in flight at sampling time.
+	// in flight at sampling time. Admission control exempts /metrics
+	// from the quota but still counts it on the gauge.
 	if got := samples[`lsdb_http_inflight`]; got != 1 {
 		t.Errorf("inflight gauge = %g during scrape, want 1", got)
 	}
@@ -374,7 +376,7 @@ func TestQueryTraceEndpoint(t *testing.T) {
 	}
 }
 
-// TestPprofGating: the profile endpoints exist only behind -pprof.
+// TestPprofGating: the profile endpoints exist only behind SetPprof.
 func TestPprofGating(t *testing.T) {
 	off := testServer(t)
 	resp, err := http.Get(off.URL + "/debug/pprof/cmdline")
@@ -386,7 +388,12 @@ func TestPprofGating(t *testing.T) {
 		t.Errorf("pprof without flag: status %d, want 404", resp.StatusCode)
 	}
 
-	on := httptest.NewServer(newMux(&server{db: dataset.Music(), pprof: true}))
+	s := serve.New()
+	s.SetPprof(true)
+	if _, err := s.AddTenant(serve.DefaultTenant, dataset.Music(), serve.Quotas{}); err != nil {
+		t.Fatal(err)
+	}
+	on := httptest.NewServer(s.Mux())
 	defer on.Close()
 	resp, err = http.Get(on.URL + "/debug/pprof/cmdline")
 	if err != nil {

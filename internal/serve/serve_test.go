@@ -1,0 +1,463 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	lsdb "repro"
+	"repro/internal/dataset"
+	"repro/internal/serve"
+)
+
+// newTestServer builds a one-tenant server around db and returns the
+// started httptest server plus the serve.Server for registry access.
+func newTestServer(t *testing.T, db *lsdb.Database, q serve.Quotas) (*httptest.Server, *serve.Server) {
+	t.Helper()
+	s := serve.New()
+	if _, err := s.AddTenant(serve.DefaultTenant, db, q); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.Mux())
+	t.Cleanup(srv.Close)
+	return srv, s
+}
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv, _ := newTestServer(t, dataset.Music(), serve.Quotas{})
+	return srv
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer(
+		" ", "%20", "?", "%3F", "&", "%26", "(", "%28", ")", "%29", "#", "%23",
+	)
+	return r.Replace(s)
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	srv := testServer(t)
+	var got struct {
+		Tenant  string `json:"tenant"`
+		Stored  int    `json:"stored"`
+		Closure int    `json:"closure"`
+		Subgoal struct {
+			Enabled       bool   `json:"enabled"`
+			Limit         int    `json:"limit"`
+			Hits          uint64 `json:"hits"`
+			Misses        uint64 `json:"misses"`
+			Invalidations uint64 `json:"invalidations"`
+			Entries       int    `json:"entries"`
+		} `json:"subgoal_cache"`
+	}
+	if code := getJSON(t, srv.URL+"/stats", &got); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if got.Tenant != serve.DefaultTenant {
+		t.Errorf("tenant = %q", got.Tenant)
+	}
+	if got.Stored == 0 || got.Closure < got.Stored {
+		t.Errorf("stats = %+v", got)
+	}
+	if !got.Subgoal.Enabled || got.Subgoal.Limit == 0 {
+		t.Errorf("subgoal cache block = %+v", got.Subgoal)
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	srv := testServer(t)
+	var got struct {
+		Vars   []string   `json:"vars"`
+		Tuples [][]string `json:"tuples"`
+		True   bool       `json:"true"`
+	}
+	code := getJSON(t, srv.URL+"/query?q="+escape("(JOHN, FAVORITE-MUSIC, ?p)"), &got)
+	if code != 200 || !got.True {
+		t.Fatalf("status %d, got %+v", code, got)
+	}
+	if len(got.Tuples) < 3 {
+		t.Errorf("tuples = %v", got.Tuples)
+	}
+}
+
+func TestQueryEndpointErrors(t *testing.T) {
+	srv := testServer(t)
+	var got map[string]any
+	if code := getJSON(t, srv.URL+"/query", &got); code != 400 {
+		t.Errorf("missing q: status %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/query?q="+escape("((("), &got); code != 400 {
+		t.Errorf("parse error: status %d", code)
+	}
+}
+
+func TestFactsEndpoint(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Post(srv.URL+"/facts", "application/json",
+		strings.NewReader(`{"s":"NEW","r":"LIKES","t":"JAZZ"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("POST status %d", resp.StatusCode)
+	}
+	var q struct{ True bool }
+	getJSON(t, srv.URL+"/query?q="+escape("(NEW, LIKES, JAZZ)"), &q)
+	if !q.True {
+		t.Error("posted fact not queryable")
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/facts?s=NEW&r=LIKES&t=JAZZ", nil)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var del map[string]bool
+	json.NewDecoder(resp2.Body).Decode(&del)
+	resp2.Body.Close()
+	if !del["retracted"] {
+		t.Error("DELETE did not retract")
+	}
+}
+
+func TestFactsEndpointValidation(t *testing.T) {
+	srv := testServer(t)
+	resp, _ := http.Post(srv.URL+"/facts", "application/json", strings.NewReader(`{"s":"ONLY"}`))
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("incomplete fact: status %d", resp.StatusCode)
+	}
+	resp, _ = http.Post(srv.URL+"/facts", "application/json", strings.NewReader(`not json`))
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("bad json: status %d", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodPut, srv.URL+"/facts", nil)
+	resp, _ = http.DefaultClient.Do(req)
+	resp.Body.Close()
+	if resp.StatusCode != 405 {
+		t.Errorf("PUT: status %d", resp.StatusCode)
+	}
+}
+
+func TestNavigateEndpoint(t *testing.T) {
+	srv := testServer(t)
+	var got struct {
+		Classes []string `json:"classes"`
+		Table   string   `json:"table"`
+		Out     []struct {
+			Rel      string   `json:"rel"`
+			Entities []string `json:"entities"`
+		} `json:"out"`
+	}
+	code := getJSON(t, srv.URL+"/navigate?entity=JOHN", &got)
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(got.Classes) != 4 {
+		t.Errorf("classes = %v", got.Classes)
+	}
+	if !strings.Contains(got.Table, "JOHN**") {
+		t.Errorf("table:\n%s", got.Table)
+	}
+}
+
+func TestBetweenEndpoint(t *testing.T) {
+	srv := testServer(t)
+	var got struct {
+		Associations []struct {
+			Rel      string   `json:"rel"`
+			Composed bool     `json:"composed"`
+			Steps    []string `json:"steps"`
+		} `json:"associations"`
+	}
+	code := getJSON(t, srv.URL+"/between?src=LEOPOLD&tgt=MOZART", &got)
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	var composed, direct bool
+	for _, a := range got.Associations {
+		if a.Composed {
+			composed = true
+			if len(a.Steps) < 2 {
+				t.Errorf("composed association with %d steps", len(a.Steps))
+			}
+		} else {
+			direct = true
+		}
+	}
+	if !composed || !direct {
+		t.Errorf("associations = %+v", got.Associations)
+	}
+}
+
+func TestProbeEndpoint(t *testing.T) {
+	srv := testServer(t)
+	var got struct {
+		Succeeded bool   `json:"succeeded"`
+		Menu      string `json:"menu"`
+		Unknown   []string
+	}
+	code := getJSON(t, srv.URL+"/probe?q="+escape("(JOHN, LOWES, ?z)"), &got)
+	if code != 200 || got.Succeeded {
+		t.Fatalf("status %d, %+v", code, got)
+	}
+	if !strings.Contains(got.Menu, "no such database entities") {
+		t.Errorf("menu: %s", got.Menu)
+	}
+}
+
+func TestTryEndpoint(t *testing.T) {
+	srv := testServer(t)
+	var got struct {
+		Facts []struct{ S, R, T string } `json:"facts"`
+	}
+	code := getJSON(t, srv.URL+"/try?entity=MOZART", &got)
+	if code != 200 || len(got.Facts) == 0 {
+		t.Fatalf("status %d, %d facts", code, len(got.Facts))
+	}
+}
+
+func TestCheckEndpoint(t *testing.T) {
+	srv := testServer(t)
+	var got struct {
+		Consistent bool `json:"consistent"`
+	}
+	if code := getJSON(t, srv.URL+"/check", &got); code != 200 || !got.Consistent {
+		t.Fatalf("check = %+v", got)
+	}
+}
+
+func TestHealthzEndpoint(t *testing.T) {
+	srv := testServer(t)
+	var got struct {
+		OK bool `json:"ok"`
+	}
+	if code := getJSON(t, srv.URL+"/healthz", &got); code != 200 || !got.OK {
+		t.Fatalf("healthz = %+v (status %d)", got, code)
+	}
+}
+
+func TestDeriveEndpoint(t *testing.T) {
+	srv := testServer(t)
+
+	var got struct {
+		Holds   bool   `json:"holds"`
+		Source  string `json:"source"`
+		Virtual bool   `json:"virtual"`
+		Rule    string `json:"rule"`
+		Tree    string `json:"tree"`
+	}
+	// Derived by a rule: the inverse of a stored favorite.
+	code := getJSON(t, srv.URL+"/derive?s=PC%239-WAM&r=FAVORITE-OF&t=JOHN", &got)
+	if code != 200 || !got.Holds || got.Source != "derived" || got.Rule != "inversion" || got.Virtual {
+		t.Fatalf("derived = %+v (status %d)", got, code)
+	}
+	if !strings.Contains(got.Tree, "[stored]") {
+		t.Errorf("tree:\n%s", got.Tree)
+	}
+	// Stored explicitly: must be labelled stored, never virtual.
+	code = getJSON(t, srv.URL+"/derive?s=JOHN&r=FAVORITE-MUSIC&t=PC%239-WAM", &got)
+	if code != 200 || !got.Holds || got.Source != "stored" || got.Virtual {
+		t.Fatalf("stored = %+v (status %d)", got, code)
+	}
+	// Virtual: equality facts come from the built-in provider and have
+	// no derivation.
+	code = getJSON(t, srv.URL+"/derive?s=MOZART&r=%3D&t=MOZART", &got)
+	if code != 200 || !got.Holds || got.Source != "virtual" || !got.Virtual {
+		t.Fatalf("virtual = %+v (status %d)", got, code)
+	}
+	code = getJSON(t, srv.URL+"/derive?s=NO&r=SUCH&t=FACT", &got)
+	if code != 200 || got.Holds || got.Source != "absent" {
+		t.Errorf("absent fact: %+v", got)
+	}
+	if code := getJSON(t, srv.URL+"/derive?s=ONLY", &got); code != 400 {
+		t.Errorf("missing params: %d", code)
+	}
+}
+
+// TestAcknowledgedWriteSurvivesCrash is the regression for the
+// original bug: lsdbd acknowledged POST /facts while the record sat in
+// a process-local buffer, so killing the daemon lost the write. Under
+// SyncAlways the 200 must imply the record is on disk, which we check
+// by reopening the log without ever flushing or closing the first
+// handle.
+func TestAcknowledgedWriteSurvivesCrash(t *testing.T) {
+	logPath := filepath.Join(t.TempDir(), "db.log")
+	db, err := lsdb.Open(lsdb.Options{LogPath: logPath, SyncPolicy: lsdb.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, _ := newTestServer(t, db, serve.Quotas{})
+
+	resp, err := http.Post(srv.URL+"/facts", "application/json",
+		strings.NewReader(`{"s":"JOHN","r":"in","t":"EMPLOYEE"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("POST status %d", resp.StatusCode)
+	}
+
+	// The daemon "crashes" here: no Sync, no Close.
+	db2, err := lsdb.Open(lsdb.Options{LogPath: logPath})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer db2.Close()
+	if !db2.HasStored("JOHN", "in", "EMPLOYEE") {
+		t.Fatal("acknowledged write lost after simulated crash")
+	}
+
+	// The durability counters surface through /stats.
+	var st struct {
+		Durability struct {
+			LogAttached bool   `json:"log_attached"`
+			Policy      string `json:"policy"`
+			Appends     uint64 `json:"appends"`
+			Fsyncs      uint64 `json:"fsyncs"`
+			LastSyncAge string `json:"last_sync_age"`
+		} `json:"durability"`
+	}
+	if code := getJSON(t, srv.URL+"/stats", &st); code != 200 {
+		t.Fatalf("stats status %d", code)
+	}
+	d := st.Durability
+	if !d.LogAttached || d.Policy != "always" || d.Appends != 1 || d.Fsyncs == 0 || d.LastSyncAge == "" {
+		t.Errorf("durability stats = %+v", d)
+	}
+}
+
+// TestUnknownTenant: a ?db= naming no hosted database is a 404 with
+// the standard JSON error shape.
+func TestUnknownTenant(t *testing.T) {
+	srv := testServer(t)
+	var got map[string]string
+	if code := getJSON(t, srv.URL+"/query?db=nope&q=x", &got); code != 404 {
+		t.Fatalf("unknown tenant: status %d", code)
+	}
+	if got["error"] == "" {
+		t.Error("404 body carries no error field")
+	}
+}
+
+// TestTenantsEndpoint: /tenants lists every hosted database with its
+// quotas and live admission state, and is GET-only.
+func TestTenantsEndpoint(t *testing.T) {
+	s := serve.New()
+	if _, err := s.AddTenant("alpha", dataset.Music(), serve.Quotas{MaxInflight: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddTenant("beta", lsdb.New(), serve.Quotas{}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.Mux())
+	defer srv.Close()
+
+	var got struct {
+		Tenants []struct {
+			Name     string `json:"name"`
+			Stored   int    `json:"stored"`
+			Inflight int64  `json:"inflight"`
+			Quotas   struct {
+				MaxInflight int `json:"max_inflight"`
+			} `json:"quotas"`
+		} `json:"tenants"`
+	}
+	if code := getJSON(t, srv.URL+"/tenants", &got); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(got.Tenants) != 2 {
+		t.Fatalf("tenants = %+v", got.Tenants)
+	}
+	if got.Tenants[0].Name != "alpha" || got.Tenants[0].Quotas.MaxInflight != 7 || got.Tenants[0].Stored == 0 {
+		t.Errorf("alpha = %+v", got.Tenants[0])
+	}
+	if got.Tenants[1].Name != "beta" || got.Tenants[1].Stored != 0 {
+		t.Errorf("beta = %+v", got.Tenants[1])
+	}
+
+	resp, err := http.Post(srv.URL+"/tenants", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 405 || resp.Header.Get("Allow") != "GET" {
+		t.Errorf("POST /tenants: status %d, Allow %q", resp.StatusCode, resp.Header.Get("Allow"))
+	}
+}
+
+// TestAddTenantErrors: duplicate and post-freeze registration fail.
+func TestAddTenantErrors(t *testing.T) {
+	s := serve.New()
+	if _, err := s.AddTenant("", lsdb.New(), serve.Quotas{}); err == nil {
+		t.Error("empty tenant name accepted")
+	}
+	if _, err := s.AddTenant("a", lsdb.New(), serve.Quotas{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddTenant("a", lsdb.New(), serve.Quotas{}); err == nil {
+		t.Error("duplicate tenant accepted")
+	}
+	s.Mux()
+	if _, err := s.AddTenant("b", lsdb.New(), serve.Quotas{}); err == nil {
+		t.Error("tenant added after mux freeze")
+	}
+}
+
+// TestCacheEntriesQuota: a tenant's CacheEntries quota reaches the
+// engine's subgoal cache limit.
+func TestCacheEntriesQuota(t *testing.T) {
+	db := dataset.Music()
+	s := serve.New()
+	if _, err := s.AddTenant(serve.DefaultTenant, db, serve.Quotas{CacheEntries: 17}); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Engine().SubgoalCacheLimit(); got != 17 {
+		t.Errorf("subgoal cache limit = %d, want 17", got)
+	}
+}
+
+// TestDeriveDepthQuota: an explicit ?depth above the tenant quota is
+// rejected; the default trace depth is silently clamped.
+func TestDeriveDepthQuota(t *testing.T) {
+	db := dataset.Music()
+	s := serve.New()
+	if _, err := s.AddTenant(serve.DefaultTenant, db, serve.Quotas{MaxDepth: 2}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.Mux())
+	defer srv.Close()
+
+	var got map[string]any
+	if code := getJSON(t, srv.URL+"/derive?s=A&r=B&t=C&trace=1&depth=3", &got); code != 400 {
+		t.Errorf("over-quota depth: status %d, want 400", code)
+	}
+	if code := getJSON(t, srv.URL+"/derive?s=PC%239-WAM&r=FAVORITE-OF&t=JOHN&trace=1&depth=2", &got); code != 200 {
+		t.Errorf("at-quota depth: status %d, want 200", code)
+	}
+	// No explicit depth: the default (4) exceeds the quota but is
+	// clamped, not rejected.
+	if code := getJSON(t, srv.URL+"/derive?s=PC%239-WAM&r=FAVORITE-OF&t=JOHN&trace=1", &got); code != 200 {
+		t.Errorf("default depth under quota: status %d, want 200", code)
+	}
+}

@@ -79,6 +79,11 @@ type Options struct {
 	// CheckpointSnapshot, when non-empty, is a path that receives an
 	// atomic full snapshot at every automatic checkpoint.
 	CheckpointSnapshot string
+	// SubgoalCacheEntries caps the cross-query subgoal cache at this
+	// many entries (0 keeps the engine default). The multi-tenant
+	// daemon sets it per database so one tenant's scan-heavy workload
+	// cannot claim unbounded cache memory.
+	SubgoalCacheEntries int
 }
 
 // SyncPolicy re-exports the store's durability policy type.
@@ -156,6 +161,9 @@ func Open(opts Options) (*Database, error) {
 	}
 	vp := virtual.New(u)
 	eng := rules.New(st, vp)
+	if opts.SubgoalCacheEntries > 0 {
+		eng.SetSubgoalCacheLimit(opts.SubgoalCacheEntries)
+	}
 	limit := opts.CompositionLimit
 	if limit == 0 {
 		limit = 3

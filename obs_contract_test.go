@@ -1,11 +1,17 @@
 package lsdb_test
 
 import (
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"path/filepath"
 	"testing"
+	"time"
 
 	lsdb "repro"
+	"repro/internal/dataset"
+	"repro/internal/serve"
 )
 
 // TestMetricContract drives a known workload — N asserts, one closure
@@ -214,5 +220,125 @@ func TestMetricContractDeletes(t *testing.T) {
 	}
 	if got := v("lsdb_store_mutations_total", "op", "delete"); got != 1 {
 		t.Errorf("delete mutations = %g, want 1", got)
+	}
+}
+
+// TestAdmissionControlContract drives a tenant past its in-flight
+// quota and pins the exact rejection behavior: a 429 with the JSON
+// error shape and a Retry-After derived from the overload ratio, the
+// per-endpoint rejected counter at exactly 1, admitted requests
+// unaffected, and every admission gauge reconciled to zero once the
+// tenant drains. The server's admit hook holds admitted requests
+// provably in flight, so the test is deterministic, not a race.
+func TestAdmissionControlContract(t *testing.T) {
+	db := dataset.Music()
+	s := serve.New()
+	const quota = 2
+	tenant, err := s.AddTenant(serve.DefaultTenant, db, serve.Quotas{MaxInflight: quota})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := make(chan struct{})
+	s.SetAdmitHook(func(_, endpoint string) {
+		if endpoint == "query" {
+			<-gate // hold admitted queries in flight until released
+		}
+	})
+	srv := httptest.NewServer(s.Mux())
+	defer srv.Close()
+
+	// Fill the quota: two queries are admitted and parked in the hook.
+	results := make(chan int, quota)
+	for i := 0; i < quota; i++ {
+		go func() {
+			resp, err := http.Get(srv.URL + "/query?q=%28JOHN%2C%20FAVORITE-MUSIC%2C%20%3Fp%29")
+			if err != nil {
+				results <- -1
+				return
+			}
+			resp.Body.Close()
+			results <- resp.StatusCode
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for tenant.Inflight() != quota {
+		if time.Now().After(deadline) {
+			t.Fatalf("inflight = %d, want %d before deadline", tenant.Inflight(), quota)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The third query is rejected: 429, Retry-After = ceil(3/2) = 2,
+	// standard JSON error body, rejected counter moves exactly once.
+	resp, err := http.Get(srv.URL + "/query?q=x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota request: status %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "2" {
+		t.Errorf("Retry-After = %q, want \"2\"", got)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("429 body not JSON: %v", err)
+	}
+	resp.Body.Close()
+	if body["error"] == "" {
+		t.Error("429 body missing error field")
+	}
+	reg := db.Metrics()
+	if got := reg.Value("lsdb_http_rejected_total", "endpoint", "query"); got != 1 {
+		t.Errorf("rejected counter = %g, want exactly 1", got)
+	}
+	// The rejection rolled its gauge increment back: still quota in
+	// flight, not quota+1.
+	if got := tenant.Inflight(); got != quota {
+		t.Errorf("inflight after rejection = %d, want %d", got, quota)
+	}
+
+	// Quota-exempt endpoints stay reachable while the tenant is full.
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("/healthz during overload: status %d, want 200", resp.StatusCode)
+	}
+
+	// Drain: the parked queries complete with 200; nothing about the
+	// rejection leaked into their accounting.
+	close(gate)
+	for i := 0; i < quota; i++ {
+		if code := <-results; code != 200 {
+			t.Errorf("admitted request finished with status %d, want 200", code)
+		}
+	}
+	for tenant.Inflight() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("inflight = %d after drain, want 0", tenant.Inflight())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := reg.Value("lsdb_http_requests_total", "endpoint", "query"); got != quota {
+		t.Errorf("query requests counter = %g, want %d (rejected request not counted as served)", got, quota)
+	}
+	if got := reg.Value("lsdb_http_rejected_total", "endpoint", "query"); got != 1 {
+		t.Errorf("rejected counter after drain = %g, want 1", got)
+	}
+	if got := tenant.RejectedTotal(); got != 1 {
+		t.Errorf("RejectedTotal = %d, want 1", got)
+	}
+
+	// Back under quota: the next request is admitted normally.
+	resp, err = http.Get(srv.URL + "/query?q=%28JOHN%2C%20FAVORITE-MUSIC%2C%20%3Fp%29")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("post-drain request: status %d, want 200", resp.StatusCode)
 	}
 }
