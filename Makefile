@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-scale check check-obs check-scale crash fuzz load-smoke load-json soak
+.PHONY: all build vet test race bench bench-json bench-churn bench-scale check check-churn check-obs check-scale crash fuzz load-smoke load-json soak
 
 all: check
 
@@ -24,9 +24,23 @@ bench:
 # Machine-readable acceptance numbers: the E7 subgoal-cache family
 # plus E8 commit throughput per sync policy, with the observability
 # registry snapshot of the E7r workload attached.
-BENCHJSON ?= BENCH_PR6.json
+BENCHJSON ?= BENCH_PR8.json
 bench-json:
 	$(GO) run ./cmd/lsdb-bench -json $(BENCHJSON)
+
+# E10c dependency-tracked invalidation + delete propagation: warm
+# hit-rate retention under unrelated-predicate writes and the
+# single-retraction repair path, as a rendered table.
+bench-churn:
+	$(GO) run ./cmd/lsdb-bench E10c
+
+# Churn oracles: the differential harness over high-churn schedules
+# (interleaved assert/retract/toggle bursts, shared and disjoint
+# relationship classes), driving the dependency-eviction and
+# delete-propagation paths, plus the E10c acceptance test under -race.
+check-churn:
+	$(GO) run ./cmd/lsdb-check -churn -seeds 12
+	$(GO) test -race -count=1 -run 'TestRunCleanOnChurnWorlds|TestChurnWorldsShrink|TestE10cWarmRetention' ./internal/check ./internal/bench
 
 # E9s memory-scale smoke: the sealed posting-list index at 10⁵ facts
 # (CI-sized; raise with SCALEMAX=10000000 for the 10⁷ sweep).
@@ -94,6 +108,7 @@ check: build vet test race
 	$(MAKE) load-smoke
 	$(MAKE) crash
 	$(MAKE) soak SEEDS=50
+	$(MAKE) check-churn
 	$(MAKE) check-scale SCALEFACTS=100000
 	$(MAKE) bench-scale
 	$(MAKE) fuzz FUZZTIME=5s

@@ -7,7 +7,7 @@
 //	lsdb-bench                    # run every experiment
 //	lsdb-bench E1 E5 E8           # run a subset
 //	lsdb-bench -quick             # smaller sweeps (used in CI)
-//	lsdb-bench -json BENCH.json   # machine-readable E7 family results
+//	lsdb-bench -json BENCH.json   # machine-readable E7/E8/E9s/E10c results
 package main
 
 import (
@@ -61,22 +61,23 @@ func main() {
 	}
 
 	experiments := map[string]func() *tabular.Rows{
-		"E1":  func() *tabular.Rows { return bench.E1(sizes) },
-		"E2":  func() *tabular.Rows { return bench.E2(students) },
-		"E3":  func() *tabular.Rows { return bench.E3(depths) },
-		"E4":  func() *tabular.Rows { return bench.E4(students) },
-		"E5":  func() *tabular.Rows { return bench.E5(limits) },
-		"E6":  bench.E6,
-		"E7":  bench.E7,
-		"E8":  bench.E8,
-		"E9":  func() *tabular.Rows { return bench.E9(constraints) },
-		"E10": func() *tabular.Rows { return bench.E10(logSizes) },
-		"E3p": func() *tabular.Rows { return bench.E3Parallel(students) },
-		"E7c": func() *tabular.Rows { return bench.E7Concurrent(students) },
-		"E7r": bench.E7Repeated,
-		"E9s": func() *tabular.Rows { return bench.E9Scale(scaleSizes) },
+		"E1":   func() *tabular.Rows { return bench.E1(sizes) },
+		"E2":   func() *tabular.Rows { return bench.E2(students) },
+		"E3":   func() *tabular.Rows { return bench.E3(depths) },
+		"E4":   func() *tabular.Rows { return bench.E4(students) },
+		"E5":   func() *tabular.Rows { return bench.E5(limits) },
+		"E6":   bench.E6,
+		"E7":   bench.E7,
+		"E8":   bench.E8,
+		"E9":   func() *tabular.Rows { return bench.E9(constraints) },
+		"E10":  func() *tabular.Rows { return bench.E10(logSizes) },
+		"E10c": bench.E10c,
+		"E3p":  func() *tabular.Rows { return bench.E3Parallel(students) },
+		"E7c":  func() *tabular.Rows { return bench.E7Concurrent(students) },
+		"E7r":  bench.E7Repeated,
+		"E9s":  func() *tabular.Rows { return bench.E9Scale(scaleSizes) },
 	}
-	order := []string{"E1", "E2", "E3", "E3p", "E4", "E5", "E6", "E7", "E7c", "E7r", "E8", "E9", "E9s", "E10"}
+	order := []string{"E1", "E2", "E3", "E3p", "E4", "E5", "E6", "E7", "E7c", "E7r", "E8", "E9", "E9s", "E10", "E10c"}
 
 	selected := flag.Args()
 	if len(selected) == 0 {

@@ -9,6 +9,7 @@
 //	lsdb-check -seeds 200              # check 200 consecutive seeds
 //	lsdb-check -duration 60s           # check as many seeds as fit in 60s
 //	lsdb-check -size medium -seeds 50  # bigger worlds
+//	lsdb-check -churn -seeds 100       # high-churn write/retract/toggle schedules
 //	lsdb-check -inject member-source   # verify the harness catches a bug
 //	lsdb-check -crash 25               # sweep 25 durability crash points per seed
 //	lsdb-check -scale 200000           # sealed-vs-mutable differential on a Zipf scale world
@@ -34,6 +35,7 @@ type config struct {
 	start    int64
 	duration time.Duration
 	size     string
+	churn    bool
 	workers  int
 	inject   string
 	crash    int
@@ -47,6 +49,7 @@ func main() {
 	flag.Int64Var(&cfg.start, "start", 0, "first seed")
 	flag.DurationVar(&cfg.duration, "duration", 0, "stop after this much wall time (0 = seed count only)")
 	flag.StringVar(&cfg.size, "size", "small", "world size: small, medium or large")
+	flag.BoolVar(&cfg.churn, "churn", false, "append high-churn assert/retract/toggle bursts to every world (alternating shared and disjoint relationship classes across seeds)")
 	flag.IntVar(&cfg.workers, "workers", 8, "parallel worker count compared against sequential builds")
 	flag.StringVar(&cfg.inject, "inject", "", "deliberately exclude this standard rule on one side (harness self-test; expects a failure)")
 	flag.IntVar(&cfg.crash, "crash", 0, "also sweep this many crash points per seed through the durability-log fault injector")
@@ -89,11 +92,24 @@ func soak(cfg config, out io.Writer) error {
 		return fmt.Errorf("unknown -size %q (want small, medium or large)", cfg.size)
 	}
 
+	var churnCfg gen.ChurnConfig
+	if cfg.churn {
+		switch cfg.size {
+		case "small":
+			churnCfg = gen.SmallChurn()
+		case "medium":
+			churnCfg = gen.MediumChurn()
+		default:
+			return fmt.Errorf("-churn supports -size small or medium, not %q", cfg.size)
+		}
+	}
+
 	var cacheAgg rules.CacheStats
 	opts := check.Options{Workers: cfg.workers, CacheStatsSink: func(st rules.CacheStats) {
 		cacheAgg.Hits += st.Hits
 		cacheAgg.Misses += st.Misses
 		cacheAgg.Invalidations += st.Invalidations
+		cacheAgg.Evictions += st.Evictions
 	}}
 	if cfg.inject != "" {
 		r, ok := rules.StdRuleByName(cfg.inject)
@@ -142,6 +158,15 @@ func soak(cfg config, out io.Writer) error {
 			break
 		}
 		w := gen.Generate(seed, worldCfg)
+		if cfg.churn {
+			// Alternate the churn regime: even seeds share the seed
+			// world's relationship classes (real evictions and delete
+			// cones), odd seeds write disjoint ones (the cache should
+			// stay warm).
+			cc := churnCfg
+			cc.Disjoint = seed%2 != 0
+			w = gen.Churn(seed, cc)
+		}
 		if f := check.Run(w, opts); f != nil {
 			// Shrink against the specific oracle that fired, with
 			// persistence off so the loop doesn't thrash the disk.
@@ -195,8 +220,8 @@ func soak(cfg config, out io.Writer) error {
 		return fmt.Errorf("injected bug (%s) was NOT detected across %d seeds", cfg.inject, checked)
 	}
 	if cfg.verbose {
-		fmt.Fprintf(out, "subgoal cache (cached-vs-uncached oracle): %d hits, %d misses, %d invalidations\n",
-			cacheAgg.Hits, cacheAgg.Misses, cacheAgg.Invalidations)
+		fmt.Fprintf(out, "subgoal cache (cached-vs-uncached oracle): %d hits, %d misses, %d invalidations, %d evictions\n",
+			cacheAgg.Hits, cacheAgg.Misses, cacheAgg.Invalidations, cacheAgg.Evictions)
 	}
 	if crashPoints > 0 {
 		fmt.Fprintf(out, "crash sweep: %d crash points recovered cleanly\n", crashPoints)

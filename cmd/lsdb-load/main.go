@@ -9,7 +9,7 @@
 //
 //	lsdb-load [-tenants 3] [-workers 4] [-duration 2s] [-qps 0]
 //	          [-seed 7] [-batch 8] [-max-inflight 0] [-url http://host:8080]
-//	          [-json report.json] [-smoke]
+//	          [-json report.json] [-smoke] [-slo "query=50,navigate=20"]
 //
 // With no -url the harness starts an in-process daemon seeded with
 // generated worlds (tenants t0..tN-1), so a load run needs no setup.
@@ -23,6 +23,15 @@
 //
 // -smoke exits nonzero unless the run achieved nonzero throughput
 // with zero non-429 errors — the CI gate wired into `make load-smoke`.
+//
+// -slo gates the run on per-endpoint p99 latency budgets. Budgets are
+// milliseconds, given either inline ("query=50,navigate=20", with the
+// pseudo-endpoint "default" covering every endpoint not named) or in
+// a JSON file ("@budgets.json", an object of the same shape). A named
+// endpoint that saw no traffic is a breach — it usually means a typo
+// in the budget spec. On any breach the offending endpoints are
+// printed and the exit status is nonzero, so CI can hold the serving
+// layer to a latency contract, not just to liveness.
 package main
 
 import (
@@ -32,6 +41,8 @@ import (
 	"log"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
@@ -48,6 +59,7 @@ func main() {
 	baseURL := flag.String("url", "", "drive an external lsdbd at this base URL instead of in-process")
 	jsonPath := flag.String("json", "", "write the report as JSON to this path")
 	smoke := flag.Bool("smoke", false, "exit nonzero unless throughput > 0 and non-429 errors == 0")
+	slo := flag.String("slo", "", `per-endpoint p99 budgets in ms ("query=50,default=100" or @budgets.json); exit nonzero on breach`)
 	flag.Parse()
 
 	cfg := bench.LoadConfig{
@@ -93,6 +105,16 @@ func main() {
 		fmt.Printf("  report written to %s\n", *jsonPath)
 	}
 
+	// Parse the SLO spec before the run is judged so a malformed spec
+	// fails loudly rather than silently passing the gate.
+	var budgets map[string]float64
+	if *slo != "" {
+		var err error
+		if budgets, err = parseSLO(*slo); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	if *smoke {
 		if rep.Throughput <= 0 || rep.Errors > 0 {
 			buf, _ := json.Marshal(rep)
@@ -102,4 +124,98 @@ func main() {
 		}
 		fmt.Println("  load smoke OK")
 	}
+
+	if budgets != nil {
+		if breaches := checkSLO(rep, budgets); len(breaches) > 0 {
+			for _, b := range breaches {
+				fmt.Fprintln(os.Stderr, "slo FAILED:", b)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("  slo OK")
+	}
+}
+
+// parseSLO parses the -slo value: "@file.json" loads a JSON object of
+// endpoint → p99 budget (ms); otherwise the value is a comma list of
+// endpoint=ms pairs. "default" is a catch-all budget for endpoints
+// not named explicitly.
+func parseSLO(spec string) (map[string]float64, error) {
+	budgets := make(map[string]float64)
+	if strings.HasPrefix(spec, "@") {
+		buf, err := os.ReadFile(spec[1:])
+		if err != nil {
+			return nil, fmt.Errorf("slo: %w", err)
+		}
+		if err := json.Unmarshal(buf, &budgets); err != nil {
+			return nil, fmt.Errorf("slo: %s: %w", spec[1:], err)
+		}
+	} else {
+		for _, pair := range strings.Split(spec, ",") {
+			ep, ms, ok := strings.Cut(strings.TrimSpace(pair), "=")
+			if !ok {
+				return nil, fmt.Errorf("slo: %q is not endpoint=ms", pair)
+			}
+			v, err := strconv.ParseFloat(ms, 64)
+			if err != nil {
+				return nil, fmt.Errorf("slo: %q: %w", pair, err)
+			}
+			budgets[ep] = v
+		}
+	}
+	for ep, v := range budgets {
+		if v <= 0 {
+			return nil, fmt.Errorf("slo: budget for %q must be positive, got %g", ep, v)
+		}
+	}
+	if len(budgets) == 0 {
+		return nil, fmt.Errorf("slo: empty budget spec")
+	}
+	return budgets, nil
+}
+
+// checkSLO compares every budgeted endpoint's measured p99 against
+// its budget, returning one message per breach. Explicitly named
+// endpoints must have seen traffic; the "default" budget applies to
+// every endpoint with traffic that has no explicit budget.
+func checkSLO(rep *bench.LoadReport, budgets map[string]float64) []string {
+	var breaches []string
+	def, hasDefault := budgets["default"]
+	eps := make([]string, 0, len(rep.Endpoints))
+	for ep := range rep.Endpoints {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+	for _, ep := range eps {
+		e := rep.Endpoints[ep]
+		budget, named := budgets[ep]
+		if !named {
+			if !hasDefault {
+				continue
+			}
+			budget = def
+		}
+		if e.Requests == 0 {
+			if named {
+				breaches = append(breaches,
+					fmt.Sprintf("%s: budgeted %gms but saw no traffic", ep, budget))
+			}
+			continue
+		}
+		if e.P99Ms > budget {
+			breaches = append(breaches,
+				fmt.Sprintf("%s: p99 %.3fms over budget %gms", ep, e.P99Ms, budget))
+		}
+	}
+	for ep, budget := range budgets {
+		if ep == "default" {
+			continue
+		}
+		if _, ok := rep.Endpoints[ep]; !ok {
+			breaches = append(breaches,
+				fmt.Sprintf("%s: budgeted %gms but saw no traffic", ep, budget))
+		}
+	}
+	sort.Strings(breaches)
+	return breaches
 }

@@ -15,6 +15,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -397,6 +398,131 @@ func E7Repeated() *tabular.Rows {
 	t.AddRow([]string{"churn (assert between sessions)"}, []string{dur(churn)}, []string{speed(churn)})
 	return t
 }
+
+// pickUnrelatedRelation interns candidate relationship-class names
+// until it finds one whose dependency bit misses every narrow entry
+// in the engine's warm subgoal table; writes through that class are
+// then provably unrelated to the warm working set (only wildcard
+// entries can evict). The table must be primed before calling. The
+// fallback (all 256 candidates colliding) is astronomically unlikely
+// but keeps the benchmark running either way.
+func pickUnrelatedRelation(db *lsdb.Database) string {
+	used, _, _ := db.Engine().CacheDepProfile()
+	name := "E10C-NOISE-0"
+	for i := 0; i < 256; i++ {
+		name = fmt.Sprintf("E10C-NOISE-%d", i)
+		if rules.DepBit(db.Entity(name))&used == 0 {
+			break
+		}
+	}
+	return name
+}
+
+// churnedReplay replays the navigation session reps times with one
+// write through relationship class rel before each replay, returning
+// the mean session time and the shared-table hit rate over the
+// churned window.
+func churnedReplay(db *lsdb.Database, depth int, trail []sym.ID, rel string, reps int) (time.Duration, float64) {
+	eng := db.Engine()
+	st0 := eng.CacheStats()
+	n := 0
+	d := timeIt(reps, func() {
+		db.MustAssert(fmt.Sprintf("E10C-W-%s-%d", rel, n), rel, "E10C-SINK")
+		n++
+		ReplayNavigation(db, depth, trail)
+	})
+	st1 := eng.CacheStats()
+	rate := 0.0
+	if dh, dm := st1.Hits-st0.Hits, st1.Misses-st0.Misses; dh+dm > 0 {
+		rate = float64(dh) / float64(dh+dm)
+	}
+	return d, rate
+}
+
+// tailDataEdge returns the canonically smallest stored REL-06 edge of
+// the OnDemandWorld graph. REL-06 participates in no inversion and no
+// relationship generalization, so retracting one of its edges has a
+// small, local cone — the single-retraction repair scenario.
+func tailDataEdge(db *lsdb.Database) fact.Fact {
+	var edges []fact.Fact
+	db.Store().Match(sym.None, db.Entity("REL-06"), sym.None, func(f fact.Fact) bool {
+		edges = append(edges, f)
+		return true
+	})
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].S != edges[j].S {
+			return edges[i].S < edges[j].S
+		}
+		return edges[i].T < edges[j].T
+	})
+	return edges[0]
+}
+
+// e10cOutcome carries the raw E10c measurements so the acceptance
+// test can assert on the numbers the rendered table is built from.
+type e10cOutcome struct {
+	depth                                            int
+	warm, unrelated, related, fullBuild, deleteFix   time.Duration
+	unrelatedRate, relatedRate                       float64
+	deleteRebuilds, deletePropagations, fullRebuilds float64
+}
+
+// runE10c measures dependency-tracked cache invalidation and
+// incremental closure maintenance on the 20k-fact browsing world:
+// warm replay baseline, replay under a sustained write stream that
+// never touches the predicates the warm subgoals read (hit rate must
+// stay high), replay under ∈-class writes every entry depends on
+// (the pre-dependency-tracking worst case), and finally a full
+// closure build against the repair cost of retracting a single base
+// membership via delete propagation.
+func runE10c() e10cOutcome {
+	db, trail := OnDemandWorld()
+	eng := db.Engine()
+	o := e10cOutcome{depth: 2}
+
+	ReplayNavigation(db, o.depth, trail) // prime
+	o.warm = timeIt(20, func() { ReplayNavigation(db, o.depth, trail) })
+
+	noise := pickUnrelatedRelation(db)
+	o.unrelated, o.unrelatedRate = churnedReplay(db, o.depth, trail, noise, 20)
+	o.related, o.relatedRate = churnedReplay(db, o.depth, trail, "in", 20)
+
+	// Retract a plain data edge on a relation with no inversion and no
+	// generalization: its cone is local, so the delete-propagation path
+	// repairs it. (Retracting a *membership* in this dense world
+	// cascades through inheritance past the half-closure bound and
+	// correctly falls back to a full rebuild.)
+	eng.Invalidate()
+	o.fullBuild = timeIt(1, func() { db.ClosureLen() })
+	leaf := tailDataEdge(db)
+	db.Retract(db.Name(leaf.S), "REL-06", db.Name(leaf.T))
+	o.deleteFix = timeIt(1, func() { db.ClosureLen() })
+
+	reg := db.Metrics()
+	o.deleteRebuilds = reg.Value("lsdb_rules_rebuilds_total", "kind", "delete")
+	o.deletePropagations = reg.Value("lsdb_closure_delete_propagations_total")
+	o.fullRebuilds = reg.Value("lsdb_rules_rebuilds_total", "kind", "full")
+	return o
+}
+
+func renderE10c(o e10cOutcome) *tabular.Rows {
+	t := &tabular.Rows{
+		Title: fmt.Sprintf("E10c dependency-tracked eviction + delete propagation (20k facts, depth %d; %g delete rebuild(s), %g propagation(s), %g full rebuild(s))",
+			o.depth, o.deleteRebuilds, o.deletePropagations, o.fullRebuilds),
+		Headers: []string{"phase", "session/op time", "warm hit rate"},
+	}
+	pct := func(r float64) string { return fmt.Sprintf("%.0f%%", 100*r) }
+	t.AddRow([]string{"warm replay (no writes)"}, []string{dur(o.warm)}, []string{"—"})
+	t.AddRow([]string{"replay under unrelated-class writes"}, []string{dur(o.unrelated)}, []string{pct(o.unrelatedRate)})
+	t.AddRow([]string{"replay under ∈-class writes"}, []string{dur(o.related)}, []string{pct(o.relatedRate)})
+	t.AddRow([]string{"full closure build"}, []string{dur(o.fullBuild)}, []string{"—"})
+	t.AddRow([]string{"single-retraction repair"}, []string{dur(o.deleteFix)}, []string{"—"})
+	return t
+}
+
+// E10c renders the dependency-tracked invalidation and retraction-
+// maintenance experiment.
+func E10c() *tabular.Rows { return renderE10c(runE10c()) }
 
 // E8 measures probing along two axes. "Climb" forces a pure
 // single-dimension retraction: the query (?x, ∈, LEAF) can only be

@@ -75,3 +75,29 @@ func TestE9(t *testing.T) {
 func TestE10(t *testing.T) {
 	checkTable(t, "E10", E10([]int{500}).Render(), 1)
 }
+
+// TestE10cWarmRetentionAndDeleteMaintenance is the PR acceptance
+// test for dependency-tracked invalidation: the warm subgoal hit
+// rate must stay at or above 50% under sustained unrelated-predicate
+// writes, and retracting a single base fact must take the
+// delete-propagation repair path rather than rebuilding the closure
+// from scratch.
+func TestE10cWarmRetentionAndDeleteMaintenance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E10c runs a 20k-fact world")
+	}
+	o := runE10c()
+	if o.unrelatedRate < 0.5 {
+		t.Errorf("warm hit rate under unrelated-class writes = %.2f, want >= 0.5", o.unrelatedRate)
+	}
+	if o.unrelatedRate < o.relatedRate {
+		t.Errorf("unrelated-class churn hit rate %.2f below ∈-class churn %.2f", o.unrelatedRate, o.relatedRate)
+	}
+	if o.deleteRebuilds < 1 {
+		t.Errorf("single-fact retraction did not take the delete-propagation rebuild (delete rebuilds = %g)", o.deleteRebuilds)
+	}
+	if o.deletePropagations < 1 {
+		t.Errorf("delete propagations = %g, want >= 1", o.deletePropagations)
+	}
+	checkTable(t, "E10c", renderE10c(o).Render(), 5)
+}

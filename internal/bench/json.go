@@ -67,7 +67,9 @@ func measure(name string, params map[string]any, fn func(b *testing.B)) Result {
 	return out
 }
 
-// RunJSON measures the E7 on-demand family and returns the report.
+// RunJSON measures the E7 on-demand family, the E10c churn and
+// retraction-maintenance workloads, E8 commit throughput and the E9s
+// scale worlds, returning the report.
 func RunJSON() Report {
 	rep := Report{GoVersion: runtime.Version(), GoMaxProcs: runtime.GOMAXPROCS(0)}
 
@@ -123,6 +125,53 @@ func RunJSON() Report {
 	rep.Results = append(rep.Results, cold, warm, churn)
 	if warm.NsPerOp > 0 {
 		rep.WarmSpeedup = cold.NsPerOp / warm.NsPerOp
+	}
+
+	// E10c: dependency-tracked eviction under a sustained write stream
+	// that never touches the predicates the warm subgoals read, plus
+	// incremental closure maintenance when a single base fact is
+	// retracted. warm_hit_rate in Extra is the acceptance number: the
+	// warm working set must survive unrelated-predicate churn.
+	{
+		cdb, ctrail := OnDemandWorld()
+		ceng := cdb.Engine()
+		ReplayNavigation(cdb, depth, ctrail) // prime
+		noise := pickUnrelatedRelation(cdb)
+		n := 0
+		rep.Results = append(rep.Results, measure(
+			"E10c_UnrelatedWriteChurn",
+			map[string]any{"depth": depth, "facts": 20000, "entities": 2000, "noise_class": noise},
+			func(b *testing.B) {
+				st0 := ceng.CacheStats()
+				for i := 0; i < b.N; i++ {
+					cdb.MustAssert(fmt.Sprintf("E10C-N%d", n), noise, "E10C-SINK")
+					n++
+					ReplayNavigation(cdb, depth, ctrail)
+				}
+				st1 := ceng.CacheStats()
+				if dh, dm := st1.Hits-st0.Hits, st1.Misses-st0.Misses; dh+dm > 0 {
+					b.ReportMetric(float64(dh)/float64(dh+dm), "warm_hit_rate")
+				}
+			}))
+
+		// Non-inverted, non-generalized data edge: small local cone, so
+		// the delete-propagation path repairs it (a membership's cone
+		// in this world would cross the half-closure fallback).
+		ceng.Invalidate()
+		fullT := timeIt(1, func() { cdb.ClosureLen() })
+		leaf := tailDataEdge(cdb)
+		cdb.Retract(cdb.Name(leaf.S), "REL-06", cdb.Name(leaf.T))
+		delT := timeIt(1, func() { cdb.ClosureLen() })
+		rep.Results = append(rep.Results, Result{
+			Experiment: "E10c_DeleteMaintenance",
+			Params:     map[string]any{"facts": 20000, "retractions": 1},
+			NsPerOp:    float64(delT.Nanoseconds()),
+			Extra: map[string]float64{
+				"full_rebuild_ns":     float64(fullT.Nanoseconds()),
+				"delete_rebuilds":     cdb.Metrics().Value("lsdb_rules_rebuilds_total", "kind", "delete"),
+				"delete_propagations": cdb.Metrics().Value("lsdb_closure_delete_propagations_total"),
+			},
+		})
 	}
 
 	// Snapshot the E7r database's registry: the workload's own

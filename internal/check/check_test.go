@@ -34,6 +34,64 @@ func TestRunCleanOnMediumWorlds(t *testing.T) {
 	}
 }
 
+// TestRunCleanOnChurnWorlds: all oracles pass on high-churn worlds —
+// interleaved assert/retract/toggle bursts over both shared and
+// disjoint relationship classes. These schedules drive the dependency-
+// tracked cache eviction and delete-propagation paths through the
+// cached-vs-uncached and incremental-vs-full differentials; the stats
+// sink confirms the eviction path actually ran.
+func TestRunCleanOnChurnWorlds(t *testing.T) {
+	var agg rules.CacheStats
+	opts := Options{CacheStatsSink: func(st rules.CacheStats) {
+		agg.Hits += st.Hits
+		agg.Misses += st.Misses
+		agg.Evictions += st.Evictions
+	}}
+	for seed := int64(0); seed < 12; seed++ {
+		cc := gen.SmallChurn()
+		cc.Disjoint = seed%2 != 0
+		w := gen.Churn(seed, cc)
+		if f := Run(w, opts); f != nil {
+			t.Fatalf("seed %d (disjoint=%v): %v\n%s", seed, cc.Disjoint, f, w.Program())
+		}
+	}
+	if agg.Hits == 0 {
+		t.Error("churn oracles ran without a single shared-table hit")
+	}
+	if agg.Evictions == 0 {
+		t.Error("churn writes caused no dependency evictions")
+	}
+}
+
+// TestChurnWorldsShrink: churn programs keep the subsequence-validity
+// property, so ddmin shrinking works on them — an injected rule skip
+// found on a churn world must shrink to a small repro that still
+// fails.
+func TestChurnWorldsShrink(t *testing.T) {
+	inject := func(db *lsdb.Database) { db.Engine().Exclude(rules.MemberSource) }
+	opts := Options{Perturb: inject, SkipPersistence: true}
+	fails := func(w *gen.World) bool { return ParallelEquivalence(w, opts) != nil }
+
+	var failing *gen.World
+	for seed := int64(0); seed < 100; seed++ {
+		w := gen.Churn(seed, gen.SmallChurn())
+		if fails(w) {
+			failing = w
+			break
+		}
+	}
+	if failing == nil {
+		t.Fatal("injected member-source skip never detected across 100 churn seeds")
+	}
+	min := gen.Shrink(failing, fails)
+	if !fails(min) {
+		t.Fatal("shrunk churn world no longer triggers the oracle")
+	}
+	if min.NumAsserts() > 20 {
+		t.Fatalf("shrunk churn repro has %d asserts, want ≤ 20", min.NumAsserts())
+	}
+}
+
 // TestInjectedRuleSkipIsCaught is the harness's own acceptance test:
 // deliberately disabling one inference rule on one side of the
 // parallel-equivalence oracle must be detected, and shrinking the

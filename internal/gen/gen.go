@@ -232,6 +232,92 @@ func Generate(seed int64, cfg Config) *World {
 	return w
 }
 
+// ChurnConfig shapes a high-churn world: a seed world followed by
+// bursts of interleaved asserts, retracts and flip-flops (assert then
+// retract of the same fact), the write pattern that stresses
+// dependency-tracked cache eviction and delete propagation. Disjoint
+// confines the churn writes to dedicated relationships the seed world
+// never uses — the regime where a dependency-summarized cache should
+// keep almost everything warm — while the default shares the seed
+// world's relationships, forcing real evictions and cone repairs.
+type ChurnConfig struct {
+	Base     Config  // seed world generated first
+	Bursts   int     // churn bursts appended after the seed world
+	BurstLen int     // mutation ops per burst
+	Disjoint bool    // churn confined to fresh relationships unused by the seed world
+	PToggle  float64 // probability a burst op is a standard-rule toggle
+}
+
+// SmallChurn is the soak-and-oracle churn size: enough bursts that
+// every snapshot maintenance path (incremental insert, delete
+// propagation, full rebuild on toggle) runs several times per world.
+func SmallChurn() ChurnConfig {
+	return ChurnConfig{Base: Small(), Bursts: 4, BurstLen: 10, PToggle: 0.1}
+}
+
+// MediumChurn crosses the sizes where delete cones span several
+// derivation layers.
+func MediumChurn() ChurnConfig {
+	return ChurnConfig{Base: Medium(), Bursts: 6, BurstLen: 15, PToggle: 0.1}
+}
+
+// Churn builds the deterministic high-churn program for (seed, cfg):
+// the Base world followed by cfg.Bursts bursts. Every op keeps the
+// subsequence-validity property Generate's ops have (asserts of
+// present facts, retracts of absent facts, and redundant toggles are
+// no-ops), so churn worlds shrink with the same ddmin.
+func Churn(seed int64, cfg ChurnConfig) *World {
+	w := Generate(seed, cfg.Base)
+	rng := rand.New(rand.NewSource(seed ^ 0x5DEECE66D))
+
+	classes := names("C", cfg.Base.Classes)
+	insts := names("I", cfg.Base.Instances)
+	pool := append(append([]string{}, classes...), insts...)
+	rels := names("R", cfg.Base.Rels)
+	if cfg.Disjoint {
+		// Dedicated churn relationships: never used by Generate, so no
+		// seed-world inference reads facts of these classes.
+		rels = names("CHURN", 3)
+	}
+	structural := []string{"isa", "in", "syn"}
+
+	for b := 0; b < cfg.Bursts; b++ {
+		for i := 0; i < cfg.BurstLen; i++ {
+			switch r := rng.Float64(); {
+			case cfg.PToggle > 0 && r < cfg.PToggle && cfg.Base.RuleToggles:
+				std := rules.StdRules()
+				kind := OpExclude
+				if rng.Intn(2) == 0 {
+					kind = OpInclude
+				}
+				w.Ops = append(w.Ops, Op{Kind: kind, Rule: std[rng.Intn(len(std))].String()})
+			case r < 0.45:
+				rel := rels[rng.Intn(len(rels))]
+				if !cfg.Disjoint && rng.Float64() < 0.25 {
+					rel = structural[rng.Intn(len(structural))]
+				}
+				w.Ops = append(w.Ops, Op{Kind: OpAssert,
+					S: pool[rng.Intn(len(pool))], R: rel, T: pool[rng.Intn(len(pool))]})
+			case r < 0.75:
+				// Retraction of a previously asserted fact (a no-op if an
+				// earlier wave already dropped it).
+				prev := w.Ops[rng.Intn(len(w.Ops))]
+				if prev.Kind == OpAssert {
+					w.Ops = append(w.Ops, Op{Kind: OpRetract, S: prev.S, R: prev.R, T: prev.T})
+				}
+			default:
+				// Flip-flop: assert and immediately retract, the no-net-
+				// change window delete propagation should shortcut.
+				s, rel, t := pool[rng.Intn(len(pool))], rels[rng.Intn(len(rels))], pool[rng.Intn(len(pool))]
+				w.Ops = append(w.Ops,
+					Op{Kind: OpAssert, S: s, R: rel, T: t},
+					Op{Kind: OpRetract, S: s, R: rel, T: t})
+			}
+		}
+	}
+	return w
+}
+
 // Inserts returns a pure-assert workload of n ops over the Small
 // naming pools — monotone by construction, so it can run concurrently
 // with readers that rely on established inferences staying visible.

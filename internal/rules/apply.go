@@ -82,7 +82,7 @@ func (e *Engine) deriveRound(cfg *ruleset, frontier []fact.Fact, derived *store.
 	if workers <= 1 {
 		var out []derivation
 		for _, f := range frontier {
-			out = e.deriveFrom(cfg, f, derived, out)
+			out = e.deriveFrom(cfg, f, derived, false, out)
 		}
 		return out
 	}
@@ -99,7 +99,7 @@ func (e *Engine) deriveRound(cfg *ruleset, frontier []fact.Fact, derived *store.
 			defer wg.Done()
 			var out []derivation
 			for _, f := range frontier[lo:hi] {
-				out = e.deriveFrom(cfg, f, derived, out)
+				out = e.deriveFrom(cfg, f, derived, false, out)
 			}
 			chunks[w] = out
 		}(w, lo, hi)
@@ -193,10 +193,16 @@ func (e *Engine) buildAxioms() {
 // no store is mutated while being iterated — which also makes it safe
 // to run for many facts concurrently against the same store (cfg is
 // immutable, derived is only read).
-func (e *Engine) deriveFrom(cfg *ruleset, f fact.Fact, derived *store.Store, out []derivation) []derivation {
+//
+// Forward chaining passes all=false to skip conclusions already
+// present. Delete propagation (delete.go) passes all=true: there the
+// question is "which facts of the old closure have a one-step
+// derivation using f", and at fixpoint every such conclusion is
+// present — the filter would hide exactly the answers.
+func (e *Engine) deriveFrom(cfg *ruleset, f fact.Fact, derived *store.Store, all bool, out []derivation) []derivation {
 	u := e.u
 	emit := func(g fact.Fact, why string, premises ...fact.Fact) {
-		if !derived.Has(g) {
+		if all || !derived.Has(g) {
 			out = append(out, derivation{f: g, why: why, premises: premises})
 		}
 	}

@@ -106,6 +106,10 @@ func New(base *store.Store, vp *virtual.Provider) *Engine {
 	e.sg.hits = obs.NewCounter()
 	e.sg.misses = obs.NewCounter()
 	e.sg.invalidations = obs.NewCounter()
+	e.sg.evictDependency = obs.NewCounter()
+	e.sg.evictRuleset = obs.NewCounter()
+	e.sg.evictEpoch = obs.NewCounter()
+	e.sg.evictHistory = obs.NewCounter()
 	return e
 }
 
@@ -176,6 +180,12 @@ func (e *Engine) AddRule(r Rule) error {
 	replaced := false
 	for i, have := range next.userRules {
 		if have.Name == r.Name {
+			if have.Kind == r.Kind && slices.Equal(have.Body, r.Body) && slices.Equal(have.Head, r.Head) {
+				// Re-adding an identical rule is a no-op: bumping the
+				// config version here would needlessly discard the warm
+				// subgoal cache and force a closure rebuild.
+				return nil
+			}
 			next.userRules[i] = &r
 			replaced = true
 			break
@@ -301,14 +311,33 @@ func (e *Engine) rebuild() *snapshot {
 	}
 	old := e.snap.Load()
 	if old != nil && old.cfgVer == cv && bv > old.baseVer {
-		if chs, ok := e.base.ChangesSince(old.baseVer); ok && insertsOnly(chs) {
-			c, prov := e.applyIncremental(cfg, old, chs)
-			s := e.publish(c, prov, bv, cv)
-			e.m.rebuildsIncr.Inc()
-			if e.m.rebuildNs != nil {
-				e.m.rebuildNs.Observe(time.Since(t0).Nanoseconds())
+		if chs, ok := e.base.ChangesSince(old.baseVer); ok {
+			if insertsOnly(chs) {
+				c, prov := e.applyIncremental(cfg, old, chs)
+				s := e.publish(c, prov, bv, cv)
+				e.m.rebuildsIncr.Inc()
+				if e.m.rebuildNs != nil {
+					e.m.rebuildNs.Observe(time.Since(t0).Nanoseconds())
+				}
+				return s
 			}
-			return s
+			// The window contains deletions: delete-and-rederive
+			// maintenance (delete.go) repairs just the affected cone
+			// instead of recomputing the whole closure, unless the
+			// window is ineligible (Individual() flip) or the cone
+			// grows past the worth-it bound.
+			if c, prov, cone, ok := e.applyDeletes(cfg, old, chs); ok {
+				s := e.publish(c, prov, bv, cv)
+				e.m.rebuildsDelete.Inc()
+				if cone > 0 {
+					e.m.deleteProps.Inc()
+					e.m.deleteCone.Observe(int64(cone))
+				}
+				if e.m.rebuildNs != nil {
+					e.m.rebuildNs.Observe(time.Since(t0).Nanoseconds())
+				}
+				return s
+			}
 		}
 	}
 	c, prov := e.computeClosure(cfg)
@@ -373,7 +402,7 @@ func (e *Engine) applyIncremental(cfg *ruleset, old *snapshot, chs []store.Chang
 	}
 	var buf []derivation
 	for i := 0; i < len(work); i++ {
-		buf = e.deriveFrom(cfg, work[i], derived, buf[:0])
+		buf = e.deriveFrom(cfg, work[i], derived, false, buf[:0])
 		for _, d := range buf {
 			push(d)
 		}

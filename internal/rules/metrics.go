@@ -8,9 +8,12 @@ import (
 // (all nil) is a set of no-ops, so engines without SetMetrics — unit
 // tests, differential-harness replicas — run uninstrumented for free.
 type engineMetrics struct {
-	rebuildsFull *obs.Counter
-	rebuildsIncr *obs.Counter
-	rebuildNs    *obs.Histogram
+	rebuildsFull   *obs.Counter
+	rebuildsIncr   *obs.Counter
+	rebuildsDelete *obs.Counter   // snapshots maintained by delete propagation
+	deleteProps    *obs.Counter   // delete propagations with a non-empty cone
+	deleteCone     *obs.Histogram // overdeleted cone size per propagation
+	rebuildNs      *obs.Histogram
 	frontier     *obs.Histogram // frontier size per derivation round
 	rounds       *obs.Counter
 	buildWorkers *obs.Gauge // high-water mark of goroutines in one round
@@ -36,9 +39,12 @@ func (e *Engine) SetMetrics(r *obs.Registry) {
 		return
 	}
 	e.m = engineMetrics{
-		rebuildsFull: r.Counter("lsdb_rules_rebuilds_total", "kind", "full"),
-		rebuildsIncr: r.Counter("lsdb_rules_rebuilds_total", "kind", "incremental"),
-		rebuildNs:    r.Histogram("lsdb_rules_rebuild_ns"),
+		rebuildsFull:   r.Counter("lsdb_rules_rebuilds_total", "kind", "full"),
+		rebuildsIncr:   r.Counter("lsdb_rules_rebuilds_total", "kind", "incremental"),
+		rebuildsDelete: r.Counter("lsdb_rules_rebuilds_total", "kind", "delete"),
+		deleteProps:    r.Counter("lsdb_closure_delete_propagations_total"),
+		deleteCone:     r.Histogram("lsdb_closure_delete_cone_facts"),
+		rebuildNs:      r.Histogram("lsdb_rules_rebuild_ns"),
 		frontier:     r.Histogram("lsdb_rules_frontier_facts"),
 		rounds:       r.Counter("lsdb_rules_rounds_total"),
 		buildWorkers: r.Gauge("lsdb_rules_build_workers"),
@@ -55,6 +61,10 @@ func (e *Engine) SetMetrics(r *obs.Registry) {
 	r.RegisterCounter("lsdb_subgoal_hits_total", e.sg.hits)
 	r.RegisterCounter("lsdb_subgoal_misses_total", e.sg.misses)
 	r.RegisterCounter("lsdb_subgoal_invalidations_total", e.sg.invalidations)
+	r.RegisterCounter("lsdb_subgoal_evicted_total", e.sg.evictDependency, "reason", "dependency")
+	r.RegisterCounter("lsdb_subgoal_evicted_total", e.sg.evictRuleset, "reason", "ruleset")
+	r.RegisterCounter("lsdb_subgoal_evicted_total", e.sg.evictEpoch, "reason", "epoch")
+	r.RegisterCounter("lsdb_subgoal_evicted_total", e.sg.evictHistory, "reason", "history")
 	r.GaugeFunc("lsdb_subgoal_entries", func() float64 {
 		if t := e.sg.table.Load(); t != nil {
 			return float64(t.size.Load())

@@ -126,9 +126,10 @@ func TestMetricsRegistered(t *testing.T) {
 	}
 }
 
-// TestRebuildCounters pins the full-vs-incremental rebuild taxonomy:
-// the first build is full, a pure insertion triggers an incremental
-// extension, a deletion forces a second full build.
+// TestRebuildCounters pins the rebuild taxonomy: the first build is
+// full, a pure insertion triggers an incremental extension, and a
+// deletion is repaired by delete propagation — not a second full
+// build.
 func TestRebuildCounters(t *testing.T) {
 	e, u := obsTestEngine(t)
 	r := obs.NewRegistry()
@@ -145,9 +146,18 @@ func TestRebuildCounters(t *testing.T) {
 		t.Fatalf("incremental rebuilds = %g, want 1", got)
 	}
 	e.Base().Delete(f)
-	e.ClosureSize() // deletion: full again
-	if got := r.Value("lsdb_rules_rebuilds_total", "kind", "full"); got != 2 {
-		t.Fatalf("full rebuilds after delete = %g, want 2", got)
+	e.ClosureSize() // deletion: delete propagation, not a full rebuild
+	if got := r.Value("lsdb_rules_rebuilds_total", "kind", "delete"); got != 1 {
+		t.Fatalf("delete rebuilds after retraction = %g, want 1", got)
+	}
+	if got := r.Value("lsdb_rules_rebuilds_total", "kind", "full"); got != 1 {
+		t.Fatalf("full rebuilds after retraction = %g, want 1 (delete propagation should repair)", got)
+	}
+	if got := r.Value("lsdb_closure_delete_propagations_total"); got != 1 {
+		t.Fatalf("delete propagations = %g, want 1", got)
+	}
+	if got := r.Value("lsdb_closure_delete_cone_facts"); got != 1 {
+		t.Fatalf("delete-cone histogram count = %g, want 1", got)
 	}
 	if got := r.Value("lsdb_rules_rebuild_ns"); got != 3 {
 		t.Fatalf("rebuild histogram count = %g, want 3", got)

@@ -47,13 +47,21 @@ type bounded struct {
 	cfg    *ruleset
 	base   *store.Store
 	shared *subgoalTable
-	memo   map[bkey][]fact.Fact
+	memo   map[bkey]subgoalEntry
 	open   map[bkey]bool // cycle guard for in-progress keys
 	arena  factArena     // backing for call-local memo results
 
 	hits, misses uint64 // shared-table counters, flushed on return
 	openHits     int    // times a subgoal hit an open (in-progress) key
 	tainted      map[bkey]bool
+
+	// curDeps accumulates the dependency summary of the subgoal being
+	// computed: the OR of depBits for every base-fact class read so
+	// far, including everything consumed from child subgoals. enum
+	// saves/restores it around each recursion and ORs the child's
+	// summary into the parent's, so an entry's recorded deps cover its
+	// whole transitive read set (see subgoal.go).
+	curDeps uint64
 
 	// Observability. tr records a span per subgoal when non-nil
 	// (MatchBoundedTrace); scanned and the join stats are flushed to
@@ -217,14 +225,15 @@ func match3(f fact.Fact, s, r, t sym.ID) bool {
 // not.
 func (b *bounded) enum(s, r, t sym.ID, d int) []fact.Fact {
 	key := bkey{s, r, t, d}
-	if res, ok := b.memo[key]; ok {
+	if ent, ok := b.memo[key]; ok {
+		b.curDeps |= ent.deps
 		if b.tainted[key] {
 			// A tainted result embeds a cycle cut; let in-progress
 			// ancestors know so they stay out of the shared table too.
 			b.openHits++
 		}
-		b.traceLeaf(s, r, t, d, obs.DispMemo, len(res))
-		return res
+		b.traceLeaf(s, r, t, d, obs.DispMemo, len(ent.facts))
+		return ent.facts
 	}
 	if b.open[key] {
 		b.openHits++
@@ -232,11 +241,12 @@ func (b *bounded) enum(s, r, t sym.ID, d int) []fact.Fact {
 		return nil
 	}
 	if b.shared != nil {
-		if res, ok := b.shared.load(key); ok {
-			b.memo[key] = res
+		if ent, ok := b.shared.load(key, b.e.sg.evictDependency); ok {
+			b.memo[key] = ent
+			b.curDeps |= ent.deps
 			b.hits++
-			b.traceLeaf(s, r, t, d, obs.DispHit, len(res))
-			return res
+			b.traceLeaf(s, r, t, d, obs.DispHit, len(ent.facts))
+			return ent.facts
 		}
 		b.misses++
 	}
@@ -246,6 +256,8 @@ func (b *bounded) enum(s, r, t sym.ID, d int) []fact.Fact {
 	}
 	b.open[key] = true
 	openBefore := b.openHits
+	savedDeps := b.curDeps
+	b.curDeps = b.scanDeps(s, r, t, d)
 
 	// Candidates accumulate in a pooled collector and are deduped by
 	// sort + adjacent-compare — no per-subgoal set map or closure. The
@@ -273,6 +285,8 @@ func (b *bounded) enum(s, r, t sym.ID, d int) []fact.Fact {
 	// strictly decreases through backward, so this is insurance — the
 	// guard cannot fire on the current rules.)
 	taint := b.openHits != openBefore
+	deps := b.curDeps
+	b.curDeps = savedDeps | deps
 
 	// The memoized result must outlive the pooled buffer. Entries
 	// bound for the shared table outlive the call too and get exact
@@ -289,14 +303,17 @@ func (b *bounded) enum(s, r, t sym.ID, d int) []fact.Fact {
 	col.buf = buf
 	putCollector(col)
 
-	b.memo[key] = out
+	b.memo[key] = subgoalEntry{facts: out, deps: deps}
 	if taint {
+		// A cycle cut returned nil without contributing its read set,
+		// so deps may be incomplete — tainted results stay call-local
+		// (and taint every in-progress ancestor via openHits).
 		if b.tainted == nil {
 			b.tainted = make(map[bkey]bool)
 		}
 		b.tainted[key] = true
 	} else if b.shared != nil {
-		b.shared.store(key, out)
+		b.shared.store(key, out, deps)
 	}
 	if span {
 		disp := obs.DispMiss
@@ -306,6 +323,43 @@ func (b *bounded) enum(s, r, t sym.ID, d int) []fact.Fact {
 		b.tr.End(disp, len(out))
 	}
 	return out
+}
+
+// scanDeps is the dependency contribution of the subgoal's own direct
+// scans: the base-store class it matches, plus allDeps for patterns
+// whose answers can depend on any base fact — a free relation
+// position scans every class, and the virtual provider enumerates the
+// store's active domain (which any write extends) for open-ended ≺,
+// =, ≠ and comparator patterns (see virtual.Provider.Match). At d > 0
+// the backward rules consult Individual(), which reads class-relation
+// declarations (rel, ∈, @class), so the membership class is added;
+// every other depth-d dependency arrives through child subgoals.
+func (b *bounded) scanDeps(s, r, t sym.ID, d int) uint64 {
+	if r == sym.None {
+		return allDeps
+	}
+	u := b.e.u
+	deps := depBits(r)
+	switch r {
+	case u.Gen:
+		if (s == sym.None && t == sym.None) ||
+			(s == u.Bottom && t == sym.None) ||
+			(s == sym.None && t == u.Top) {
+			return allDeps
+		}
+	case u.Eq:
+		if s == sym.None && t == sym.None {
+			return allDeps
+		}
+	case u.Neq, u.Lt, u.Gt, u.Le, u.Ge:
+		if s == sym.None || t == sym.None {
+			return allDeps
+		}
+	}
+	if d > 0 {
+		deps |= depBits(u.Member)
+	}
+	return deps
 }
 
 // traceLeaf records a zero-duration span for a subgoal answered

@@ -216,7 +216,7 @@ const maxRetainedMemo = 1 << 15
 
 var boundedPool = sync.Pool{New: func() any {
 	return &bounded{
-		memo: make(map[bkey][]fact.Fact, 64),
+		memo: make(map[bkey]subgoalEntry, 64),
 		open: make(map[bkey]bool, 16),
 	}
 }}
@@ -226,14 +226,14 @@ func getBounded(e *Engine, cfg *ruleset, tr *obs.Trace) *bounded {
 	b.e = e
 	b.cfg = cfg
 	b.base = e.base
-	b.shared = e.sg.acquire(e.base.Version(), cfg.ver)
+	b.shared = e.sg.acquire(e.base, e.base.Version(), cfg.ver)
 	b.tr = tr
 	return b
 }
 
 func putBounded(b *bounded) {
 	if len(b.memo) > maxRetainedMemo {
-		b.memo = make(map[bkey][]fact.Fact, 64)
+		b.memo = make(map[bkey]subgoalEntry, 64)
 	} else {
 		clear(b.memo)
 	}
@@ -244,6 +244,7 @@ func putBounded(b *bounded) {
 	b.arena.reset()
 	b.e, b.cfg, b.base, b.shared, b.tr = nil, nil, nil, nil, nil
 	b.hits, b.misses, b.openHits, b.scanned = 0, 0, 0, 0
+	b.curDeps = 0
 	b.js = joinStats{}
 	boundedPool.Put(b)
 }

@@ -462,6 +462,18 @@ func statsHandler(t *Tenant, w http.ResponseWriter, r *http.Request) {
 			"misses":        v("lsdb_subgoal_misses_total"),
 			"invalidations": v("lsdb_subgoal_invalidations_total"),
 			"entries":       v("lsdb_subgoal_entries"),
+			"evictions": map[string]any{
+				"dependency": v("lsdb_subgoal_evicted_total", "reason", "dependency"),
+				"ruleset":    v("lsdb_subgoal_evicted_total", "reason", "ruleset"),
+				"epoch":      v("lsdb_subgoal_evicted_total", "reason", "epoch"),
+				"history":    v("lsdb_subgoal_evicted_total", "reason", "history"),
+			},
+		},
+		"closure_maintenance": map[string]any{
+			"rebuilds_full":        v("lsdb_rules_rebuilds_total", "kind", "full"),
+			"rebuilds_incremental": v("lsdb_rules_rebuilds_total", "kind", "incremental"),
+			"rebuilds_delete":      v("lsdb_rules_rebuilds_total", "kind", "delete"),
+			"delete_propagations":  v("lsdb_closure_delete_propagations_total"),
 		},
 		"index": map[string]any{
 			"posting_bytes": v("lsdb_index_posting_bytes"),

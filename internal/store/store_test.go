@@ -199,6 +199,32 @@ func TestVersionAdvances(t *testing.T) {
 	}
 }
 
+// No-op writes must not move the version or enter the change history:
+// downstream caches key validity on Version(), so a version bump with
+// no semantic change would needlessly discard warm state.
+func TestNoOpWritesKeepVersionAndHistory(t *testing.T) {
+	u, s := mk(t)
+	s.Insert(u.NewFact("A", "R", "B"))
+	v := s.Version()
+
+	if s.Insert(u.NewFact("A", "R", "B")) {
+		t.Error("duplicate insert reported a change")
+	}
+	if s.Delete(u.NewFact("X", "R", "Y")) {
+		t.Error("retract of an absent fact reported a change")
+	}
+	if got := s.Version(); got != v {
+		t.Errorf("no-op writes moved the version: %d -> %d", v, got)
+	}
+	chs, ok := s.ChangesSince(v)
+	if !ok {
+		t.Fatal("ChangesSince lost a window with no writes")
+	}
+	if len(chs) != 0 {
+		t.Errorf("no-op writes entered the change history: %v", chs)
+	}
+}
+
 func TestInsertAll(t *testing.T) {
 	u, s := mk(t)
 	fs := []fact.Fact{

@@ -197,6 +197,136 @@ func TestMetricContract(t *testing.T) {
 	}
 }
 
+// TestMetricContractEviction pins the dependency-eviction and
+// delete-propagation arithmetic on a fixed two-predicate workload
+// (a WROTE lineage and an EARNS lineage, queried at depth 2). The
+// exact counts are properties of the deterministic evaluation order;
+// what they certify:
+//
+//   - a write evicts lazily and precisely: the eviction counter moves
+//     only at lookup, each dependency eviction is exactly one miss,
+//     and a write to a class no subgoal read evicts only the
+//     wildcard-dependent entries (free-relation and domain-dependent
+//     enumerations), leaving every narrow entry warm;
+//   - the table itself survives writes (invalidations stay zero until
+//     a ruleset change discards it wholesale, counted per entry under
+//     reason="ruleset");
+//   - a single-fact retraction is repaired by delete propagation —
+//     kind="delete" rebuild, one propagation, a one-fact cone — with
+//     no additional full build.
+func TestMetricContractEviction(t *testing.T) {
+	db, err := lsdb.Open(lsdb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	v := func(name string, labels ...string) float64 { return db.Metrics().Value(name, labels...) }
+	evictDep := func() float64 { return v("lsdb_subgoal_evicted_total", "reason", "dependency") }
+
+	db.MustAssert("DANTE", "in", "POET")
+	db.MustAssert("POET", "isa", "WRITER")
+	db.MustAssert("WRITER", "WROTE", "BOOKS")
+	db.MustAssert("CLERK", "in", "STAFF")
+	db.MustAssert("STAFF", "isa", "EMPLOYEE")
+	db.MustAssert("EMPLOYEE", "EARNS", "WAGE")
+
+	wrote := func() {
+		if !db.HasBoundedTrace("DANTE", "WROTE", "BOOKS", 2, nil) {
+			t.Fatal("WROTE inference missing")
+		}
+	}
+	earns := func() {
+		if !db.HasBoundedTrace("CLERK", "EARNS", "WAGE", 2, nil) {
+			t.Fatal("EARNS inference missing")
+		}
+	}
+
+	// Cold: the WROTE query computes 60 subgoals; the EARNS query
+	// shares 8 of the structural ones and computes 52 of its own.
+	wrote()
+	if got := v("lsdb_subgoal_misses_total"); got != 60 {
+		t.Errorf("cold WROTE misses = %g, want 60", got)
+	}
+	earns()
+	if got := v("lsdb_subgoal_entries"); got != 112 {
+		t.Errorf("entries after both cold queries = %g, want 112", got)
+	}
+	// Warm: each repeat is exactly one root hit, no new misses.
+	wrote()
+	earns()
+	if got := v("lsdb_subgoal_hits_total"); got != 10 {
+		t.Errorf("hits after warm repeats = %g, want 10 (8 shared cold + 2 roots)", got)
+	}
+	if got := v("lsdb_subgoal_misses_total"); got != 112 {
+		t.Errorf("misses after warm repeats = %g, want 112", got)
+	}
+
+	// A write in a relation class neither query reads evicts exactly
+	// the 16 wildcard-dependent entries; each eviction is exactly one
+	// miss on the repeat, the other 96 entries stay warm, and the
+	// table is never discarded.
+	db.MustAssert("AUDITOR", "REVIEWS", "LEDGER")
+	wrote()
+	earns()
+	if got := evictDep(); got != 16 {
+		t.Errorf("evictions after unrelated write = %g, want 16 (wildcard entries only)", got)
+	}
+	if got := v("lsdb_subgoal_misses_total"); got != 128 {
+		t.Errorf("misses after unrelated write = %g, want 128 (112 + one per eviction)", got)
+	}
+	if got := v("lsdb_subgoal_invalidations_total"); got != 0 {
+		t.Errorf("invalidations = %g, want 0 (table survives writes)", got)
+	}
+
+	// A write in the WROTE class additionally evicts the 19 entries
+	// whose summaries cover WROTE; again misses move in lockstep.
+	db.MustAssert("BARD", "WROTE", "PLAYS")
+	wrote()
+	earns()
+	if got := evictDep(); got != 35 {
+		t.Errorf("evictions after WROTE write = %g, want 35 (16 wildcard + 19 WROTE-dependent)", got)
+	}
+	if got := v("lsdb_subgoal_misses_total"); got != 147 {
+		t.Errorf("misses after WROTE write = %g, want 147", got)
+	}
+
+	// Retraction: the published closure is repaired by delete
+	// propagation — one kind="delete" rebuild, one propagation, a
+	// single-fact cone, and no second full build.
+	db.ClosureLen() // publish (full build #1)
+	if _, err := db.RetractFact(db.Universe().NewFact("BARD", "WROTE", "PLAYS")); err != nil {
+		t.Fatal(err)
+	}
+	db.ClosureLen()
+	if got := v("lsdb_rules_rebuilds_total", "kind", "delete"); got != 1 {
+		t.Errorf("delete rebuilds = %g, want 1", got)
+	}
+	if got := v("lsdb_closure_delete_propagations_total"); got != 1 {
+		t.Errorf("delete propagations = %g, want 1", got)
+	}
+	if got := v("lsdb_closure_delete_cone_facts"); got != 1 {
+		t.Errorf("delete-cone histogram count = %g, want 1", got)
+	}
+	if got := v("lsdb_rules_rebuilds_total", "kind", "full"); got != 1 {
+		t.Errorf("full rebuilds = %g, want 1 (retraction must not force a full build)", got)
+	}
+
+	// A ruleset change discards the whole table: every current entry
+	// is counted under reason="ruleset" and the wholesale discard is
+	// one invalidation.
+	entries := v("lsdb_subgoal_entries")
+	if err := db.ExcludeRule("gen-target"); err != nil {
+		t.Fatal(err)
+	}
+	wrote()
+	if got := v("lsdb_subgoal_evicted_total", "reason", "ruleset"); got != entries {
+		t.Errorf("ruleset evictions = %g, want %g (whole table)", got, entries)
+	}
+	if got := v("lsdb_subgoal_invalidations_total"); got != 1 {
+		t.Errorf("invalidations after rule toggle = %g, want 1", got)
+	}
+}
+
 // TestMetricContractDeletes pins the delete side: a retraction is one
 // commit and one delete mutation; re-retracting a missing fact commits
 // nothing.
