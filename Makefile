@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-churn bench-scale check check-churn check-obs check-scale crash fuzz load-smoke load-json soak
+.PHONY: all build vet test race bench bench-json bench-churn bench-scale check check-churn check-obs check-repl check-scale crash fuzz load-smoke load-json soak
 
 all: check
 
@@ -24,7 +24,7 @@ bench:
 # Machine-readable acceptance numbers: the E7 subgoal-cache family
 # plus E8 commit throughput per sync policy, with the observability
 # registry snapshot of the E7r workload attached.
-BENCHJSON ?= BENCH_PR8.json
+BENCHJSON ?= BENCH_PR9.json
 bench-json:
 	$(GO) run ./cmd/lsdb-bench -json $(BENCHJSON)
 
@@ -75,6 +75,18 @@ load-json:
 crash:
 	$(GO) test -race -count=1 -run 'TestCrash' ./internal/check
 
+# Torn-replication oracle: the acceptance sweep. 75 fault points per
+# scenario per seed across four scenarios (stream drops, follower
+# crashes, bootstrap faults, primary crashes) = 300+ byte-accurate
+# points under -race, each checked for the prefix, recoverability and
+# closure invariants. REPLPOINTS=8 for a quick pass.
+REPLPOINTS ?= 75
+check-repl:
+	LSDB_REPL_POINTS=$(REPLPOINTS) $(GO) test -race -count=1 -run 'TestReplScan|TestCutTransport|TestReplFailure' ./internal/check
+	$(GO) test -race -count=1 ./internal/repl
+	$(GO) test -race -count=1 -run 'TestRepl|TestRecoverLog' ./internal/serve
+	$(GO) test -count=1 -run 'TestE11|TestLoadFollowerTarget' ./internal/bench
+
 # Native Go fuzzing across every target. FUZZTIME=2m for a longer run;
 # go test accepts one fuzz target per invocation, hence the fan-out.
 FUZZTIME ?= 30s
@@ -107,6 +119,7 @@ check: build vet test race
 	$(MAKE) check-obs
 	$(MAKE) load-smoke
 	$(MAKE) crash
+	$(MAKE) check-repl REPLPOINTS=8
 	$(MAKE) soak SEEDS=50
 	$(MAKE) check-churn
 	$(MAKE) check-scale SCALEFACTS=100000

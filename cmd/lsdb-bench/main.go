@@ -7,7 +7,7 @@
 //	lsdb-bench                    # run every experiment
 //	lsdb-bench E1 E5 E8           # run a subset
 //	lsdb-bench -quick             # smaller sweeps (used in CI)
-//	lsdb-bench -json BENCH.json   # machine-readable E7/E8/E9s/E10c results
+//	lsdb-bench -json BENCH.json   # machine-readable E7/E8/E9s/E10c/E11 results
 package main
 
 import (
@@ -76,8 +76,9 @@ func main() {
 		"E7c":  func() *tabular.Rows { return bench.E7Concurrent(students) },
 		"E7r":  bench.E7Repeated,
 		"E9s":  func() *tabular.Rows { return bench.E9Scale(scaleSizes) },
+		"E11":  bench.E11,
 	}
-	order := []string{"E1", "E2", "E3", "E3p", "E4", "E5", "E6", "E7", "E7c", "E7r", "E8", "E9", "E9s", "E10", "E10c"}
+	order := []string{"E1", "E2", "E3", "E3p", "E4", "E5", "E6", "E7", "E7c", "E7r", "E8", "E9", "E9s", "E10", "E10c", "E11"}
 
 	selected := flag.Args()
 	if len(selected) == 0 {

@@ -12,6 +12,7 @@
 //	lsdb-check -churn -seeds 100       # high-churn write/retract/toggle schedules
 //	lsdb-check -inject member-source   # verify the harness catches a bug
 //	lsdb-check -crash 25               # sweep 25 durability crash points per seed
+//	lsdb-check -repl 20                # sweep 20 replication fault points per scenario per seed
 //	lsdb-check -scale 200000           # sealed-vs-mutable differential on a Zipf scale world
 package main
 
@@ -39,6 +40,7 @@ type config struct {
 	workers  int
 	inject   string
 	crash    int
+	repl     int
 	scale    int
 	verbose  bool
 }
@@ -53,6 +55,7 @@ func main() {
 	flag.IntVar(&cfg.workers, "workers", 8, "parallel worker count compared against sequential builds")
 	flag.StringVar(&cfg.inject, "inject", "", "deliberately exclude this standard rule on one side (harness self-test; expects a failure)")
 	flag.IntVar(&cfg.crash, "crash", 0, "also sweep this many crash points per seed through the durability-log fault injector")
+	flag.IntVar(&cfg.repl, "repl", 0, "also sweep this many replication fault points per scenario per seed (drops, follower crashes, bootstrap faults, primary crashes)")
 	flag.IntVar(&cfg.scale, "scale", 0, "also run the sealed-vs-mutable differential on a Zipf world with this many facts (LSDB_SCALE_FACTS overrides)")
 	flag.BoolVar(&cfg.verbose, "v", false, "log every seed")
 	flag.Parse()
@@ -149,7 +152,7 @@ func soak(cfg config, out io.Writer) error {
 	}
 
 	started := time.Now()
-	checked, crashPoints := 0, 0
+	checked, crashPoints, replPoints := 0, 0, 0
 	for seed := cfg.start; ; seed++ {
 		if cfg.seeds > 0 && checked >= cfg.seeds {
 			break
@@ -210,6 +213,15 @@ func soak(cfg config, out io.Writer) error {
 				return fmt.Errorf("oracle %s failed at seed %d", f.Oracle, seed)
 			}
 		}
+		if cfg.repl > 0 {
+			n, f := check.ReplScan(check.ReplConfig{Seed: seed, Points: cfg.repl})
+			replPoints += n
+			if f != nil {
+				fmt.Fprintf(out, "seed %d failed replication sweep after %d clean seeds\n", seed, checked)
+				fmt.Fprintln(out, f.Detail)
+				return fmt.Errorf("oracle %s failed at seed %d", f.Oracle, seed)
+			}
+		}
 		checked++
 		if cfg.verbose {
 			fmt.Fprintf(out, "seed %d ok\n", seed)
@@ -225,6 +237,9 @@ func soak(cfg config, out io.Writer) error {
 	}
 	if crashPoints > 0 {
 		fmt.Fprintf(out, "crash sweep: %d crash points recovered cleanly\n", crashPoints)
+	}
+	if replPoints > 0 {
+		fmt.Fprintf(out, "replication sweep: %d fault points held the prefix and closure invariants\n", replPoints)
 	}
 	fmt.Fprintf(out, "ok: %d seeds (%s worlds, start %d) in %.1fs\n",
 		checked, cfg.size, cfg.start, time.Since(started).Seconds())

@@ -9,6 +9,7 @@
 //
 //	lsdb-load [-tenants 3] [-workers 4] [-duration 2s] [-qps 0]
 //	          [-seed 7] [-batch 8] [-max-inflight 0] [-url http://host:8080]
+//	          [-replica http://replica:8081] [-write-every 16]
 //	          [-json report.json] [-smoke] [-slo "query=50,navigate=20"]
 //
 // With no -url the harness starts an in-process daemon seeded with
@@ -20,6 +21,14 @@
 // so the run exercises 429 + Retry-After under pressure; 429s are
 // reported separately from errors because rejection under overload is
 // the specified behavior.
+//
+// -replica switches to follower-target mode: reads are served by the
+// replica daemon at that URL, every -write-every-th op writes through
+// the primary at -url, and each worker demands its own last commit
+// LSN from the replica via ?min_lsn=. Reads the replica cannot
+// satisfy in time answer 412 and are reported separately from errors,
+// like 429s: a lagging replica refusing staleness is the specified
+// read-your-writes behavior.
 //
 // -smoke exits nonzero unless the run achieved nonzero throughput
 // with zero non-429 errors — the CI gate wired into `make load-smoke`.
@@ -57,6 +66,8 @@ func main() {
 	batch := flag.Int("batch", 8, "ops per POST /batch request in the session mix")
 	maxInflight := flag.Int("max-inflight", 0, "per-tenant admission quota for the in-process daemon (0 = unlimited)")
 	baseURL := flag.String("url", "", "drive an external lsdbd at this base URL instead of in-process")
+	replicaURL := flag.String("replica", "", "follower-target mode: serve reads from the replica lsdbd at this URL with ?min_lsn= read-your-writes, writing through the primary at -url (412s reported separately)")
+	writeEvery := flag.Int("write-every", 0, "follower-target mode: per-worker op period of primary writes (default 16)")
 	jsonPath := flag.String("json", "", "write the report as JSON to this path")
 	smoke := flag.Bool("smoke", false, "exit nonzero unless throughput > 0 and non-429 errors == 0")
 	slo := flag.String("slo", "", `per-endpoint p99 budgets in ms ("query=50,default=100" or @budgets.json); exit nonzero on breach`)
@@ -71,6 +82,8 @@ func main() {
 		BatchSize:   *batch,
 		MaxInflight: *maxInflight,
 		BaseURL:     *baseURL,
+		ReplicaURL:  *replicaURL,
+		WriteEvery:  *writeEvery,
 	}
 
 	var rep *bench.LoadReport
@@ -88,6 +101,10 @@ func main() {
 		rep.Tenants, rep.Workers, rep.DurationSec, rep.Seed)
 	fmt.Printf("  sent %d, throughput %.0f qps, 429s %d, errors %d\n",
 		rep.Sent, rep.Throughput, rep.Rejected429, rep.Errors)
+	if *replicaURL != "" {
+		fmt.Printf("  follower-target: %d primary writes, %d reads answered 412 (stale replica)\n",
+			rep.Writes, rep.Stale412)
+	}
 	eps := make([]string, 0, len(rep.Endpoints))
 	for ep := range rep.Endpoints {
 		eps = append(eps, ep)

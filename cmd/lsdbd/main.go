@@ -24,10 +24,23 @@
 // ?depth=N to bound the traced on-demand derivation; a tenant's
 // -max-depth quota caps N.
 //
+// With -serve-wal the daemon additionally acts as a replication
+// primary: GET /repl/wal streams durable log records and GET
+// /repl/snapshot serves a bootstrap snapshot, and log compaction
+// waits (up to -repl-lag-budget records) for connected followers.
+// With -replica-of URL the daemon is a read replica instead: each
+// tenant tails the same-named tenant on the primary, writes are
+// rejected with 403, and any read may carry ?min_lsn=L to demand
+// read-your-writes — the replica waits up to -repl-wait for its
+// applied watermark to reach L, then answers 412 with its current
+// LSN. Mutations on the primary return their commit LSN for use as
+// min_lsn.
+//
 // Usage: lsdbd [-addr :8080] [-tenants default] [-data dir]
 // [-log db.log] [-sync always|never|250ms] [-checkpoint N]
 // [-snapshot path] [-max-inflight N] [-max-depth N]
-// [-cache-entries N] [-pprof] [factfile ...]
+// [-cache-entries N] [-serve-wal] [-replica-of URL]
+// [-repl-lag-budget N] [-repl-wait D] [-pprof] [factfile ...]
 //
 // -tenants names the hosted databases (comma-separated). With -data,
 // each tenant keeps its durability log at <dir>/<name>.log and its
@@ -58,6 +71,7 @@ import (
 
 	lsdb "repro"
 	"repro/internal/factfile"
+	"repro/internal/repl"
 	"repro/internal/serve"
 )
 
@@ -113,6 +127,10 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 0, "per-tenant cap on concurrent in-flight requests (0 = unlimited)")
 	maxDepth := flag.Int("max-depth", 0, "per-tenant cap on requested inference depth (0 = unlimited)")
 	cacheEntries := flag.Int("cache-entries", 0, "per-tenant subgoal cache entry limit (0 = engine default)")
+	serveWAL := flag.Bool("serve-wal", false, "serve the durability log to replicas on /repl/wal and /repl/snapshot (requires a log)")
+	replicaOf := flag.String("replica-of", "", "run as a read replica of the primary daemon at this base URL (requires -data)")
+	replLagBudget := flag.Uint64("repl-lag-budget", 0, "records a lagging follower may hold back log compaction (0 = default 8192)")
+	replWait := flag.Duration("repl-wait", 0, "replica: max wait for ?min_lsn= reads before answering 412 (0 = default 2s)")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
@@ -130,6 +148,23 @@ func main() {
 	if *logPath != "" && *dataDir != "" {
 		log.Fatal("-log and -data are mutually exclusive")
 	}
+	if *serveWAL && *replicaOf != "" {
+		log.Fatal("-serve-wal and -replica-of are mutually exclusive: a daemon is a primary or a replica, not both")
+	}
+	if *serveWAL && *logPath == "" && *dataDir == "" {
+		log.Fatal("-serve-wal requires a durability log: set -data or -log")
+	}
+	if *replicaOf != "" {
+		if *dataDir == "" {
+			log.Fatal("-replica-of requires -data for the replica's boot file and tail log")
+		}
+		if *logPath != "" || *snapshot != "" || *checkpoint > 0 {
+			log.Fatal("-replica-of manages its own tail log; -log, -snapshot and -checkpoint do not apply")
+		}
+		if flag.NArg() > 0 {
+			log.Fatal("a replica loads facts from its primary, not from fact files")
+		}
+	}
 
 	quotas := serve.Quotas{
 		MaxInflight:  *maxInflight,
@@ -139,12 +174,16 @@ func main() {
 	srv := serve.New()
 	srv.SetPprof(*pprofFlag)
 	var stored int
+	var followers []*repl.Follower
 	for _, name := range names {
 		opts := lsdb.Options{
 			SyncPolicy:      policy,
 			CheckpointEvery: *checkpoint,
 		}
 		switch {
+		case *replicaOf != "":
+			// A replica's durability is its boot file plus tail log,
+			// both managed by the follower — no store-level log.
 		case *dataDir != "":
 			opts.LogPath = filepath.Join(*dataDir, name+".log")
 			if *checkpoint > 0 {
@@ -158,13 +197,40 @@ func main() {
 		if err != nil {
 			log.Fatalf("tenant %s: %v", name, err)
 		}
+		if st := db.LogStats(); st.TruncRecs > 0 {
+			log.Printf("tenant %s: log %s had a torn tail: dropped %d partial record(s), %d byte(s); resuming at LSN %d",
+				name, opts.LogPath, st.TruncRecs, st.TruncBytes, db.LSN())
+		}
 		for _, path := range flag.Args() {
 			if _, err := factfile.LoadFile(db, path); err != nil {
 				log.Fatalf("tenant %s: %s: %v", name, path, err)
 			}
 		}
-		if _, err := srv.AddTenant(name, db, quotas); err != nil {
+		tenant, err := srv.AddTenant(name, db, quotas)
+		if err != nil {
 			log.Fatal(err)
+		}
+		switch {
+		case *serveWAL:
+			tenant.SetPrimary(repl.NewPrimary(db, repl.PrimaryOptions{
+				LagBudget: *replLagBudget,
+			}))
+		case *replicaOf != "":
+			fl, err := repl.NewFollower(db, repl.Config{
+				Primary: *replicaOf,
+				Tenant:  name,
+				Dir:     *dataDir,
+				Name:    name,
+				Lock:    tenant.SnapLocker(),
+			})
+			if err != nil {
+				log.Fatalf("tenant %s: %v", name, err)
+			}
+			if err := fl.Start(); err != nil {
+				log.Fatalf("tenant %s: bootstrap from %s: %v", name, *replicaOf, err)
+			}
+			tenant.SetFollower(fl, *replWait)
+			followers = append(followers, fl)
 		}
 		stored += db.Len()
 	}
@@ -181,10 +247,18 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	role := "standalone"
+	switch {
+	case *serveWAL:
+		role = "primary"
+	case *replicaOf != "":
+		role = "replica of " + *replicaOf
+	}
+
 	done := make(chan error, 1)
 	go func() {
-		log.Printf("lsdbd listening on %s (%d tenants, %d facts, sync=%s)",
-			*addr, len(names), stored, policy)
+		log.Printf("lsdbd listening on %s (%d tenants, %d facts, sync=%s, %s)",
+			*addr, len(names), stored, policy, role)
 		err := httpSrv.ListenAndServe()
 		if err == http.ErrServerClosed {
 			err = nil
@@ -206,6 +280,11 @@ func main() {
 		if err := httpSrv.Shutdown(shutCtx); err != nil {
 			log.Printf("lsdbd drain: %v", err)
 		}
+	}
+	// Stop followers first: each Stop syncs and detaches the tail log,
+	// so srv.Close below finds nothing left to flush for replicas.
+	for _, fl := range followers {
+		fl.Stop()
 	}
 	if err := srv.Sync(); err != nil {
 		log.Printf("lsdbd final sync: %v", err)

@@ -68,8 +68,8 @@ func measure(name string, params map[string]any, fn func(b *testing.B)) Result {
 }
 
 // RunJSON measures the E7 on-demand family, the E10c churn and
-// retraction-maintenance workloads, E8 commit throughput and the E9s
-// scale worlds, returning the report.
+// retraction-maintenance workloads, E8 commit throughput, the E9s
+// scale worlds and the E11 replication pair, returning the report.
 func RunJSON() Report {
 	rep := Report{GoVersion: runtime.Version(), GoMaxProcs: runtime.GOMAXPROCS(0)}
 
@@ -233,6 +233,18 @@ func RunJSON() Report {
 	// `lsdb-bench -scalemax 10000000 E9s` but is too slow for the
 	// committed artifact).
 	rep.Results = append(rep.Results, ScaleResults([]int{100_000, 1_000_000})...)
+
+	// E11 replication: follower read throughput against the standalone
+	// baseline (read_fraction ≥ 0.8 is the acceptance number) and the
+	// commit→applied lag distribution.
+	if results, err := E11Results(); err == nil {
+		rep.Results = append(rep.Results, results...)
+	} else {
+		rep.Results = append(rep.Results, Result{
+			Experiment: "E11_ReplicaRead",
+			Params:     map[string]any{"error": err.Error()},
+		})
+	}
 
 	return rep
 }

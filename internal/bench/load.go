@@ -56,6 +56,18 @@ type LoadConfig struct {
 	// in-process server seeded with generated tenant worlds named
 	// t0..t{N-1}.
 	BaseURL string
+	// ReplicaURL switches the run to follower-target mode: reads are
+	// served by the replica daemon at this URL while every WriteEvery-th
+	// op becomes a POST /facts against BaseURL (the primary), whose
+	// commit LSN the worker then demands from the replica via
+	// ?min_lsn= — the read-your-writes path. 412 answers are counted
+	// in Stale412, separately from errors: a stale replica refusing a
+	// fresh read is specified behavior, like a 429 under overload.
+	// Requires BaseURL.
+	ReplicaURL string
+	// WriteEvery is the per-worker op period of primary writes in
+	// follower-target mode (default 16).
+	WriteEvery int
 }
 
 func (c LoadConfig) withDefaults() LoadConfig {
@@ -70,6 +82,9 @@ func (c LoadConfig) withDefaults() LoadConfig {
 	}
 	if c.BatchSize <= 0 {
 		c.BatchSize = 8
+	}
+	if c.WriteEvery <= 0 {
+		c.WriteEvery = 16
 	}
 	return c
 }
@@ -108,7 +123,14 @@ type LoadReport struct {
 	// Rejected429 counts 429 responses (admission control working as
 	// specified — not errors).
 	Rejected429 uint64 `json:"rejected_429"`
-	// Errors counts transport failures and non-2xx, non-429 statuses.
+	// Writes counts primary writes issued in follower-target mode.
+	Writes uint64 `json:"writes,omitempty"`
+	// Stale412 counts replica reads answered 412 Precondition Failed:
+	// the replica could not reach the demanded min_lsn within its
+	// wait bound. Specified behavior under lag, not an error.
+	Stale412 uint64 `json:"stale_412,omitempty"`
+	// Errors counts transport failures and non-2xx, non-429, non-412
+	// statuses.
 	Errors uint64 `json:"errors"`
 	// Endpoints maps endpoint name to its aggregate stats.
 	Endpoints map[string]EndpointLoad `json:"endpoints"`
@@ -185,6 +207,9 @@ func sessionOps(w *gen.World, rng *rand.Rand, batchSize int) []loadOp {
 // tenants t0..t{N-1} each hold a distinct generated world.
 func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	cfg = cfg.withDefaults()
+	if cfg.ReplicaURL != "" && cfg.BaseURL == "" {
+		return nil, fmt.Errorf("follower-target mode needs the primary's URL: set BaseURL with ReplicaURL")
+	}
 
 	base := cfg.BaseURL
 	tenants := make([]string, cfg.Tenants)
@@ -229,7 +254,15 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		interval = time.Duration(float64(totalWorkers) / cfg.QPS * float64(time.Second))
 	}
 
-	var sent, ok2xx, rejected, errs atomic.Uint64
+	// Follower-target mode splits the traffic: reads hit the replica,
+	// periodic writes hit the primary, and each worker carries its
+	// last commit LSN into its reads as ?min_lsn=.
+	readBase := base
+	if cfg.ReplicaURL != "" {
+		readBase = cfg.ReplicaURL
+	}
+
+	var sent, ok2xx, rejected, stale, writes, errs atomic.Uint64
 	client := &http.Client{Timeout: 30 * time.Second}
 	deadline := time.Now().Add(cfg.Duration)
 	start := time.Now()
@@ -243,6 +276,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 				rng := rand.New(rand.NewSource(cfg.Seed + int64(ti)*1000 + int64(wk)))
 				ops := sessionOps(worlds[ti], rng, cfg.BatchSize)
 				next := time.Now()
+				var lastLSN uint64
 				for i := 0; time.Now().Before(deadline); i++ {
 					if interval > 0 {
 						if d := time.Until(next); d > 0 {
@@ -250,12 +284,23 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 						}
 						next = next.Add(interval)
 					}
+					if cfg.ReplicaURL != "" && i%cfg.WriteEvery == cfg.WriteEvery-1 {
+						if lsn, ok := primaryWrite(client, base, tenant, &sent, &errs, ti, wk, i); ok {
+							lastLSN = lsn
+							writes.Add(1)
+							ok2xx.Add(1)
+						}
+						continue
+					}
 					op := ops[i%len(ops)]
-					u := base + op.path
+					u := readBase + op.path
 					if strings.Contains(op.path, "?") {
 						u += "&db=" + tenant
 					} else {
 						u += "?db=" + tenant
+					}
+					if cfg.ReplicaURL != "" && lastLSN > 0 {
+						u += "&min_lsn=" + strconv.FormatUint(lastLSN, 10)
 					}
 					var resp *http.Response
 					var err error
@@ -276,6 +321,8 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 						ok2xx.Add(1)
 					case resp.StatusCode == http.StatusTooManyRequests:
 						rejected.Add(1)
+					case resp.StatusCode == http.StatusPreconditionFailed:
+						stale.Add(1)
 					default:
 						errs.Add(1)
 					}
@@ -297,6 +344,8 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		DurationSec: elapsed.Seconds(),
 		Sent:        sent.Load(),
 		Rejected429: rejected.Load(),
+		Writes:      writes.Load(),
+		Stale412:    stale.Load(),
 		Errors:      errs.Load(),
 		Endpoints:   make(map[string]EndpointLoad),
 		PerTenant:   make(map[string]uint64),
@@ -314,34 +363,42 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		cum     map[float64]uint64
 	}
 	hists := make(map[string]*histAgg)
+	scrapeURLs := []string{base}
+	if cfg.ReplicaURL != "" {
+		// Reads were served by the replica, writes by the primary:
+		// both registries hold part of the run's truth.
+		scrapeURLs = append(scrapeURLs, cfg.ReplicaURL)
+	}
 	for _, tenant := range tenants {
-		sc, err := scrapeMetrics(client, base, tenant)
-		if err != nil {
-			return nil, fmt.Errorf("scrape tenant %s: %w", tenant, err)
-		}
 		served := uint64(0)
-		for ep, n := range sc.requests {
-			e := rep.Endpoints[ep]
-			e.Requests += n
-			rep.Endpoints[ep] = e
-			served += n
-		}
-		for ep, n := range sc.rejected {
-			e := rep.Endpoints[ep]
-			e.Rejected += n
-			rep.Endpoints[ep] = e
+		for _, su := range scrapeURLs {
+			sc, err := scrapeMetrics(client, su, tenant)
+			if err != nil {
+				return nil, fmt.Errorf("scrape tenant %s at %s: %w", tenant, su, err)
+			}
+			for ep, n := range sc.requests {
+				e := rep.Endpoints[ep]
+				e.Requests += n
+				rep.Endpoints[ep] = e
+				served += n
+			}
+			for ep, n := range sc.rejected {
+				e := rep.Endpoints[ep]
+				e.Rejected += n
+				rep.Endpoints[ep] = e
+			}
+			for ep, buckets := range sc.latency {
+				h := hists[ep]
+				if h == nil {
+					h = &histAgg{cum: make(map[float64]uint64)}
+					hists[ep] = h
+				}
+				for le, c := range buckets {
+					h.cum[le] += c
+				}
+			}
 		}
 		rep.PerTenant[tenant] = served
-		for ep, buckets := range sc.latency {
-			h := hists[ep]
-			if h == nil {
-				h = &histAgg{cum: make(map[float64]uint64)}
-				hists[ep] = h
-			}
-			for le, c := range buckets {
-				h.cum[le] += c
-			}
-		}
 	}
 	for ep, h := range hists {
 		var bounds []float64
@@ -365,6 +422,36 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		rep.Endpoints[ep] = e
 	}
 	return rep, nil
+}
+
+// primaryWrite posts one unique fact to the primary and returns its
+// commit LSN, the worker's next read-your-writes watermark.
+func primaryWrite(client *http.Client, base, tenant string, sent, errs *atomic.Uint64, ti, wk, i int) (uint64, bool) {
+	body, _ := json.Marshal(map[string]string{
+		"s": fmt.Sprintf("LOAD-%d-%d-%d", ti, wk, i),
+		"r": "in",
+		"t": "LOADGEN",
+	})
+	sent.Add(1)
+	resp, err := client.Post(base+"/facts?db="+tenant, "application/json", bytes.NewReader(body))
+	if err != nil {
+		errs.Add(1)
+		return 0, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		errs.Add(1)
+		return 0, false
+	}
+	var out struct {
+		LSN uint64 `json:"lsn"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		errs.Add(1)
+		return 0, false
+	}
+	return out.LSN, true
 }
 
 // tenantScrape is one tenant's parsed /metrics series of interest.

@@ -1,8 +1,15 @@
 package bench
 
 import (
+	"net/http/httptest"
+	"path/filepath"
 	"testing"
 	"time"
+
+	lsdb "repro"
+	"repro/internal/gen"
+	"repro/internal/repl"
+	"repro/internal/serve"
 )
 
 // TestLoadSmoke is the in-process version of `make load-smoke`: a
@@ -91,5 +98,115 @@ func TestLoadAdmissionPressure(t *testing.T) {
 	}
 	if serverRejected != rep.Rejected429 {
 		t.Errorf("server rejected %d, client saw %d", serverRejected, rep.Rejected429)
+	}
+}
+
+// TestLoadFollowerTarget drives follower-target mode against an
+// in-test replicated pair: reads go to the replica with per-worker
+// ?min_lsn= watermarks, writes go through the primary, and 412s (if
+// the replica lags past its wait bound) are reported separately from
+// errors.
+func TestLoadFollowerTarget(t *testing.T) {
+	pdb, err := lsdb.Open(lsdb.Options{LogPath: filepath.Join(t.TempDir(), "p.log")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := serve.New()
+	pt, err := ps.AddTenant(serve.DefaultTenant, pdb, serve.Quotas{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt.SetPrimary(repl.NewPrimary(pdb, repl.PrimaryOptions{}))
+	primary := httptest.NewServer(ps.Mux())
+	defer primary.Close()
+	defer pdb.Close()
+
+	// Preload the primary with the world RunLoad derives its session
+	// mix from, so every read targets entities that exist.
+	const seed = 7
+	w := gen.Generate(seed, gen.Medium())
+	for _, op := range w.Ops {
+		if op.Kind == gen.OpAssert {
+			if err := pdb.Assert(op.S, op.R, op.T); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	fdb, err := lsdb.Open(lsdb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := serve.New()
+	ft, err := fs.AddTenant(serve.DefaultTenant, fdb, serve.Quotas{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := repl.NewFollower(fdb, repl.Config{
+		Primary: primary.URL,
+		Dir:     t.TempDir(),
+		ID:      "load-replica",
+		WaitMs:  100,
+		Backoff: 5 * time.Millisecond,
+		Lock:    ft.SnapLocker(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft.SetFollower(fl, 2*time.Second)
+	if err := fl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Stop()
+	replica := httptest.NewServer(fs.Mux())
+	defer replica.Close()
+	if _, ok := fl.WaitLSN(pdb.LSN(), 30*time.Second); !ok {
+		t.Fatalf("replica never caught up (stats %+v)", fl.Stats())
+	}
+
+	rep, err := RunLoad(LoadConfig{
+		Tenants:    1,
+		Workers:    2,
+		Duration:   500 * time.Millisecond,
+		Seed:       seed,
+		BaseURL:    primary.URL,
+		ReplicaURL: replica.URL,
+		WriteEvery: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors = %d, want 0 (report %+v)", rep.Errors, rep)
+	}
+	if rep.Writes == 0 {
+		t.Fatal("follower-target run issued no primary writes")
+	}
+	if rep.Throughput <= 0 {
+		t.Fatal("no successful requests")
+	}
+	// The primary's registry must show the write traffic and the
+	// replica's the read traffic; both are folded into the report.
+	if e := rep.Endpoints["facts"]; e.Requests < rep.Writes {
+		t.Errorf("primary served %d /facts, client issued %d writes", e.Requests, rep.Writes)
+	}
+	reads := uint64(0)
+	for ep, e := range rep.Endpoints {
+		if ep != "facts" {
+			reads += e.Requests
+		}
+	}
+	if reads == 0 {
+		t.Error("no reads served")
+	}
+	// Every write's LSN was eventually readable: the replica ends at
+	// the primary's watermark.
+	if _, ok := fl.WaitLSN(pdb.LSN(), 10*time.Second); !ok {
+		t.Errorf("replica did not converge after the run (stats %+v)", fl.Stats())
+	}
+
+	// RunLoad refuses a replica without a primary to write through.
+	if _, err := RunLoad(LoadConfig{ReplicaURL: replica.URL}); err == nil {
+		t.Fatal("ReplicaURL without BaseURL must be rejected")
 	}
 }

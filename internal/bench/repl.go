@@ -1,0 +1,290 @@
+package bench
+
+// E11: WAL-shipping replication. A logged primary carries the E7r
+// 20k-fact world; a follower bootstraps from its snapshot endpoint
+// and tails its WAL. The experiment answers two questions the
+// replication design stands on: does a follower serve the E7
+// navigation mix at (nearly) single-node speed — reads never touch
+// the replication path, so the answer should be ~1.0x — and how far
+// behind a committed write does the follower's applied watermark run
+// in steady state.
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"testing"
+	"time"
+
+	lsdb "repro"
+	"repro/internal/repl"
+	"repro/internal/sym"
+	"repro/internal/tabular"
+)
+
+// e11World is a replicated pair carrying the OnDemandWorld facts:
+// standalone is the unreplicated baseline database, follower the
+// replica database serving the same facts.
+type e11World struct {
+	standalone *lsdb.Database
+	primary    *lsdb.Database
+	follower   *lsdb.Database
+	fl         *repl.Follower
+	srv        *httptest.Server
+	dir        string
+
+	bootstrap time.Duration // snapshot fetch + decode + boot-file write
+	loadFacts int
+}
+
+func (w *e11World) close() {
+	if w.fl != nil {
+		w.fl.Stop()
+	}
+	if w.srv != nil {
+		w.srv.Close()
+	}
+	if w.primary != nil {
+		w.primary.Close()
+	}
+	if w.dir != "" {
+		os.RemoveAll(w.dir)
+	}
+}
+
+// newE11World builds the pair: the OnDemandWorld facts are replayed
+// into a logged primary (interval sync, so bulk load group-commits),
+// the log is compacted so a joining follower takes the snapshot
+// bootstrap path — how a replica is actually provisioned — and a
+// follower is started and caught up.
+func newE11World() (*e11World, error) {
+	w := &e11World{}
+	src, _ := OnDemandWorld()
+	w.standalone = src
+
+	dir, err := os.MkdirTemp("", "lsdb-bench-e11")
+	if err != nil {
+		return nil, err
+	}
+	w.dir = dir
+
+	pdb, err := lsdb.Open(lsdb.Options{
+		LogPath:    dir + "/primary.log",
+		SyncPolicy: lsdb.SyncInterval(2 * time.Millisecond),
+	})
+	if err != nil {
+		w.close()
+		return nil, err
+	}
+	w.primary = pdb
+	pst, pu, su := pdb.Store(), pdb.Universe(), src.Universe()
+	for _, f := range src.Store().Facts() {
+		g := pu.NewFact(su.Name(f.S), su.Name(f.R), su.Name(f.T))
+		if _, err := pst.InsertLogged(g); err != nil {
+			w.close()
+			return nil, err
+		}
+	}
+	w.loadFacts = pdb.Len()
+	if err := pdb.Sync(); err != nil {
+		w.close()
+		return nil, err
+	}
+
+	p := repl.NewPrimary(pdb, repl.PrimaryOptions{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/repl/wal", p.ServeWAL)
+	mux.HandleFunc("/repl/snapshot", p.ServeSnapshot)
+	w.srv = httptest.NewServer(mux)
+
+	// Compact before the follower exists: the join goes through the
+	// snapshot endpoint, not a 20k-record tail replay.
+	if err := pdb.Compact(); err != nil {
+		w.close()
+		return nil, err
+	}
+
+	fdb, err := lsdb.Open(lsdb.Options{})
+	if err != nil {
+		w.close()
+		return nil, err
+	}
+	w.follower = fdb
+	fl, err := repl.NewFollower(fdb, repl.Config{
+		Primary: w.srv.URL,
+		Dir:     dir,
+		Name:    "e11",
+		ID:      "e11-bench",
+		WaitMs:  250,
+		Backoff: time.Millisecond,
+	})
+	if err != nil {
+		w.close()
+		return nil, err
+	}
+	t0 := time.Now()
+	if err := fl.Start(); err != nil {
+		w.close()
+		return nil, err
+	}
+	w.fl = fl
+	if _, ok := fl.WaitLSN(pdb.LSN(), 60*time.Second); !ok {
+		w.close()
+		return nil, fmt.Errorf("e11: follower never caught up to LSN %d (stats %+v)", pdb.LSN(), fl.Stats())
+	}
+	// The watermark reaches the primary's LSN before the follower
+	// folds the snapshot into its derived closure (~1.5M facts on this
+	// world); wait for the first clean poll so the lag measurement
+	// sees steady state, not the bootstrap fold.
+	for deadline := time.Now().Add(60 * time.Second); !fl.Stats().Connected; {
+		if time.Now().After(deadline) {
+			w.close()
+			return nil, fmt.Errorf("e11: follower never reached steady state (stats %+v)", fl.Stats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	w.bootstrap = time.Since(t0)
+	return w, nil
+}
+
+// e11Trail maps the standard navigation trail (the OnDemandWorld
+// hub/mid/tail entities by Zipf rank) into db's universe by name, so
+// the standalone and follower replays visit the same entities.
+func e11Trail(db *lsdb.Database) []sym.ID {
+	var out []sym.ID
+	for _, i := range []int{0, 2, 20, 200, 1500} {
+		out = append(out, db.Entity(fmt.Sprintf("N%06d", i)))
+	}
+	return out
+}
+
+// e11Lag drives writes through the primary, one at a time, and
+// measures commit→applied latency on the follower: the time from the
+// durable acknowledgment (what a client sees, with the commit LSN) to
+// the follower's watermark reaching that LSN. Returns the per-write
+// latencies.
+func e11Lag(w *e11World, writes int) ([]time.Duration, error) {
+	lat := make([]time.Duration, 0, writes)
+	for i := 0; i < writes; i++ {
+		if err := w.primary.Assert(fmt.Sprintf("E11-W%d", i), "in", "E11-LAG"); err != nil {
+			return nil, err
+		}
+		lsn := w.primary.LSN()
+		t0 := time.Now()
+		if _, ok := w.fl.WaitLSN(lsn, 10*time.Second); !ok {
+			return nil, fmt.Errorf("e11: write %d (LSN %d) never reached the follower", i, lsn)
+		}
+		lat = append(lat, time.Since(t0))
+	}
+	return lat, nil
+}
+
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// E11 renders the replication experiment: follower read throughput on
+// the E7 navigation mix against the standalone baseline, snapshot
+// bootstrap cost, and steady-state replication lag.
+func E11() *tabular.Rows {
+	w, err := newE11World()
+	if err != nil {
+		t := &tabular.Rows{Title: "E11 WAL-shipping replication"}
+		t.Headers = []string{"error"}
+		t.AddRow([]string{err.Error()})
+		return t
+	}
+	defer w.close()
+	const depth = 2
+	strail, ftrail := e11Trail(w.standalone), e11Trail(w.follower)
+
+	ReplayNavigation(w.standalone, depth, strail) // prime
+	base := timeIt(20, func() { ReplayNavigation(w.standalone, depth, strail) })
+	ReplayNavigation(w.follower, depth, ftrail) // prime
+	foll := timeIt(20, func() { ReplayNavigation(w.follower, depth, ftrail) })
+
+	lat, err := e11Lag(w, 200)
+	if err != nil {
+		t := &tabular.Rows{Title: "E11 WAL-shipping replication"}
+		t.Headers = []string{"error"}
+		t.AddRow([]string{err.Error()})
+		return t
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+
+	t := &tabular.Rows{
+		Title: fmt.Sprintf("E11 WAL-shipped read replica (%d facts; snapshot bootstrap %s)",
+			w.loadFacts, dur(w.bootstrap)),
+		Headers: []string{"metric", "value"},
+	}
+	t.AddRow([]string{"standalone warm navigation"}, []string{dur(base)})
+	t.AddRow([]string{"follower warm navigation"}, []string{dur(foll)})
+	t.AddRow([]string{"follower/standalone read throughput"},
+		[]string{fmt.Sprintf("%.2fx", float64(base)/float64(foll))})
+	t.AddRow([]string{"replication lag p50"}, []string{dur(quantile(lat, 0.50))})
+	t.AddRow([]string{"replication lag p95"}, []string{dur(quantile(lat, 0.95))})
+	t.AddRow([]string{"replication lag max"}, []string{dur(lat[len(lat)-1])})
+	return t
+}
+
+// E11Results measures the same experiment for the JSON artifact:
+// warm navigation ns/op on both sides (read_fraction in Extra is the
+// acceptance number — follower QPS over standalone QPS, wanted
+// ≥ 0.8) plus the commit→applied lag distribution.
+func E11Results() ([]Result, error) {
+	w, err := newE11World()
+	if err != nil {
+		return nil, err
+	}
+	defer w.close()
+	const depth = 2
+	strail, ftrail := e11Trail(w.standalone), e11Trail(w.follower)
+	params := map[string]any{"depth": depth, "facts": w.loadFacts, "trail": len(strail)}
+
+	ReplayNavigation(w.standalone, depth, strail)
+	base := measure("E11_ReplicaRead/standalone", params, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ReplayNavigation(w.standalone, depth, strail)
+		}
+	})
+	ReplayNavigation(w.follower, depth, ftrail)
+	foll := measure("E11_ReplicaRead/follower", params, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ReplayNavigation(w.follower, depth, ftrail)
+		}
+	})
+	if foll.NsPerOp > 0 {
+		if foll.Extra == nil {
+			foll.Extra = make(map[string]float64)
+		}
+		foll.Extra["read_fraction"] = base.NsPerOp / foll.NsPerOp
+	}
+
+	lat, err := e11Lag(w, 200)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	var sum time.Duration
+	for _, d := range lat {
+		sum += d
+	}
+	lag := Result{
+		Experiment: "E11_ReplicationLag",
+		Params:     map[string]any{"writes": len(lat), "sync": "interval2ms"},
+		NsPerOp:    float64(sum.Nanoseconds()) / float64(len(lat)),
+		Extra: map[string]float64{
+			"p50_ms":       float64(quantile(lat, 0.50).Nanoseconds()) / 1e6,
+			"p95_ms":       float64(quantile(lat, 0.95).Nanoseconds()) / 1e6,
+			"max_ms":       float64(lat[len(lat)-1].Nanoseconds()) / 1e6,
+			"bootstrap_ms": float64(w.bootstrap.Nanoseconds()) / 1e6,
+		},
+	}
+	return []Result{base, foll, lag}, nil
+}

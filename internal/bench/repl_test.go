@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestE11ReplicaServesNavigationMix is the E11 smoke: a follower
+// bootstrapped from the primary's snapshot serves the exact E7
+// navigation mix (same degrees retrieved) and does so at standalone
+// speed. The committed BENCH json documents the ≥0.8 read-fraction
+// headline; here the floor is looser so machine noise can't flake
+// the suite — a real regression (follower reads touching the
+// replication path) would land far below it.
+func TestE11ReplicaServesNavigationMix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E11 replicates a 20k-fact world")
+	}
+	w, err := newE11World()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.close()
+
+	if got, want := w.follower.Len(), w.primary.Len(); got != want {
+		t.Fatalf("follower holds %d facts, primary %d", got, want)
+	}
+	const depth = 2
+	strail, ftrail := e11Trail(w.standalone), e11Trail(w.follower)
+	if got, want := ReplayNavigation(w.follower, depth, ftrail), ReplayNavigation(w.standalone, depth, strail); got != want {
+		t.Fatalf("follower navigation degree %d, standalone %d", got, want)
+	}
+
+	base := timeIt(10, func() { ReplayNavigation(w.standalone, depth, strail) })
+	foll := timeIt(10, func() { ReplayNavigation(w.follower, depth, ftrail) })
+	if frac := float64(base) / float64(foll); frac < 0.5 {
+		t.Errorf("follower read fraction %.2f of standalone, want well above 0.5", frac)
+	}
+
+	lat, err := e11Lag(w, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range lat {
+		if d > 5*time.Second {
+			t.Errorf("write %d took %s to reach the follower", i, d)
+		}
+	}
+	if got := w.fl.AppliedLSN(); got != w.primary.LSN() {
+		t.Errorf("after lag run: follower applied %d, primary LSN %d", got, w.primary.LSN())
+	}
+}

@@ -1,0 +1,879 @@
+// Replication fault injection: an oracle that runs a primary/follower
+// pair through byte-accurate faults on either side of the WAL stream
+// and asserts the replication contract:
+//
+//  1. prefix — at every observable moment (mid-stream samples, after a
+//     follower crash, after a primary crash) the follower's fact set
+//     equals the primary's state at the follower's applied LSN, never
+//     a scramble or an invention;
+//  2. recoverability — a follower restarted from its boot file and
+//     torn tail log always comes back at some applied prefix and can
+//     resume (or snapshot re-bootstrap) to full convergence;
+//  3. closure — the follower's derived closure is identical to a
+//     fresh database replaying the same facts, so replication and
+//     inference compose.
+//
+// Faults come from three injectors: CrashFS budgets on the follower's
+// store (torn tail-log appends, torn boot-file writes), CrashFS
+// budgets on the primary's store (torn WAL appends, restart with a
+// truncated tail), and a one-shot connection cut that tears the HTTP
+// response stream at a byte budget (torn batches, torn snapshots).
+package check
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	lsdb "repro"
+	"repro/internal/gen"
+	"repro/internal/repl"
+	"repro/internal/store"
+)
+
+// errDropped is what a torn connection surfaces to the follower: the
+// bytes before the budget arrived, then the stream died.
+var errDropped = errors.New("check: simulated connection drop")
+
+// cutTransport wraps a RoundTripper and tears exactly one response
+// body: the read crossing the byte budget returns the prefix that
+// "arrived" and then errDropped. Every request after the cut passes
+// through untouched, so the oracle can assert the follower recovers.
+type cutTransport struct {
+	base   http.RoundTripper
+	mu     sync.Mutex
+	budget int64
+	cut    bool
+}
+
+func (c *cutTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	resp, err := c.base.RoundTrip(req)
+	if err != nil || resp == nil || resp.Body == nil {
+		return resp, err
+	}
+	c.mu.Lock()
+	done := c.cut
+	c.mu.Unlock()
+	if !done {
+		resp.Body = &cutBody{rc: resp.Body, t: c}
+	}
+	return resp, nil
+}
+
+type cutBody struct {
+	rc io.ReadCloser
+	t  *cutTransport
+}
+
+func (b *cutBody) Read(p []byte) (int, error) {
+	n, err := b.rc.Read(p)
+	b.t.mu.Lock()
+	if b.t.cut {
+		b.t.mu.Unlock()
+		return n, err
+	}
+	if int64(n) > b.t.budget {
+		allowed := b.t.budget
+		b.t.cut = true
+		b.t.mu.Unlock()
+		b.rc.Close()
+		return int(allowed), errDropped
+	}
+	b.t.budget -= int64(n)
+	b.t.mu.Unlock()
+	return n, err
+}
+
+func (b *cutBody) Close() error { return b.rc.Close() }
+
+// countTransport measures response-body bytes, calibrating the cut
+// budgets a sweep will use.
+type countTransport struct {
+	base http.RoundTripper
+	mu   sync.Mutex
+	n    int64
+}
+
+func (c *countTransport) total() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *countTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	resp, err := c.base.RoundTrip(req)
+	if err != nil || resp == nil || resp.Body == nil {
+		return resp, err
+	}
+	resp.Body = &countBody{rc: resp.Body, t: c}
+	return resp, nil
+}
+
+type countBody struct {
+	rc io.ReadCloser
+	t  *countTransport
+}
+
+func (b *countBody) Read(p []byte) (int, error) {
+	n, err := b.rc.Read(p)
+	b.t.mu.Lock()
+	b.t.n += int64(n)
+	b.t.mu.Unlock()
+	return n, err
+}
+
+func (b *countBody) Close() error { return b.rc.Close() }
+
+// swapHandler is a stable URL whose backend can be replaced or taken
+// down, so a primary can "crash" and restart without the follower's
+// configured address changing.
+type swapHandler struct {
+	mu sync.Mutex
+	h  http.Handler
+}
+
+func (s *swapHandler) set(h http.Handler) {
+	s.mu.Lock()
+	s.h = h
+	s.mu.Unlock()
+}
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	h := s.h
+	s.mu.Unlock()
+	if h == nil {
+		http.Error(w, "primary down", http.StatusBadGateway)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+// ReplConfig parameterizes one replication fault sweep.
+type ReplConfig struct {
+	Seed   int64
+	Points int    // fault points per scenario (four scenarios per scan)
+	Dir    string // scratch directory; a temp dir when empty
+}
+
+// stateTrack applies a primary's ops and records the fact set at
+// every commit LSN — the ground truth the prefix oracle compares
+// followers against.
+type stateTrack struct {
+	states map[uint64]map[[3]string]bool
+	cur    map[[3]string]bool
+}
+
+func newStateTrack() *stateTrack {
+	return &stateTrack{
+		states: map[uint64]map[[3]string]bool{0: {}},
+		cur:    map[[3]string]bool{},
+	}
+}
+
+// apply runs one op through the primary's logged store. On success the
+// state after the op is recorded under its commit LSN; on error (a
+// simulated crash) nothing is recorded — the op was never acked.
+func (tr *stateTrack) apply(db *lsdb.Database, op gen.Op) error {
+	u := db.Universe()
+	f := u.NewFact(op.S, op.R, op.T)
+	var changed bool
+	var err error
+	switch op.Kind {
+	case gen.OpAssert:
+		changed, err = db.Store().InsertLogged(f)
+	case gen.OpRetract:
+		changed, err = db.Store().DeleteLogged(f)
+	default:
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if changed {
+		k := tripleKey(u, f)
+		if op.Kind == gen.OpAssert {
+			tr.cur[k] = true
+		} else {
+			delete(tr.cur, k)
+		}
+		cp := make(map[[3]string]bool, len(tr.cur))
+		for k := range tr.cur {
+			cp[k] = true
+		}
+		tr.states[db.LSN()] = cp
+	}
+	return nil
+}
+
+// rewind resets the track to the state at lsn, discarding every later
+// recording — what a primary restart does to history.
+func (tr *stateTrack) rewind(lsn uint64) {
+	for l := range tr.states {
+		if l > lsn {
+			delete(tr.states, l)
+		}
+	}
+	tr.cur = make(map[[3]string]bool, len(tr.states[lsn]))
+	for k := range tr.states[lsn] {
+		tr.cur[k] = true
+	}
+}
+
+func replFail(scenario string, seed int64, point int, format string, args ...any) *Failure {
+	return &Failure{
+		Oracle: "replication",
+		Detail: fmt.Sprintf("%s seed %d point %d: %s", scenario, seed, point, fmt.Sprintf(format, args...)),
+	}
+}
+
+// prefixFail checks the core invariant: the follower's fact set at
+// applied LSN A equals the primary's recorded state at A.
+func prefixFail(scenario string, seed int64, point int, ctx string,
+	applied uint64, got map[[3]string]bool, tr *stateTrack) *Failure {
+	want, ok := tr.states[applied]
+	if !ok {
+		return replFail(scenario, seed, point,
+			"%s: follower applied LSN %d matches no primary state (max %d)", ctx, applied, len(tr.states)-1)
+	}
+	if !sameSet(got, want) {
+		return replFail(scenario, seed, point,
+			"%s: follower at LSN %d diverged:\n  got  %s\n  want %s",
+			ctx, applied, formatSet(got), formatSet(want))
+	}
+	return nil
+}
+
+// sample reads the follower's (applied, fact set) pair atomically
+// under its batch lock, so the prefix check never observes a
+// half-applied batch.
+func sample(mu *sync.Mutex, fl *repl.Follower, fdb *lsdb.Database) (uint64, map[[3]string]bool) {
+	mu.Lock()
+	defer mu.Unlock()
+	return fl.AppliedLSN(), storeSet(fdb.Store(), fdb.Universe())
+}
+
+// closureFail rebuilds the follower's fact set in a fresh database
+// and requires both closures to be identical — replication must be
+// invisible to inference.
+func closureFail(scenario string, seed int64, point int, fdb *lsdb.Database) *Failure {
+	fresh, err := lsdb.Open(lsdb.Options{})
+	if err != nil {
+		return replFail(scenario, seed, point, "closure oracle: open fresh db: %v", err)
+	}
+	defer fresh.Close()
+	u := fdb.Universe()
+	for _, fc := range fdb.Store().Facts() {
+		if err := fresh.Assert(u.Name(fc.S), u.Name(fc.R), u.Name(fc.T)); err != nil {
+			return replFail(scenario, seed, point, "closure oracle: replay assert: %v", err)
+		}
+	}
+	got := storeSet(fdb.Engine().Closure(), u)
+	want := storeSet(fresh.Engine().Closure(), fresh.Universe())
+	if !sameSet(got, want) {
+		return replFail(scenario, seed, point,
+			"follower closure (%d facts) != fresh-replay closure (%d facts)", len(got), len(want))
+	}
+	return nil
+}
+
+// startPrimary opens a database, attaches a SyncAlways log on fs (nil
+// for the real filesystem), and returns it with replication handlers.
+func startPrimary(path string, fs store.FS, opts repl.PrimaryOptions) (*lsdb.Database, *repl.Primary, http.Handler, error) {
+	db, err := lsdb.Open(lsdb.Options{})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if fs != nil {
+		db.Store().SetFS(fs)
+	}
+	if _, err := db.Store().AttachLogPolicy(path, store.SyncAlways); err != nil {
+		return db, nil, nil, err
+	}
+	p := repl.NewPrimary(db, opts)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/repl/wal", p.ServeWAL)
+	mux.HandleFunc("/repl/snapshot", p.ServeSnapshot)
+	return db, p, mux, nil
+}
+
+// startFollower opens a follower on fs (nil for the real filesystem)
+// tailing primary, with small batches and an aggressive poll cadence
+// so fault budgets land on many distinct protocol positions.
+func startFollower(dir, primary string, client *http.Client, fs store.FS) (*lsdb.Database, *repl.Follower, *sync.Mutex, error) {
+	db, err := lsdb.Open(lsdb.Options{})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if fs != nil {
+		db.Store().SetFS(fs)
+	}
+	mu := &sync.Mutex{}
+	fl, err := repl.NewFollower(db, repl.Config{
+		Primary:  primary,
+		Dir:      dir,
+		Name:     "f",
+		ID:       "oracle",
+		Client:   client,
+		WaitMs:   25,
+		BatchMax: 5,
+		Backoff:  time.Millisecond,
+		Lock:     mu,
+	})
+	if err != nil {
+		return db, nil, nil, err
+	}
+	if err := fl.Start(); err != nil {
+		return db, nil, mu, err
+	}
+	return db, fl, mu, nil
+}
+
+// waitFatalOr polls until the follower either reports a fatal local
+// failure or reaches lsn; false means it did neither in time.
+func waitFatalOr(fl *repl.Follower, lsn uint64, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if fl.Stats().Fatal || fl.AppliedLSN() >= lsn {
+			return true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return false
+}
+
+const replWaitTimeout = 15 * time.Second
+
+// unreachable is a primary URL that always refuses, for auditing what
+// a follower recovers from disk alone.
+const unreachable = "http://127.0.0.1:1"
+
+// auditRecovery restarts a follower from dir against an unreachable
+// primary and checks it comes back at an exact applied prefix.
+func auditRecovery(scenario string, seed int64, point int, dir string, maxLSN uint64, tr *stateTrack) *Failure {
+	db, fl, mu, err := startFollower(dir, unreachable, nil, nil)
+	if err != nil {
+		if db != nil {
+			db.Close()
+		}
+		return replFail(scenario, seed, point, "recovery from local files failed: %v", err)
+	}
+	applied, got := sample(mu, fl, db)
+	fl.Stop()
+	db.Close()
+	if applied > maxLSN {
+		return replFail(scenario, seed, point,
+			"recovered applied LSN %d exceeds primary LSN %d", applied, maxLSN)
+	}
+	return prefixFail(scenario, seed, point, "after restart", applied, got, tr)
+}
+
+// replDropSweep tears the WAL stream once per point at budgets swept
+// across its clean byte cost: torn batch bodies, torn headers, cuts
+// between polls. The follower must keep an exact prefix mid-flight
+// and still converge.
+func replDropSweep(seed int64, points int, dir string) (int, *Failure) {
+	const scenario = "drop"
+	ops := gen.LogWorkload(seed, gen.Small())
+
+	// Clean run: measures stream bytes and doubles as the baseline.
+	ct := &countTransport{base: http.DefaultTransport}
+	if f := dropPoint(scenario, seed, -1, ops, dir, &http.Client{Transport: ct}, nil); f != nil {
+		return 0, f
+	}
+	total := ct.total()
+	if total <= 0 {
+		return 0, replFail(scenario, seed, -1, "clean run streamed no bytes")
+	}
+
+	checked := 0
+	for i := 0; i < points; i++ {
+		cut := &cutTransport{base: http.DefaultTransport, budget: total * int64(i) / int64(points)}
+		if f := dropPoint(scenario, seed, i, ops, dir, &http.Client{Transport: cut}, nil); f != nil {
+			return checked, f
+		}
+		checked++
+	}
+	return checked, nil
+}
+
+// dropPoint runs one full primary/follower session with the given
+// follower HTTP client and filesystem, sampling the prefix invariant
+// mid-stream and requiring convergence plus closure equality.
+func dropPoint(scenario string, seed int64, point int, ops []gen.Op, dir string, client *http.Client, fs store.FS) *Failure {
+	sub := filepath.Join(dir, fmt.Sprintf("%s-%d", scenario, point))
+	pdir, fdir := filepath.Join(sub, "p"), filepath.Join(sub, "f")
+	os.MkdirAll(pdir, 0o755)
+	os.MkdirAll(fdir, 0o755)
+	defer os.RemoveAll(sub)
+
+	pdb, _, mux, err := startPrimary(filepath.Join(pdir, "p.log"), nil, repl.PrimaryOptions{})
+	if err != nil {
+		return replFail(scenario, seed, point, "start primary: %v", err)
+	}
+	defer pdb.Close()
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	fdb, fl, mu, err := startFollower(fdir, srv.URL, client, fs)
+	if err != nil {
+		return replFail(scenario, seed, point, "start follower: %v", err)
+	}
+	defer fdb.Close()
+	defer fl.Stop()
+
+	tr := newStateTrack()
+	for i, op := range ops {
+		if err := tr.apply(pdb, op); err != nil {
+			return replFail(scenario, seed, point, "primary op %d: %v", i, err)
+		}
+		if i%8 == 7 {
+			applied, got := sample(mu, fl, fdb)
+			if f := prefixFail(scenario, seed, point, fmt.Sprintf("mid-stream after op %d", i), applied, got, tr); f != nil {
+				return f
+			}
+		}
+	}
+	final := pdb.LSN()
+	if _, ok := fl.WaitLSN(final, replWaitTimeout); !ok {
+		return replFail(scenario, seed, point, "follower stuck: %+v", fl.Stats())
+	}
+	applied, got := sample(mu, fl, fdb)
+	if f := prefixFail(scenario, seed, point, "converged", applied, got, tr); f != nil {
+		return f
+	}
+	if st := fl.Stats(); st.Fatal {
+		return replFail(scenario, seed, point, "follower went fatal on a transient fault: %+v", st)
+	}
+	if point%4 == 0 {
+		return closureFail(scenario, seed, point, fdb)
+	}
+	return nil
+}
+
+// replFollowerCrashSweep kills the follower's filesystem at budgets
+// swept across its clean disk cost — torn tail appends, dead syncs —
+// then audits recovery from the surviving files and full catch-up.
+// Odd points compact the primary between crash and catch-up, forcing
+// the recovered follower down the snapshot re-bootstrap path.
+func replFollowerCrashSweep(seed int64, points int, dir string) (int, *Failure) {
+	const scenario = "follower-crash"
+	ops := gen.LogWorkload(seed, gen.Small())
+
+	// Clean run measures the follower's disk byte cost.
+	probe := NewCrashFS(1 << 62)
+	if f := dropPoint(scenario, seed, -1, ops, dir, nil, probe); f != nil {
+		return 0, f
+	}
+	total := probe.Written()
+	if total <= 0 {
+		return 0, replFail(scenario, seed, -1, "clean run wrote no follower bytes")
+	}
+
+	checked := 0
+	for i := 0; i < points; i++ {
+		budget := total * int64(i) / int64(points)
+		if f := followerCrashPoint(seed, i, ops, dir, budget); f != nil {
+			return checked, f
+		}
+		checked++
+	}
+	return checked, nil
+}
+
+func followerCrashPoint(seed int64, point int, ops []gen.Op, dir string, budget int64) *Failure {
+	const scenario = "follower-crash"
+	sub := filepath.Join(dir, fmt.Sprintf("fc-%d", point))
+	pdir, fdir := filepath.Join(sub, "p"), filepath.Join(sub, "f")
+	os.MkdirAll(pdir, 0o755)
+	os.MkdirAll(fdir, 0o755)
+	defer os.RemoveAll(sub)
+
+	// LagBudget 1 so the crashed follower's stale ack cannot defer the
+	// compaction odd points use to force a re-bootstrap.
+	pdb, _, mux, err := startPrimary(filepath.Join(pdir, "p.log"), nil, repl.PrimaryOptions{LagBudget: 1})
+	if err != nil {
+		return replFail(scenario, seed, point, "start primary: %v", err)
+	}
+	defer pdb.Close()
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	cfs := NewCrashFS(budget)
+	fdb, fl, _, err := startFollower(fdir, srv.URL, nil, cfs)
+	started := err == nil
+	if !started && fdb != nil {
+		fdb.Close() // crashed attaching its tail: nothing on disk yet
+	}
+
+	tr := newStateTrack()
+	for i, op := range ops {
+		if err := tr.apply(pdb, op); err != nil {
+			return replFail(scenario, seed, point, "primary op %d: %v", i, err)
+		}
+	}
+	final := pdb.LSN()
+	if started {
+		if !waitFatalOr(fl, final, replWaitTimeout) {
+			return replFail(scenario, seed, point, "follower neither crashed nor converged: %+v", fl.Stats())
+		}
+		fl.Stop()
+		fdb.Close()
+	}
+
+	// Recovery audit: whatever survived on disk is an exact prefix.
+	if f := auditRecovery(scenario, seed, point, fdir, final, tr); f != nil {
+		return f
+	}
+
+	if point%2 == 1 {
+		if err := pdb.Compact(); err != nil {
+			return replFail(scenario, seed, point, "compact: %v", err)
+		}
+	}
+
+	// Catch-up: a restarted follower converges, re-bootstrapping from a
+	// snapshot when compaction trimmed its resume position away.
+	fdb2, fl2, mu2, err := startFollower(fdir, srv.URL, nil, nil)
+	if err != nil {
+		if fdb2 != nil {
+			fdb2.Close()
+		}
+		return replFail(scenario, seed, point, "restart follower: %v", err)
+	}
+	defer fdb2.Close()
+	defer fl2.Stop()
+	if _, ok := fl2.WaitLSN(final, replWaitTimeout); !ok {
+		return replFail(scenario, seed, point, "recovered follower stuck: %+v", fl2.Stats())
+	}
+	applied, got := sample(mu2, fl2, fdb2)
+	if f := prefixFail(scenario, seed, point, "after catch-up", applied, got, tr); f != nil {
+		return f
+	}
+	if point%4 == 0 {
+		return closureFail(scenario, seed, point, fdb2)
+	}
+	return nil
+}
+
+// replBootstrapSweep aims faults at the snapshot bootstrap path: a
+// fresh follower joins a compacted primary, so its very first step is
+// a snapshot fetch and boot-file commit. Even points tear the HTTP
+// stream (torn snapshot bodies), odd points crash the follower's
+// filesystem (torn boot files, torn fresh tails); either way the
+// follower must end converged with the boot protocol's
+// absent-or-complete guarantee intact.
+func replBootstrapSweep(seed int64, points int, dir string) (int, *Failure) {
+	const scenario = "bootstrap"
+	ops := gen.LogWorkload(seed, gen.Small())
+	if len(ops) > 30 {
+		ops = ops[:30]
+	}
+
+	// Clean run against a compacted primary measures both budgets.
+	ct := &countTransport{base: http.DefaultTransport}
+	probe := NewCrashFS(1 << 62)
+	if f := bootstrapPoint(seed, -1, ops, dir, &http.Client{Transport: ct}, probe, true); f != nil {
+		return 0, f
+	}
+	streamTotal, diskTotal := ct.total(), probe.Written()
+	if streamTotal <= 0 || diskTotal <= 0 {
+		return 0, replFail(scenario, seed, -1, "clean bootstrap cost not measurable (%d stream, %d disk)", streamTotal, diskTotal)
+	}
+
+	checked := 0
+	for i := 0; i < points; i++ {
+		var client *http.Client
+		var fs store.FS
+		if i%2 == 0 {
+			client = &http.Client{Transport: &cutTransport{
+				base:   http.DefaultTransport,
+				budget: streamTotal * int64(i) / int64(points),
+			}}
+		} else {
+			fs = NewCrashFS(diskTotal * int64(i) / int64(points))
+		}
+		if f := bootstrapPoint(seed, i, ops, dir, client, fs, false); f != nil {
+			return checked, f
+		}
+		checked++
+	}
+	return checked, nil
+}
+
+func bootstrapPoint(seed int64, point int, ops []gen.Op, dir string, client *http.Client, fs store.FS, clean bool) *Failure {
+	const scenario = "bootstrap"
+	sub := filepath.Join(dir, fmt.Sprintf("boot-%d", point))
+	pdir, fdir := filepath.Join(sub, "p"), filepath.Join(sub, "f")
+	os.MkdirAll(pdir, 0o755)
+	os.MkdirAll(fdir, 0o755)
+	defer os.RemoveAll(sub)
+
+	pdb, _, mux, err := startPrimary(filepath.Join(pdir, "p.log"), nil, repl.PrimaryOptions{LagBudget: 1})
+	if err != nil {
+		return replFail(scenario, seed, point, "start primary: %v", err)
+	}
+	defer pdb.Close()
+	tr := newStateTrack()
+	for i, op := range ops {
+		if err := tr.apply(pdb, op); err != nil {
+			return replFail(scenario, seed, point, "primary op %d: %v", i, err)
+		}
+	}
+	// Compact before the follower exists: record 1 is gone, so joining
+	// MUST go through the snapshot bootstrap.
+	if err := pdb.Compact(); err != nil {
+		return replFail(scenario, seed, point, "compact: %v", err)
+	}
+	if pdb.Store().BaseLSN() == 0 {
+		return replFail(scenario, seed, point, "compaction did not move the log base; bootstrap path not exercised")
+	}
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	final := pdb.LSN()
+	fdb, fl, mu, err := startFollower(fdir, srv.URL, client, fs)
+	started := err == nil
+	if !started && fdb != nil {
+		fdb.Close()
+	}
+	crashed := false
+	if started {
+		if !waitFatalOr(fl, final, replWaitTimeout) {
+			return replFail(scenario, seed, point, "joining follower neither crashed nor converged: %+v", fl.Stats())
+		}
+		crashed = fl.Stats().Fatal
+		if !crashed {
+			applied, got := sample(mu, fl, fdb)
+			if f := prefixFail(scenario, seed, point, "after bootstrap", applied, got, tr); f != nil {
+				return f
+			}
+			if fl.Stats().Rebootstraps == 0 {
+				return replFail(scenario, seed, point, "follower converged without a snapshot bootstrap against a compacted log")
+			}
+		}
+		fl.Stop()
+		fdb.Close()
+	}
+	if clean && crashed {
+		return replFail(scenario, seed, point, "clean run crashed: %+v", fl.Stats())
+	}
+
+	// Whatever the fault left behind, a restart recovers a prefix...
+	if f := auditRecovery(scenario, seed, point, fdir, final, tr); f != nil {
+		return f
+	}
+	// ...and a healthy retry converges and keeps tailing new writes.
+	fdb2, fl2, mu2, err := startFollower(fdir, srv.URL, nil, nil)
+	if err != nil {
+		if fdb2 != nil {
+			fdb2.Close()
+		}
+		return replFail(scenario, seed, point, "bootstrap retry: %v", err)
+	}
+	defer fdb2.Close()
+	defer fl2.Stop()
+	if _, ok := fl2.WaitLSN(final, replWaitTimeout); !ok {
+		return replFail(scenario, seed, point, "bootstrap retry stuck: %+v", fl2.Stats())
+	}
+	if err := tr.apply(pdb, gen.Op{Kind: gen.OpAssert, S: "POST-BOOT", R: "in", T: "LIVE"}); err != nil {
+		return replFail(scenario, seed, point, "post-bootstrap write: %v", err)
+	}
+	if _, ok := fl2.WaitLSN(pdb.LSN(), replWaitTimeout); !ok {
+		return replFail(scenario, seed, point, "follower stopped tailing after bootstrap: %+v", fl2.Stats())
+	}
+	applied, got := sample(mu2, fl2, fdb2)
+	if f := prefixFail(scenario, seed, point, "tailing after bootstrap", applied, got, tr); f != nil {
+		return f
+	}
+	if point%4 == 0 {
+		return closureFail(scenario, seed, point, fdb2)
+	}
+	return nil
+}
+
+// replPrimaryCrashSweep kills the primary's filesystem at budgets
+// swept across its clean write cost, restarts it from the torn log
+// behind a stable URL, and replays the unacknowledged suffix. The
+// follower — which only ever saw durable records — must ride through
+// the restart to full convergence, and the recovered primary itself
+// must come back at exactly the acknowledged prefix. Odd points
+// compact during the downtime, forcing the follower to re-bootstrap
+// across the restart.
+func replPrimaryCrashSweep(seed int64, points int, dir string) (int, *Failure) {
+	const scenario = "primary-crash"
+	ops := gen.LogWorkload(seed, gen.Small())
+
+	// Clean cost: the workload's primary-side bytes, follower-free
+	// (acks and serving write nothing).
+	probe := NewCrashFS(1 << 62)
+	cdb, err := lsdb.Open(lsdb.Options{})
+	if err != nil {
+		return 0, replFail(scenario, seed, -1, "open: %v", err)
+	}
+	cdb.Store().SetFS(probe)
+	cleanPath := filepath.Join(dir, "pcrash-clean.log")
+	if _, err := cdb.Store().AttachLogPolicy(cleanPath, store.SyncAlways); err != nil {
+		return 0, replFail(scenario, seed, -1, "clean attach: %v", err)
+	}
+	ctr := newStateTrack()
+	for i, op := range ops {
+		if err := ctr.apply(cdb, op); err != nil {
+			return 0, replFail(scenario, seed, -1, "clean op %d: %v", i, err)
+		}
+	}
+	cdb.Close()
+	os.Remove(cleanPath)
+	total := probe.Written()
+
+	checked := 0
+	for i := 0; i < points; i++ {
+		budget := total * int64(i) / int64(points)
+		if f := primaryCrashPoint(seed, i, ops, dir, budget); f != nil {
+			return checked, f
+		}
+		checked++
+	}
+	return checked, nil
+}
+
+func primaryCrashPoint(seed int64, point int, ops []gen.Op, dir string, budget int64) *Failure {
+	const scenario = "primary-crash"
+	sub := filepath.Join(dir, fmt.Sprintf("pc-%d", point))
+	pdir, fdir := filepath.Join(sub, "p"), filepath.Join(sub, "f")
+	os.MkdirAll(pdir, 0o755)
+	os.MkdirAll(fdir, 0o755)
+	defer os.RemoveAll(sub)
+	logPath := filepath.Join(pdir, "p.log")
+
+	swap := &swapHandler{}
+	srv := httptest.NewServer(swap)
+	defer srv.Close()
+
+	fdb, fl, mu, err := startFollower(fdir, srv.URL, nil, nil)
+	if err != nil {
+		if fdb != nil {
+			fdb.Close()
+		}
+		return replFail(scenario, seed, point, "start follower: %v", err)
+	}
+	defer fdb.Close()
+	defer fl.Stop()
+
+	// Doomed primary: apply ops until the byte budget kills it. Every
+	// acked op is durable (SyncAlways), so lastAcked is the floor the
+	// restart must recover to — exactly.
+	tr := newStateTrack()
+	var lastAcked uint64
+	resume := 0
+	pdb, _, mux, err := startPrimary(logPath, NewCrashFS(budget), repl.PrimaryOptions{LagBudget: 1})
+	if err == nil {
+		swap.set(mux)
+		for i, op := range ops {
+			if err := tr.apply(pdb, op); err != nil {
+				resume = i
+				break
+			}
+			lastAcked = pdb.LSN()
+			resume = i + 1
+		}
+		swap.set(nil) // the crash: the primary vanishes mid-stream
+		pdb.Store().CloseLog()
+	}
+	if resume == len(ops) {
+		return replFail(scenario, seed, point, "budget %d did not crash the primary; sweep misconfigured", budget)
+	}
+
+	// During the outage the follower may only hold acked state.
+	applied, got := sample(mu, fl, fdb)
+	if applied > lastAcked {
+		return replFail(scenario, seed, point,
+			"follower applied LSN %d beyond the primary's durable %d", applied, lastAcked)
+	}
+	if f := prefixFail(scenario, seed, point, "during primary outage", applied, got, tr); f != nil {
+		return f
+	}
+
+	// Restart from the torn log: recovery lands exactly on the acked
+	// prefix — no acknowledged write lost, no torn record resurrected.
+	ndb, _, nmux, err := startPrimary(logPath, nil, repl.PrimaryOptions{LagBudget: 1})
+	if err != nil {
+		return replFail(scenario, seed, point, "primary restart: %v", err)
+	}
+	defer ndb.Close()
+	if got := ndb.LSN(); got != lastAcked {
+		return replFail(scenario, seed, point,
+			"primary recovered at LSN %d, want acked %d", got, lastAcked)
+	}
+	if s := storeSet(ndb.Store(), ndb.Universe()); !sameSet(s, tr.states[lastAcked]) {
+		return replFail(scenario, seed, point, "primary recovered state diverged: %s", formatSet(s))
+	}
+	tr.rewind(lastAcked)
+	if point%2 == 1 {
+		if err := ndb.Compact(); err != nil {
+			return replFail(scenario, seed, point, "compact during downtime: %v", err)
+		}
+	}
+	swap.set(nmux)
+
+	// Replay the unacknowledged suffix and require convergence.
+	for i := resume; i < len(ops); i++ {
+		if err := tr.apply(ndb, ops[i]); err != nil {
+			return replFail(scenario, seed, point, "resumed op %d: %v", i, err)
+		}
+	}
+	final := ndb.LSN()
+	if _, ok := fl.WaitLSN(final, replWaitTimeout); !ok {
+		return replFail(scenario, seed, point, "follower stuck after primary restart: %+v", fl.Stats())
+	}
+	applied, got = sample(mu, fl, fdb)
+	if f := prefixFail(scenario, seed, point, "after primary restart", applied, got, tr); f != nil {
+		return f
+	}
+	if st := fl.Stats(); st.Fatal {
+		return replFail(scenario, seed, point, "follower fatal after primary restart: %+v", st)
+	}
+	if point%4 == 0 {
+		return closureFail(scenario, seed, point, fdb)
+	}
+	return nil
+}
+
+// ReplScan runs all four replication fault sweeps — stream drops,
+// follower crashes, bootstrap faults, primary crashes — with
+// cfg.Points fault points each. It returns the number of points
+// checked and the first failure, if any.
+func ReplScan(cfg ReplConfig) (int, *Failure) {
+	if cfg.Points <= 0 {
+		cfg.Points = 10
+	}
+	dir := cfg.Dir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "lsdb-repl")
+		if err != nil {
+			return 0, &Failure{Oracle: "replication", Detail: err.Error()}
+		}
+		defer os.RemoveAll(dir)
+	}
+	checked := 0
+	for _, sweep := range []func(int64, int, string) (int, *Failure){
+		replDropSweep,
+		replFollowerCrashSweep,
+		replBootstrapSweep,
+		replPrimaryCrashSweep,
+	} {
+		n, f := sweep(cfg.Seed, cfg.Points, dir)
+		checked += n
+		if f != nil {
+			return checked, f
+		}
+	}
+	return checked, nil
+}

@@ -1,0 +1,108 @@
+package check
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestCutTransportOneShot pins the drop injector's semantics: the
+// read crossing the budget returns the arrived prefix then errDropped,
+// and every later request flows untouched.
+func TestCutTransportOneShot(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "0123456789")
+	}))
+	defer srv.Close()
+
+	ct := &cutTransport{base: http.DefaultTransport, budget: 4}
+	client := &http.Client{Transport: ct}
+
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !errors.Is(err, errDropped) {
+		t.Fatalf("first read error = %v, want errDropped", err)
+	}
+	if string(body) != "0123" {
+		t.Fatalf("arrived prefix = %q, want \"0123\"", body)
+	}
+
+	resp, err = client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || string(body) != "0123456789" {
+		t.Fatalf("after the cut: body %q err %v, want full body", body, err)
+	}
+}
+
+// replPoints reads the sweep width: LSDB_REPL_POINTS fault points per
+// scenario when set (the acceptance sweep), a quick default otherwise.
+func replPoints(t *testing.T) int {
+	if s := os.Getenv("LSDB_REPL_POINTS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("LSDB_REPL_POINTS = %q", s)
+		}
+		return n
+	}
+	if testing.Short() {
+		return 3
+	}
+	return 8
+}
+
+// TestReplScanSweep drives the full replication fault sweep: stream
+// drops, follower crashes, bootstrap faults and primary crashes, each
+// at byte-accurate budgets, asserting the prefix, recoverability and
+// closure invariants at every point.
+func TestReplScanSweep(t *testing.T) {
+	points := replPoints(t)
+	n, fail := ReplScan(ReplConfig{Seed: 1, Points: points, Dir: t.TempDir()})
+	if fail != nil {
+		t.Fatal(fail)
+	}
+	if want := 4 * points; n < want {
+		t.Fatalf("swept %d fault points, want >= %d", n, want)
+	}
+	t.Logf("checked %d replication fault points", n)
+}
+
+// TestReplScanSecondSeed keeps a second workload shape in the default
+// suite so the sweep never specializes to one op sequence.
+func TestReplScanSecondSeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("one seed in short mode")
+	}
+	n, fail := ReplScan(ReplConfig{Seed: 7, Points: 4, Dir: t.TempDir()})
+	if fail != nil {
+		t.Fatal(fail)
+	}
+	t.Logf("checked %d replication fault points", n)
+}
+
+// TestReplFailureMentionsScenario pins the failure formatting the
+// sweep reports through lsdb-check.
+func TestReplFailureMentionsScenario(t *testing.T) {
+	f := replFail("drop", 3, 9, "lost %d records", 2)
+	if f.Oracle != "replication" {
+		t.Fatalf("oracle = %q", f.Oracle)
+	}
+	if want := "drop seed 3 point 9: lost 2 records"; f.Detail != want {
+		t.Fatalf("detail = %q, want %q", f.Detail, want)
+	}
+	if !strings.Contains(f.Error(), "replication") {
+		t.Fatalf("Error() = %q", f.Error())
+	}
+}

@@ -61,6 +61,13 @@ type factJSON struct {
 // state (see Tenant.snap).
 func factsHandler(t *Tenant, w http.ResponseWriter, r *http.Request) {
 	s := t.db
+	if t.follower != nil && (r.Method == http.MethodPost || r.Method == http.MethodDelete) {
+		// A replica's state is the primary's log, nothing else: a
+		// local write would diverge it permanently.
+		writeErr(w, http.StatusForbidden,
+			fmt.Errorf("tenant %s is a read-only replica; write to the primary", t.name))
+		return
+	}
 	switch r.Method {
 	case http.MethodPost:
 		var f factJSON
@@ -75,6 +82,7 @@ func factsHandler(t *Tenant, w http.ResponseWriter, r *http.Request) {
 		}
 		t.snap.Lock()
 		err := s.Assert(f.S, f.R, f.T)
+		lsn := s.LSN()
 		t.snap.Unlock()
 		if err != nil {
 			// A durability failure means the write may not survive a
@@ -86,7 +94,9 @@ func factsHandler(t *Tenant, w http.ResponseWriter, r *http.Request) {
 			writeErr(w, status, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]int{"stored": s.Len()})
+		// lsn is the write's commit LSN: pass it back as ?min_lsn= to
+		// a replica for read-your-writes.
+		writeJSON(w, http.StatusOK, map[string]any{"stored": s.Len(), "lsn": lsn})
 	case http.MethodDelete:
 		q := r.URL.Query()
 		fs, fr, ft := q.Get("s"), q.Get("r"), q.Get("t")
@@ -97,12 +107,13 @@ func factsHandler(t *Tenant, w http.ResponseWriter, r *http.Request) {
 		u := s.Universe()
 		t.snap.Lock()
 		ok, err := s.RetractFact(u.NewFact(fs, fr, ft))
+		lsn := s.LSN()
 		t.snap.Unlock()
 		if err != nil {
 			writeErr(w, http.StatusInternalServerError, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]bool{"retracted": ok})
+		writeJSON(w, http.StatusOK, map[string]any{"retracted": ok, "lsn": lsn})
 	default:
 		w.Header().Set("Allow", "POST, DELETE")
 		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST or DELETE"))
@@ -406,11 +417,68 @@ func checkHandler(t *Tenant, w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, body)
 }
 
+// replWALHandler and replSnapshotHandler expose the tenant's
+// replication primary; a tenant not started with -serve-wal has none.
+func replWALHandler(t *Tenant, w http.ResponseWriter, r *http.Request) {
+	if t.primary == nil {
+		writeErr(w, http.StatusNotFound,
+			fmt.Errorf("tenant %s does not serve replication (start lsdbd with -serve-wal)", t.name))
+		return
+	}
+	t.primary.ServeWAL(w, r)
+}
+
+func replSnapshotHandler(t *Tenant, w http.ResponseWriter, r *http.Request) {
+	if t.primary == nil {
+		writeErr(w, http.StatusNotFound,
+			fmt.Errorf("tenant %s does not serve replication (start lsdbd with -serve-wal)", t.name))
+		return
+	}
+	t.primary.ServeSnapshot(w, r)
+}
+
+// recoverHandler rebuilds a poisoned durability log in place (POST
+// /recover-log): the operator's alternative to a restart after the
+// disk came back. The snapshot write-lock keeps batches and mutations
+// out while the log is swapped.
+func recoverHandler(t *Tenant, w http.ResponseWriter, r *http.Request) {
+	if t.follower != nil {
+		writeErr(w, http.StatusForbidden,
+			fmt.Errorf("tenant %s is a replica; its tail log is managed by replication", t.name))
+		return
+	}
+	t.snap.Lock()
+	err := t.db.RecoverLog()
+	t.snap.Unlock()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	st := t.db.LogStats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"recovered": true, "lsn": st.AppendedLSN, "policy": st.Policy,
+	})
+}
+
 func healthzHandler(t *Tenant, w http.ResponseWriter, r *http.Request) {
 	st := t.db.LogStats()
 	if st.Attached && st.Err != "" {
 		writeJSON(w, http.StatusInternalServerError, map[string]any{
 			"ok": false, "log_error": st.Err,
+		})
+		return
+	}
+	if f := t.follower; f != nil {
+		fs := f.Stats()
+		if fs.Fatal {
+			writeJSON(w, http.StatusInternalServerError, map[string]any{
+				"ok": false, "repl_error": fs.LastErr,
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"ok": true, "replica": true,
+			"connected": fs.Connected, "applied_lsn": fs.Applied,
 		})
 		return
 	}
@@ -437,6 +505,13 @@ func statsHandler(t *Tenant, w http.ResponseWriter, r *http.Request) {
 		durability["fsyncs"] = v("lsdb_wal_fsyncs_total")
 		durability["compactions"] = v("lsdb_wal_compactions_total")
 		durability["records"] = v("lsdb_wal_records")
+		durability["appended_lsn"] = st.AppendedLSN
+		durability["durable_lsn"] = st.DurableLSN
+		durability["base_lsn"] = st.BaseLSN
+		if st.TruncRecs > 0 {
+			durability["truncated_records"] = st.TruncRecs
+			durability["truncated_bytes"] = st.TruncBytes
+		}
 		if !st.LastSync.IsZero() {
 			durability["last_sync_age"] = time.Since(st.LastSync).String()
 		}
@@ -444,14 +519,42 @@ func statsHandler(t *Tenant, w http.ResponseWriter, r *http.Request) {
 			durability["error"] = st.Err
 		}
 	}
+	replication := map[string]any{"role": "standalone"}
+	switch {
+	case t.primary != nil:
+		minAcked, live := t.primary.MinAckedLSN()
+		replication = map[string]any{
+			"role":       "primary",
+			"followers":  t.primary.Followers(),
+			"live":       live,
+			"min_acked":  minAcked,
+			"lag_budget": t.primary.LagBudget(),
+		}
+	case t.follower != nil:
+		fs := t.follower.Stats()
+		replication = map[string]any{
+			"role":                "replica",
+			"applied_lsn":         fs.Applied,
+			"primary_durable_lsn": fs.PrimaryDurable,
+			"primary_base_lsn":    fs.PrimaryBase,
+			"connected":           fs.Connected,
+			"rebootstraps":        fs.Rebootstraps,
+		}
+		if fs.LastErr != "" {
+			replication["last_err"] = fs.LastErr
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
+		"replication": replication,
 		"tenant":     t.name,
 		"stored":     v("lsdb_store_facts"),
 		"closure":    db.ClosureLen(),
 		"durability": durability,
 		"admission": map[string]any{
 			"inflight":     t.inflight.Value(),
+			"admitted":     t.admitted.Value(),
 			"rejected":     t.RejectedTotal(),
+			"stale_412":    t.stale.Value(),
 			"max_inflight": t.quotas.MaxInflight,
 			"max_depth":    t.quotas.MaxDepth,
 		},

@@ -1,0 +1,334 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	lsdb "repro"
+	"repro/internal/repl"
+	"repro/internal/serve"
+)
+
+// replPair builds a primary serve.Server (logged database, serving
+// /repl/*) and a follower serve.Server (read replica fed from it),
+// both over real HTTP.
+func replPair(t *testing.T) (primary, follower *httptest.Server, fl *repl.Follower) {
+	t.Helper()
+
+	pdb, err := lsdb.Open(lsdb.Options{LogPath: filepath.Join(t.TempDir(), "p.log")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := serve.New()
+	pt, err := ps.AddTenant(serve.DefaultTenant, pdb, serve.Quotas{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt.SetPrimary(repl.NewPrimary(pdb, repl.PrimaryOptions{}))
+	primary = httptest.NewServer(ps.Mux())
+	t.Cleanup(primary.Close)
+	t.Cleanup(func() { pdb.Close() })
+
+	fdb, err := lsdb.Open(lsdb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := serve.New()
+	ft, err := fs.AddTenant(serve.DefaultTenant, fdb, serve.Quotas{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err = repl.NewFollower(fdb, repl.Config{
+		Primary: primary.URL,
+		Dir:     t.TempDir(),
+		ID:      "replica-1",
+		WaitMs:  100,
+		Backoff: 5 * time.Millisecond,
+		Lock:    ft.SnapLocker(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft.SetFollower(fl, 2*time.Second)
+	if err := fl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fl.Stop)
+	follower = httptest.NewServer(fs.Mux())
+	t.Cleanup(follower.Close)
+	return primary, follower, fl
+}
+
+// TestReplicaReadYourWrites drives the whole read-your-writes loop
+// over HTTP: a write on the primary returns its commit LSN, and a
+// follower read carrying that LSN as ?min_lsn= waits for replication
+// and answers from caught-up state.
+func TestReplicaReadYourWrites(t *testing.T) {
+	primary, follower, _ := replPair(t)
+
+	var wrote struct {
+		Stored int    `json:"stored"`
+		LSN    uint64 `json:"lsn"`
+	}
+	resp, err := http.Post(primary.URL+"/facts", "application/json",
+		strings.NewReader(`{"s":"JOHN","r":"in","t":"EMPLOYEE"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&wrote); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if wrote.LSN == 0 {
+		t.Fatal("write response carries no commit LSN")
+	}
+
+	// Read-your-writes on the follower: min_lsn makes the read wait
+	// for replication instead of racing it.
+	var q struct {
+		True bool `json:"true"`
+	}
+	url := follower.URL + "/query?q=" + escape("(JOHN, in, EMPLOYEE)") +
+		fmt.Sprintf("&min_lsn=%d", wrote.LSN)
+	if code := getJSON(t, url, &q); code != 200 {
+		t.Fatalf("follower min_lsn read: status %d", code)
+	}
+	if !q.True {
+		t.Fatal("replicated fact not visible on follower")
+	}
+
+	// A min_lsn the follower can never reach answers 412 with its
+	// current watermark.
+	var stale struct {
+		Error string `json:"error"`
+		LSN   uint64 `json:"lsn"`
+	}
+	url = follower.URL + "/query?q=" + escape("(JOHN, in, EMPLOYEE)") + "&min_lsn=999999"
+	resp, err = http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusPreconditionFailed {
+		t.Fatalf("unreachable min_lsn: status %d, want 412", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Lsdb-Lsn"); got == "" {
+		t.Error("412 carries no X-Lsdb-Lsn header")
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stale); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stale.Error == "" || stale.LSN < wrote.LSN {
+		t.Errorf("412 body = %+v, want error text and lsn >= %d", stale, wrote.LSN)
+	}
+
+	// Bad min_lsn is a 400, not a silent pass.
+	resp, err = http.Get(follower.URL + "/query?q=x&min_lsn=banana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("min_lsn=banana: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestReplicaRejectsWrites pins the replica's write fence and admin
+// surface: mutations and log recovery answer 403.
+func TestReplicaRejectsWrites(t *testing.T) {
+	_, follower, _ := replPair(t)
+	resp, err := http.Post(follower.URL+"/facts", "application/json",
+		strings.NewReader(`{"s":"A","r":"b","t":"C"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("POST /facts on replica: status %d, want 403", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, follower.URL+"/facts?s=A&r=b&t=C", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("DELETE /facts on replica: status %d, want 403", resp.StatusCode)
+	}
+	resp, err = http.Post(follower.URL+"/recover-log", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("POST /recover-log on replica: status %d, want 403", resp.StatusCode)
+	}
+}
+
+// TestReplicationStats pins the /stats replication blocks on both
+// sides and the follower watermark in /metrics.
+func TestReplicationStats(t *testing.T) {
+	primary, follower, fl := replPair(t)
+
+	var wrote struct {
+		LSN uint64 `json:"lsn"`
+	}
+	resp, err := http.Post(primary.URL+"/facts", "application/json",
+		strings.NewReader(`{"s":"X","r":"in","t":"Y"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(resp.Body).Decode(&wrote)
+	resp.Body.Close()
+	if got, ok := fl.WaitLSN(wrote.LSN, 5*time.Second); !ok {
+		t.Fatalf("follower stuck at %d", got)
+	}
+
+	var fst struct {
+		Replication struct {
+			Role       string `json:"role"`
+			AppliedLSN uint64 `json:"applied_lsn"`
+			Connected  bool   `json:"connected"`
+		} `json:"replication"`
+	}
+	if code := getJSON(t, follower.URL+"/stats", &fst); code != 200 {
+		t.Fatalf("follower stats: %d", code)
+	}
+	if fst.Replication.Role != "replica" || fst.Replication.AppliedLSN < wrote.LSN {
+		t.Errorf("follower replication block = %+v", fst.Replication)
+	}
+	if !fst.Replication.Connected {
+		t.Error("follower reports disconnected while tailing")
+	}
+
+	var pst struct {
+		Replication struct {
+			Role string `json:"role"`
+			Live int    `json:"live"`
+		} `json:"replication"`
+	}
+	if code := getJSON(t, primary.URL+"/stats", &pst); code != 200 {
+		t.Fatalf("primary stats: %d", code)
+	}
+	if pst.Replication.Role != "primary" || pst.Replication.Live != 1 {
+		t.Errorf("primary replication block = %+v", pst.Replication)
+	}
+
+	// healthz on the replica reports its role and watermark.
+	var hz struct {
+		OK      bool `json:"ok"`
+		Replica bool `json:"replica"`
+	}
+	if code := getJSON(t, follower.URL+"/healthz", &hz); code != 200 {
+		t.Fatalf("follower healthz: %d", code)
+	}
+	if !hz.OK || !hz.Replica {
+		t.Errorf("follower healthz = %+v", hz)
+	}
+}
+
+// TestRecoverLogEndpoint pins the log-recovery surface: POST
+// /recover-log rebuilds the log in place, preserves the LSN sequence,
+// and the tenant accepts durable writes afterwards. (The sticky-error
+// path itself is regression-tested at the store layer; this pins the
+// HTTP surface and that a log-less tenant reports the failure.)
+func TestRecoverLogEndpoint(t *testing.T) {
+	pdb, err := lsdb.Open(lsdb.Options{LogPath: filepath.Join(t.TempDir(), "p.log")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := serve.New()
+	if _, err := s.AddTenant(serve.DefaultTenant, pdb, serve.Quotas{}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.Mux())
+	defer srv.Close()
+	defer pdb.Close()
+
+	resp, err := http.Post(srv.URL+"/facts", "application/json",
+		strings.NewReader(`{"s":"A","r":"in","t":"B"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	var rec struct {
+		Recovered bool   `json:"recovered"`
+		LSN       uint64 `json:"lsn"`
+	}
+	resp, err = http.Post(srv.URL+"/recover-log", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := resp.StatusCode
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if code != 200 || !rec.Recovered || rec.LSN != 1 {
+		t.Fatalf("recover-log: status %d body %+v, want 200 recovered at LSN 1", code, rec)
+	}
+
+	// Writes continue on the rebuilt log, LSNs continuing in sequence.
+	var wrote struct {
+		LSN uint64 `json:"lsn"`
+	}
+	resp, err = http.Post(srv.URL+"/facts", "application/json",
+		strings.NewReader(`{"s":"C","r":"in","t":"D"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(resp.Body).Decode(&wrote)
+	resp.Body.Close()
+	if wrote.LSN != 2 {
+		t.Errorf("post-recovery write LSN = %d, want 2", wrote.LSN)
+	}
+
+	// A tenant with no log cannot recover one.
+	plain := testServer(t)
+	resp, err = http.Post(plain.URL+"/recover-log", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("recover-log without log: status %d, want 500", resp.StatusCode)
+	}
+}
+
+// TestReplEndpointsWithoutPrimary: a tenant not serving replication
+// answers 404 on /repl/*, and a standalone tenant satisfies min_lsn
+// against its own appended LSN.
+func TestReplEndpointsWithoutPrimary(t *testing.T) {
+	srv := testServer(t)
+	for _, path := range []string{"/repl/wal?from=0", "/repl/snapshot"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s without -serve-wal: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+	// Standalone without a log: LSN 0, so min_lsn=0 passes and
+	// min_lsn=1 is 412 immediately (no log will ever advance it).
+	var out map[string]any
+	if code := getJSON(t, srv.URL+"/query?q="+escape("(JOHN, FAVORITE-MUSIC, ?p)")+"&min_lsn=0", &out); code != 200 {
+		t.Errorf("min_lsn=0 standalone: status %d, want 200", code)
+	}
+	resp, err := http.Get(srv.URL + "/query?q=x&min_lsn=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusPreconditionFailed {
+		t.Errorf("min_lsn beyond standalone LSN: status %d, want 412", resp.StatusCode)
+	}
+}

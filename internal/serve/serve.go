@@ -48,12 +48,19 @@ const DefaultTenant = "default"
 var endpoints = []string{
 	"facts", "query", "probe", "navigate", "between", "try",
 	"derive", "check", "stats", "metrics", "healthz", "batch",
+	"repl_wal", "repl_snapshot", "recover",
 }
 
 // quotaExempt marks the endpoints admission control never rejects:
 // observability must stay reachable exactly when a tenant is
-// overloaded. Exempt requests still count on the inflight gauge.
-var quotaExempt = map[string]bool{"metrics": true, "healthz": true}
+// overloaded, and replication must keep draining the WAL — a follower
+// that cannot poll falls behind until it needs a full re-bootstrap.
+// Exempt requests count on the inflight gauge but not against the
+// admission quota (see Tenant.Admit).
+var quotaExempt = map[string]bool{
+	"metrics": true, "healthz": true,
+	"repl_wal": true, "repl_snapshot": true,
+}
 
 // Server hosts N isolated tenants behind one mux. Build it with New,
 // add tenants with AddTenant, then wire it with Mux; the tenant set
@@ -198,11 +205,55 @@ func (s *Server) handle(endpoint string, h func(*Tenant, http.ResponseWriter, *h
 		}
 		cw := &countingWriter{ResponseWriter: w}
 		start := time.Now()
-		h(t, cw, r)
+		if gateMinLSN(t, cw, r, endpoint) {
+			h(t, cw, r)
+		}
 		em.latency.Observe(time.Since(start).Nanoseconds())
 		em.requests.Inc()
 		t.bytesOut.Add(uint64(cw.n))
 	}
+}
+
+// gateMinLSN enforces read-your-writes: a request carrying ?min_lsn=
+// only runs once the tenant's state covers that LSN. On a follower
+// the request waits up to the configured bound for replication to
+// catch up; on a primary or standalone tenant the appended LSN is
+// checked directly. A request the watermark cannot satisfy is
+// answered 412 Precondition Failed with the current LSN (JSON body
+// and X-Lsdb-Lsn header), so the client can retry against another
+// replica or fall back to the primary. Returns false when it wrote
+// the response itself.
+func gateMinLSN(t *Tenant, w http.ResponseWriter, r *http.Request, endpoint string) bool {
+	if quotaExempt[endpoint] {
+		return true
+	}
+	ms := r.URL.Query().Get("min_lsn")
+	if ms == "" {
+		return true
+	}
+	min, err := strconv.ParseUint(ms, 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("min_lsn must be a non-negative integer"))
+		return false
+	}
+	var cur uint64
+	ok := true
+	if f := t.follower; f != nil {
+		cur, ok = f.WaitLSN(min, t.replWait)
+	} else {
+		cur = t.db.LSN()
+		ok = cur >= min
+	}
+	if !ok {
+		t.stale.Inc()
+		w.Header().Set("X-Lsdb-Lsn", strconv.FormatUint(cur, 10))
+		writeJSON(w, http.StatusPreconditionFailed, map[string]any{
+			"error": fmt.Sprintf("replica at LSN %d, request requires %d", cur, min),
+			"lsn":   cur,
+		})
+		return false
+	}
+	return true
 }
 
 // getOnly rejects every method but GET with 405 and an Allow header.
@@ -254,6 +305,9 @@ func (s *Server) Mux() *http.ServeMux {
 	route("/metrics", "metrics", getOnly(metricsHandler))
 	route("/healthz", "healthz", getOnly(healthzHandler))
 	route("/batch", "batch", postOnly(batchHandler))
+	route("/repl/wal", "repl_wal", getOnly(replWALHandler))
+	route("/repl/snapshot", "repl_snapshot", getOnly(replSnapshotHandler))
+	route("/recover-log", "recover", postOnly(recoverHandler))
 	mux.HandleFunc("/tenants", s.tenantsHandler)
 	if s.pprof {
 		// net/http/pprof self-registers on DefaultServeMux at import;

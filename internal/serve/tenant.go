@@ -2,9 +2,11 @@ package serve
 
 import (
 	"sync"
+	"time"
 
 	lsdb "repro"
 	"repro/internal/obs"
+	"repro/internal/repl"
 )
 
 // Quotas bounds one tenant's resource use. The zero value of any
@@ -45,7 +47,23 @@ type Tenant struct {
 	// lock — one operation observes one snapshot trivially.
 	snap sync.RWMutex
 
+	// Replication role, wired before the mux is built (at most one of
+	// the two is set). A primary serves /repl/wal and /repl/snapshot
+	// and gates its compaction on follower acks; a follower rejects
+	// writes and answers ?min_lsn= reads against its applied
+	// watermark.
+	primary  *repl.Primary
+	follower *repl.Follower
+	replWait time.Duration
+
+	// inflight counts every live request; admitted counts only the
+	// quota-relevant ones (everything but the exempt observability
+	// endpoints). Admission compares admitted — not inflight — against
+	// MaxInflight, so a metrics scrape in flight can never push a real
+	// request over quota.
 	inflight *obs.Gauge
+	admitted *obs.Gauge
+	stale    *obs.Counter
 	bytesIn  *obs.Counter
 	bytesOut *obs.Counter
 	ep       map[string]*endpointMetrics
@@ -61,6 +79,8 @@ func newTenant(name string, db *lsdb.Database, q Quotas) *Tenant {
 		db:       db,
 		quotas:   q,
 		inflight: reg.Gauge("lsdb_http_inflight"),
+		admitted: reg.Gauge("lsdb_http_admitted"),
+		stale:    reg.Counter("lsdb_http_stale_total"),
 		bytesIn:  reg.Counter("lsdb_http_bytes_in_total"),
 		bytesOut: reg.Counter("lsdb_http_bytes_out_total"),
 		ep:       make(map[string]*endpointMetrics, len(endpoints)),
@@ -84,6 +104,31 @@ func (t *Tenant) DB() *lsdb.Database { return t.db }
 // Quotas returns the tenant's quota configuration.
 func (t *Tenant) Quotas() Quotas { return t.quotas }
 
+// SetPrimary marks the tenant as a replication primary: /repl/wal and
+// /repl/snapshot serve from p. Call before the mux is built.
+func (t *Tenant) SetPrimary(p *repl.Primary) { t.primary = p }
+
+// SetFollower marks the tenant as a read replica fed by f: writes are
+// rejected with 403, and a read carrying ?min_lsn= waits up to wait
+// for the applied watermark to catch up before answering 412. A
+// non-positive wait defaults to 2s. Call before the mux is built.
+func (t *Tenant) SetFollower(f *repl.Follower, wait time.Duration) {
+	if wait <= 0 {
+		wait = 2 * time.Second
+	}
+	t.follower = f
+	t.replWait = wait
+}
+
+// Follower returns the tenant's replication follower, or nil.
+func (t *Tenant) Follower() *repl.Follower { return t.follower }
+
+// SnapLocker exposes the write side of the tenant's snapshot lock, so
+// a replication follower applies WAL batches with the same exclusion
+// mutating requests get: no in-progress batch read observes a
+// half-applied replication batch.
+func (t *Tenant) SnapLocker() sync.Locker { return &t.snap }
+
 // Admit accounts one request against the tenant's in-flight quota.
 // On success it returns a release func the caller must invoke when
 // the request finishes (the inflight gauge reconciles to zero once
@@ -92,13 +137,20 @@ func (t *Tenant) Quotas() Quotas { return t.quotas }
 // rolled back, and retryAfter is the suggested Retry-After in
 // seconds: the overload ratio of the gauge to the quota, at least 1 —
 // the more oversubscribed the tenant, the longer clients back off.
-// Quota-exempt endpoints (/metrics, /healthz) and tenants with no
-// MaxInflight are always admitted.
+// Quota-exempt endpoints (/metrics, /healthz, replication) and
+// tenants with no MaxInflight are always admitted. Exempt requests
+// count on the inflight gauge but not on the admitted gauge the quota
+// compares against: a scrape or replication poll in flight must never
+// consume a client request's admission slot.
 func (t *Tenant) Admit(endpoint string) (release func(), retryAfter int, ok bool) {
 	t.inflight.Add(1)
-	q := t.quotas.MaxInflight
-	if q > 0 && !quotaExempt[endpoint] {
-		if in := t.inflight.Value(); in > int64(q) {
+	if quotaExempt[endpoint] {
+		return func() { t.inflight.Add(-1) }, 0, true
+	}
+	t.admitted.Add(1)
+	if q := t.quotas.MaxInflight; q > 0 {
+		if in := t.admitted.Value(); in > int64(q) {
+			t.admitted.Add(-1)
 			t.inflight.Add(-1)
 			if em := t.ep[endpoint]; em != nil {
 				em.rejected.Inc()
@@ -110,7 +162,10 @@ func (t *Tenant) Admit(endpoint string) (release func(), retryAfter int, ok bool
 			return nil, retry, false
 		}
 	}
-	return func() { t.inflight.Add(-1) }, 0, true
+	return func() {
+		t.admitted.Add(-1)
+		t.inflight.Add(-1)
+	}, 0, true
 }
 
 // Inflight returns the tenant's live in-flight request count.

@@ -25,6 +25,14 @@ import (
 const (
 	snapMagic = "LSDBSNAP1\n"
 	logMagic  = "LSDBLOG1\n"
+	// logMagic2 heads the v2 log format: magic, then two uvarints —
+	// the LSN base (the sequence number the bootstrap section's state
+	// corresponds to) and the bootstrap record count — then records.
+	// The first bootCount records reproduce the fact set as of the
+	// base LSN and consume no sequence numbers; tail record i (1-based)
+	// has LSN base+i. v1 files read as base 0 with no bootstrap
+	// section, so their record numbers and LSNs coincide.
+	logMagic2 = "LSDBLOG2\n"
 )
 
 const (
@@ -139,34 +147,9 @@ func (s *Store) SaveSnapshot(w io.Writer) error {
 // overruns the data, or trailing garbage — returns ErrBadFormat and
 // leaves the store exactly as it was.
 func (s *Store) LoadSnapshot(r io.Reader) error {
-	br := bufio.NewReader(r)
-	magic := make([]byte, len(snapMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return fmt.Errorf("%w: short snapshot header: %v", ErrBadFormat, err)
-	}
-	if string(magic) != snapMagic {
-		return fmt.Errorf("%w: bad snapshot magic", ErrBadFormat)
-	}
-	count, err := binary.ReadUvarint(br)
+	facts, err := ReadSnapshotFacts(r, s.u)
 	if err != nil {
-		return fmt.Errorf("%w: bad fact count: %v", ErrBadFormat, err)
-	}
-	// Preallocate conservatively: the count is attacker-controlled and
-	// a huge value must not allocate before any record is verified.
-	capHint := count
-	if capHint > 65536 {
-		capHint = 65536
-	}
-	facts := make([]fact.Fact, 0, capHint)
-	for i := uint64(0); i < count; i++ {
-		f, err := readFact(br, s.u)
-		if err != nil {
-			return fmt.Errorf("%w: truncated snapshot at fact %d/%d: %v", ErrBadFormat, i, count, err)
-		}
-		facts = append(facts, f)
-	}
-	if _, err := br.ReadByte(); err != io.EOF {
-		return fmt.Errorf("%w: trailing data after %d facts", ErrBadFormat, count)
+		return err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -180,6 +163,98 @@ func (s *Store) LoadSnapshot(r io.Reader) error {
 	// committed by whoever wrote the snapshot.
 	s.m.snapLoads.Inc()
 	return nil
+}
+
+// ReadSnapshotFacts decodes a snapshot stream into a fact slice
+// interned against u, without touching any store. The whole snapshot
+// is decoded and validated before returning — truncated records, a
+// count that overruns the data, or trailing garbage yield ErrBadFormat
+// and no facts. Replication followers use it to stage a bootstrap
+// before committing anything.
+func ReadSnapshotFacts(r io.Reader, u *fact.Universe) ([]fact.Fact, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(snapMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: short snapshot header: %v", ErrBadFormat, err)
+	}
+	if string(magic) != snapMagic {
+		return nil, fmt.Errorf("%w: bad snapshot magic", ErrBadFormat)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad fact count: %v", ErrBadFormat, err)
+	}
+	// Preallocate conservatively: the count is attacker-controlled and
+	// a huge value must not allocate before any record is verified.
+	capHint := count
+	if capHint > 65536 {
+		capHint = 65536
+	}
+	facts := make([]fact.Fact, 0, capHint)
+	for i := uint64(0); i < count; i++ {
+		f, err := readFact(br, u)
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated snapshot at fact %d/%d: %v", ErrBadFormat, i, count, err)
+		}
+		facts = append(facts, f)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("%w: trailing data after %d facts", ErrBadFormat, count)
+	}
+	return facts, nil
+}
+
+// SnapshotFacts returns a stable copy of the fact set together with
+// the absolute LSN that state corresponds to, after making every
+// record up to that LSN durable — so the pair is a valid replication
+// bootstrap: snapshot state + "stream me everything after lsn". On a
+// store with no log attached the LSN is 0.
+func (s *Store) SnapshotFacts() ([]fact.Fact, uint64, error) {
+	s.mu.RLock()
+	if s.sealed {
+		facts := make([]fact.Fact, len(s.idx.facts))
+		copy(facts, s.idx.facts)
+		s.mu.RUnlock()
+		return facts, 0, nil
+	}
+	facts := make([]fact.Fact, 0, len(s.facts))
+	for f := range s.facts {
+		facts = append(facts, f)
+	}
+	l := s.log
+	var lsn uint64
+	if l != nil {
+		lsn = l.appendedLSN()
+	}
+	s.mu.RUnlock()
+	if l != nil {
+		// Sync outside the store lock: a follower bootstrapping must
+		// not stall writers for the duration of an fsync.
+		if err := l.syncTo(lsn); err != nil {
+			return nil, 0, err
+		}
+	}
+	return facts, lsn, nil
+}
+
+// EncodeSnapshot writes facts to w in the snapshot format. The facts
+// must be interned against this store's universe.
+func (s *Store) EncodeSnapshot(w io.Writer, facts []fact.Fact) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(snapMagic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(facts)))
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return err
+	}
+	for _, f := range facts {
+		if err := writeFact(bw, s.u, f); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
 }
 
 // SaveSnapshotFile writes a snapshot to path atomically: the content
@@ -230,12 +305,27 @@ type Log struct {
 	// counters and the sticky error. It nests inside the store lock
 	// (appends) and inside syncMu (flushes), and never acquires
 	// either, so the order store.mu → syncMu → mu is acyclic.
-	mu  sync.Mutex
-	f   File
-	w   *bufio.Writer
-	n   int    // records since open or last compaction
-	lsn uint64 // sequence number of the last appended record
-	err error  // sticky: the first append/flush/fsync failure
+	mu   sync.Mutex
+	f    File
+	w    *bufio.Writer
+	n    int    // records in the file (bootstrap + tail)
+	base uint64 // LSN the file's bootstrap section corresponds to
+	boot int    // bootstrap records at the head of the file (no LSNs)
+	lsn  uint64 // absolute sequence number of the last appended record
+	err  error  // sticky: the first append/flush/fsync failure
+
+	// Tail-read cursor cache for ReadWAL: when readGen matches the
+	// compaction counter, the tail record with LSN readLSN+1 starts at
+	// byte readOff of the current file, so a follower polling forward
+	// skips straight there instead of re-parsing from the header.
+	readGen uint64
+	readLSN uint64
+	readOff int64
+
+	// Torn-tail accounting from the attach-time replay, surfaced via
+	// AttachInfo, LogStats and the lsdb_wal_truncated_* metrics.
+	truncBytes atomic.Int64
+	truncRecs  atomic.Uint64
 
 	// syncMu serializes flush+fsync pairs so concurrent SyncAlways
 	// committers form groups: the holder is the group leader and
@@ -252,6 +342,17 @@ type Log struct {
 	flusherDone chan struct{}
 }
 
+// AttachInfo reports what AttachLogInfo found and did while opening a
+// log: how much history it replayed, where the LSN sequence stands,
+// and whether a torn tail (crash mid-append) had to be cut away.
+type AttachInfo struct {
+	Replayed         int    // records applied to the store (bootstrap + tail)
+	BaseLSN          uint64 // LSN base of the file's bootstrap section
+	LSN              uint64 // absolute LSN after replay (base + tail records)
+	TruncatedBytes   int64  // torn-tail bytes removed before appending resumes
+	TruncatedRecords int    // partial records dropped with those bytes (0 or 1)
+}
+
 // AttachLog opens (creating if absent) the operation log at path with
 // the SyncAlways policy, replays any existing records into the store,
 // and arranges for all future mutations to be appended. It returns
@@ -263,11 +364,33 @@ func (s *Store) AttachLog(path string) (int, error) {
 
 // AttachLogPolicy is AttachLog with an explicit sync policy.
 func (s *Store) AttachLogPolicy(path string, policy SyncPolicy) (int, error) {
+	info, err := s.AttachLogInfo(path, policy)
+	return info.Replayed, err
+}
+
+// AttachLogInfo is AttachLogPolicy with the full attach report,
+// including torn-tail truncation counts for operators and oracles that
+// must distinguish clean recovery from silent data loss.
+func (s *Store) AttachLogInfo(path string, policy SyncPolicy) (AttachInfo, error) {
+	return s.attachLogAt(path, policy, 0)
+}
+
+// AttachLogAt attaches a log whose LSN sequence starts at base instead
+// of zero. A fresh file is created with a v2 header carrying base; an
+// existing file must already carry exactly that base (replication
+// followers encode the base in the tail file name, so a mismatch means
+// the file belongs to a different bootstrap generation). base 0 is
+// equivalent to AttachLogInfo.
+func (s *Store) AttachLogAt(path string, policy SyncPolicy, base uint64) (AttachInfo, error) {
+	return s.attachLogAt(path, policy, base)
+}
+
+func (s *Store) attachLogAt(path string, policy SyncPolicy, wantBase uint64) (AttachInfo, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.mustMutable()
 	if s.log != nil {
-		return 0, errors.New("store: log already attached")
+		return AttachInfo{}, errors.New("store: log already attached")
 	}
 	fsys := s.fs()
 	// A crash during a previous compaction or checkpoint can leave a
@@ -276,49 +399,85 @@ func (s *Store) AttachLogPolicy(path string, policy SyncPolicy) (int, error) {
 	fsys.Remove(path + ".tmp")
 	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
-		return 0, err
+		return AttachInfo{}, err
 	}
-	replayed, valid, err := s.replayLocked(f)
+	rr, err := s.replayLocked(f)
 	if err != nil {
 		f.Close()
-		return 0, err
+		return AttachInfo{}, err
 	}
-	if st, serr := f.Stat(); serr == nil && valid < st.Size() {
+	var truncBytes int64
+	if st, serr := f.Stat(); serr == nil && rr.valid < st.Size() {
 		// A torn final record (crash mid-append) survives replay, but
 		// the partial bytes must not stay: the next append would fuse
 		// with them into a record that parses as garbage on the
 		// following open. Cut the file back to the last complete
 		// record before appending anything.
-		if err := f.Truncate(valid); err != nil {
+		truncBytes = st.Size() - rr.valid
+		if err := f.Truncate(rr.valid); err != nil {
 			f.Close()
-			return 0, err
+			return AttachInfo{}, err
 		}
 	}
-	if replayed == 0 {
-		// Fresh file: write the header.
+	base := rr.base
+	if rr.fresh {
+		// No complete header survived: this is a brand-new log (or a
+		// crash tore the creation write, which happens before anything
+		// is appended). Write a fresh header at the caller's base.
+		base = wantBase
 		if _, err := f.Seek(0, io.SeekEnd); err != nil {
 			f.Close()
-			return 0, err
+			return AttachInfo{}, err
 		}
-		if st, _ := f.Stat(); st != nil && st.Size() == 0 {
-			if _, err := io.WriteString(f, logMagic); err != nil {
-				f.Close()
-				return 0, err
-			}
+		if err := writeLogHeader(f, wantBase, 0); err != nil {
+			f.Close()
+			return AttachInfo{}, err
 		}
+	} else if wantBase != 0 && base != wantBase {
+		f.Close()
+		return AttachInfo{}, fmt.Errorf("store: log %s has base %d, caller expected %d", path, base, wantBase)
 	}
 	if _, err := f.Seek(0, io.SeekEnd); err != nil {
 		f.Close()
-		return 0, err
+		return AttachInfo{}, err
 	}
-	l := &Log{fs: fsys, path: path, policy: policy, f: f, w: bufio.NewWriter(f), n: replayed}
-	l.lsn = uint64(replayed)
-	l.durable.Store(uint64(replayed)) // replayed records are on disk already
+	l := &Log{fs: fsys, path: path, policy: policy, f: f, w: bufio.NewWriter(f), n: rr.applied, base: base, boot: rr.boot}
+	l.lsn = base + uint64(rr.applied-rr.boot)
+	l.durable.Store(l.lsn) // replayed records are on disk already
+	l.truncBytes.Store(truncBytes)
+	if rr.torn {
+		l.truncRecs.Store(1)
+	}
 	if policy.mode == syncTimed {
 		l.startFlusher()
 	}
 	s.log = l
-	return replayed, nil
+	info := AttachInfo{Replayed: rr.applied, BaseLSN: base, LSN: l.lsn, TruncatedBytes: truncBytes}
+	if rr.torn {
+		info.TruncatedRecords = 1
+	}
+	return info, nil
+}
+
+// writeLogHeader writes a fresh log header in one Write call, so a
+// crash mid-creation leaves a recognizable prefix rather than a
+// half-header fused with records. base 0 keeps the v1 format (record
+// numbers and LSNs coincide, and existing files and fixtures stay
+// byte-compatible); any other base needs the v2 header to carry it.
+func writeLogHeader(w io.Writer, base uint64, boot int) error {
+	if base == 0 && boot == 0 {
+		_, err := io.WriteString(w, logMagic)
+		return err
+	}
+	buf := make([]byte, 0, len(logMagic2)+2*binary.MaxVarintLen64)
+	buf = append(buf, logMagic2...)
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], base)
+	buf = append(buf, tmp[:n]...)
+	n = binary.PutUvarint(tmp[:], uint64(boot))
+	buf = append(buf, tmp[:n]...)
+	_, err := w.Write(buf)
+	return err
 }
 
 // countingReader counts bytes consumed from the underlying reader so
@@ -335,55 +494,89 @@ func (c *countingReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
+// replayResult is what replayLocked learned about a log file.
+type replayResult struct {
+	base    uint64 // LSN base from a v2 header; 0 for v1 or fresh
+	boot    int    // bootstrap records declared by a v2 header
+	applied int    // records applied to the store (bootstrap + tail)
+	valid   int64  // byte offset just past the last complete record
+	fresh   bool   // no complete header: the caller must write one
+	torn    bool   // a partial final record was cut away
+}
+
 // replayLocked replays the log file into the store. The caller holds
-// the write lock. Returns the number of records applied and the byte
-// offset just past the last complete record — a torn final record
-// (crash mid-append) is tolerated but excluded from valid, so the
-// caller can truncate it away before appending.
-func (s *Store) replayLocked(f File) (n int, valid int64, err error) {
+// the write lock. A torn final record (crash mid-append) is tolerated
+// but excluded from valid, so the caller can truncate it away before
+// appending. A torn header is a fresh log: headers are written in
+// place only at creation — compacted and rebased logs arrive complete
+// via atomic rename — and creation appends nothing before the header
+// write returns, so no records can have existed.
+func (s *Store) replayLocked(f File) (replayResult, error) {
+	var rr replayResult
 	st, err := f.Stat()
 	if err != nil {
-		return 0, 0, err
+		return rr, err
 	}
 	if st.Size() == 0 {
-		return 0, 0, nil
+		rr.fresh = true
+		return rr, nil
 	}
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		return 0, 0, err
+		return rr, err
 	}
 	cr := &countingReader{r: f}
 	br := bufio.NewReader(cr)
 	magic := make([]byte, len(logMagic))
 	if nr, err := io.ReadFull(br, magic); err != nil {
-		if (errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)) && string(magic[:nr]) == logMagic[:nr] {
-			// Torn header: a crash while the log was being created left
-			// a strict prefix of the magic. Nothing was ever appended,
-			// so this is a fresh log; valid=0 makes the caller truncate
-			// the partial header away before writing a complete one.
-			return 0, 0, nil
+		if (errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)) &&
+			(string(magic[:nr]) == logMagic[:nr] || string(magic[:nr]) == logMagic2[:nr]) {
+			rr.fresh = true
+			return rr, nil
 		}
-		return 0, 0, fmt.Errorf("%w: short log header: %v", ErrBadFormat, err)
+		return rr, fmt.Errorf("%w: short log header: %v", ErrBadFormat, err)
 	}
-	if string(magic) != logMagic {
-		return 0, 0, fmt.Errorf("%w: bad log magic", ErrBadFormat)
+	switch string(magic) {
+	case logMagic:
+		// v1: records follow the magic directly, base 0, no bootstrap.
+	case logMagic2:
+		base, err := binary.ReadUvarint(br)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				rr.fresh = true
+				return rr, nil
+			}
+			return rr, fmt.Errorf("%w: bad log base: %v", ErrBadFormat, err)
+		}
+		boot, err := binary.ReadUvarint(br)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				rr.fresh = true
+				return rr, nil
+			}
+			return rr, fmt.Errorf("%w: bad log bootstrap count: %v", ErrBadFormat, err)
+		}
+		rr.base, rr.boot = base, int(boot)
+	default:
+		return rr, fmt.Errorf("%w: bad log magic", ErrBadFormat)
 	}
-	valid = cr.n - int64(br.Buffered())
+	rr.valid = cr.n - int64(br.Buffered())
 	for {
 		op, err := br.ReadByte()
 		if err == io.EOF {
-			return n, valid, nil
+			break
 		}
 		if err != nil {
-			return n, valid, err
+			return rr, err
 		}
 		rec, err := readFact(br, s.u)
 		if err != nil {
 			// A torn final record is tolerated; anything else
 			// (oversized length prefix, unreadable file) is corruption.
 			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-				return n, valid, nil
+				rr.torn = true
+				break
 			}
-			return n, valid, err
+			return rr, err
 		}
 		switch op {
 		case opInsert:
@@ -395,11 +588,18 @@ func (s *Store) replayLocked(f File) (n int, valid int64, err error) {
 				s.deleteLocked(rec)
 			}
 		default:
-			return n, valid, fmt.Errorf("%w: unknown op %d", ErrBadFormat, op)
+			return rr, fmt.Errorf("%w: unknown op %d", ErrBadFormat, op)
 		}
-		n++
-		valid = cr.n - int64(br.Buffered())
+		rr.applied++
+		rr.valid = cr.n - int64(br.Buffered())
 	}
+	if rr.applied < rr.boot {
+		// The bootstrap section is written atomically (rename commit),
+		// so ending inside it is corruption, not a torn tail: the state
+		// would correspond to no LSN at all.
+		return rr, fmt.Errorf("%w: log ends inside bootstrap section (%d of %d records)", ErrBadFormat, rr.applied, rr.boot)
+	}
+	return rr, nil
 }
 
 // append buffers one record and returns its sequence number plus the
@@ -505,7 +705,11 @@ func (l *Log) compact(u *fact.Universe, facts map[fact.Fact]struct{}) error {
 	}
 	werr := func() error {
 		bw := bufio.NewWriter(tf)
-		if _, err := bw.WriteString(logMagic); err != nil {
+		// v2 header: the bootstrap section reproduces the fact set as
+		// of l.lsn, so the LSN sequence continues from there instead of
+		// restarting — compaction never renumbers history out from
+		// under replication followers.
+		if err := writeLogHeader(bw, l.lsn, len(facts)); err != nil {
 			return err
 		}
 		for f := range facts {
@@ -554,11 +758,111 @@ func (l *Log) compact(u *fact.Universe, facts map[fact.Fact]struct{}) error {
 	l.f = nf
 	l.w = bufio.NewWriter(nf)
 	l.n = len(facts)
+	l.base = l.lsn
+	l.boot = len(facts)
+	l.readOff = 0 // drop the tail-read cursor: it indexes the old inode
 	l.compactions.Add(1)
 	// Everything the new log contains was fsynced before the rename,
 	// so every record appended so far is now durable.
 	advanceLSN(&l.durable, l.lsn)
 	l.lastSync.Store(time.Now().UnixNano())
 	old.Close()
+	return nil
+}
+
+// ReattachLog replaces the store's log with a freshly written one at
+// path holding exactly the current fact set, whether or not the old
+// log is still healthy. It is the recovery path for a sticky log
+// error: a store whose log device died keeps serving reads but rejects
+// every commit until restart — ReattachLog lets it resume durable
+// commits on a fresh file (typically on a different volume) without
+// losing the in-memory state.
+//
+// The replacement is built in path.tmp, fsynced and renamed into
+// place, carrying a v2 header whose base is the old log's last
+// appended LSN — every acknowledged mutation is in the fact set, so
+// the LSN sequence continues exactly where the old log stopped and
+// replication followers keep their position. On failure the old log
+// (and its sticky error) stays attached.
+func (s *Store) ReattachLog(path string, policy SyncPolicy) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mustMutable()
+	fsys := s.fs()
+	old := s.log
+	var base uint64
+	if old != nil {
+		base = old.appendedLSN()
+		old.stopFlusher()
+	}
+	restoreFlusher := func() {
+		if old != nil && old.policy.mode == syncTimed {
+			old.startFlusher()
+		}
+	}
+	tmp := path + ".tmp"
+	tf, err := fsys.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		restoreFlusher()
+		return err
+	}
+	werr := func() error {
+		bw := bufio.NewWriter(tf)
+		if err := writeLogHeader(bw, base, len(s.facts)); err != nil {
+			return err
+		}
+		for f := range s.facts {
+			if err := bw.WriteByte(opInsert); err != nil {
+				return err
+			}
+			if err := writeFact(bw, s.u, f); err != nil {
+				return err
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		return tf.Sync()
+	}()
+	if werr == nil {
+		werr = tf.Close()
+	} else {
+		tf.Close()
+	}
+	if werr != nil {
+		fsys.Remove(tmp)
+		restoreFlusher()
+		return werr
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		restoreFlusher()
+		return err
+	}
+	f, err := fsys.OpenFile(path, os.O_RDWR, 0o644)
+	if err == nil {
+		_, err = f.Seek(0, io.SeekEnd)
+		if err != nil {
+			f.Close()
+		}
+	}
+	if err != nil {
+		restoreFlusher()
+		return fmt.Errorf("store: reopen reattached log: %w", err)
+	}
+	l := &Log{fs: fsys, path: path, policy: policy, f: f, w: bufio.NewWriter(f), n: len(s.facts), base: base, boot: len(s.facts)}
+	l.lsn = base
+	l.durable.Store(base)
+	l.lastSync.Store(time.Now().UnixNano())
+	if policy.mode == syncTimed {
+		l.startFlusher()
+	}
+	if old != nil {
+		// Buffered-but-unflushed bytes on the old log are abandoned:
+		// their facts are in the new bootstrap section, which is already
+		// durable, so nothing acknowledged is lost.
+		old.f.Close()
+	}
+	s.log = l
 	return nil
 }

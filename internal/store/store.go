@@ -72,10 +72,13 @@ type Store struct {
 	// Auto-checkpoint configuration (SetAutoCheckpoint): compact the
 	// log once it holds more than checkpointEvery records, optionally
 	// writing a snapshot to checkpointSnap first. checkpointing
-	// coalesces concurrent checkpoint triggers.
+	// coalesces concurrent checkpoint triggers. compactGate, when set,
+	// can veto a checkpoint's compaction (SetCompactGate) — the
+	// replication primary uses it to keep records followers still need.
 	checkpointEvery int
 	checkpointSnap  string
 	checkpointing   atomic.Bool
+	compactGate     func(upto uint64) bool
 
 	// m holds observability handles (SetMetrics). The zero value is
 	// all nil-safe no-ops; SetMetrics must run before the store is

@@ -68,6 +68,11 @@ type LogStats struct {
 	Fsyncs      uint64    // fsyncs issued (group commit batches many appends per fsync)
 	Compactions uint64    // successful log compactions since attach
 	Records     int       // records in the log since open or last compaction
+	BaseLSN     uint64    // LSN the log's bootstrap section corresponds to
+	AppendedLSN uint64    // absolute LSN of the last appended record
+	DurableLSN  uint64    // highest LSN covered by a successful fsync
+	TruncBytes  int64     // torn-tail bytes cut away at the last attach
+	TruncRecs   uint64    // partial records dropped at the last attach
 	LastSync    time.Time // completion time of the last successful fsync (zero if never)
 	Err         string    // sticky log error, empty while healthy
 }
@@ -82,14 +87,19 @@ func (s *Store) LogStats() LogStats {
 	}
 	l.mu.Lock()
 	st := LogStats{
-		Attached: true,
-		Policy:   l.policy.String(),
-		Records:  l.n,
+		Attached:    true,
+		Policy:      l.policy.String(),
+		Records:     l.n,
+		BaseLSN:     l.base,
+		AppendedLSN: l.lsn,
 	}
 	if l.err != nil {
 		st.Err = l.err.Error()
 	}
 	l.mu.Unlock()
+	st.DurableLSN = l.durable.Load()
+	st.TruncBytes = l.truncBytes.Load()
+	st.TruncRecs = l.truncRecs.Load()
 	st.Appends = l.appends.Load()
 	st.Fsyncs = l.fsyncs.Load()
 	st.Compactions = l.compactions.Load()
@@ -227,7 +237,9 @@ func (s *Store) SetAutoCheckpoint(every int, snapPath string) {
 // Checkpoint writes an atomic snapshot (when a snapshot path is
 // configured) and atomically compacts the log to the current fact
 // set. Concurrent calls coalesce: if a checkpoint is already running,
-// Checkpoint returns nil immediately.
+// Checkpoint returns nil immediately. A compact gate (SetCompactGate)
+// that vetoes the current appended LSN defers the whole checkpoint —
+// the log keeps its tail and the next trigger asks again.
 func (s *Store) Checkpoint() error {
 	if !s.checkpointing.CompareAndSwap(false, true) {
 		return nil
@@ -235,7 +247,16 @@ func (s *Store) Checkpoint() error {
 	defer s.checkpointing.Store(false)
 	s.mu.RLock()
 	snap := s.checkpointSnap
+	gate := s.compactGate
+	var upto uint64
+	if s.log != nil {
+		upto = s.log.appendedLSN()
+	}
 	s.mu.RUnlock()
+	if gate != nil && !gate(upto) {
+		s.m.checkpointsDeferred.Inc()
+		return nil
+	}
 	if snap != "" {
 		if err := s.SaveSnapshotFile(snap); err != nil {
 			return err

@@ -136,6 +136,11 @@ type Database struct {
 	reg  *obs.Registry
 
 	strict bool
+
+	// logPath and syncPolicy remember the Open options so RecoverLog
+	// can rebuild a failed log in place.
+	logPath    string
+	syncPolicy SyncPolicy
 }
 
 // New returns an empty in-memory database with default options.
@@ -170,15 +175,17 @@ func Open(opts Options) (*Database, error) {
 	}
 	comp := compose.New(eng, limit)
 	db := &Database{
-		u:      u,
-		st:     st,
-		vp:     vp,
-		eng:    eng,
-		comp:   comp,
-		br:     browse.New(eng, comp),
-		vw:     views.NewRegistry(),
-		reg:    obs.NewRegistry(),
-		strict: opts.Strict,
+		u:          u,
+		st:         st,
+		vp:         vp,
+		eng:        eng,
+		comp:       comp,
+		br:         browse.New(eng, comp),
+		vw:         views.NewRegistry(),
+		reg:        obs.NewRegistry(),
+		strict:     opts.Strict,
+		logPath:    opts.LogPath,
+		syncPolicy: opts.SyncPolicy,
 	}
 	db.pr = probe.New(eng, db.evaluator())
 	// Wire observability before the database is shared: the components
@@ -666,6 +673,28 @@ func (db *Database) Compact() error { return db.st.CompactLog() }
 // LogStats reports the durability log's counters (appends, fsyncs,
 // compactions, last-sync time); the zero value means no log attached.
 func (db *Database) LogStats() LogStats { return db.st.LogStats() }
+
+// LSN returns the absolute sequence number of the last appended log
+// record — the commit LSN of the most recent mutation. A client that
+// writes, reads this watermark, and then queries a replica with
+// ?min_lsn= gets read-your-writes. 0 without a log.
+func (db *Database) LSN() uint64 { return db.st.AppendedLSN() }
+
+// DurableLSN returns the highest LSN covered by a successful fsync —
+// the replication floor streamed to followers. 0 without a log.
+func (db *Database) DurableLSN() uint64 { return db.st.DurableLSN() }
+
+// RecoverLog rebuilds the durability log at its configured path from
+// the current in-memory state, clearing a sticky log failure so the
+// database can resume durable commits without a restart. The LSN
+// sequence continues where the failed log stopped. It is an error if
+// the database was opened without a log path.
+func (db *Database) RecoverLog() error {
+	if db.logPath == "" {
+		return errors.New("lsdb: no log configured")
+	}
+	return db.st.ReattachLog(db.logPath, db.syncPolicy)
+}
 
 // Merge inserts every stored fact of other into db. This is the §1
 // motivation of unified access across databases: two loosely

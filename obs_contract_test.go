@@ -472,3 +472,124 @@ func TestAdmissionControlContract(t *testing.T) {
 		t.Errorf("post-drain request: status %d, want 200", resp.StatusCode)
 	}
 }
+
+// TestAdmissionExemptSlots pins that quota-exempt traffic does not
+// consume admission slots: with a metrics scrape parked in flight, a
+// tenant with MaxInflight=2 must still admit two real queries. The
+// exempt request counts on the inflight gauge (it is live work) but
+// not on the admitted gauge the quota compares against — the bug this
+// pins had Admit compare the combined gauge, so a scrape could push a
+// paying request over quota.
+func TestAdmissionExemptSlots(t *testing.T) {
+	db := dataset.Music()
+	s := serve.New()
+	const quota = 2
+	tenant, err := s.AddTenant(serve.DefaultTenant, db, serve.Quotas{MaxInflight: quota})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgate := make(chan struct{})
+	qgate := make(chan struct{})
+	s.SetAdmitHook(func(_, endpoint string) {
+		switch endpoint {
+		case "metrics":
+			<-mgate
+		case "query":
+			<-qgate
+		}
+	})
+	srv := httptest.NewServer(s.Mux())
+	defer srv.Close()
+
+	// Park an exempt scrape in flight.
+	mdone := make(chan int, 1)
+	go func() {
+		resp, err := http.Get(srv.URL + "/metrics")
+		if err != nil {
+			mdone <- -1
+			return
+		}
+		resp.Body.Close()
+		mdone <- resp.StatusCode
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for tenant.Inflight() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("inflight = %d, want 1 (parked scrape)", tenant.Inflight())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// With the scrape occupying an inflight slot, the full quota of
+	// real queries must still be admitted.
+	qdone := make(chan int, quota)
+	for i := 0; i < quota; i++ {
+		go func() {
+			resp, err := http.Get(srv.URL + "/query?q=%28JOHN%2C%20FAVORITE-MUSIC%2C%20%3Fp%29")
+			if err != nil {
+				qdone <- -1
+				return
+			}
+			resp.Body.Close()
+			qdone <- resp.StatusCode
+		}()
+	}
+	for tenant.Inflight() != 1+quota {
+		if time.Now().After(deadline) {
+			t.Fatalf("inflight = %d, want %d (scrape + full quota admitted)",
+				tenant.Inflight(), 1+quota)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	reg := db.Metrics()
+	if got := reg.Value("lsdb_http_rejected_total", "endpoint", "query"); got != 0 {
+		t.Fatalf("rejected = %g with quota slots free for real traffic", got)
+	}
+	if got := reg.Value("lsdb_http_admitted"); got != quota {
+		t.Errorf("admitted gauge = %g, want %d (scrape excluded)", got, quota)
+	}
+
+	// The quota is genuinely full now: one more real query is rejected.
+	resp, err := http.Get(srv.URL + "/query?q=x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("over-quota request: status %d, want 429", resp.StatusCode)
+	}
+
+	// And another exempt request is admitted even at full quota.
+	respH, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	respH.Body.Close()
+	if respH.StatusCode != 200 {
+		t.Errorf("/healthz at full quota: status %d, want 200", respH.StatusCode)
+	}
+
+	// Drain everything; both gauges reconcile to zero.
+	close(qgate)
+	close(mgate)
+	for i := 0; i < quota; i++ {
+		if code := <-qdone; code != 200 {
+			t.Errorf("admitted query finished with status %d, want 200", code)
+		}
+	}
+	if code := <-mdone; code != 200 {
+		t.Errorf("parked scrape finished with status %d, want 200", code)
+	}
+	for tenant.Inflight() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("inflight = %d after drain, want 0", tenant.Inflight())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := reg.Value("lsdb_http_admitted"); got != 0 {
+		t.Errorf("admitted gauge after drain = %g, want 0", got)
+	}
+	if got := reg.Value("lsdb_http_rejected_total", "endpoint", "query"); got != 1 {
+		t.Errorf("rejected after drain = %g, want exactly 1", got)
+	}
+}
