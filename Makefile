@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-churn bench-scale check check-churn check-obs check-repl check-scale crash fuzz load-smoke load-json soak
+.PHONY: all build vet test race bench bench-json bench-churn bench-scale bench-search check check-churn check-obs check-repl check-scale check-search crash fuzz load-smoke load-json soak
 
 all: check
 
@@ -24,7 +24,7 @@ bench:
 # Machine-readable acceptance numbers: the E7 subgoal-cache family
 # plus E8 commit throughput per sync policy, with the observability
 # registry snapshot of the E7r workload attached.
-BENCHJSON ?= BENCH_PR9.json
+BENCHJSON ?= BENCH_PR10.json
 bench-json:
 	$(GO) run ./cmd/lsdb-bench -json $(BENCHJSON)
 
@@ -47,6 +47,22 @@ check-churn:
 SCALEMAX ?= 100000
 bench-scale:
 	$(GO) run ./cmd/lsdb-bench -scalemax $(SCALEMAX) E9s
+
+# E12 keyword-search sweep: inverted-index build throughput and warm
+# query latency on a Zipf scale world (CI-sized by SCALEMAX).
+bench-search:
+	$(GO) run ./cmd/lsdb-bench -scalemax $(SCALEMAX) E12
+
+# Keyword-search correctness: the search-vs-scan differential (index
+# answers must equal a brute-force store scan, full ranking, exact
+# float equality) across seeds and churn schedules, the ranking-quality
+# acceptance gate, the /search endpoint contract, and the query
+# tokenizer fuzz target — the racy parts under -race.
+check-search:
+	$(GO) run ./cmd/lsdb-check -search -seeds 150
+	$(GO) test -race -count=1 -run 'TestSearchVsScan|TestSearch|TestTokenize|TestNavigatePagination|TestTryPagination' ./internal/check ./internal/search ./internal/serve
+	$(GO) test -count=1 -run 'TestE12RankingQuality' ./internal/bench
+	$(GO) test -run xxx -fuzz FuzzTokenize -fuzztime 5s ./internal/search
 
 # Observability suite: the metrics registry and trace recorder unit
 # tests, the metric-contract and admission-control workload pins, and
@@ -97,6 +113,7 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzLoad -fuzztime $(FUZZTIME) ./internal/factfile
 	$(GO) test -run xxx -fuzz FuzzImportCSV -fuzztime $(FUZZTIME) ./internal/factfile
 	$(GO) test -run xxx -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/query
+	$(GO) test -run xxx -fuzz FuzzTokenize -fuzztime $(FUZZTIME) ./internal/search
 
 # Differential soak: random worlds through every oracle in
 # internal/check. SEEDS=5000 or SOAKFLAGS='-duration 10m' to go deeper.
@@ -123,5 +140,7 @@ check: build vet test race
 	$(MAKE) soak SEEDS=50
 	$(MAKE) check-churn
 	$(MAKE) check-scale SCALEFACTS=100000
+	$(MAKE) check-search
 	$(MAKE) bench-scale
+	$(MAKE) bench-search
 	$(MAKE) fuzz FUZZTIME=5s

@@ -77,8 +77,9 @@ func main() {
 		"E7r":  bench.E7Repeated,
 		"E9s":  func() *tabular.Rows { return bench.E9Scale(scaleSizes) },
 		"E11":  bench.E11,
+		"E12":  func() *tabular.Rows { return bench.E12(scaleSizes) },
 	}
-	order := []string{"E1", "E2", "E3", "E3p", "E4", "E5", "E6", "E7", "E7c", "E7r", "E8", "E9", "E9s", "E10", "E10c", "E11"}
+	order := []string{"E1", "E2", "E3", "E3p", "E4", "E5", "E6", "E7", "E7c", "E7r", "E8", "E9", "E9s", "E10", "E10c", "E11", "E12"}
 
 	selected := flag.Args()
 	if len(selected) == 0 {

@@ -11,6 +11,7 @@
 //	lsdb-check -size medium -seeds 50  # bigger worlds
 //	lsdb-check -churn -seeds 100       # high-churn write/retract/toggle schedules
 //	lsdb-check -inject member-source   # verify the harness catches a bug
+//	lsdb-check -search -seeds 500      # search-vs-scan differential only (fast soak)
 //	lsdb-check -crash 25               # sweep 25 durability crash points per seed
 //	lsdb-check -repl 20                # sweep 20 replication fault points per scenario per seed
 //	lsdb-check -scale 200000           # sealed-vs-mutable differential on a Zipf scale world
@@ -42,6 +43,7 @@ type config struct {
 	crash    int
 	repl     int
 	scale    int
+	search   bool
 	verbose  bool
 }
 
@@ -57,6 +59,7 @@ func main() {
 	flag.IntVar(&cfg.crash, "crash", 0, "also sweep this many crash points per seed through the durability-log fault injector")
 	flag.IntVar(&cfg.repl, "repl", 0, "also sweep this many replication fault points per scenario per seed (drops, follower crashes, bootstrap faults, primary crashes)")
 	flag.IntVar(&cfg.scale, "scale", 0, "also run the sealed-vs-mutable differential on a Zipf world with this many facts (LSDB_SCALE_FACTS overrides)")
+	flag.BoolVar(&cfg.search, "search", false, "run only the search-vs-scan differential per seed (a deep keyword-search soak; skips the other oracles)")
 	flag.BoolVar(&cfg.verbose, "v", false, "log every seed")
 	flag.Parse()
 
@@ -170,13 +173,17 @@ func soak(cfg config, out io.Writer) error {
 			cc.Disjoint = seed%2 != 0
 			w = gen.Churn(seed, cc)
 		}
-		if f := check.Run(w, opts); f != nil {
+		run := check.Run
+		if cfg.search {
+			run = check.SearchVsScan
+		}
+		if f := run(w, opts); f != nil {
 			// Shrink against the specific oracle that fired, with
 			// persistence off so the loop doesn't thrash the disk.
 			shrinkOpts := opts
 			shrinkOpts.SkipPersistence = true
 			fails := func(c *gen.World) bool {
-				g := check.Run(c, shrinkOpts)
+				g := run(c, shrinkOpts)
 				return g != nil && g.Oracle == f.Oracle
 			}
 			repro := w
@@ -231,7 +238,7 @@ func soak(cfg config, out io.Writer) error {
 	if cfg.inject != "" {
 		return fmt.Errorf("injected bug (%s) was NOT detected across %d seeds", cfg.inject, checked)
 	}
-	if cfg.verbose {
+	if cfg.verbose && !cfg.search {
 		fmt.Fprintf(out, "subgoal cache (cached-vs-uncached oracle): %d hits, %d misses, %d invalidations, %d evictions\n",
 			cacheAgg.Hits, cacheAgg.Misses, cacheAgg.Invalidations, cacheAgg.Evictions)
 	}

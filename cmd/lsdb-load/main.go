@@ -1,6 +1,7 @@
 // Command lsdb-load is the multi-tenant SLO harness for lsdbd: it
 // builds per-tenant worlds, replays seeded browse sessions (queries,
-// navigations, derivations, associations, batches) at a target QPS
+// keyword searches, navigations, derivations, associations, batches)
+// at a target QPS
 // across tenants, and reports per-endpoint p50/p95/p99 latency from
 // the daemon's own /metrics histograms plus throughput, error and 429
 // rates.
@@ -10,7 +11,8 @@
 //	lsdb-load [-tenants 3] [-workers 4] [-duration 2s] [-qps 0]
 //	          [-seed 7] [-batch 8] [-max-inflight 0] [-url http://host:8080]
 //	          [-replica http://replica:8081] [-write-every 16]
-//	          [-json report.json] [-smoke] [-slo "query=50,navigate=20"]
+//	          [-search-frac 0.15] [-json report.json] [-smoke]
+//	          [-slo "query=50,navigate=20"]
 //
 // With no -url the harness starts an in-process daemon seeded with
 // generated worlds (tenants t0..tN-1), so a load run needs no setup.
@@ -68,6 +70,7 @@ func main() {
 	baseURL := flag.String("url", "", "drive an external lsdbd at this base URL instead of in-process")
 	replicaURL := flag.String("replica", "", "follower-target mode: serve reads from the replica lsdbd at this URL with ?min_lsn= read-your-writes, writing through the primary at -url (412s reported separately)")
 	writeEvery := flag.Int("write-every", 0, "follower-target mode: per-worker op period of primary writes (default 16)")
+	searchFrac := flag.Float64("search-frac", 0.15, "share of session ops that are GET /search keyword queries (0 disables)")
 	jsonPath := flag.String("json", "", "write the report as JSON to this path")
 	smoke := flag.Bool("smoke", false, "exit nonzero unless throughput > 0 and non-429 errors == 0")
 	slo := flag.String("slo", "", `per-endpoint p99 budgets in ms ("query=50,default=100" or @budgets.json); exit nonzero on breach`)
@@ -84,6 +87,11 @@ func main() {
 		BaseURL:     *baseURL,
 		ReplicaURL:  *replicaURL,
 		WriteEvery:  *writeEvery,
+	}
+	if *searchFrac > 0 {
+		cfg.SearchFraction = *searchFrac
+	} else {
+		cfg.SearchFraction = -1
 	}
 
 	var rep *bench.LoadReport

@@ -234,6 +234,11 @@ func RunJSON() Report {
 	// committed artifact).
 	rep.Results = append(rep.Results, ScaleResults([]int{100_000, 1_000_000})...)
 
+	// E12 keyword search: index build throughput on a Zipf scale world,
+	// warm keyword QPS on the browse world, and the ranking-quality
+	// rates (hit@1 / syn-hit@5 are the acceptance numbers).
+	rep.Results = append(rep.Results, SearchResults([]int{100_000}, []int64{3, 5, 9})...)
+
 	// E11 replication: follower read throughput against the standalone
 	// baseline (read_fraction ≥ 0.8 is the acceptance number) and the
 	// commit→applied lag distribution.

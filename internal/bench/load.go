@@ -68,6 +68,9 @@ type LoadConfig struct {
 	// WriteEvery is the per-worker op period of primary writes in
 	// follower-target mode (default 16).
 	WriteEvery int
+	// SearchFraction is the share of session ops that are GET /search
+	// keyword queries (default 0.15; negative disables search traffic).
+	SearchFraction float64
 }
 
 func (c LoadConfig) withDefaults() LoadConfig {
@@ -85,6 +88,12 @@ func (c LoadConfig) withDefaults() LoadConfig {
 	}
 	if c.WriteEvery <= 0 {
 		c.WriteEvery = 16
+	}
+	if c.SearchFraction == 0 {
+		c.SearchFraction = 0.15
+	}
+	if c.SearchFraction < 0 {
+		c.SearchFraction = 0
 	}
 	return c
 }
@@ -149,7 +158,7 @@ type loadOp struct {
 // sessionOps derives a tenant's replayable browse session from its
 // world: queries, navigations, derivations, associations and batches
 // over the entities the generator actually asserted.
-func sessionOps(w *gen.World, rng *rand.Rand, batchSize int) []loadOp {
+func sessionOps(w *gen.World, rng *rand.Rand, batchSize int, searchFrac float64) []loadOp {
 	var facts [][3]string
 	seen := make(map[[3]string]bool)
 	for _, op := range w.Ops {
@@ -167,10 +176,32 @@ func sessionOps(w *gen.World, rng *rand.Rand, batchSize int) []loadOp {
 	}
 	pick := func() [3]string { return facts[rng.Intn(len(facts))] }
 
+	// searchQ derives a keyword query from asserted entity names: whole
+	// names, multi-term mixes, and short prefixes, the shapes a browsing
+	// user types at the front door.
+	searchQ := func(f [3]string) string {
+		switch rng.Intn(3) {
+		case 0:
+			return f[0]
+		case 1:
+			return f[0] + " " + f[2]
+		default:
+			low := strings.ToLower(f[0])
+			if len(low) > 3 {
+				low = low[:3]
+			}
+			return low
+		}
+	}
+
 	const sessionLen = 64
 	ops := make([]loadOp, 0, sessionLen)
 	for i := 0; i < sessionLen; i++ {
 		f := pick()
+		if rng.Float64() < searchFrac {
+			ops = append(ops, loadOp{"GET", "/search?q=" + url.QueryEscape(searchQ(f)), ""})
+			continue
+		}
 		switch r := rng.Float64(); {
 		case r < 0.35:
 			q := fmt.Sprintf("(%s, %s, ?x)", f[0], f[1])
@@ -189,9 +220,12 @@ func sessionOps(w *gen.World, rng *rand.Rand, batchSize int) []loadOp {
 			batch := make([]map[string]any, batchSize)
 			for j := range batch {
 				g := pick()
-				if j%2 == 0 {
+				switch {
+				case searchFrac > 0 && j%3 == 2:
+					batch[j] = map[string]any{"op": "search", "q": searchQ(g), "k": 5}
+				case j%2 == 0:
 					batch[j] = map[string]any{"op": "query", "q": fmt.Sprintf("(%s, %s, ?x)", g[0], g[1])}
-				} else {
+				default:
 					batch[j] = map[string]any{"op": "derive", "s": g[0], "r": g[1], "t": g[2]}
 				}
 			}
@@ -274,7 +308,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 			go func(ti, wk int, tenant string) {
 				defer wg.Done()
 				rng := rand.New(rand.NewSource(cfg.Seed + int64(ti)*1000 + int64(wk)))
-				ops := sessionOps(worlds[ti], rng, cfg.BatchSize)
+				ops := sessionOps(worlds[ti], rng, cfg.BatchSize, cfg.SearchFraction)
 				next := time.Now()
 				var lastLSN uint64
 				for i := 0; time.Now().Before(deadline); i++ {

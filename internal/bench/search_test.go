@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/search"
+)
+
+// TestE12RankingQuality is the retrieval acceptance gate: on held-out
+// generated worlds, exact-name queries must put the named entity first
+// at least 95% of the time, and synonym-name queries must surface the
+// partner in the top 5 at least 80% of the time.
+func TestE12RankingQuality(t *testing.T) {
+	q := MeasureRankingQuality([]int64{3, 5, 9})
+	if q.ExactProbes == 0 || q.SynProbes == 0 {
+		t.Fatalf("degenerate probe sets: %+v", q)
+	}
+	if q.Hit1 < 0.95 {
+		t.Errorf("exact-name hit@1 = %.3f (%d probes), want >= 0.95", q.Hit1, q.ExactProbes)
+	}
+	if q.SynHit5 < 0.80 {
+		t.Errorf("synonym hit@5 = %.3f (%d probes), want >= 0.80", q.SynHit5, q.SynProbes)
+	}
+	if q.MRR < q.Hit1 {
+		t.Errorf("MRR@10 %.3f below hit@1 %.3f: reciprocal ranks are broken", q.MRR, q.Hit1)
+	}
+}
+
+func TestE12SearchScaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale world in -short mode")
+	}
+	m := measureSearchScale(20_000)
+	if m.stats.Entities == 0 || m.stats.Tokens == 0 || m.stats.Bytes == 0 {
+		t.Fatalf("empty index stats: %+v", m.stats)
+	}
+	if m.buildNs <= 0 || m.exactNs <= 0 {
+		t.Fatalf("non-positive timings: %+v", m)
+	}
+}
+
+// BenchmarkE12_KeywordSearch is the interactive QPS benchmark on the
+// 20k-fact browse world (the E7r world), warm snapshot.
+func BenchmarkE12_KeywordSearch(b *testing.B) {
+	db, _ := OnDemandWorld()
+	sr := db.Searcher()
+	sr.Refresh()
+	queries := e12SessionQueries(rand.New(rand.NewSource(41)), 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sr.Search(queries[i%len(queries)], search.Options{})
+	}
+}
+
+// BenchmarkE12_IndexBuild measures one full lazy rebuild of the browse
+// world's index — the unit of work a write-then-search pays.
+func BenchmarkE12_IndexBuild(b *testing.B) {
+	db, _ := OnDemandWorld()
+	st, u := db.Store(), db.Universe()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		search.New(st, u).Refresh()
+	}
+}

@@ -110,6 +110,9 @@ func Run(w *gen.World, opts Options) *Failure {
 	if f := BatchVsSingle(w, opts); f != nil {
 		return f
 	}
+	if f := SearchVsScan(w, opts); f != nil {
+		return f
+	}
 	if !opts.SkipPersistence {
 		if f := PersistenceRoundTrip(w, opts); f != nil {
 			return f

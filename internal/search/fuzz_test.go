@@ -1,0 +1,79 @@
+// The fuzz target lives in the external test package: its corpus is
+// seeded from internal/gen, which imports the root package, which
+// imports internal/search — an import cycle if this file were
+// in-package.
+package search_test
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+	"unicode/utf8"
+
+	"repro/internal/gen"
+	"repro/internal/search"
+)
+
+// FuzzTokenize pins the tokenizer's totality: any input — empty,
+// quoted, control bytes, invalid UTF-8, oversized — must tokenize
+// without panicking into lowercase letter/digit tokens of bounded
+// length, and the result must be idempotent (retokenizing the joined
+// tokens is a fixpoint), which is what lets the query path and the
+// index path normalize through one function.
+func FuzzTokenize(f *testing.F) {
+	f.Add("")
+	f.Add("MOZART")
+	f.Add(`"mozart salzburg"`)
+	f.Add("FAVORITE-MUSIC ≈ I-C0.0.0.0-0")
+	f.Add("ΔΔΔ ∇ λλλ")
+	f.Add("\x00\x01\xff\xfe")
+	f.Add(strings.Repeat("a", 4096))
+	f.Add(strings.Repeat("tok ", 2*search.MaxQueryTerms))
+	// Seed the corpus from a generated world: every entity and rule
+	// name a real oracle run would tokenize.
+	w := gen.Generate(1, gen.Small())
+	for _, op := range w.Ops {
+		f.Add(op.S + " " + op.R + " " + op.T)
+		f.Add(op.Rule)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		toks := search.Tokenize(s)
+		for _, tok := range toks {
+			if tok == "" {
+				t.Fatalf("empty token from %q", s)
+			}
+			if n := utf8.RuneCountInString(tok); n > search.MaxTokenRunes {
+				t.Fatalf("token %q has %d runes from %q", tok, n, s)
+			}
+			for _, r := range tok {
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+					t.Fatalf("non-alphanumeric rune %q in token %q", r, tok)
+				}
+				if unicode.ToLower(r) != r {
+					t.Fatalf("uppercase rune %q in token %q", r, tok)
+				}
+			}
+		}
+		again := search.Tokenize(strings.Join(toks, " "))
+		if len(again) != len(toks) {
+			t.Fatalf("not idempotent: %v → %v", toks, again)
+		}
+		for i := range toks {
+			if again[i] != toks[i] {
+				t.Fatalf("not idempotent at %d: %v → %v", i, toks, again)
+			}
+		}
+		// Query terms are a deduplicated, capped subset.
+		terms := search.QueryTerms(s)
+		if len(terms) > search.MaxQueryTerms {
+			t.Fatalf("QueryTerms returned %d terms", len(terms))
+		}
+		seen := map[string]bool{}
+		for _, term := range terms {
+			if seen[term] {
+				t.Fatalf("duplicate term %q", term)
+			}
+			seen[term] = true
+		}
+	})
+}

@@ -20,22 +20,27 @@ const maxBatchOps = 256
 //
 //	{"op":"query","q":"(?x, in, EMPLOYEE)","trace":false}
 //	{"op":"probe","q":"..."}
-//	{"op":"navigate","entity":"JOHN"}
+//	{"op":"navigate","entity":"JOHN","offset":0,"limit":0}
 //	{"op":"between","src":"LEOPOLD","tgt":"MOZART"}
-//	{"op":"try","entity":"MOZART"}
+//	{"op":"try","entity":"MOZART","offset":0,"limit":0}
 //	{"op":"derive","s":"JOHN","r":"EARNS","t":"SALARY","trace":false,"depth":0}
 //	{"op":"check"}
+//	{"op":"search","q":"mozart salzburg","k":10,"offset":0,"preview":0}
 type batchOp struct {
-	Op     string `json:"op"`
-	Q      string `json:"q,omitempty"`
-	Entity string `json:"entity,omitempty"`
-	Src    string `json:"src,omitempty"`
-	Tgt    string `json:"tgt,omitempty"`
-	S      string `json:"s,omitempty"`
-	R      string `json:"r,omitempty"`
-	T      string `json:"t,omitempty"`
-	Trace  bool   `json:"trace,omitempty"`
-	Depth  int    `json:"depth,omitempty"`
+	Op      string `json:"op"`
+	Q       string `json:"q,omitempty"`
+	Entity  string `json:"entity,omitempty"`
+	Src     string `json:"src,omitempty"`
+	Tgt     string `json:"tgt,omitempty"`
+	S       string `json:"s,omitempty"`
+	R       string `json:"r,omitempty"`
+	T       string `json:"t,omitempty"`
+	Trace   bool   `json:"trace,omitempty"`
+	Depth   int    `json:"depth,omitempty"`
+	Offset  int    `json:"offset,omitempty"`
+	Limit   int    `json:"limit,omitempty"`
+	K       int    `json:"k,omitempty"`
+	Preview int    `json:"preview,omitempty"`
 }
 
 // batchResult is one operation's outcome: the HTTP status the single
@@ -91,11 +96,13 @@ func batchHandler(t *Tenant, w http.ResponseWriter, r *http.Request) {
 		case "probe":
 			status, payload = probePayload(db, op.Q)
 		case "navigate":
-			status, payload = navigatePayload(db, op.Entity)
+			status, payload = navigatePayload(db, op.Entity, op.Offset, op.Limit)
 		case "between":
 			status, payload = betweenPayload(db, op.Src, op.Tgt)
 		case "try":
-			status, payload = tryPayload(db, op.Entity)
+			status, payload = tryPayload(db, op.Entity, op.Offset, op.Limit)
+		case "search":
+			status, payload = searchPayload(db, op.Q, op.K, op.Offset, op.Preview)
 		case "derive":
 			status, payload = derivePayload(db, op.S, op.R, op.T, op.Trace, op.Depth, t.quotas.MaxDepth)
 		case "check":

@@ -12,6 +12,7 @@ import (
 	lsdb "repro"
 	"repro/internal/browse"
 	"repro/internal/obs"
+	"repro/internal/search"
 )
 
 // maxBodyBytes caps mutation request bodies; a single fact is tiny.
@@ -223,12 +224,59 @@ func probeHandler(t *Tenant, w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, body)
 }
 
-func navigatePayload(db *lsdb.Database, entity string) (int, any) {
+// trimNeighborhood pages a neighborhood over its stable flat order:
+// classes first, then the outgoing groups' entities, then the incoming
+// groups' entities — each list already name-sorted by the browser, so
+// (offset, limit) windows are stable across requests on an unchanged
+// store. limit ≤ 0 means everything from offset; groups left empty by
+// the window are dropped.
+func trimNeighborhood(n *browse.Neighborhood, offset, limit int) *browse.Neighborhood {
+	if offset <= 0 && limit <= 0 {
+		return n
+	}
+	out := &browse.Neighborhood{Entity: n.Entity}
+	if offset < 0 {
+		offset = 0
+	}
+	idx := 0
+	take := func() bool {
+		ok := idx >= offset && (limit <= 0 || idx < offset+limit)
+		idx++
+		return ok
+	}
+	for _, c := range n.Classes {
+		if take() {
+			out.Classes = append(out.Classes, c)
+		}
+	}
+	trim := func(src []browse.RelGroup) []browse.RelGroup {
+		var groups []browse.RelGroup
+		for _, g := range src {
+			ng := browse.RelGroup{Rel: g.Rel}
+			for _, e := range g.Entities {
+				if take() {
+					ng.Entities = append(ng.Entities, e)
+				}
+			}
+			if len(ng.Entities) > 0 {
+				groups = append(groups, ng)
+			}
+		}
+		return groups
+	}
+	out.Out = trim(n.Out)
+	out.In = trim(n.In)
+	return out
+}
+
+func navigatePayload(db *lsdb.Database, entity string, offset, limit int) (int, any) {
 	if entity == "" {
 		return http.StatusBadRequest, errBody(fmt.Errorf("entity parameter required"))
 	}
 	u := db.Universe()
 	n := db.Navigate(entity)
+	total := n.Degree()
+	n = trimNeighborhood(n, offset, limit)
 	type relGroup struct {
 		Rel      string   `json:"rel"`
 		Entities []string `json:"entities"`
@@ -254,12 +302,42 @@ func navigatePayload(db *lsdb.Database, entity string) (int, any) {
 		"out":     conv(n.Out),
 		"in":      conv(n.In),
 		"table":   n.Table(u).Render(),
+		"total":   total,
+		"offset":  offset,
 	}
 }
 
 func navigateHandler(t *Tenant, w http.ResponseWriter, r *http.Request) {
-	status, body := navigatePayload(t.db, r.URL.Query().Get("entity"))
+	offset, limit, err := pageParams(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	status, body := navigatePayload(t.db, r.URL.Query().Get("entity"), offset, limit)
 	writeJSON(w, status, body)
+}
+
+// pageParams parses the shared ?offset=&limit= pagination parameters
+// (both default 0; limit 0 means unpaginated).
+func pageParams(r *http.Request) (offset, limit int, err error) {
+	q := r.URL.Query()
+	if offset, err = intParam(q.Get("offset"), "offset"); err != nil {
+		return 0, 0, err
+	}
+	limit, err = intParam(q.Get("limit"), "limit")
+	return offset, limit, err
+}
+
+// intParam parses an optional non-negative integer query parameter.
+func intParam(s, name string) (int, error) {
+	if s == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("%s must be a non-negative integer", name)
+	}
+	return n, nil
 }
 
 func betweenPayload(db *lsdb.Database, src, tgt string) (int, any) {
@@ -288,20 +366,120 @@ func betweenHandler(t *Tenant, w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, body)
 }
 
-func tryPayload(db *lsdb.Database, entity string) (int, any) {
+func tryPayload(db *lsdb.Database, entity string, offset, limit int) (int, any) {
 	if entity == "" {
 		return http.StatusBadRequest, errBody(fmt.Errorf("entity parameter required"))
 	}
 	u := db.Universe()
+	all := db.Try(entity) // already sorted by (s, r, t) names: stable paging
+	total := len(all)
+	if offset < 0 {
+		offset = 0
+	}
+	if offset > total {
+		offset = total
+	}
+	end := total
+	if limit > 0 && offset+limit < end {
+		end = offset + limit
+	}
 	var facts []factJSON
-	for _, f := range db.Try(entity) {
+	for _, f := range all[offset:end] {
 		facts = append(facts, factJSON{S: u.Name(f.S), R: u.Name(f.R), T: u.Name(f.T)})
 	}
-	return http.StatusOK, map[string]any{"facts": facts}
+	return http.StatusOK, map[string]any{"facts": facts, "total": total, "offset": offset}
 }
 
 func tryHandler(t *Tenant, w http.ResponseWriter, r *http.Request) {
-	status, body := tryPayload(t.db, r.URL.Query().Get("entity"))
+	offset, limit, err := pageParams(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	status, body := tryPayload(t.db, r.URL.Query().Get("entity"), offset, limit)
+	writeJSON(w, status, body)
+}
+
+// maxSearchK caps the /search page size; maxSearchPreview caps the
+// per-hit neighborhood preview size. Both keep one request's work
+// bounded regardless of client input.
+const (
+	maxSearchK       = 100
+	maxSearchPreview = 20
+)
+
+// searchPayload is the /search read path: ranked keyword entry points
+// with optional neighborhood previews. k is the page size (0 → the
+// search default), offset skips ranked hits, preview > 0 attaches each
+// hit's first preview neighborhood entries via the same paginated
+// payload /navigate serves.
+func searchPayload(db *lsdb.Database, q string, k, offset, preview int) (int, any) {
+	if q == "" {
+		return http.StatusBadRequest, errBody(fmt.Errorf("q parameter required"))
+	}
+	if offset < 0 {
+		offset = 0
+	}
+	if k == 0 {
+		k = search.DefaultK
+	}
+	if k < 1 || k > maxSearchK {
+		return http.StatusBadRequest, errBody(fmt.Errorf("k must be between 1 and %d", maxSearchK))
+	}
+	if preview < 0 || preview > maxSearchPreview {
+		return http.StatusBadRequest, errBody(fmt.Errorf("preview must be between 0 and %d", maxSearchPreview))
+	}
+	res := db.Search(q, lsdb.SearchOptions{K: k, Offset: offset})
+	hits := make([]map[string]any, 0, len(res.Hits))
+	for _, h := range res.Hits {
+		hit := map[string]any{
+			"entity": h.Name,
+			"score":  h.Score,
+			"signals": map[string]float64{
+				"term":     h.TermScore,
+				"taxonomy": h.TaxScore,
+				"hub":      h.HubScore,
+			},
+			"exact_name": h.ExactName,
+			"matched":    h.Matched,
+			"degree":     h.Degree,
+		}
+		if preview > 0 {
+			if st, body := navigatePayload(db, h.Name, 0, preview); st == http.StatusOK {
+				hit["preview"] = body
+			}
+		}
+		hits = append(hits, hit)
+	}
+	return http.StatusOK, map[string]any{
+		"q":             q,
+		"terms":         res.Terms,
+		"total":         res.Total,
+		"offset":        offset,
+		"k":             k,
+		"index_version": res.Version,
+		"hits":          hits,
+	}
+}
+
+func searchHandler(t *Tenant, w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	k, err := intParam(q.Get("k"), "k")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	offset, err := intParam(q.Get("offset"), "offset")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	preview, err := intParam(q.Get("preview"), "preview")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	status, body := searchPayload(t.db, q.Get("q"), k, offset, preview)
 	writeJSON(w, status, body)
 }
 
@@ -546,10 +724,10 @@ func statsHandler(t *Tenant, w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"replication": replication,
-		"tenant":     t.name,
-		"stored":     v("lsdb_store_facts"),
-		"closure":    db.ClosureLen(),
-		"durability": durability,
+		"tenant":      t.name,
+		"stored":      v("lsdb_store_facts"),
+		"closure":     db.ClosureLen(),
+		"durability":  durability,
 		"admission": map[string]any{
 			"inflight":     t.inflight.Value(),
 			"admitted":     t.admitted.Value(),
@@ -583,6 +761,13 @@ func statsHandler(t *Tenant, w http.ResponseWriter, r *http.Request) {
 			"buckets":       v("lsdb_index_buckets"),
 			"seal_builds":   v("lsdb_index_seal_builds_total"),
 			"batch_joins":   v("lsdb_join_batches_total"),
+		},
+		"search": map[string]any{
+			"queries":        v("lsdb_search_queries_total"),
+			"index_builds":   v("lsdb_search_index_builds_total"),
+			"index_bytes":    v("lsdb_search_index_bytes"),
+			"index_tokens":   v("lsdb_search_index_tokens"),
+			"index_entities": v("lsdb_search_index_entities"),
 		},
 	})
 }

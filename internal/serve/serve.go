@@ -47,8 +47,8 @@ const DefaultTenant = "default"
 // are resolved once per tenant at AddTenant, never per request.
 var endpoints = []string{
 	"facts", "query", "probe", "navigate", "between", "try",
-	"derive", "check", "stats", "metrics", "healthz", "batch",
-	"repl_wal", "repl_snapshot", "recover",
+	"derive", "check", "search", "stats", "metrics", "healthz",
+	"batch", "repl_wal", "repl_snapshot", "recover",
 }
 
 // quotaExempt marks the endpoints admission control never rejects:
@@ -301,6 +301,7 @@ func (s *Server) Mux() *http.ServeMux {
 	route("/try", "try", getOnly(tryHandler))
 	route("/derive", "derive", getOnly(deriveHandler))
 	route("/check", "check", getOnly(checkHandler))
+	route("/search", "search", getOnly(searchHandler))
 	route("/stats", "stats", getOnly(statsHandler))
 	route("/metrics", "metrics", getOnly(metricsHandler))
 	route("/healthz", "healthz", getOnly(healthzHandler))

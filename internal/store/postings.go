@@ -145,29 +145,33 @@ func encodeRuns[K comparable](p *postings, fs []fact.Fact, keyOf func(fact.Fact)
 	return out
 }
 
-// appendRun delta+varint encodes one ascending ID run into p.enc.
-func (p *postings) appendRun(run []uint32) plist {
-	off := uint32(len(p.enc))
+// AppendUvarintRun delta+varint encodes one ascending uint32 run onto
+// dst and returns the extended slice. The first element is encoded
+// absolute, every later element as its delta from the predecessor —
+// the shared posting-run wire format of the sealed store index and the
+// keyword search index (internal/search).
+func AppendUvarintRun(dst []byte, run []uint32) []byte {
 	prev := uint32(0)
 	for i, id := range run {
 		d := id - prev
 		if i == 0 {
 			d = id
 		}
-		p.enc = binary.AppendUvarint(p.enc, uint64(d))
+		dst = binary.AppendUvarint(dst, uint64(d))
 		prev = id
 	}
-	return plist{off: off, n: uint32(len(run))}
+	return dst
 }
 
-// eachID streams the decoded fact IDs of a run to fn, stopping early
-// if fn returns false; it reports whether it ran to completion. The
-// decode is allocation-free: one cursor, one accumulator.
-func (p *postings) eachID(pl plist, fn func(uint32) bool) bool {
-	off := int(pl.off)
+// EachUvarintRun streams the n decoded IDs of a run encoded at the
+// start of enc to fn, stopping early if fn returns false; it reports
+// whether it ran to completion. The decode is allocation-free: one
+// cursor, one accumulator.
+func EachUvarintRun(enc []byte, n uint32, fn func(uint32) bool) bool {
+	off := 0
 	cur := uint32(0)
-	for i := uint32(0); i < pl.n; i++ {
-		d, w := binary.Uvarint(p.enc[off:])
+	for i := uint32(0); i < n; i++ {
+		d, w := binary.Uvarint(enc[off:])
 		off += w
 		cur += uint32(d)
 		if !fn(cur) {
@@ -177,18 +181,34 @@ func (p *postings) eachID(pl plist, fn func(uint32) bool) bool {
 	return true
 }
 
+// DecodeUvarintRun appends the n IDs encoded at the start of enc to
+// dst and returns it. The result is strictly ascending when the run
+// was encoded from an ascending slice.
+func DecodeUvarintRun(enc []byte, n uint32, dst []uint32) []uint32 {
+	EachUvarintRun(enc, n, func(id uint32) bool {
+		dst = append(dst, id)
+		return true
+	})
+	return dst
+}
+
+// appendRun delta+varint encodes one ascending ID run into p.enc.
+func (p *postings) appendRun(run []uint32) plist {
+	off := uint32(len(p.enc))
+	p.enc = AppendUvarintRun(p.enc, run)
+	return plist{off: off, n: uint32(len(run))}
+}
+
+// eachID streams the decoded fact IDs of a run to fn, stopping early
+// if fn returns false; it reports whether it ran to completion.
+func (p *postings) eachID(pl plist, fn func(uint32) bool) bool {
+	return EachUvarintRun(p.enc[pl.off:], pl.n, fn)
+}
+
 // decodeRun appends the run's fact IDs to dst and returns it. The
 // result is strictly ascending.
 func (p *postings) decodeRun(pl plist, dst []uint32) []uint32 {
-	off := int(pl.off)
-	cur := uint32(0)
-	for i := uint32(0); i < pl.n; i++ {
-		d, w := binary.Uvarint(p.enc[off:])
-		off += w
-		cur += uint32(d)
-		dst = append(dst, cur)
-	}
-	return dst
+	return DecodeUvarintRun(p.enc[pl.off:], pl.n, dst)
 }
 
 // has answers a fully bound probe: locate the (S, R) span, then binary

@@ -294,3 +294,47 @@ func TestSealedCloneRoundTrip(t *testing.T) {
 		t.Fatal("original sealed store changed")
 	}
 }
+
+// TestUvarintRunCodec pins the exported posting-run codec shared with
+// the keyword search index: round trip, early stop, and the delta
+// property that ascending runs with small gaps stay ~1 byte/element.
+func TestUvarintRunCodec(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(200)
+		run := make([]uint32, 0, n)
+		cur := uint32(0)
+		for i := 0; i < n; i++ {
+			cur += uint32(rng.Intn(1000)) + 1
+			run = append(run, cur)
+		}
+		enc := AppendUvarintRun(nil, run)
+		got := DecodeUvarintRun(enc, uint32(len(run)), nil)
+		if len(got) != len(run) {
+			t.Fatalf("trial %d: decoded %d ids, want %d", trial, len(got), len(run))
+		}
+		for i := range run {
+			if got[i] != run[i] {
+				t.Fatalf("trial %d: id[%d] = %d, want %d", trial, i, got[i], run[i])
+			}
+		}
+		// Early stop: the streaming decoder honors fn returning false.
+		seen := 0
+		complete := EachUvarintRun(enc, uint32(len(run)), func(uint32) bool {
+			seen++
+			return seen < 3
+		})
+		if len(run) >= 3 && (complete || seen != 3) {
+			t.Fatalf("trial %d: early stop saw %d (complete=%v)", trial, seen, complete)
+		}
+	}
+	// Dense ascending runs encode at one byte per element after the head.
+	dense := make([]uint32, 1000)
+	for i := range dense {
+		dense[i] = uint32(1<<20) + uint32(i)
+	}
+	enc := AppendUvarintRun(nil, dense)
+	if len(enc) > len(dense)+4 {
+		t.Fatalf("dense run encoded to %d bytes, want ≤ %d", len(enc), len(dense)+4)
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"repro/internal/probe"
 	"repro/internal/query"
 	"repro/internal/rules"
+	"repro/internal/search"
 	"repro/internal/store"
 	"repro/internal/sym"
 	"repro/internal/tabular"
@@ -133,6 +134,7 @@ type Database struct {
 	br   *browse.Browser
 	pr   *probe.Prober
 	vw   *views.Registry
+	sr   *search.Searcher
 	reg  *obs.Registry
 
 	strict bool
@@ -188,11 +190,13 @@ func Open(opts Options) (*Database, error) {
 		syncPolicy: opts.SyncPolicy,
 	}
 	db.pr = probe.New(eng, db.evaluator())
+	db.sr = search.New(st, u)
 	// Wire observability before the database is shared: the components
 	// capture registry handles once and record lock-free thereafter.
 	st.SetMetrics(db.reg)
 	eng.SetMetrics(db.reg)
 	db.br.SetMetrics(db.reg)
+	db.sr.SetMetrics(db.reg)
 	return db, nil
 }
 
@@ -627,6 +631,29 @@ func (db *Database) Relationships() []string {
 	}
 	return out
 }
+
+// SearchOptions, SearchResult and SearchHit re-export the keyword
+// search types (paging, ranked entry points).
+type (
+	SearchOptions = search.Options
+	SearchResult  = search.Result
+	SearchHit     = search.Hit
+)
+
+// Search answers a free-text keyword query with ranked entry points
+// for a browsing session: entities scored by term match quality over
+// their names, synonym (≈) classes, taxonomy ancestry and fact
+// neighborhoods, plus hub centrality. The inverted index behind it is
+// rebuilt lazily whenever the store version moves, so results always
+// reflect the current stored facts. For users who know a fragment of
+// an entity name, Find remains the simpler substring aid.
+func (db *Database) Search(q string, o SearchOptions) *SearchResult {
+	return db.sr.Search(q, o)
+}
+
+// Searcher exposes the keyword search subsystem (index stats, direct
+// access for benchmarks).
+func (db *Database) Searcher() *search.Searcher { return db.sr }
 
 // Find returns the names of active-domain entities whose name
 // contains substr (case-insensitive), sorted. It is the browsing aid
